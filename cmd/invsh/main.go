@@ -1,0 +1,226 @@
+// Invsh is an interactive shell over an Inversion file system volume: the
+// paper's "conventional user files on top of data base large ADTs" (§8),
+// with transactions and time travel exposed as shell commands.
+//
+// Usage:
+//
+//	invsh -db /path/to/dbdir [-kind f-chunk|v-segment] [-codec fast|tight]
+//
+// Commands:
+//
+//	ls [path]            list a directory
+//	mkdir path           create a directory
+//	put path text...     write a file
+//	cat path             print a file
+//	stat path            file metadata
+//	rm path              remove a file or empty directory
+//	mv old new           rename
+//	history path         commit timestamps at which the file changed
+//	asof ts cat path     print a file as of timestamp ts
+//	asof ts ls path      list a directory as of ts
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"postlob"
+	"postlob/internal/adt"
+)
+
+func main() {
+	var (
+		dbdir = flag.String("db", "", "database directory (required)")
+		kind  = flag.String("kind", "f-chunk", "large-object implementation for file contents")
+		codec = flag.String("codec", "", "compression codec: fast, tight, or empty")
+	)
+	flag.Parse()
+	if *dbdir == "" {
+		log.Fatal("invsh: -db is required")
+	}
+	k, err := adt.ParseStorageKind(*kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := postlob.Open(*dbdir, postlob.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	fs, err := db.Inversion(postlob.FSOptions{Kind: k, Codec: *codec, SM: postlob.Disk, Owner: os.Getenv("USER")})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Println("invsh — Inversion file system shell (quit to exit)")
+	for {
+		fmt.Print("invsh> ")
+		if !in.Scan() {
+			break
+		}
+		args := strings.Fields(in.Text())
+		if len(args) == 0 {
+			continue
+		}
+		if args[0] == "quit" || args[0] == "exit" {
+			return
+		}
+		if args[0] == "history" {
+			if len(args) != 2 {
+				fmt.Println("usage: history <path>")
+				continue
+			}
+			err := db.RunInTxn(func(tx *postlob.Txn) error {
+				hist, err := fs.FileHistory(tx, args[1])
+				if err != nil {
+					return err
+				}
+				for _, ts := range hist {
+					fmt.Printf("  ts %d\n", ts)
+				}
+				return nil
+			})
+			if err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+			continue
+		}
+		if ts, rest, ok := asofArgs(args); ok {
+			if err := runAsOf(fs, ts, rest); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+			continue
+		}
+		err := db.RunInTxn(func(tx *postlob.Txn) error {
+			_, err := runCmd(fs, tx, args)
+			return err
+		})
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+func asofArgs(args []string) (postlob.TS, []string, bool) {
+	if len(args) < 3 || args[0] != "asof" {
+		return 0, nil, false
+	}
+	n, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		return 0, nil, false
+	}
+	return postlob.TS(n), args[2:], true
+}
+
+func runAsOf(fs *postlob.FS, ts postlob.TS, args []string) error {
+	switch args[0] {
+	case "cat":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: asof <ts> cat <path>")
+		}
+		f, err := fs.OpenAsOf(ts, args[1])
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		data, err := io.ReadAll(f)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return nil
+	case "ls":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: asof <ts> ls <path>")
+		}
+		entries, err := fs.ReadDirAsOf(ts, args[1])
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			printEntry(e)
+		}
+		return nil
+	default:
+		return fmt.Errorf("asof supports cat and ls")
+	}
+}
+
+func printEntry(e postlob.DirEntry) {
+	t := "-"
+	if e.IsDir {
+		t = "d"
+	}
+	fmt.Printf("  %s %6d  %s\n", t, e.FileID, e.Name)
+}
+
+func runCmd(fs *postlob.FS, tx *postlob.Txn, args []string) (bool, error) {
+	switch args[0] {
+	case "ls":
+		path := "/"
+		if len(args) > 1 {
+			path = args[1]
+		}
+		entries, err := fs.ReadDir(tx, path)
+		if err != nil {
+			return false, err
+		}
+		for _, e := range entries {
+			printEntry(e)
+		}
+		return false, nil
+	case "mkdir":
+		if len(args) != 2 {
+			return false, fmt.Errorf("usage: mkdir <path>")
+		}
+		return true, fs.Mkdir(tx, args[1])
+	case "put":
+		if len(args) < 3 {
+			return false, fmt.Errorf("usage: put <path> <text...>")
+		}
+		return true, fs.WriteFile(tx, args[1], []byte(strings.Join(args[2:], " ")))
+	case "cat":
+		if len(args) != 2 {
+			return false, fmt.Errorf("usage: cat <path>")
+		}
+		data, err := fs.ReadFile(tx, args[1])
+		if err != nil {
+			return false, err
+		}
+		os.Stdout.Write(data)
+		fmt.Println()
+		return false, nil
+	case "stat":
+		if len(args) != 2 {
+			return false, fmt.Errorf("usage: stat <path>")
+		}
+		fi, err := fs.Stat(tx, args[1])
+		if err != nil {
+			return false, err
+		}
+		fmt.Printf("  %s: id=%d dir=%v size=%d owner=%s mode=%o mtime=%d ctime=%d\n",
+			fi.Name, fi.FileID, fi.IsDir, fi.Size, fi.Owner, fi.Mode, fi.MTime, fi.CTime)
+		return false, nil
+	case "rm":
+		if len(args) != 2 {
+			return false, fmt.Errorf("usage: rm <path>")
+		}
+		return true, fs.Remove(tx, args[1])
+	case "mv":
+		if len(args) != 3 {
+			return false, fmt.Errorf("usage: mv <old> <new>")
+		}
+		return true, fs.Rename(tx, args[1], args[2])
+	default:
+		return false, fmt.Errorf("unknown command %q", args[0])
+	}
+}

@@ -1,0 +1,90 @@
+// Lobjbench regenerates the paper's performance study (§9): Figure 1
+// (storage used by the large-object implementations), Figure 2 (disk
+// benchmark), and Figure 3 (WORM benchmark). Elapsed times are virtual,
+// produced by the era-calibrated device cost models, so runs are
+// deterministic and machine-independent.
+//
+// Usage:
+//
+//	lobjbench [-fig 1|2|3|all] [-scale 0.2] [-seed 1] [-dir tmp]
+//
+// Scale 1.0 is the paper's 51.2 MB object of 12,500 4,096-byte frames;
+// smaller scales shrink the object proportionally (useful for quick runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"postlob/internal/bench"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "which figure to run: 1, 2, 3, or all")
+		scale = flag.Float64("scale", 0.2, "workload scale; 1.0 = the paper's 51.2 MB object")
+		seed  = flag.Int64("seed", 1, "workload random seed")
+		dir   = flag.String("dir", "", "working directory (default: a temp dir, removed afterwards)")
+	)
+	flag.Parse()
+
+	work := *dir
+	if work == "" {
+		tmp, err := os.MkdirTemp("", "lobjbench-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(tmp)
+		work = tmp
+	}
+	w := bench.NewWorkload(*scale, *seed)
+	fmt.Printf("workload: %d frames x %d bytes = %d bytes (scale %.3g of the paper's object)\n\n",
+		w.Frames, bench.FrameSize, w.ObjectBytes(), *scale)
+
+	runFig1 := *fig == "1" || *fig == "all"
+	runFig2 := *fig == "2" || *fig == "all"
+	runFig3 := *fig == "3" || *fig == "all"
+	if !runFig1 && !runFig2 && !runFig3 {
+		log.Fatalf("unknown -fig %q (want 1, 2, 3, or all)", *fig)
+	}
+
+	if runFig1 {
+		rows, err := bench.RunFigure1(work, w)
+		if err != nil {
+			log.Fatalf("figure 1: %v", err)
+		}
+		fmt.Println("=== Figure 1 ===")
+		fmt.Println(bench.FormatFigure1(rows, w.ObjectBytes()))
+		fmt.Println("paper reference (51.2 MB object): user file 51,200,000; POSTGRES file 51,200,000;")
+		fmt.Println("f-chunk data 51,838,976 + B-tree 270,336; f-chunk 30% identical (no savings);")
+		fmt.Println("v-segment 30% data 36,290,560 + 2-level map 507,904 + B-tree 188,416;")
+		fmt.Println("f-chunk 50% data 25,919,488 + B-tree 270,336")
+		fmt.Println()
+	}
+	if runFig2 {
+		cells, err := bench.RunFigure2(work, w)
+		if err != nil {
+			log.Fatalf("figure 2: %v", err)
+		}
+		fmt.Println("=== Figure 2 ===")
+		fmt.Println(bench.FormatMatrix("Disk Performance on the Benchmark", bench.Ops(), bench.ImplNames(), cells))
+		fmt.Println("paper claims: f-chunk sequential within ~7% of native; random throughput 1/2-3/4 of")
+		fmt.Println("native; 30% compression ~13% slower and saves no space; v-segment ~25% slower than")
+		fmt.Println("uncompressed f-chunk; f-chunk 50% competitive with the native file system on random")
+		fmt.Println("access to compressed data")
+		fmt.Println()
+	}
+	if runFig3 {
+		cells, err := bench.RunFigure3(work, w)
+		if err != nil {
+			log.Fatalf("figure 3: %v", err)
+		}
+		fmt.Println("=== Figure 3 ===")
+		fmt.Println(bench.FormatMatrix("WORM Performance on the Benchmark", bench.ReadOps(), bench.Figure3Impls(), cells))
+		fmt.Println("paper claims: special program ~20% faster on large sequential reads (no cache")
+		fmt.Println("management or atomicity overhead); f-chunk dramatically superior on random reads")
+		fmt.Println("(magnetic disk cache); compression pays off by eliminating slow optical transfers")
+	}
+}

@@ -1,0 +1,48 @@
+// Lobjserve runs a database server: POSTQUEL and large-object access over
+// TCP, with just-in-time client-side decompression of large-object reads
+// (paper §3). Pair it with the internal/client library or the remoteaccess
+// example.
+//
+// Usage:
+//
+//	lobjserve -db /path/to/dbdir [-addr 127.0.0.1:5439]
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+
+	"postlob"
+)
+
+func main() {
+	var (
+		dbdir = flag.String("db", "", "database directory (required)")
+		addr  = flag.String("addr", "127.0.0.1:5439", "listen address")
+	)
+	flag.Parse()
+	if *dbdir == "" {
+		log.Fatal("lobjserve: -db is required")
+	}
+	db, err := postlob.Open(*dbdir, postlob.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := db.Serve(l)
+	log.Printf("lobjserve: serving %s on %s", *dbdir, l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("lobjserve: shutting down")
+	srv.Close()
+}

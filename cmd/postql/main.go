@@ -1,0 +1,172 @@
+// Postql is an interactive shell for the mini-POSTQUEL query language: the
+// statement forms the paper exercises (create / create large type / append /
+// retrieve / replace / delete) against a persistent database directory.
+//
+// Usage:
+//
+//	postql -db /path/to/dbdir
+//
+// Each line is one statement, executed in its own transaction unless an
+// explicit transaction is open: `begin` opens one, `commit` / `abort` end
+// it, and statements in between share it. Lines beginning with \ are shell
+// commands: \q quits, \classes lists classes, \types lists large types,
+// \objects lists large objects.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"postlob"
+)
+
+func main() {
+	dbdir := flag.String("db", "", "database directory (required)")
+	cmd := flag.String("c", "", "execute the given statement(s), ';'-separated, then exit")
+	flag.Parse()
+	if *dbdir == "" {
+		log.Fatal("postql: -db is required")
+	}
+	db, err := postlob.Open(*dbdir, postlob.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	sh := &shell{db: db}
+	defer sh.abortOpen()
+	if *cmd != "" {
+		for _, stmt := range strings.Split(*cmd, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := sh.run(stmt); err != nil {
+				log.Fatalf("postql: %s: %v", stmt, err)
+			}
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	fmt.Println("postql — mini-POSTQUEL shell (\\q to quit)")
+	for {
+		fmt.Print("postql> ")
+		if !in.Scan() {
+			break
+		}
+		line := strings.TrimSpace(in.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q`:
+			return
+		case line == `\classes`:
+			for _, c := range db.Catalog().Classes() {
+				cols := make([]string, len(c.Columns))
+				for i, col := range c.Columns {
+					cols[i] = col.Name + "=" + col.Type
+				}
+				fmt.Printf("  %s (%s) on %v\n", c.Name, strings.Join(cols, ", "), c.SM)
+			}
+			continue
+		case line == `\types`:
+			for _, t := range db.Registry().LargeTypes() {
+				codec := "none"
+				if t.Codec != nil {
+					codec = t.Codec.Name()
+				}
+				fmt.Printf("  %s: storage=%v codec=%s smgr=%v\n", t.Name, t.Kind, codec, t.SM)
+			}
+			continue
+		case line == `\objects`:
+			for _, m := range db.Catalog().Objects(false) {
+				fmt.Printf("  lobj:%d kind=%v codec=%q temp=%v\n", m.OID, m.Kind, m.Codec, m.Temp)
+			}
+			continue
+		case strings.HasPrefix(line, `\`):
+			fmt.Printf("unknown command %s\n", line)
+			continue
+		}
+
+		if err := sh.run(line); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	}
+}
+
+// shell carries the optional explicit transaction between statements.
+type shell struct {
+	db *postlob.DB
+	tx *postlob.Txn
+}
+
+func (sh *shell) abortOpen() {
+	if sh.tx != nil && !sh.tx.Done() {
+		sh.tx.Abort()
+	}
+}
+
+// run executes one statement, honouring explicit transaction control.
+func (sh *shell) run(line string) error {
+	switch strings.ToLower(line) {
+	case "begin":
+		if sh.tx != nil && !sh.tx.Done() {
+			return fmt.Errorf("transaction already open")
+		}
+		sh.tx = sh.db.Begin()
+		return nil
+	case "commit":
+		if sh.tx == nil || sh.tx.Done() {
+			return fmt.Errorf("no open transaction")
+		}
+		ts, err := sh.tx.Commit()
+		sh.tx = nil
+		if err == nil {
+			fmt.Printf("committed at ts %d\n", ts)
+		}
+		return err
+	case "abort", "rollback":
+		if sh.tx == nil || sh.tx.Done() {
+			return fmt.Errorf("no open transaction")
+		}
+		err := sh.tx.Abort()
+		sh.tx = nil
+		return err
+	}
+	if sh.tx != nil && !sh.tx.Done() {
+		return execAndPrint(sh.db, sh.tx, line)
+	}
+	return sh.db.RunInTxn(func(tx *postlob.Txn) error {
+		return execAndPrint(sh.db, tx, line)
+	})
+}
+
+// execAndPrint executes one statement in tx and prints the result table.
+func execAndPrint(db *postlob.DB, tx *postlob.Txn, line string) error {
+	return func() error {
+		res, err := db.Exec(tx, line)
+		if err != nil {
+			return err
+		}
+		defer res.Close()
+		if len(res.Columns) > 0 {
+			fmt.Println(strings.Join(res.Columns, " | "))
+		}
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		if len(res.Rows) > 0 {
+			fmt.Printf("(%d rows)\n", len(res.Rows))
+		}
+		return nil
+	}()
+}

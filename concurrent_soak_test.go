@@ -1,0 +1,195 @@
+package postlob
+
+// A concurrent facade soak: several goroutines run mixed workloads against
+// one database — query traffic over a shared indexed class, per-goroutine
+// large objects, and Inversion files in per-goroutine directories — while a
+// maintenance goroutine checkpoints and vacuums. Run with -race in CI.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestConcurrentFacadeSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	fs, err := db.Inversion(FSOptions{Kind: FChunk, Codec: "fast", SM: Disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RunInTxn(func(tx *Txn) error {
+		if _, err := db.Exec(tx, `create KV (owner = int4, k = int4, v = text)`); err != nil {
+			return err
+		}
+		_, err := db.Exec(tx, `define index kv_k on KV (KV.k)`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 6
+	const steps = 120
+	var wg sync.WaitGroup
+	errs := make(chan error, workers+1)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 101))
+			dir := fmt.Sprintf("/w%d", w)
+			if err := db.RunInTxn(func(tx *Txn) error { return fs.Mkdir(tx, dir) }); err != nil {
+				errs <- err
+				return
+			}
+			// Each worker owns one large object and a key range.
+			var ref ObjectRef
+			model := make([]byte, 20000)
+			rng.Read(model)
+			if err := db.RunInTxn(func(tx *Txn) error {
+				var obj Object
+				var err error
+				ref, obj, err = db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk, Codec: "fast"})
+				if err != nil {
+					return err
+				}
+				obj.Write(model)
+				return obj.Close()
+			}); err != nil {
+				errs <- err
+				return
+			}
+			kv := map[int64]string{}
+			for i := 0; i < steps; i++ {
+				switch rng.Intn(5) {
+				case 0: // KV upsert in the worker's key range
+					k := int64(w*1000 + rng.Intn(20))
+					v := fmt.Sprintf("w%d-%d", w, i)
+					err := db.RunInTxn(func(tx *Txn) error {
+						if _, ok := kv[k]; ok {
+							_, err := db.Exec(tx, fmt.Sprintf(`replace KV (v = "%s") where KV.k = %d`, v, k))
+							return err
+						}
+						_, err := db.Exec(tx, fmt.Sprintf(`append KV (owner = %d, k = %d, v = "%s")`, w, k, v))
+						return err
+					})
+					if err != nil {
+						errs <- fmt.Errorf("w%d step %d upsert: %w", w, i, err)
+						return
+					}
+					kv[k] = v
+				case 1: // indexed probe of own keys
+					for k, want := range kv {
+						tx := db.Begin()
+						res, err := db.Exec(tx, fmt.Sprintf(`retrieve (KV.v) where KV.k = %d`, k))
+						if err == nil && (len(res.Rows) != 1 || res.Rows[0][0].Str != want) {
+							err = fmt.Errorf("probe k=%d got %v want %q", k, res.Rows, want)
+						}
+						if res != nil {
+							res.Close()
+						}
+						tx.Abort()
+						if err != nil {
+							errs <- fmt.Errorf("w%d step %d: %w", w, i, err)
+							return
+						}
+						break
+					}
+				case 2: // large object patch + verify
+					off := rng.Intn(len(model) - 2000)
+					patch := make([]byte, 2000)
+					rng.Read(patch)
+					err := db.RunInTxn(func(tx *Txn) error {
+						obj, err := db.LargeObjects().Open(tx, ref)
+						if err != nil {
+							return err
+						}
+						obj.Seek(int64(off), io.SeekStart)
+						obj.Write(patch)
+						return obj.Close()
+					})
+					if err != nil {
+						errs <- fmt.Errorf("w%d step %d patch: %w", w, i, err)
+						return
+					}
+					copy(model[off:], patch)
+				case 3: // large object full verify
+					tx := db.Begin()
+					obj, err := db.LargeObjects().Open(tx, ref)
+					if err == nil {
+						var got []byte
+						got, err = io.ReadAll(obj)
+						obj.Close()
+						if err == nil && !bytes.Equal(got, model) {
+							err = fmt.Errorf("object mismatch (%d bytes)", len(got))
+						}
+					}
+					tx.Abort()
+					if err != nil {
+						errs <- fmt.Errorf("w%d step %d verify: %w", w, i, err)
+						return
+					}
+				case 4: // inversion file churn
+					path := fmt.Sprintf("%s/f%d", dir, rng.Intn(4))
+					data := []byte(fmt.Sprintf("%s step %d", path, i))
+					err := db.RunInTxn(func(tx *Txn) error {
+						return fs.WriteFile(tx, path, data)
+					})
+					if err != nil {
+						errs <- fmt.Errorf("w%d step %d fs: %w", w, i, err)
+						return
+					}
+					tx := db.Begin()
+					got, err := fs.ReadFile(tx, path)
+					tx.Abort()
+					if err != nil || !bytes.Equal(got, data) {
+						errs <- fmt.Errorf("w%d step %d fs read: %q, %v", w, i, got, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	// Maintenance alongside, until the workers finish.
+	stop := make(chan struct{})
+	maintDone := make(chan struct{})
+	go func() {
+		defer close(maintDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.Checkpoint(); err != nil {
+				errs <- fmt.Errorf("checkpoint: %w", err)
+				return
+			}
+			if _, err := db.Vacuum(true); err != nil {
+				errs <- fmt.Errorf("vacuum: %w", err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	<-maintDone
+
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}

@@ -1,0 +1,135 @@
+// Imagestore reproduces the paper's motivating scenario (§3–§5): an EMP
+// class with a typed picture column, a user-defined clip() function invoked
+// from the query language, and temporary large objects garbage-collected at
+// end of query.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"postlob"
+	"postlob/internal/adt"
+)
+
+const width, height = 64, 64
+
+func main() {
+	dir, err := os.MkdirTemp("", "postlob-imagestore-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := postlob.Open(dir, postlob.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Register clip(image, rect) -> image. The function reads only the
+	// chunks it needs and writes its result into a temporary large object,
+	// never materialising either image in memory whole.
+	err = db.Registry().DefineFunction(postlob.Func{
+		Name: "clip", Arity: 2,
+		ArgKinds: []adt.ValueKind{adt.KindObject, adt.KindRect},
+		Impl:     clip,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = db.RunInTxn(func(tx *postlob.Txn) error {
+		// The paper's extended DDL: a large type with conversion routines
+		// and a storage implementation, then a class using it.
+		for _, q := range []string{
+			`create large type image (input = fast, output = fast, storage = f-chunk)`,
+			`create EMP (name = text, picture = image)`,
+		} {
+			if _, err := db.Exec(tx, q); err != nil {
+				return fmt.Errorf("%s: %w", q, err)
+			}
+		}
+		// Load Mike's picture through the file-oriented interface.
+		ref, pic, err := db.LargeObjects().Create(tx, postlob.CreateOptions{TypeName: "image"})
+		if err != nil {
+			return err
+		}
+		img := make([]byte, width*height)
+		for y := 0; y < height; y++ {
+			for x := 0; x < width; x++ {
+				img[y*width+x] = byte((x * y) % 253)
+			}
+		}
+		if _, err := pic.Write(img); err != nil {
+			return err
+		}
+		if err := pic.Close(); err != nil {
+			return err
+		}
+		db.Let("mikespic", adt.Object(ref))
+		_, err = db.Exec(tx, `append EMP (name = "Mike", picture = mikespic)`)
+		return err
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's §5 query, verbatim: the clip result is a temporary large
+	// object whose name comes back to the client.
+	tx := db.Begin()
+	defer tx.Abort()
+	res, err := db.Exec(tx, `retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike"`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clipped, _ := res.First()
+	fmt.Printf("clip returned temporary object %v\n", clipped.Obj)
+
+	obj, err := db.LargeObjects().Open(tx, clipped.Obj)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, _ := io.ReadAll(obj)
+	obj.Close()
+	fmt.Printf("clipped image: %d bytes (20x20)\n", len(data))
+	fmt.Printf("pixel (3,2) = %d (expect %d)\n", data[2*20+3], (3*2)%253)
+
+	// End of query: the temporary is garbage-collected.
+	if err := res.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.LargeObjects().Open(tx, clipped.Obj); err != nil {
+		fmt.Printf("after result close, temp is gone: %v\n", err)
+	}
+}
+
+// clip copies rect r out of a row-major width×height byte image.
+func clip(ctx *postlob.CallContext, args []adt.Value) (adt.Value, error) {
+	src, err := ctx.Store.OpenObject(args[0].Obj)
+	if err != nil {
+		return adt.Null(), err
+	}
+	defer src.Close()
+	r := args[1].Rect
+	ref, dst, err := ctx.Store.CreateTemp("image")
+	if err != nil {
+		return adt.Null(), err
+	}
+	defer dst.Close()
+	row := make([]byte, r.X1-r.X0)
+	for y := r.Y0; y < r.Y1; y++ {
+		if _, err := src.Seek(y*width+r.X0, io.SeekStart); err != nil {
+			return adt.Null(), err
+		}
+		if _, err := io.ReadFull(src, row); err != nil {
+			return adt.Null(), err
+		}
+		if _, err := dst.Write(row); err != nil {
+			return adt.Null(), err
+		}
+	}
+	return adt.Object(ref), nil
+}

@@ -1,0 +1,134 @@
+// Typedsearch demonstrates the §3 argument for typed large objects over
+// untyped BLOBs: user-defined functions run inside the database, and their
+// results can be indexed — here a B-tree over lobj_size(DOCS.body) answers
+// "find the documents of exactly this size" without scanning, and a custom
+// word-count function is indexed the same way.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"postlob"
+	"postlob/internal/adt"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "postlob-typedsearch-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, err := postlob.Open(dir, postlob.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// A function over large objects: count spaces + 1, streamed in chunks —
+	// the object never sits in memory whole (§3's first fix).
+	err = db.Registry().DefineFunction(postlob.Func{
+		Name: "word_count", Arity: 1,
+		ArgKinds: []adt.ValueKind{adt.KindObject},
+		Impl: func(ctx *postlob.CallContext, args []postlob.Value) (postlob.Value, error) {
+			obj, err := ctx.Store.OpenObject(args[0].Obj)
+			if err != nil {
+				return adt.Null(), err
+			}
+			defer obj.Close()
+			words, inWord := int64(0), false
+			buf := make([]byte, 4096)
+			for {
+				n, err := obj.Read(buf)
+				for _, b := range buf[:n] {
+					if b == ' ' || b == '\n' {
+						inWord = false
+					} else if !inWord {
+						inWord = true
+						words++
+					}
+				}
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return adt.Null(), err
+				}
+			}
+			return adt.Int(words), nil
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	docs := map[string]string{
+		"haiku":  "old pond\nfrog leaps in\nwater sound",
+		"note":   "meet at noon",
+		"memo":   "ship the large object manager by friday",
+		"legal":  "party of the first part meets party of the second part",
+		"banner": "hello",
+	}
+	err = db.RunInTxn(func(tx *postlob.Txn) error {
+		for _, q := range []string{
+			`create large type document (input = fast, output = fast, storage = f-chunk)`,
+			`create DOCS (name = text, body = document)`,
+		} {
+			if _, err := db.Exec(tx, q); err != nil {
+				return err
+			}
+		}
+		for name, text := range docs {
+			ref, obj, err := db.LargeObjects().Create(tx, postlob.CreateOptions{TypeName: "document"})
+			if err != nil {
+				return err
+			}
+			obj.Write([]byte(text))
+			if err := obj.Close(); err != nil {
+				return err
+			}
+			db.Let("body", adt.Object(ref))
+			if _, err := db.Exec(tx, fmt.Sprintf(`append DOCS (name = "%s", body = body)`, name)); err != nil {
+				return err
+			}
+		}
+		// Index the results of functions invoked on the BLOBs (§3).
+		for _, q := range []string{
+			`define index docs_words on DOCS (word_count(DOCS.body))`,
+			`define index docs_size on DOCS (lobj_size(DOCS.body))`,
+		} {
+			if _, err := db.Exec(tx, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tx := db.Begin()
+	defer tx.Abort()
+	for _, q := range []string{
+		`retrieve (DOCS.name) where word_count(DOCS.body) = 3`,
+		`retrieve (DOCS.name) where lobj_size(DOCS.body) = 5`,
+		`retrieve (DOCS.name, n = word_count(DOCS.body)) where word_count(DOCS.body) >= 8`,
+	} {
+		res, err := db.Exec(tx, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		how := "sequential scan"
+		if res.UsedIndex != "" {
+			how = "index " + res.UsedIndex
+		}
+		fmt.Printf("%s\n  via %s:\n", q, how)
+		for _, row := range res.Rows {
+			fmt.Printf("    %v\n", row)
+		}
+		res.Close()
+	}
+}

@@ -1,0 +1,3 @@
+module postlob
+
+go 1.22

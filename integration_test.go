@@ -1,0 +1,330 @@
+package postlob
+
+// End-to-end integration scenarios exercising the whole stack together:
+// query language + large types + functions + temporaries + Inversion +
+// storage managers + time travel + restart durability.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/catalog"
+)
+
+// TestEndToEndPaperScenario walks the paper's running example front to
+// back: declare an image large type with compression, build an EMP class,
+// load pictures, register clip(), query with it, let the temp escape into a
+// class, and time-travel the picture after an update.
+func TestEndToEndPaperScenario(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const width = 32
+	mkImage := func(seed byte) []byte {
+		img := make([]byte, width*width)
+		for i := range img {
+			img[i] = seed + byte(i%17)
+		}
+		return img
+	}
+
+	// clip() as in examples/imagestore, over a known-width image.
+	err = db.Registry().DefineFunction(Func{
+		Name: "clip", Arity: 2,
+		ArgKinds: []adt.ValueKind{adt.KindObject, adt.KindRect},
+		Impl: func(ctx *CallContext, args []Value) (Value, error) {
+			src, err := ctx.Store.OpenObject(args[0].Obj)
+			if err != nil {
+				return adt.Null(), err
+			}
+			defer src.Close()
+			r := args[1].Rect
+			ref, dst, err := ctx.Store.CreateTemp("image")
+			if err != nil {
+				return adt.Null(), err
+			}
+			defer dst.Close()
+			row := make([]byte, r.X1-r.X0)
+			for y := r.Y0; y < r.Y1; y++ {
+				if _, err := src.Seek(y*width+r.X0, io.SeekStart); err != nil {
+					return adt.Null(), err
+				}
+				if _, err := io.ReadFull(src, row); err != nil {
+					return adt.Null(), err
+				}
+				if _, err := dst.Write(row); err != nil {
+					return adt.Null(), err
+				}
+			}
+			return adt.Object(ref), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// DDL and loading.
+	var mikeRef ObjectRef
+	if err := db.RunInTxn(func(tx *Txn) error {
+		for _, q := range []string{
+			`create large type image (input = tight, output = tight, storage = v-segment)`,
+			`create EMP (name = text, age = int4, picture = image)`,
+			`create THUMBS (name = text, thumb = image)`,
+		} {
+			if _, err := db.Exec(tx, q); err != nil {
+				return fmt.Errorf("%s: %w", q, err)
+			}
+		}
+		var obj Object
+		var err error
+		mikeRef, obj, err = db.LargeObjects().Create(tx, CreateOptions{TypeName: "image"})
+		if err != nil {
+			return err
+		}
+		obj.Write(mkImage(10))
+		if err := obj.Close(); err != nil {
+			return err
+		}
+		db.Let("mikespic", adt.Object(mikeRef))
+		if _, err := db.Exec(tx, `append EMP (name = "Mike", age = 45, picture = mikespic)`); err != nil {
+			return err
+		}
+		_, err = db.Exec(tx, `append EMP (name = "Joe", age = 29, picture = mikespic)`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := db.Now()
+
+	// Query with the function; store the clip into THUMBS so it escapes GC.
+	if err := db.RunInTxn(func(tx *Txn) error {
+		res, err := db.Exec(tx, `retrieve (t = clip(EMP.picture, "0,0,8,8"::rect)) where EMP.name = "Mike"`)
+		if err != nil {
+			return err
+		}
+		if _, err := db.Exec(tx, `append THUMBS (name = "mike-thumb", thumb = t)`); err != nil {
+			return err
+		}
+		return res.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Update Mike's picture; the thumb and the historical picture survive.
+	if err := db.RunInTxn(func(tx *Txn) error {
+		obj, err := db.LargeObjects().Open(tx, mikeRef)
+		if err != nil {
+			return err
+		}
+		obj.Seek(0, io.SeekStart)
+		obj.Write(mkImage(200))
+		return obj.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Validate: thumb content, current picture, historical picture.
+	tx := db.Begin()
+	res, err := db.Exec(tx, `retrieve (THUMBS.thumb) where THUMBS.name = "mike-thumb"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, _ := res.First()
+	thumbObj, err := db.LargeObjects().Open(tx, tv.Obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thumb, _ := io.ReadAll(thumbObj)
+	thumbObj.Close()
+	res.Close()
+	if len(thumb) != 64 {
+		t.Fatalf("thumb size = %d", len(thumb))
+	}
+	want := mkImage(10)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			if thumb[y*8+x] != want[y*width+x] {
+				t.Fatalf("thumb pixel (%d,%d) = %d, want %d", x, y, thumb[y*8+x], want[y*width+x])
+			}
+		}
+	}
+	tx.Abort()
+
+	old, err := db.LargeObjects().OpenAsOf(ts1, mikeRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldImg, _ := io.ReadAll(old)
+	old.Close()
+	if !bytes.Equal(oldImg, mkImage(10)) {
+		t.Fatal("historical picture lost after update")
+	}
+
+	// Restart: everything still there, including the large type? Type
+	// registrations are in-memory (Go closures), so re-register; class
+	// data, objects, and history persist.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tx2 := db2.Begin()
+	defer tx2.Abort()
+	res2, err := db2.Exec(tx2, `retrieve (EMP.name) where EMP.age > 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res2.Close()
+	if len(res2.Rows) != 1 || res2.Rows[0][0].Str != "Mike" {
+		t.Fatalf("after restart: %v", res2.Rows)
+	}
+	old2, err := db2.LargeObjects().OpenAsOf(ts1, mikeRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldImg2, _ := io.ReadAll(old2)
+	old2.Close()
+	if !bytes.Equal(oldImg2, mkImage(10)) {
+		t.Fatal("history lost across restart")
+	}
+}
+
+// TestEndToEndInversionOverWorm runs the Inversion file system with its
+// metadata and file contents on the WORM manager — the §7 claim that "any
+// new storage manager automatically supports Inversion files".
+func TestEndToEndInversionOverWorm(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{
+		WormConfig: &WormConfig{CacheBlocks: 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	fs, err := db.Inversion(FSOptions{Kind: FChunk, Codec: "fast", SM: Worm, Owner: "archivist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("write-once media hold history well. "), 1000)
+	if err := db.RunInTxn(func(tx *Txn) error {
+		if err := fs.Mkdir(tx, "/vault"); err != nil {
+			return err
+		}
+		return fs.WriteFile(tx, "/vault/ledger", payload)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := db.Now()
+
+	// Rewrite the ledger; the WORM keeps the old version reachable.
+	if err := db.RunInTxn(func(tx *Txn) error {
+		f, err := fs.Open(tx, "/vault/ledger")
+		if err != nil {
+			return err
+		}
+		f.Truncate(0)
+		f.Write([]byte("rewritten"))
+		return f.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	defer tx.Abort()
+	cur, err := fs.ReadFile(tx, "/vault/ledger")
+	if err != nil || string(cur) != "rewritten" {
+		t.Fatalf("current = %q, %v", cur, err)
+	}
+	old, err := fs.OpenAsOf(ts1, "/vault/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldData, _ := io.ReadAll(old)
+	old.Close()
+	if !bytes.Equal(oldData, payload) {
+		t.Fatalf("historical ledger = %d bytes, want %d", len(oldData), len(payload))
+	}
+}
+
+// TestEndToEndIndexOverRestart defines a function index, restarts, and
+// probes through it.
+func TestEndToEndIndexOverRestart(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RunInTxn(func(tx *Txn) error {
+		for _, q := range []string{
+			`create DOCS (name = text, body = large-object)`,
+			`define index docs_name on DOCS (DOCS.name)`,
+			`retrieve (d1 = newlobj(""))`,
+			`append DOCS (name = "alpha", body = d1)`,
+			`retrieve (d2 = newlobj(""))`,
+			`append DOCS (name = "beta", body = d2)`,
+		} {
+			if _, err := db.Exec(tx, q); err != nil {
+				return fmt.Errorf("%s: %w", q, err)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tx := db2.Begin()
+	defer tx.Abort()
+	res, err := db2.Exec(tx, `retrieve (DOCS.body) where DOCS.name = "beta"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.UsedIndex != "docs_name" || len(res.Rows) != 1 {
+		t.Fatalf("rows = %v via %q", res.Rows, res.UsedIndex)
+	}
+	v, _ := res.First()
+	if _, err := db2.LargeObjects().Open(tx, v.Obj); err != nil {
+		t.Fatalf("body object after restart: %v", err)
+	}
+}
+
+// TestSessionGCVisibleAtFacade mirrors §5 at the public API level.
+func TestSessionGCVisibleAtFacade(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	var tempRef ObjectRef
+	if err := db.RunInTxn(func(tx *Txn) error {
+		res, err := db.Exec(tx, `retrieve (x = newlobj(""))`)
+		if err != nil {
+			return err
+		}
+		v, _ := res.First()
+		tempRef = v.Obj
+		return res.Close() // end of query: GC
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	defer tx.Abort()
+	if _, err := db.LargeObjects().Open(tx, tempRef); !errors.Is(err, catalog.ErrNoObject) {
+		t.Fatalf("temp survived: %v", err)
+	}
+}

@@ -1,0 +1,505 @@
+// Package adt implements the abstract-data-type layer: the "create large
+// type" registry and the user-defined functions and operators that make
+// large objects more than untyped BLOBs (paper §3, §4).
+//
+// A large type is declared with input and output conversion routines (the
+// compression codecs) and a storage implementation:
+//
+//	create large type image (
+//	    input   = fast,
+//	    output  = fast,
+//	    storage = f-chunk)
+//
+// Functions registered here are callable from the query language; a function
+// operating on a large object receives a handle and reads the chunks it
+// needs rather than the whole value in memory — the fix for the first
+// problem §3 identifies with the original ADT proposal. Functions returning
+// large objects allocate temporary large objects through the CallContext
+// (paper §5).
+package adt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"postlob/internal/compress"
+	"postlob/internal/storage"
+)
+
+// StorageKind selects one of the four large-object implementations (§6).
+type StorageKind uint8
+
+// The four implementations.
+const (
+	KindUFile    StorageKind = iota // user file as ADT (§6.1)
+	KindPFile                       // POSTGRES-owned file (§6.2)
+	KindFChunk                      // fixed-length 8K chunks (§6.3)
+	KindVSegment                    // variable-length compressed segments (§6.4)
+)
+
+var kindNames = map[string]StorageKind{
+	"u-file":    KindUFile,
+	"ufile":     KindUFile,
+	"p-file":    KindPFile,
+	"pfile":     KindPFile,
+	"f-chunk":   KindFChunk,
+	"fchunk":    KindFChunk,
+	"v-segment": KindVSegment,
+	"vsegment":  KindVSegment,
+}
+
+func (k StorageKind) String() string {
+	switch k {
+	case KindUFile:
+		return "u-file"
+	case KindPFile:
+		return "p-file"
+	case KindFChunk:
+		return "f-chunk"
+	case KindVSegment:
+		return "v-segment"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseStorageKind resolves a storage= value from a large type definition.
+func ParseStorageKind(s string) (StorageKind, error) {
+	k, ok := kindNames[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, fmt.Errorf("adt: unknown storage kind %q", s)
+	}
+	return k, nil
+}
+
+// Errors returned by the registry.
+var (
+	ErrTypeExists    = errors.New("adt: type already defined")
+	ErrNoType        = errors.New("adt: no such type")
+	ErrFuncExists    = errors.New("adt: function already defined")
+	ErrNoFunc        = errors.New("adt: no such function")
+	ErrNoOperator    = errors.New("adt: no such operator")
+	ErrArity         = errors.New("adt: wrong number of arguments")
+	ErrWrongType     = errors.New("adt: wrong argument type")
+	ErrCodecMismatch = errors.New("adt: input and output conversions must match")
+)
+
+// LargeType describes a registered large abstract data type.
+type LargeType struct {
+	// Name is the type name, e.g. "image".
+	Name string
+	// Kind selects the storage implementation.
+	Kind StorageKind
+	// Codec is the conversion routine pair (input = compress, output =
+	// uncompress); nil means no conversion.
+	Codec compress.Codec
+	// SM is the storage manager classes of this type are created on.
+	SM storage.ID
+}
+
+// --- values -------------------------------------------------------------------
+
+// ValueKind tags a Value.
+type ValueKind uint8
+
+// Value kinds usable in queries and function signatures.
+const (
+	KindNull ValueKind = iota
+	KindInt
+	KindText
+	KindBool
+	KindRect
+	KindObject // large-object handle
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return "int4"
+	case KindText:
+		return "text"
+	case KindBool:
+		return "bool"
+	case KindRect:
+		return "rect"
+	case KindObject:
+		return "large-object"
+	default:
+		return fmt.Sprintf("valuekind(%d)", uint8(k))
+	}
+}
+
+// Rect is the example spatial type the paper uses with clip(); coordinates
+// are (x0,y0) to (x1,y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int64
+}
+
+// ParseRect parses the paper's "0,0,20,20" literal form.
+func ParseRect(s string) (Rect, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return Rect{}, fmt.Errorf("adt: rect needs 4 coordinates, got %q", s)
+	}
+	var vals [4]int64
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return Rect{}, fmt.Errorf("adt: bad rect coordinate %q", p)
+		}
+		vals[i] = v
+	}
+	return Rect{vals[0], vals[1], vals[2], vals[3]}, nil
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("%d,%d,%d,%d", r.X0, r.Y0, r.X1, r.Y1)
+}
+
+// ObjectRef names a stored large object: the "large object name" the query
+// returns instead of the bytes themselves (§4).
+type ObjectRef struct {
+	// OID identifies the object in the database.
+	OID uint64
+	// TypeName is the object's declared large type ("" for untyped).
+	TypeName string
+}
+
+func (o ObjectRef) String() string { return fmt.Sprintf("lobj:%d", o.OID) }
+
+// Value is a dynamically typed datum.
+type Value struct {
+	Kind ValueKind
+	Int  int64
+	Str  string
+	Bool bool
+	Rect Rect
+	Obj  ObjectRef
+}
+
+// Convenience constructors.
+func Null() Value              { return Value{Kind: KindNull} }
+func Int(v int64) Value        { return Value{Kind: KindInt, Int: v} }
+func Text(s string) Value      { return Value{Kind: KindText, Str: s} }
+func Bool(b bool) Value        { return Value{Kind: KindBool, Bool: b} }
+func RectVal(r Rect) Value     { return Value{Kind: KindRect, Rect: r} }
+func Object(o ObjectRef) Value { return Value{Kind: KindObject, Obj: o} }
+
+// String renders the value for result output.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindText:
+		return v.Str
+	case KindBool:
+		return strconv.FormatBool(v.Bool)
+	case KindRect:
+		return v.Rect.String()
+	case KindObject:
+		return v.Obj.String()
+	default:
+		return "?"
+	}
+}
+
+// IndexKey maps a value to a 64-bit B-tree key. Integers map
+// order-preservingly (range scans work); other kinds hash, so indexes on
+// them support equality probes with the fetched row re-verified against the
+// qualification (hash collisions are filtered there).
+func (v Value) IndexKey() uint64 {
+	switch v.Kind {
+	case KindInt:
+		return uint64(v.Int) ^ (1 << 63) // order-preserving shift of int64
+	case KindBool:
+		if v.Bool {
+			return 1
+		}
+		return 0
+	case KindText:
+		return fnv64(v.Str)
+	case KindRect:
+		return fnv64(v.Rect.String())
+	case KindObject:
+		return v.Obj.OID
+	default:
+		return 0
+	}
+}
+
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// Equal compares two values of the same kind.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindNull:
+		return true
+	case KindInt:
+		return v.Int == o.Int
+	case KindText:
+		return v.Str == o.Str
+	case KindBool:
+		return v.Bool == o.Bool
+	case KindRect:
+		return v.Rect == o.Rect
+	case KindObject:
+		return v.Obj.OID == o.Obj.OID
+	default:
+		return false
+	}
+}
+
+// --- function calling convention ------------------------------------------------
+
+// LargeObject is the file-oriented handle functions receive: seek to any
+// byte, read or write any number of bytes (§4). Implemented by the core
+// large-object layer.
+type LargeObject interface {
+	io.ReadWriteSeeker
+	io.Closer
+	// Size returns the object's current length in bytes.
+	Size() (int64, error)
+}
+
+// ObjectStore lets functions open existing large objects and create
+// temporary ones for their return values (§5). Implemented by the core
+// layer; handed to functions through the CallContext.
+type ObjectStore interface {
+	// OpenObject opens a stored large object for reading and writing.
+	OpenObject(ref ObjectRef) (LargeObject, error)
+	// CreateTemp allocates a temporary large object of the given type. It
+	// is garbage-collected when the enclosing query context closes unless
+	// the result escapes into a class.
+	CreateTemp(typeName string) (ObjectRef, LargeObject, error)
+}
+
+// CallContext is passed to every user-defined function invocation.
+type CallContext struct {
+	// Store provides large-object access; may be nil for pure functions.
+	Store ObjectStore
+}
+
+// FuncImpl is the Go implementation of a registered function.
+type FuncImpl func(ctx *CallContext, args []Value) (Value, error)
+
+// Func is a registered function.
+type Func struct {
+	Name  string
+	Arity int
+	// ArgKinds, when non-nil, is checked before invocation.
+	ArgKinds []ValueKind
+	Impl     FuncImpl
+}
+
+// Call validates arguments and invokes the function.
+func (f *Func) Call(ctx *CallContext, args []Value) (Value, error) {
+	if len(args) != f.Arity {
+		return Null(), fmt.Errorf("%w: %s takes %d, got %d", ErrArity, f.Name, f.Arity, len(args))
+	}
+	if f.ArgKinds != nil {
+		for i, k := range f.ArgKinds {
+			if args[i].Kind != k {
+				return Null(), fmt.Errorf("%w: %s arg %d is %v, want %v", ErrWrongType, f.Name, i+1, args[i].Kind, k)
+			}
+		}
+	}
+	return f.Impl(ctx, args)
+}
+
+// --- registry -------------------------------------------------------------------
+
+// Registry holds large types, functions, and operators. It corresponds to
+// the pg_type / pg_proc / pg_operator catalogs; functions are "dynamically
+// loaded" in the sense that they are registered at run time as Go closures.
+type Registry struct {
+	mu    sync.RWMutex
+	types map[string]*LargeType
+	funcs map[string]*Func
+	ops   map[string]string // operator symbol -> function name
+}
+
+// NewRegistry creates a registry preloaded with the built-in comparison
+// operators on basic types.
+func NewRegistry() *Registry {
+	r := &Registry{
+		types: make(map[string]*LargeType),
+		funcs: make(map[string]*Func),
+		ops:   make(map[string]string),
+	}
+	r.registerBuiltins()
+	return r
+}
+
+// CreateLargeType registers a large ADT: the Go API for the paper's
+// extended "create large type" syntax.
+func (r *Registry) CreateLargeType(t LargeType) error {
+	if t.Name == "" {
+		return errors.New("adt: large type needs a name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.types[t.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrTypeExists, t.Name)
+	}
+	cp := t
+	r.types[t.Name] = &cp
+	return nil
+}
+
+// LargeTypeByName returns a registered large type.
+func (r *Registry) LargeTypeByName(name string) (*LargeType, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.types[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoType, name)
+	}
+	return t, nil
+}
+
+// LargeTypes lists registered large types sorted by name.
+func (r *Registry) LargeTypes() []*LargeType {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*LargeType, 0, len(r.types))
+	for _, t := range r.types {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DefineFunction registers a user function callable from queries.
+func (r *Registry) DefineFunction(f Func) error {
+	if f.Name == "" || f.Impl == nil {
+		return errors.New("adt: function needs a name and an implementation")
+	}
+	if f.ArgKinds != nil && len(f.ArgKinds) != f.Arity {
+		return fmt.Errorf("adt: %s: %d arg kinds for arity %d", f.Name, len(f.ArgKinds), f.Arity)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[f.Name]; ok {
+		return fmt.Errorf("%w: %s", ErrFuncExists, f.Name)
+	}
+	cp := f
+	r.funcs[f.Name] = &cp
+	return nil
+}
+
+// Function returns a registered function by name.
+func (r *Registry) Function(name string) (*Func, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.funcs[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoFunc, name)
+	}
+	return f, nil
+}
+
+// DefineOperator binds an operator symbol to a registered binary function.
+func (r *Registry) DefineOperator(symbol, funcName string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.funcs[funcName]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoFunc, funcName)
+	}
+	r.ops[symbol] = funcName
+	return nil
+}
+
+// Operator resolves an operator symbol to its function.
+func (r *Registry) Operator(symbol string) (*Func, error) {
+	r.mu.RLock()
+	name, ok := r.ops[symbol]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoOperator, symbol)
+	}
+	return r.Function(name)
+}
+
+// registerBuiltins installs comparison and arithmetic operators used by the
+// query layer's qualifications.
+func (r *Registry) registerBuiltins() {
+	cmp := func(name string, ok func(int) bool) {
+		r.funcs[name] = &Func{
+			Name:  name,
+			Arity: 2,
+			Impl: func(ctx *CallContext, args []Value) (Value, error) {
+				c, err := compareValues(args[0], args[1])
+				if err != nil {
+					return Null(), err
+				}
+				return Bool(ok(c)), nil
+			},
+		}
+	}
+	cmp("builtin_eq", func(c int) bool { return c == 0 })
+	cmp("builtin_ne", func(c int) bool { return c != 0 })
+	cmp("builtin_lt", func(c int) bool { return c < 0 })
+	cmp("builtin_le", func(c int) bool { return c <= 0 })
+	cmp("builtin_gt", func(c int) bool { return c > 0 })
+	cmp("builtin_ge", func(c int) bool { return c >= 0 })
+	r.ops["="] = "builtin_eq"
+	r.ops["!="] = "builtin_ne"
+	r.ops["<"] = "builtin_lt"
+	r.ops["<="] = "builtin_le"
+	r.ops[">"] = "builtin_gt"
+	r.ops[">="] = "builtin_ge"
+}
+
+// Compare orders two values of the same comparable kind: -1, 0, or 1.
+func Compare(a, b Value) (int, error) { return compareValues(a, b) }
+
+func compareValues(a, b Value) (int, error) {
+	if a.Kind != b.Kind {
+		return 0, fmt.Errorf("%w: cannot compare %v with %v", ErrWrongType, a.Kind, b.Kind)
+	}
+	switch a.Kind {
+	case KindInt:
+		switch {
+		case a.Int < b.Int:
+			return -1, nil
+		case a.Int > b.Int:
+			return 1, nil
+		}
+		return 0, nil
+	case KindText:
+		return strings.Compare(a.Str, b.Str), nil
+	case KindBool:
+		switch {
+		case !a.Bool && b.Bool:
+			return -1, nil
+		case a.Bool && !b.Bool:
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("%w: %v not comparable", ErrWrongType, a.Kind)
+	}
+}

@@ -1,0 +1,192 @@
+package adt
+
+import (
+	"errors"
+	"testing"
+
+	"postlob/internal/compress"
+	"postlob/internal/storage"
+)
+
+func TestParseStorageKind(t *testing.T) {
+	cases := map[string]StorageKind{
+		"u-file":    KindUFile,
+		"ufile":     KindUFile,
+		"P-FILE":    KindPFile,
+		"f-chunk":   KindFChunk,
+		" fchunk ":  KindFChunk,
+		"v-segment": KindVSegment,
+	}
+	for in, want := range cases {
+		got, err := ParseStorageKind(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseStorageKind(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseStorageKind("blob"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []StorageKind{KindUFile, KindPFile, KindFChunk, KindVSegment} {
+		round, err := ParseStorageKind(k.String())
+		if err != nil || round != k {
+			t.Fatalf("round trip %v: %v, %v", k, round, err)
+		}
+	}
+}
+
+func TestParseRect(t *testing.T) {
+	r, err := ParseRect("0,0,20,20")
+	if err != nil || r != (Rect{0, 0, 20, 20}) {
+		t.Fatalf("ParseRect = %+v, %v", r, err)
+	}
+	r, err = ParseRect(" 1 , -2 , 3 , 4 ")
+	if err != nil || r != (Rect{1, -2, 3, 4}) {
+		t.Fatalf("ParseRect spaces = %+v, %v", r, err)
+	}
+	for _, bad := range []string{"1,2,3", "a,b,c,d", "", "1,2,3,4,5"} {
+		if _, err := ParseRect(bad); err == nil {
+			t.Fatalf("ParseRect(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCreateLargeType(t *testing.T) {
+	r := NewRegistry()
+	img := LargeType{Name: "image", Kind: KindFChunk, Codec: compress.Fast{}, SM: storage.Disk}
+	if err := r.CreateLargeType(img); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CreateLargeType(img); !errors.Is(err, ErrTypeExists) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	got, err := r.LargeTypeByName("image")
+	if err != nil || got.Kind != KindFChunk || got.Codec.Name() != "fast" {
+		t.Fatalf("lookup = %+v, %v", got, err)
+	}
+	if _, err := r.LargeTypeByName("video"); !errors.Is(err, ErrNoType) {
+		t.Fatalf("missing: %v", err)
+	}
+	if err := r.CreateLargeType(LargeType{}); err == nil {
+		t.Fatal("anonymous type accepted")
+	}
+	// Listing is sorted.
+	r.CreateLargeType(LargeType{Name: "audio", Kind: KindVSegment})
+	types := r.LargeTypes()
+	if len(types) != 2 || types[0].Name != "audio" || types[1].Name != "image" {
+		t.Fatalf("LargeTypes = %v", types)
+	}
+}
+
+func TestDefineAndCallFunction(t *testing.T) {
+	r := NewRegistry()
+	err := r.DefineFunction(Func{
+		Name:     "double",
+		Arity:    1,
+		ArgKinds: []ValueKind{KindInt},
+		Impl: func(ctx *CallContext, args []Value) (Value, error) {
+			return Int(args[0].Int * 2), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := r.Function("double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Call(nil, []Value{Int(21)})
+	if err != nil || out.Int != 42 {
+		t.Fatalf("call = %v, %v", out, err)
+	}
+	// Arity and type checks.
+	if _, err := f.Call(nil, []Value{Int(1), Int(2)}); !errors.Is(err, ErrArity) {
+		t.Fatalf("arity: %v", err)
+	}
+	if _, err := f.Call(nil, []Value{Text("x")}); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("type: %v", err)
+	}
+	// Duplicates rejected.
+	if err := r.DefineFunction(Func{Name: "double", Arity: 1, Impl: f.Impl}); !errors.Is(err, ErrFuncExists) {
+		t.Fatalf("dup: %v", err)
+	}
+	if _, err := r.Function("nonesuch"); !errors.Is(err, ErrNoFunc) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	r := NewRegistry()
+	eq, err := r.Operator("=")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eq.Call(nil, []Value{Text("joe"), Text("joe")})
+	if err != nil || !out.Bool {
+		t.Fatalf("= : %v, %v", out, err)
+	}
+	lt, _ := r.Operator("<")
+	out, _ = lt.Call(nil, []Value{Int(3), Int(5)})
+	if !out.Bool {
+		t.Fatal("3 < 5 false")
+	}
+	out, _ = lt.Call(nil, []Value{Int(5), Int(3)})
+	if out.Bool {
+		t.Fatal("5 < 3 true")
+	}
+	// Mixed types error.
+	if _, err := eq.Call(nil, []Value{Int(1), Text("1")}); !errors.Is(err, ErrWrongType) {
+		t.Fatalf("mixed: %v", err)
+	}
+	// Custom operator.
+	r.DefineFunction(Func{Name: "concat", Arity: 2, Impl: func(ctx *CallContext, args []Value) (Value, error) {
+		return Text(args[0].Str + args[1].Str), nil
+	}})
+	if err := r.DefineOperator("||", "concat"); err != nil {
+		t.Fatal(err)
+	}
+	cat, err := r.Operator("||")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ = cat.Call(nil, []Value{Text("a"), Text("b")})
+	if out.Str != "ab" {
+		t.Fatalf("|| = %v", out)
+	}
+	if err := r.DefineOperator("@@", "nonesuch"); !errors.Is(err, ErrNoFunc) {
+		t.Fatalf("op to missing func: %v", err)
+	}
+	if _, err := r.Operator("@@"); !errors.Is(err, ErrNoOperator) {
+		t.Fatalf("missing op: %v", err)
+	}
+}
+
+func TestValueStringAndEqual(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), "null"},
+		{Int(-7), "-7"},
+		{Text("hi"), "hi"},
+		{Bool(true), "true"},
+		{RectVal(Rect{0, 0, 20, 20}), "0,0,20,20"},
+		{Object(ObjectRef{OID: 9}), "lobj:9"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Fatalf("String(%v) = %q", c.v.Kind, got)
+		}
+		if !c.v.Equal(c.v) {
+			t.Fatalf("%v not equal to itself", c.v.Kind)
+		}
+	}
+	if Int(1).Equal(Text("1")) {
+		t.Fatal("cross-kind equal")
+	}
+	if Int(1).Equal(Int(2)) {
+		t.Fatal("1 == 2")
+	}
+}

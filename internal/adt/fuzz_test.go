@@ -1,0 +1,37 @@
+package adt
+
+import "testing"
+
+// FuzzDecodeRowHostile ensures arbitrary bytes never panic the row decoder.
+func FuzzDecodeRowHostile(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(EncodeRow([]Value{Int(1), Text("x"), Bool(true)}))
+	f.Add([]byte{5, 0, 1})
+	f.Add([]byte{1, 0, byte(KindText), 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		row, err := DecodeRow(data)
+		if err == nil {
+			// A successful decode must re-encode decodably.
+			if _, err := DecodeRow(EncodeRow(row)); err != nil {
+				t.Fatalf("re-encode failed: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzParseRect(f *testing.F) {
+	f.Add("0,0,20,20")
+	f.Add("")
+	f.Add("-1,-2,-3,-4")
+	f.Add("a,b,c,d")
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRect(s)
+		if err == nil {
+			// Canonical form must re-parse to itself.
+			r2, err := ParseRect(r.String())
+			if err != nil || r2 != r {
+				t.Fatalf("canonical rect %q: %v", r.String(), err)
+			}
+		}
+	})
+}

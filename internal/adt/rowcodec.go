@@ -1,0 +1,142 @@
+package adt
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Row encoding: class tuples store a row of Values in a compact
+// self-describing binary form, shared by the query executor and the
+// Inversion file system's metadata classes (which is what makes directory
+// metadata queryable, §8).
+//
+//	u16 count, then per value:
+//	  u8 kind
+//	  null:   nothing
+//	  int:    8 bytes LE
+//	  text:   u32 length + bytes
+//	  bool:   1 byte
+//	  rect:   4 × 8 bytes LE
+//	  object: u64 OID + u32 type-name length + bytes
+
+// ErrRowCorrupt reports an undecodable row image.
+var ErrRowCorrupt = fmt.Errorf("adt: corrupt row encoding")
+
+// EncodeRow serialises a row of values.
+func EncodeRow(row []Value) []byte {
+	buf := make([]byte, 2, 16+8*len(row))
+	binary.LittleEndian.PutUint16(buf, uint16(len(row)))
+	var scratch [8]byte
+	for _, v := range row {
+		buf = append(buf, byte(v.Kind))
+		switch v.Kind {
+		case KindNull:
+		case KindInt:
+			binary.LittleEndian.PutUint64(scratch[:], uint64(v.Int))
+			buf = append(buf, scratch[:]...)
+		case KindText:
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(v.Str)))
+			buf = append(buf, scratch[:4]...)
+			buf = append(buf, v.Str...)
+		case KindBool:
+			b := byte(0)
+			if v.Bool {
+				b = 1
+			}
+			buf = append(buf, b)
+		case KindRect:
+			for _, c := range []int64{v.Rect.X0, v.Rect.Y0, v.Rect.X1, v.Rect.Y1} {
+				binary.LittleEndian.PutUint64(scratch[:], uint64(c))
+				buf = append(buf, scratch[:]...)
+			}
+		case KindObject:
+			binary.LittleEndian.PutUint64(scratch[:], v.Obj.OID)
+			buf = append(buf, scratch[:]...)
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(v.Obj.TypeName)))
+			buf = append(buf, scratch[:4]...)
+			buf = append(buf, v.Obj.TypeName...)
+		default:
+			panic(fmt.Sprintf("adt: cannot encode value kind %v", v.Kind))
+		}
+	}
+	return buf
+}
+
+// DecodeRow reverses EncodeRow.
+func DecodeRow(data []byte) ([]Value, error) {
+	if len(data) < 2 {
+		return nil, ErrRowCorrupt
+	}
+	n := int(binary.LittleEndian.Uint16(data))
+	data = data[2:]
+	row := make([]Value, 0, n)
+	need := func(k int) error {
+		if len(data) < k {
+			return fmt.Errorf("%w: need %d bytes, have %d", ErrRowCorrupt, k, len(data))
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		kind := ValueKind(data[0])
+		data = data[1:]
+		switch kind {
+		case KindNull:
+			row = append(row, Null())
+		case KindInt:
+			if err := need(8); err != nil {
+				return nil, err
+			}
+			row = append(row, Int(int64(binary.LittleEndian.Uint64(data))))
+			data = data[8:]
+		case KindText:
+			if err := need(4); err != nil {
+				return nil, err
+			}
+			l := int(binary.LittleEndian.Uint32(data))
+			data = data[4:]
+			if err := need(l); err != nil {
+				return nil, err
+			}
+			row = append(row, Text(string(data[:l])))
+			data = data[l:]
+		case KindBool:
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			row = append(row, Bool(data[0] != 0))
+			data = data[1:]
+		case KindRect:
+			if err := need(32); err != nil {
+				return nil, err
+			}
+			var r Rect
+			r.X0 = int64(binary.LittleEndian.Uint64(data[0:]))
+			r.Y0 = int64(binary.LittleEndian.Uint64(data[8:]))
+			r.X1 = int64(binary.LittleEndian.Uint64(data[16:]))
+			r.Y1 = int64(binary.LittleEndian.Uint64(data[24:]))
+			row = append(row, RectVal(r))
+			data = data[32:]
+		case KindObject:
+			if err := need(12); err != nil {
+				return nil, err
+			}
+			oid := binary.LittleEndian.Uint64(data)
+			l := int(binary.LittleEndian.Uint32(data[8:]))
+			data = data[12:]
+			if err := need(l); err != nil {
+				return nil, err
+			}
+			row = append(row, Object(ObjectRef{OID: oid, TypeName: string(data[:l])}))
+			data = data[l:]
+		default:
+			return nil, fmt.Errorf("%w: kind %d", ErrRowCorrupt, kind)
+		}
+	}
+	if len(data) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrRowCorrupt, len(data))
+	}
+	return row, nil
+}

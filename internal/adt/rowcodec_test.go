@@ -1,0 +1,67 @@
+package adt
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRowRoundTrip(t *testing.T) {
+	rows := [][]Value{
+		nil,
+		{},
+		{Null()},
+		{Int(42), Text("joe"), Bool(true)},
+		{RectVal(Rect{-1, 0, 20, 20})},
+		{Object(ObjectRef{OID: 7, TypeName: "image"})},
+		{Int(-9e15), Text(""), Null(), Bool(false), Object(ObjectRef{OID: 0})},
+	}
+	for i, row := range rows {
+		enc := EncodeRow(row)
+		dec, err := DecodeRow(enc)
+		if err != nil {
+			t.Fatalf("row %d: %v", i, err)
+		}
+		if len(dec) != len(row) {
+			t.Fatalf("row %d: length %d vs %d", i, len(dec), len(row))
+		}
+		for j := range row {
+			if !row[j].Equal(dec[j]) || row[j].Kind != dec[j].Kind {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, row[j], dec[j])
+			}
+			if row[j].Kind == KindObject && row[j].Obj.TypeName != dec[j].Obj.TypeName {
+				t.Fatalf("row %d col %d: type name lost", i, j)
+			}
+		}
+	}
+}
+
+func TestRowQuickTextAndInts(t *testing.T) {
+	f := func(a int64, s string, b bool) bool {
+		row := []Value{Int(a), Text(s), Bool(b)}
+		dec, err := DecodeRow(EncodeRow(row))
+		if err != nil || len(dec) != 3 {
+			return false
+		}
+		return dec[0].Int == a && dec[1].Str == s && dec[2].Bool == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowDecodeCorrupt(t *testing.T) {
+	bad := [][]byte{
+		nil,
+		{1},
+		{1, 0, byte(KindInt)},                    // truncated int
+		{1, 0, byte(KindText), 5, 0, 0, 0, 'a'},  // short text
+		{1, 0, 99},                               // unknown kind
+		append(EncodeRow([]Value{Int(1)}), 0xFF), // trailing garbage
+	}
+	for i, b := range bad {
+		if _, err := DecodeRow(b); !errors.Is(err, ErrRowCorrupt) {
+			t.Fatalf("case %d: err = %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package bench implements the paper's performance study (§9): the 51.2 MB
+// object of 12,500 4,096-byte frames, the six benchmark operations, the six
+// implementation configurations, and runners that regenerate Figure 1
+// (storage used), Figure 2 (disk performance), and Figure 3 (WORM
+// performance).
+//
+// Elapsed times are virtual: storage managers and compression routines
+// charge a device/CPU cost model calibrated to the paper's 1992-era Sequent
+// Symmetry (see EraDisk, EraWorm, EraCPU), so results are deterministic and
+// machine-independent while preserving the paper's relative shape. The
+// workload is scalable: Scale 1.0 is the paper's geometry.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"postlob/internal/adt"
+	"postlob/internal/compress"
+	"postlob/internal/core"
+	"postlob/internal/page"
+	"postlob/internal/storage"
+	"postlob/internal/txn"
+	"postlob/internal/vclock"
+)
+
+// Paper geometry (§9.1).
+const (
+	PaperObjectBytes = 51_200_000
+	FrameSize        = 4096
+	PaperFrames      = PaperObjectBytes / FrameSize // 12,500
+)
+
+// Impl is one implementation column of Figures 1–3.
+type Impl struct {
+	// Name as printed in the figure.
+	Name string
+	// Kind selects the storage implementation; for the native-file rows it
+	// is KindUFile / KindPFile.
+	Kind adt.StorageKind
+	// Codec is the conversion routine ("", "fast", "tight").
+	Codec string
+	// Compressibility drives the frame generator (0, 0.3, 0.5) so the
+	// codec achieves the paper's ratio.
+	Compressibility float64
+}
+
+// Impls are the six configurations of Figure 2, in column order.
+func Impls() []Impl {
+	return []Impl{
+		{Name: "user file", Kind: adt.KindUFile},
+		{Name: "POSTGRES file", Kind: adt.KindPFile},
+		{Name: "f-chunk 0%", Kind: adt.KindFChunk},
+		{Name: "f-chunk 30%", Kind: adt.KindFChunk, Codec: "fast", Compressibility: 0.3},
+		{Name: "v-segment 30%", Kind: adt.KindVSegment, Codec: "fast", Compressibility: 0.3},
+		{Name: "f-chunk 50%", Kind: adt.KindFChunk, Codec: "tight", Compressibility: 0.5},
+	}
+}
+
+// Era cost models. The paper's hardware: a 12-processor i386 Sequent
+// Symmetry under Dynix 3.1 with local SCSI disks and a Sony WORM jukebox.
+
+// EraDisk models the magnetic disk: ~16 ms average positioning and ~1.5
+// MB/s sustained transfer.
+func EraDisk() storage.DeviceModel {
+	return storage.DeviceModel{
+		Seek:    16 * time.Millisecond,
+		PerByte: time.Second / (1_500_000),
+	}
+}
+
+// EraWorm models the optical jukebox: slow positioning, ~300 KB/s transfer,
+// and a multi-second platter exchange.
+func EraWorm() storage.WormModel {
+	return storage.WormModel{
+		Device: storage.DeviceModel{
+			Seek:    120 * time.Millisecond,
+			PerByte: time.Second / 300_000,
+		},
+		PlatterBlocks: 12_500, // ~100 MB platters
+		PlatterSwitch: 4 * time.Second,
+	}
+}
+
+// EraCPU models the machine's usable instruction throughput. The Symmetry
+// was a 12-processor machine; conversion work overlaps I/O and other
+// processors, so the effective rate seen by the benchmark is the aggregate
+// (~80 MIPS) rather than a single CPU.
+func EraCPU() compress.CPUModel {
+	return compress.CPUModel{IPS: 80_000_000}
+}
+
+// Op is one of the six benchmark operations of §9.1.
+type Op int
+
+// The benchmark operations, in the paper's row order.
+const (
+	SeqRead Op = iota
+	SeqWrite
+	RandRead
+	RandWrite
+	LocalRead
+	LocalWrite
+)
+
+// Ops lists all six operations in Figure 2 order.
+func Ops() []Op { return []Op{SeqRead, SeqWrite, RandRead, RandWrite, LocalRead, LocalWrite} }
+
+// ReadOps lists the read-only subset used by Figure 3.
+func ReadOps() []Op { return []Op{SeqRead, RandRead, LocalRead} }
+
+func (op Op) String() string {
+	switch op {
+	case SeqRead:
+		return "10MB sequential read"
+	case SeqWrite:
+		return "10MB sequential write"
+	case RandRead:
+		return "1MB random read"
+	case RandWrite:
+		return "1MB random write"
+	case LocalRead:
+		return "1MB read, 80/20 locality"
+	case LocalWrite:
+		return "1MB write, 80/20 locality"
+	default:
+		return fmt.Sprintf("op(%d)", int(op))
+	}
+}
+
+// IsWrite reports whether the operation replaces frames.
+func (op Op) IsWrite() bool { return op == SeqWrite || op == RandWrite || op == LocalWrite }
+
+// Workload captures a scaled §9.1 configuration.
+type Workload struct {
+	Frames    int // total frames in the object
+	SeqFrames int // frames touched by the sequential operations (1/5)
+	RndFrames int // frames touched by the random/locality operations (1/50)
+	Seed      int64
+}
+
+// NewWorkload scales the paper geometry. Scale 1.0 is 12,500 frames.
+func NewWorkload(scale float64, seed int64) Workload {
+	frames := int(float64(PaperFrames) * scale)
+	if frames < 50 {
+		frames = 50
+	}
+	w := Workload{
+		Frames:    frames,
+		SeqFrames: frames / 5,
+		RndFrames: frames / 50,
+		Seed:      seed,
+	}
+	if w.SeqFrames < 1 {
+		w.SeqFrames = 1
+	}
+	if w.RndFrames < 1 {
+		w.RndFrames = 1
+	}
+	return w
+}
+
+// ObjectBytes is the object size for this workload.
+func (w Workload) ObjectBytes() int64 { return int64(w.Frames) * FrameSize }
+
+// Frame deterministically generates frame i's initial contents for an
+// implementation's compressibility.
+func (w Workload) Frame(impl Impl, i int) []byte {
+	return compress.GenFrame(w.Seed+int64(i), FrameSize, impl.Compressibility)
+}
+
+// ReplacementFrame generates the frame written by replacement pass r.
+func (w Workload) ReplacementFrame(impl Impl, i, r int) []byte {
+	return compress.GenFrame(w.Seed+int64(i)+int64(r+1)*1_000_003, FrameSize, impl.Compressibility)
+}
+
+// BuildObject creates and fills a large object for impl under the store.
+func BuildObject(store *core.Store, mgr *txn.Manager, sm storage.ID, impl Impl, w Workload, ufilePath string) (adt.ObjectRef, error) {
+	tx := mgr.Begin()
+	opts := core.CreateOptions{Kind: impl.Kind, Codec: impl.Codec, SM: &sm, Path: ufilePath}
+	ref, obj, err := store.Create(tx, opts)
+	if err != nil {
+		tx.Abort()
+		return adt.ObjectRef{}, err
+	}
+	for i := 0; i < w.Frames; i++ {
+		if _, err := obj.Write(w.Frame(impl, i)); err != nil {
+			tx.Abort()
+			return adt.ObjectRef{}, fmt.Errorf("build %s frame %d: %w", impl.Name, i, err)
+		}
+	}
+	if err := obj.Close(); err != nil {
+		tx.Abort()
+		return adt.ObjectRef{}, err
+	}
+	if _, err := tx.Commit(); err != nil {
+		return adt.ObjectRef{}, err
+	}
+	if err := store.Flush(ref); err != nil {
+		return adt.ObjectRef{}, err
+	}
+	return ref, nil
+}
+
+// frameSequence yields the frame numbers an operation touches, in order.
+func frameSequence(op Op, w Workload, rng *rand.Rand) []int {
+	switch op {
+	case SeqRead, SeqWrite:
+		seq := make([]int, w.SeqFrames)
+		for i := range seq {
+			seq[i] = i
+		}
+		return seq
+	case RandRead, RandWrite:
+		seq := make([]int, w.RndFrames)
+		for i := range seq {
+			seq[i] = rng.Intn(w.Frames)
+		}
+		return seq
+	default: // 80/20 locality
+		seq := make([]int, w.RndFrames)
+		cur := rng.Intn(w.Frames)
+		for i := range seq {
+			if rng.Intn(100) < 80 {
+				cur++
+				if cur >= w.Frames {
+					cur = 0
+				}
+			} else {
+				cur = rng.Intn(w.Frames)
+			}
+			seq[i] = cur
+		}
+		return seq
+	}
+}
+
+// RunOp executes one benchmark operation against an open object and returns
+// the virtual elapsed time measured on clk.
+func RunOp(obj core.Object, impl Impl, op Op, w Workload, pass int, clk *vclock.Clock) (time.Duration, error) {
+	rng := rand.New(rand.NewSource(w.Seed + int64(op)*7919))
+	frames := frameSequence(op, w, rng)
+	buf := make([]byte, FrameSize)
+	sw := vclock.NewStopwatch(clk)
+	for _, f := range frames {
+		if _, err := obj.Seek(int64(f)*FrameSize, io.SeekStart); err != nil {
+			return 0, err
+		}
+		if op.IsWrite() {
+			if _, err := obj.Write(w.ReplacementFrame(impl, f, pass)); err != nil {
+				return 0, fmt.Errorf("%s %s frame %d: %w", impl.Name, op, f, err)
+			}
+		} else {
+			if _, err := io.ReadFull(obj, buf); err != nil {
+				return 0, fmt.Errorf("%s %s frame %d: %w", impl.Name, op, f, err)
+			}
+		}
+	}
+	return sw.Elapsed(), nil
+}
+
+// --- figures -----------------------------------------------------------------------
+
+// Figure1Row is one storage-accounting line.
+type Figure1Row struct {
+	Impl      string
+	Component string
+	Bytes     int64
+}
+
+// Figure2Cell is one elapsed-time measurement.
+type Figure2Cell struct {
+	Op      Op
+	Impl    string
+	Elapsed time.Duration
+}
+
+// FormatFigure1 renders rows like the paper's Figure 1.
+func FormatFigure1(rows []Figure1Row, logical int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Storage Used by the Various Large Object Implementations (object: %d bytes)\n", logical)
+	for _, r := range rows {
+		name := r.Impl
+		if r.Component != "" {
+			name += " " + r.Component
+		}
+		fmt.Fprintf(&b, "  %-34s %12d\n", name, r.Bytes)
+	}
+	return b.String()
+}
+
+// FormatMatrix renders an operations × implementations elapsed-time table.
+func FormatMatrix(title string, ops []Op, impls []string, cells map[Op]map[string]time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (virtual seconds)\n", title)
+	fmt.Fprintf(&b, "  %-26s", "Operation")
+	for _, im := range impls {
+		fmt.Fprintf(&b, " %14s", im)
+	}
+	b.WriteByte('\n')
+	for _, op := range ops {
+		fmt.Fprintf(&b, "  %-26s", op)
+		for _, im := range impls {
+			d, ok := cells[op][im]
+			if !ok {
+				fmt.Fprintf(&b, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(&b, " %14.1f", d.Seconds())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SpecialProgramRead models the paper's Figure 3 baseline: "a special
+// purpose program which reads and writes the raw device", which "provides
+// an upper bound on how well an operating system WORM jukebox file system
+// could expect to do" — frame-sized reads straight off the optical medium
+// with no cache, no atomicity, and no recoverability. Costs are computed
+// from the device model directly: a positioning delay on every
+// non-sequential frame (plus a platter exchange when the arm crosses
+// platters) and raw transfer time for exactly the bytes requested.
+func SpecialProgramRead(model storage.WormModel, op Op, wl Workload, clk *vclock.Clock) time.Duration {
+	rng := rand.New(rand.NewSource(wl.Seed + int64(op)*7919))
+	frames := frameSequence(op, wl, rng)
+	framesPerBlock := int64(page.Size / FrameSize)
+	sw := vclock.NewStopwatch(clk)
+	last := int64(-2)
+	lastPlatter := int64(-1)
+	for _, f := range frames {
+		cost := time.Duration(FrameSize) * model.Device.PerByte
+		if int64(f) != last+1 {
+			cost += model.Device.Seek
+		}
+		if model.PlatterBlocks > 0 {
+			platter := int64(f) / framesPerBlock / int64(model.PlatterBlocks)
+			if lastPlatter >= 0 && platter != lastPlatter {
+				cost += model.PlatterSwitch
+			}
+			lastPlatter = platter
+		}
+		clk.Advance(cost)
+		last = int64(f)
+	}
+	return sw.Elapsed()
+}

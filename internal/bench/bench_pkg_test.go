@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// Small scale keeps unit tests quick; shape assertions use generous bands.
+const testScale = 0.16 // ~2000 frames, ~8 MB object
+
+func TestWorkloadScaling(t *testing.T) {
+	w := NewWorkload(1.0, 1)
+	if w.Frames != PaperFrames || w.SeqFrames != 2500 || w.RndFrames != 250 {
+		t.Fatalf("paper workload = %+v", w)
+	}
+	if w.ObjectBytes() != PaperObjectBytes {
+		t.Fatalf("object bytes = %d", w.ObjectBytes())
+	}
+	small := NewWorkload(0.0001, 1)
+	if small.Frames < 50 || small.SeqFrames < 1 || small.RndFrames < 1 {
+		t.Fatalf("small workload = %+v", small)
+	}
+}
+
+func TestFrameDeterminism(t *testing.T) {
+	w := NewWorkload(testScale, 7)
+	impl := Impls()[3] // f-chunk 30%
+	a := w.Frame(impl, 5)
+	b := w.Frame(impl, 5)
+	if string(a) != string(b) {
+		t.Fatal("Frame not deterministic")
+	}
+	if string(w.Frame(impl, 5)) == string(w.Frame(impl, 6)) {
+		t.Fatal("frames identical across indices")
+	}
+	if string(w.ReplacementFrame(impl, 5, 0)) == string(a) {
+		t.Fatal("replacement equals original")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	w := NewWorkload(testScale, 1)
+	rows, err := RunFigure1(t.TempDir(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatFigure1(rows, w.ObjectBytes()))
+	get := func(impl, comp string) int64 {
+		for _, r := range rows {
+			if r.Impl == impl && r.Component == comp {
+				return r.Bytes
+			}
+		}
+		t.Fatalf("missing row %s %s", impl, comp)
+		return 0
+	}
+	logical := w.ObjectBytes()
+
+	// Native files: exactly the object size (F1 paper: no overhead shown).
+	if got := get("user file", ""); got != logical {
+		t.Errorf("user file = %d, want %d", got, logical)
+	}
+	if got := get("POSTGRES file", ""); got != logical {
+		t.Errorf("POSTGRES file = %d, want %d", got, logical)
+	}
+	// f-chunk 0%: small overhead (paper: 1.8% with index).
+	raw := get("f-chunk 0%", "data") + get("f-chunk 0%", "B-tree index")
+	overhead := float64(raw-logical) / float64(logical)
+	if overhead < 0 || overhead > 0.08 {
+		t.Errorf("f-chunk 0%% overhead = %.3f, want small positive", overhead)
+	}
+	// f-chunk 30%: no space savings (one compressed value per page).
+	if got, want := get("f-chunk 30%", "data"), get("f-chunk 0%", "data"); got != want {
+		t.Errorf("f-chunk 30%% data = %d, want %d (no savings)", got, want)
+	}
+	// f-chunk 50%: about half.
+	half := get("f-chunk 50%", "data")
+	if ratio := float64(half) / float64(logical); ratio < 0.45 || ratio > 0.60 {
+		t.Errorf("f-chunk 50%% ratio = %.3f, want ~0.5", ratio)
+	}
+	// v-segment 30%: ~70% of logical plus map structures.
+	vd := get("v-segment 30%", "data")
+	if ratio := float64(vd) / float64(logical); ratio < 0.62 || ratio > 0.85 {
+		t.Errorf("v-segment 30%% data ratio = %.3f, want ~0.72", ratio)
+	}
+	if get("v-segment 30%", "2-level map") <= 0 || get("v-segment 30%", "B-tree index") <= 0 {
+		t.Error("v-segment map components missing")
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := NewWorkload(testScale, 1)
+	cells, err := RunFigure2(t.TempDir(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatMatrix("Disk Performance on the Benchmark", Ops(), ImplNames(), cells))
+
+	sec := func(op Op, impl string) float64 { return cells[op][impl].Seconds() }
+
+	// F2-a: f-chunk sequential within ~15% of native files (paper: 7%).
+	if r := sec(SeqRead, "f-chunk 0%") / sec(SeqRead, "user file"); r > 1.25 || r < 0.85 {
+		t.Errorf("seq read ratio fchunk/native = %.2f, want ~1.0-1.1", r)
+	}
+	// F2-b: random f-chunk 1.3x-2.5x slower than native (throughput 1/2-3/4).
+	if r := sec(RandRead, "f-chunk 0%") / sec(RandRead, "user file"); r < 1.15 || r > 3.0 {
+		t.Errorf("rand read ratio fchunk/native = %.2f, want 1.3-2.0", r)
+	}
+	// F2-c: 30% compression slower than uncompressed f-chunk (extra 8 instr/B).
+	if r := sec(SeqRead, "f-chunk 30%") / sec(SeqRead, "f-chunk 0%"); r < 1.02 || r > 1.6 {
+		t.Errorf("fchunk30/fchunk0 seq = %.2f, want ~1.13", r)
+	}
+	// F2-d: v-segment slower than uncompressed f-chunk on random access.
+	if r := sec(RandRead, "v-segment 30%") / sec(RandRead, "f-chunk 0%"); r < 1.0 {
+		t.Errorf("vsegment/fchunk0 rand = %.2f, want > 1", r)
+	}
+	// F2-e: f-chunk 50% beats the native file system on random reads of
+	// compressed data (fewer I/Os outweigh the decompression CPU).
+	if r := sec(RandRead, "f-chunk 50%") / sec(RandRead, "user file"); r > 1.35 {
+		t.Errorf("fchunk50/native rand = %.2f, want around or below 1", r)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	w := NewWorkload(testScale, 1)
+	cells, err := RunFigure3(t.TempDir(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatMatrix("WORM Performance on the Benchmark", ReadOps(), Figure3Impls(), cells))
+
+	sec := func(op Op, impl string) float64 { return cells[op][impl].Seconds() }
+
+	// F3-a: the raw special program wins large sequential transfers
+	// (paper: by ~20%; no cache management, no atomicity).
+	if r := sec(SeqRead, "f-chunk 0%") / sec(SeqRead, "special program"); r < 1.0 {
+		t.Errorf("fchunk0/special seq = %.2f, want >= 1", r)
+	}
+	// F3-b: f-chunk dramatically better on locality reads (disk cache).
+	if r := sec(LocalRead, "special program") / sec(LocalRead, "f-chunk 0%"); r < 1.2 {
+		t.Errorf("special/fchunk0 locality = %.2f, want >> 1", r)
+	}
+	// F3-c: compression pays off on the WORM — fewer slow transfers.
+	if r := sec(SeqRead, "f-chunk 50%") / sec(SeqRead, "f-chunk 0%"); r > 1.0 {
+		t.Errorf("fchunk50/fchunk0 worm seq = %.2f, want < 1", r)
+	}
+	if d := cells[RandRead]["v-segment 30%"]; d <= 0 {
+		t.Errorf("v-segment missing: %v", d)
+	}
+}
+
+func TestOpStringAndKind(t *testing.T) {
+	if len(Ops()) != 6 || len(ReadOps()) != 3 {
+		t.Fatal("op lists wrong")
+	}
+	for _, op := range Ops() {
+		if op.String() == "" {
+			t.Fatal("empty op name")
+		}
+	}
+	if !SeqWrite.IsWrite() || SeqRead.IsWrite() {
+		t.Fatal("IsWrite wrong")
+	}
+}
+
+func TestEraModelsSane(t *testing.T) {
+	d := EraDisk()
+	if d.Seek <= 0 || d.PerByte <= 0 {
+		t.Fatal("disk model empty")
+	}
+	ws := EraWorm()
+	if ws.Device.PerByte <= d.PerByte {
+		t.Fatal("WORM transfer should be slower than disk")
+	}
+	if ws.PlatterSwitch < time.Second {
+		t.Fatal("platter switch too cheap")
+	}
+	if EraCPU().IPS <= 0 {
+		t.Fatal("CPU model empty")
+	}
+}

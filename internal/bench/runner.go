@@ -1,0 +1,271 @@
+package bench
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"postlob/internal/adt"
+	"postlob/internal/buffer"
+	"postlob/internal/catalog"
+	"postlob/internal/core"
+	"postlob/internal/heap"
+	"postlob/internal/page"
+	"postlob/internal/storage"
+	"postlob/internal/txn"
+	"postlob/internal/vclock"
+)
+
+// env is a self-contained database assembled for one figure run.
+type env struct {
+	dir   string
+	clock *vclock.Clock
+	sw    *storage.Switch
+	pool  *heap.Pool
+	store *core.Store
+	worm  *storage.WormManager
+}
+
+// newDiskEnv builds the Figure 2 environment: era-calibrated disk model for
+// both DB pages and native files, era CPU for the codecs.
+func newDiskEnv(dir string, poolPages int) (*env, error) {
+	clock := &vclock.Clock{}
+	sw := storage.NewSwitch()
+	disk, err := storage.NewDiskManager(filepath.Join(dir, "data"), EraDisk(), clock)
+	if err != nil {
+		return nil, err
+	}
+	sw.Register(storage.Disk, disk)
+	pool := &heap.Pool{Buf: buffer.NewPool(poolPages, sw, clock), Mgr: txn.NewManager()}
+	store := core.NewStore(pool, catalog.NewMemory(), adt.NewRegistry(), core.Config{
+		FilesDir:  filepath.Join(dir, "pfiles"),
+		DefaultSM: storage.Disk,
+		Clock:     clock,
+		CPU:       EraCPU(),
+		FileModel: EraDisk(),
+	})
+	return &env{dir: dir, clock: clock, sw: sw, pool: pool, store: store}, nil
+}
+
+// newWormEnv builds the Figure 3 environment: relations live on the jukebox
+// behind its magnetic-disk block cache.
+func newWormEnv(dir string, poolPages, cacheBlocks int) (*env, error) {
+	clock := &vclock.Clock{}
+	sw := storage.NewSwitch()
+	worm, err := storage.NewWormManager(filepath.Join(dir, "worm"), storage.WormConfig{
+		Model:       EraWorm(),
+		CacheModel:  EraDisk(),
+		CacheBlocks: cacheBlocks,
+		Clock:       clock,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sw.Register(storage.Worm, worm)
+	pool := &heap.Pool{Buf: buffer.NewPool(poolPages, sw, clock), Mgr: txn.NewManager()}
+	store := core.NewStore(pool, catalog.NewMemory(), adt.NewRegistry(), core.Config{
+		FilesDir:  filepath.Join(dir, "pfiles"),
+		DefaultSM: storage.Worm,
+		Clock:     clock,
+		CPU:       EraCPU(),
+	})
+	return &env{dir: dir, clock: clock, sw: sw, pool: pool, store: store, worm: worm}, nil
+}
+
+func (e *env) close() { e.sw.Close() }
+
+// objPages returns the page count of the benchmark object.
+func objPages(w Workload) int {
+	return int(w.ObjectBytes() / page.Size)
+}
+
+// RunFigure1 builds the object in every configuration and reports the
+// storage consumed by each component, like the paper's Figure 1.
+func RunFigure1(dir string, w Workload) ([]Figure1Row, error) {
+	e, err := newDiskEnv(filepath.Join(dir, "fig1"), 256)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+
+	var rows []Figure1Row
+	for _, impl := range Impls() {
+		ufile := ""
+		if impl.Kind == adt.KindUFile {
+			ufile = filepath.Join(dir, "fig1-ufile.bin")
+		}
+		ref, err := BuildObject(e.store, e.pool.Mgr, storage.Disk, impl, w, ufile)
+		if err != nil {
+			return nil, fmt.Errorf("figure 1 %s: %w", impl.Name, err)
+		}
+		fp, err := e.store.Footprint(ref)
+		if err != nil {
+			return nil, err
+		}
+		switch impl.Kind {
+		case adt.KindUFile, adt.KindPFile:
+			rows = append(rows, Figure1Row{Impl: impl.Name, Bytes: fp.Data})
+		case adt.KindFChunk:
+			rows = append(rows,
+				Figure1Row{Impl: impl.Name, Component: "data", Bytes: fp.Data},
+				Figure1Row{Impl: impl.Name, Component: "B-tree index", Bytes: fp.Index})
+		case adt.KindVSegment:
+			rows = append(rows,
+				Figure1Row{Impl: impl.Name, Component: "data", Bytes: fp.Data},
+				Figure1Row{Impl: impl.Name, Component: "2-level map", Bytes: fp.Map + fp.Index},
+				Figure1Row{Impl: impl.Name, Component: "B-tree index", Bytes: fp.MapIndex})
+		}
+	}
+	return rows, nil
+}
+
+// RunFigure2 measures the six operations across the six implementations on
+// the magnetic-disk storage manager.
+func RunFigure2(dir string, w Workload) (map[Op]map[string]time.Duration, error) {
+	// Buffer pool sized at ~1/4 of the object (a period POSTGRES shared
+	// buffer for a 51 MB working set); minimum keeps tiny scales sane.
+	// Note the asymmetry this creates is the paper's own: the DB
+	// implementations cache pages — and compressed pages cover twice the
+	// logical bytes — while the native-file baselines pay the device on
+	// every access.
+	poolPages := objPages(w) / 4
+	if poolPages < 64 {
+		poolPages = 64
+	}
+	e, err := newDiskEnv(filepath.Join(dir, "fig2"), poolPages)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+
+	cells := make(map[Op]map[string]time.Duration)
+	for _, op := range Ops() {
+		cells[op] = make(map[string]time.Duration)
+	}
+	for _, impl := range Impls() {
+		ufile := ""
+		if impl.Kind == adt.KindUFile {
+			ufile = filepath.Join(dir, "fig2-ufile.bin")
+		}
+		ref, err := BuildObject(e.store, e.pool.Mgr, storage.Disk, impl, w, ufile)
+		if err != nil {
+			return nil, fmt.Errorf("figure 2 build %s: %w", impl.Name, err)
+		}
+		// Cold start once per implementation; the six operations then run
+		// back to back with warm caches, as the paper's benchmark did — the
+		// cache-residency effects (notably compressed pages holding twice
+		// the logical data) are part of the phenomenon being measured.
+		if err := e.store.EvictFromPool(ref); err != nil {
+			return nil, err
+		}
+		for pass, op := range Ops() {
+			tx := e.pool.Mgr.Begin()
+			obj, err := e.store.Open(tx, ref)
+			if err != nil {
+				return nil, err
+			}
+			sw := vclock.NewStopwatch(e.clock)
+			if _, err := RunOp(obj, impl, op, w, pass, e.clock); err != nil {
+				return nil, fmt.Errorf("figure 2 %s %s: %w", impl.Name, op, err)
+			}
+			if err := obj.Close(); err != nil {
+				return nil, err
+			}
+			// POSTGRES forces dirty pages at commit (no write-ahead log):
+			// a write operation's elapsed time includes its own flush.
+			if op.IsWrite() {
+				if err := e.store.Flush(ref); err != nil {
+					return nil, err
+				}
+			}
+			if _, err := tx.Commit(); err != nil {
+				return nil, err
+			}
+			cells[op][impl.Name] = sw.Elapsed()
+		}
+	}
+	return cells, nil
+}
+
+// Figure3Impls are the columns of Figure 3.
+func Figure3Impls() []string {
+	return []string{"special program", "f-chunk 0%", "f-chunk 30%", "v-segment 30%", "f-chunk 50%"}
+}
+
+// RunFigure3 measures the read operations on the WORM storage manager,
+// including the raw-device special program baseline.
+func RunFigure3(dir string, w Workload) (map[Op]map[string]time.Duration, error) {
+	// The magnetic-disk block cache is a write-staging area sized at ~80 %
+	// of the object: after the load, recently written blocks are still
+	// magnetic-resident, which is why the paper's random and locality reads
+	// are largely absorbed while the (oldest-written) sequential region
+	// still goes to the optical medium.
+	cacheBlocks := objPages(w) * 4 / 5
+	if cacheBlocks < 64 {
+		cacheBlocks = 64
+	}
+	poolPages := objPages(w) / 16
+	if poolPages < 64 {
+		poolPages = 64
+	}
+	e, err := newWormEnv(filepath.Join(dir, "fig3"), poolPages, cacheBlocks)
+	if err != nil {
+		return nil, err
+	}
+	defer e.close()
+
+	cells := make(map[Op]map[string]time.Duration)
+	for _, op := range ReadOps() {
+		cells[op] = make(map[string]time.Duration)
+	}
+
+	// The special program reads the raw device with no cache.
+	rawClock := &vclock.Clock{}
+	for _, op := range ReadOps() {
+		cells[op]["special program"] = SpecialProgramRead(EraWorm(), op, w, rawClock)
+	}
+
+	for _, impl := range Impls() {
+		switch impl.Name {
+		case "user file", "POSTGRES file":
+			continue // no file system on the WORM (§9.3)
+		}
+		ref, err := BuildObject(e.store, e.pool.Mgr, storage.Worm, impl, w, "")
+		if err != nil {
+			return nil, fmt.Errorf("figure 3 build %s: %w", impl.Name, err)
+		}
+		// Cold buffer pool once per implementation; the jukebox's magnetic
+		// disk cache stays warm across the reads — that cache absorbing
+		// random re-reads is Figure 3's central observation.
+		if err := e.store.EvictFromPool(ref); err != nil {
+			return nil, err
+		}
+		for _, op := range ReadOps() {
+			tx := e.pool.Mgr.Begin()
+			obj, err := e.store.Open(tx, ref)
+			if err != nil {
+				return nil, err
+			}
+			d, err := RunOp(obj, impl, op, w, 0, e.clock)
+			if err != nil {
+				return nil, fmt.Errorf("figure 3 %s %s: %w", impl.Name, op, err)
+			}
+			if err := obj.Close(); err != nil {
+				return nil, err
+			}
+			tx.Abort() // read-only
+			cells[op][impl.Name] = d
+		}
+	}
+	return cells, nil
+}
+
+// ImplNames lists Figure 2 column labels in order.
+func ImplNames() []string {
+	impls := Impls()
+	names := make([]string, len(impls))
+	for i, im := range impls {
+		names[i] = im.Name
+	}
+	return names
+}

@@ -1,0 +1,407 @@
+package btree
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"postlob/internal/buffer"
+	"postlob/internal/storage"
+)
+
+func newTestTree(t *testing.T, frames int) *Tree {
+	t.Helper()
+	sw := storage.NewSwitch()
+	sw.Register(storage.Mem, storage.NewMemManager(storage.DeviceModel{}, nil))
+	buf := buffer.NewPool(frames, sw, nil)
+	tree, err := Create(buf, storage.Mem, "idx", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestEmptyTree(t *testing.T) {
+	tree := newTestTree(t, 16)
+	n, err := tree.Len()
+	if err != nil || n != 0 {
+		t.Fatalf("Len = %d, %v", n, err)
+	}
+	h, err := tree.Height()
+	if err != nil || h != 1 {
+		t.Fatalf("Height = %d, %v", h, err)
+	}
+	vals, err := tree.Lookup(42)
+	if err != nil || len(vals) != 0 {
+		t.Fatalf("Lookup = %v, %v", vals, err)
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	tree := newTestTree(t, 16)
+	for i := uint64(0); i < 100; i++ {
+		if err := tree.Insert(i*10, i+1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		vals, err := tree.Lookup(i * 10)
+		if err != nil || len(vals) != 1 || vals[0] != i+1000 {
+			t.Fatalf("Lookup(%d) = %v, %v", i*10, vals, err)
+		}
+	}
+	if vals, _ := tree.Lookup(5); len(vals) != 0 {
+		t.Fatalf("Lookup(miss) = %v", vals)
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateKeys(t *testing.T) {
+	tree := newTestTree(t, 32)
+	// Many values under the same key, as versioned chunk tuples produce.
+	for v := uint64(0); v < 700; v++ { // forces duplicate runs across leaves
+		if err := tree.Insert(7, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals, err := tree.Lookup(7)
+	if err != nil || len(vals) != 700 {
+		t.Fatalf("Lookup dup count = %d, %v", len(vals), err)
+	}
+	for i, v := range vals {
+		if v != uint64(i) {
+			t.Fatalf("vals[%d] = %d", i, v)
+		}
+	}
+	// Delete a specific (key,val) pair from the middle.
+	if err := tree.Delete(7, 350); err != nil {
+		t.Fatal(err)
+	}
+	vals, _ = tree.Lookup(7)
+	if len(vals) != 699 {
+		t.Fatalf("after delete: %d", len(vals))
+	}
+	for _, v := range vals {
+		if v == 350 {
+			t.Fatal("deleted value still present")
+		}
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitGrowsHeight(t *testing.T) {
+	tree := newTestTree(t, 64)
+	n := LeafCapacity*3 + 7
+	for i := 0; i < n; i++ {
+		if err := tree.Insert(uint64(i), uint64(i)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	h, err := tree.Height()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h < 2 {
+		t.Fatalf("Height = %d after %d inserts", h, n)
+	}
+	cnt, _ := tree.Len()
+	if cnt != uint64(n) {
+		t.Fatalf("Len = %d, want %d", cnt, n)
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescendingInsertOrder(t *testing.T) {
+	tree := newTestTree(t, 64)
+	n := LeafCapacity * 2
+	for i := n; i > 0; i-- {
+		if err := tree.Insert(uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := tree.Lookup(1)
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("smallest key lost: %v, %v", vals, err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	tree := newTestTree(t, 32)
+	for i := uint64(0); i < 50; i++ {
+		if err := tree.Insert(i, i*2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	if err := tree.Range(10, 19, func(k, v uint64) (bool, error) {
+		got = append(got, k)
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("range = %v", got)
+	}
+	// Early stop.
+	count := 0
+	tree.Range(0, 49, func(k, v uint64) (bool, error) {
+		count++
+		return count < 5, nil
+	})
+	if count != 5 {
+		t.Fatalf("early stop count = %d", count)
+	}
+	// Error propagation.
+	sentinel := errors.New("stop")
+	if err := tree.Range(0, 49, func(k, v uint64) (bool, error) {
+		return false, sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFloor(t *testing.T) {
+	tree := newTestTree(t, 32)
+	for _, k := range []uint64{10, 20, 30} {
+		if err := tree.Insert(k, k+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		q      uint64
+		wantK  uint64
+		wantOK bool
+	}{
+		{5, 0, false},
+		{10, 10, true},
+		{15, 10, true},
+		{25, 20, true},
+		{30, 30, true},
+		{99, 30, true},
+	}
+	for _, c := range cases {
+		k, v, ok, err := tree.Floor(c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != c.wantOK || (ok && k != c.wantK) {
+			t.Fatalf("Floor(%d) = %d,%d,%v", c.q, k, v, ok)
+		}
+	}
+}
+
+func TestFloorAcrossManyLeaves(t *testing.T) {
+	tree := newTestTree(t, 64)
+	for i := 0; i < LeafCapacity*3; i++ {
+		if err := tree.Insert(uint64(i*2), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k, _, ok, err := tree.Floor(uint64(LeafCapacity*3 - 1))
+	if err != nil || !ok {
+		t.Fatalf("Floor: %v %v", ok, err)
+	}
+	want := uint64(LeafCapacity*3 - 1)
+	if want%2 == 1 {
+		want--
+	}
+	if k != want {
+		t.Fatalf("Floor = %d, want %d", k, want)
+	}
+}
+
+func TestDeleteNotFound(t *testing.T) {
+	tree := newTestTree(t, 16)
+	if err := tree.Insert(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Delete(1, 99); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := tree.Delete(2, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpenExisting(t *testing.T) {
+	sw := storage.NewSwitch()
+	sw.Register(storage.Mem, storage.NewMemManager(storage.DeviceModel{}, nil))
+	buf := buffer.NewPool(16, sw, nil)
+	tree, err := Create(buf, storage.Mem, "idx", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if err := tree.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tree2, err := Open(buf, storage.Mem, "idx", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tree2.Len()
+	if err != nil || n != 20 {
+		t.Fatalf("reopened Len = %d, %v", n, err)
+	}
+	if _, err := Open(buf, storage.Mem, "missing", Config{}); !errors.Is(err, storage.ErrNoRelation) {
+		t.Fatalf("open missing: %v", err)
+	}
+}
+
+func TestQuickRandomOpsAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		tree := newTestTree(t, 128)
+		rng := rand.New(rand.NewSource(seed))
+		type pair struct{ k, v uint64 }
+		model := map[pair]bool{}
+		for op := 0; op < 2000; op++ {
+			if rng.Intn(3) != 0 || len(model) == 0 {
+				p := pair{uint64(rng.Intn(200)), uint64(rng.Intn(1000))}
+				if model[p] {
+					continue // model is a set; skip duplicate pair
+				}
+				if err := tree.Insert(p.k, p.v); err != nil {
+					t.Logf("insert: %v", err)
+					return false
+				}
+				model[p] = true
+			} else {
+				for p := range model {
+					if err := tree.Delete(p.k, p.v); err != nil {
+						t.Logf("delete (%d,%d): %v", p.k, p.v, err)
+						return false
+					}
+					delete(model, p)
+					break
+				}
+			}
+		}
+		if err := tree.Check(); err != nil {
+			t.Logf("check: %v", err)
+			return false
+		}
+		// Full contents match the model.
+		got := map[pair]bool{}
+		if err := tree.Range(0, ^uint64(0), func(k, v uint64) (bool, error) {
+			got[pair{k, v}] = true
+			return true, nil
+		}); err != nil {
+			t.Logf("range: %v", err)
+			return false
+		}
+		if len(got) != len(model) {
+			t.Logf("size: got %d want %d", len(got), len(model))
+			return false
+		}
+		for p := range model {
+			if !got[p] {
+				t.Logf("missing %v", p)
+				return false
+			}
+		}
+		// Per-key lookups match.
+		byKey := map[uint64][]uint64{}
+		for p := range model {
+			byKey[p.k] = append(byKey[p.k], p.v)
+		}
+		for k, want := range byKey {
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			vals, err := tree.Lookup(k)
+			if err != nil || len(vals) != len(want) {
+				t.Logf("lookup %d: %v, %v", k, vals, err)
+				return false
+			}
+			for i := range vals {
+				if vals[i] != want[i] {
+					t.Logf("lookup %d[%d] = %d want %d", k, i, vals[i], want[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSequentialIndex(t *testing.T) {
+	// Shape of the f-chunk use case: seqno -> TID for thousands of chunks.
+	tree := newTestTree(t, 256)
+	const n = 6400
+	for i := uint64(0); i < n; i++ {
+		if err := tree.Insert(i, i<<16|1); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Random probes.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		k := uint64(rng.Intn(n))
+		vals, err := tree.Lookup(k)
+		if err != nil || len(vals) != 1 || vals[0] != k<<16|1 {
+			t.Fatalf("probe %d: %v, %v", k, vals, err)
+		}
+	}
+	h, _ := tree.Height()
+	if h < 2 || h > 4 {
+		t.Fatalf("height = %d for %d entries", h, n)
+	}
+	sz, err := tree.Size()
+	if err != nil || sz <= 0 {
+		t.Fatalf("Size = %d, %v", sz, err)
+	}
+	t.Logf("index of %d entries: height %d, %d bytes (paper: 270,336 for 6400 chunks)", n, h, sz)
+}
+
+func TestTreeSizeOrder(t *testing.T) {
+	// 6400 entries at 16 B/entry is ~100 KB of leaves; total should be in
+	// the few-hundred-KB range like the paper's Figure 1 index row.
+	tree := newTestTree(t, 256)
+	for i := uint64(0); i < 6400; i++ {
+		if err := tree.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sz, _ := tree.Size()
+	if sz < 100_000 || sz > 600_000 {
+		t.Fatalf("index size = %d bytes, outside plausible range", sz)
+	}
+}
+
+func ExampleTree_Range() {
+	sw := storage.NewSwitch()
+	sw.Register(storage.Mem, storage.NewMemManager(storage.DeviceModel{}, nil))
+	buf := buffer.NewPool(16, sw, nil)
+	tree, _ := Create(buf, storage.Mem, "example", Config{})
+	for i := uint64(1); i <= 5; i++ {
+		tree.Insert(i, i*i)
+	}
+	tree.Range(2, 4, func(k, v uint64) (bool, error) {
+		fmt.Println(k, v)
+		return true, nil
+	})
+	// Output:
+	// 2 4
+	// 3 9
+	// 4 16
+}

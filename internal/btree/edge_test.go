@@ -1,0 +1,106 @@
+package btree
+
+import (
+	"testing"
+)
+
+func TestExtremeKeys(t *testing.T) {
+	tree := newTestTree(t, 16)
+	max := ^uint64(0)
+	keys := []uint64{0, 1, max - 1, max}
+	for _, k := range keys {
+		if err := tree.Insert(k, k^0xABCD); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	for _, k := range keys {
+		vals, err := tree.Lookup(k)
+		if err != nil || len(vals) != 1 || vals[0] != k^0xABCD {
+			t.Fatalf("lookup %d = %v, %v", k, vals, err)
+		}
+	}
+	// Full range covers everything.
+	count := 0
+	tree.Range(0, max, func(k, v uint64) (bool, error) {
+		count++
+		return true, nil
+	})
+	if count != len(keys) {
+		t.Fatalf("range count = %d", count)
+	}
+	// Floor at extremes.
+	if k, _, ok, _ := tree.Floor(max); !ok || k != max {
+		t.Fatalf("Floor(max) = %d, %v", k, ok)
+	}
+	if k, _, ok, _ := tree.Floor(0); !ok || k != 0 {
+		t.Fatalf("Floor(0) = %d, %v", k, ok)
+	}
+}
+
+func TestFloorOnEmptyTree(t *testing.T) {
+	tree := newTestTree(t, 16)
+	if _, _, ok, err := tree.Floor(42); ok || err != nil {
+		t.Fatalf("Floor on empty = %v, %v", ok, err)
+	}
+}
+
+func TestDrainAndRefill(t *testing.T) {
+	tree := newTestTree(t, 64)
+	const n = LeafCapacity + 50 // force one split
+	for i := uint64(0); i < n; i++ {
+		if err := tree.Insert(i, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete everything.
+	for i := uint64(0); i < n; i++ {
+		if err := tree.Delete(i, i); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	cnt, _ := tree.Len()
+	if cnt != 0 {
+		t.Fatalf("Len after drain = %d", cnt)
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Refill with a different key pattern.
+	for i := uint64(0); i < n; i++ {
+		if err := tree.Insert(i*3, i); err != nil {
+			t.Fatalf("refill %d: %v", i, err)
+		}
+	}
+	if err := tree.Check(); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := tree.Lookup(3 * 17)
+	if err != nil || len(vals) != 1 || vals[0] != 17 {
+		t.Fatalf("refill lookup = %v, %v", vals, err)
+	}
+}
+
+func TestRangeBoundsExactness(t *testing.T) {
+	tree := newTestTree(t, 16)
+	for _, k := range []uint64{10, 20, 30, 40} {
+		tree.Insert(k, k)
+	}
+	var got []uint64
+	collect := func(k, v uint64) (bool, error) { got = append(got, k); return true, nil }
+
+	got = nil
+	tree.Range(20, 30, collect) // inclusive both ends
+	if len(got) != 2 || got[0] != 20 || got[1] != 30 {
+		t.Fatalf("inclusive range = %v", got)
+	}
+	got = nil
+	tree.Range(11, 19, collect) // empty interior
+	if len(got) != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+	got = nil
+	tree.Range(45, 100, collect) // past the end
+	if len(got) != 0 {
+		t.Fatalf("past-end range = %v", got)
+	}
+}

@@ -1,0 +1,432 @@
+// Package buffer implements the shared buffer pool that sits between the
+// access methods (heap, B-tree) and the storage manager switch. Pages are
+// cached in fixed frames with pin counts, LRU replacement of unpinned
+// frames, and write-back of dirty pages. The pool also tracks a "virtual"
+// relation length so new blocks can be allocated in memory and written out
+// lazily, the way POSTGRES extends relations.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"postlob/internal/page"
+	"postlob/internal/storage"
+	"postlob/internal/vclock"
+)
+
+// Errors returned by the pool.
+var (
+	ErrPoolExhausted = errors.New("buffer: all frames pinned")
+	ErrPinned        = errors.New("buffer: frame still pinned")
+)
+
+// Tag identifies a disk page: which storage manager, which relation, which
+// block.
+type Tag struct {
+	SM  storage.ID
+	Rel storage.RelName
+	Blk storage.BlockNum
+}
+
+func (t Tag) String() string {
+	return fmt.Sprintf("%v:%s:%d", t.SM, t.Rel, t.Blk)
+}
+
+type relKey struct {
+	sm  storage.ID
+	rel storage.RelName
+}
+
+// Frame is a pinned buffer holding one page. Callers must Release every
+// frame they obtain, and MarkDirty after mutating its page.
+type Frame struct {
+	pool  *Pool
+	tag   Tag
+	data  page.Page
+	pins  int
+	dirty bool
+	lruEl *list.Element // non-nil iff unpinned and on the LRU list
+}
+
+// Page returns the frame's page. The slice is valid while the frame is
+// pinned.
+func (f *Frame) Page() page.Page { return f.data }
+
+// Tag returns the identity of the page held in the frame.
+func (f *Frame) Tag() Tag { return f.tag }
+
+// MarkDirty records that the page has been modified and must be written back
+// before eviction.
+func (f *Frame) MarkDirty() {
+	f.pool.mu.Lock()
+	f.dirty = true
+	f.pool.mu.Unlock()
+}
+
+// Release drops one pin. When the last pin is released the frame becomes a
+// candidate for replacement.
+func (f *Frame) Release() {
+	f.pool.mu.Lock()
+	defer f.pool.mu.Unlock()
+	if f.pins <= 0 {
+		panic("buffer: Release of unpinned frame " + f.tag.String())
+	}
+	f.pins--
+	if f.pins == 0 {
+		f.lruEl = f.pool.lru.PushFront(f)
+	}
+}
+
+// pageGate is a shared/exclusive latch separating page-content mutation
+// (shared side, taken by the access methods around their page writes) from
+// whole-relation flushing (exclusive side), so a flush never reads a page
+// mid-mutation. Readers may re-enter while a writer waits — necessary
+// because access methods nest (a B-tree range scan fetches heap tuples) —
+// at the cost of theoretical writer starvation, which the short mutation
+// windows make a non-issue.
+type pageGate struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	readers int
+	writer  bool
+}
+
+func (g *pageGate) init() { g.cond = sync.NewCond(&g.mu) }
+
+func (g *pageGate) enterRead() {
+	g.mu.Lock()
+	for g.writer {
+		g.cond.Wait()
+	}
+	g.readers++
+	g.mu.Unlock()
+}
+
+func (g *pageGate) exitRead() {
+	g.mu.Lock()
+	g.readers--
+	if g.readers == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+func (g *pageGate) enterWrite() {
+	g.mu.Lock()
+	for g.writer || g.readers > 0 {
+		g.cond.Wait()
+	}
+	g.writer = true
+	g.mu.Unlock()
+}
+
+func (g *pageGate) exitWrite() {
+	g.mu.Lock()
+	g.writer = false
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Pool is a fixed-capacity page cache over a storage switch.
+type Pool struct {
+	sw    *storage.Switch
+	clock *vclock.Clock
+	gate  pageGate
+
+	mu      sync.Mutex
+	cap     int
+	lookup  map[Tag]*Frame
+	lru     *list.List // unpinned frames; front = most recently used
+	nblocks map[relKey]storage.BlockNum
+	hits    int64
+	misses  int64
+}
+
+// NewPool creates a pool of nframes pages over the given switch. clock may
+// be nil.
+func NewPool(nframes int, sw *storage.Switch, clock *vclock.Clock) *Pool {
+	if nframes < 1 {
+		panic("buffer: pool needs at least one frame")
+	}
+	p := &Pool{
+		sw:      sw,
+		clock:   clock,
+		cap:     nframes,
+		lookup:  make(map[Tag]*Frame),
+		lru:     list.New(),
+		nblocks: make(map[relKey]storage.BlockNum),
+	}
+	p.gate.init()
+	return p
+}
+
+// BeginPageMutation enters the shared side of the page gate. Every code
+// path that writes page bytes through a pinned frame must hold it (the heap
+// and B-tree pair it with their own mutexes); relation flushes exclude it.
+func (p *Pool) BeginPageMutation() { p.gate.enterRead() }
+
+// EndPageMutation leaves the shared side of the page gate.
+func (p *Pool) EndPageMutation() { p.gate.exitRead() }
+
+// Switch returns the storage switch the pool reads and writes through.
+func (p *Pool) Switch() *storage.Switch { return p.sw }
+
+// Stats returns cache hits and misses since creation.
+func (p *Pool) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}
+
+// Capacity returns the number of frames in the pool.
+func (p *Pool) Capacity() int { return p.cap }
+
+// NBlocks returns the relation's length including blocks that exist only as
+// dirty frames not yet written out.
+func (p *Pool) NBlocks(sm storage.ID, rel storage.RelName) (storage.BlockNum, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nblocksLocked(sm, rel)
+}
+
+func (p *Pool) nblocksLocked(sm storage.ID, rel storage.RelName) (storage.BlockNum, error) {
+	key := relKey{sm, rel}
+	if n, ok := p.nblocks[key]; ok {
+		return n, nil
+	}
+	mgr, err := p.sw.Get(sm)
+	if err != nil {
+		return 0, err
+	}
+	n, err := mgr.NBlocks(rel)
+	if err != nil {
+		return 0, err
+	}
+	p.nblocks[key] = n
+	return n, nil
+}
+
+// Get pins the frame holding the page identified by tag, reading it from the
+// storage manager on a miss.
+func (p *Pool) Get(tag Tag) (*Frame, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if f, ok := p.lookup[tag]; ok {
+		p.hits++
+		p.pinLocked(f)
+		return f, nil
+	}
+	p.misses++
+	n, err := p.nblocksLocked(tag.SM, tag.Rel)
+	if err != nil {
+		return nil, err
+	}
+	if tag.Blk >= n {
+		return nil, fmt.Errorf("%w: %s (nblocks %d)", storage.ErrBadBlock, tag, n)
+	}
+	f, err := p.allocFrameLocked()
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := p.sw.Get(tag.SM)
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.ReadBlock(tag.Rel, tag.Blk, f.data); err != nil {
+		p.freeFrameLocked(f)
+		return nil, err
+	}
+	f.tag = tag
+	f.dirty = false
+	f.pins = 1
+	p.lookup[tag] = f
+	return f, nil
+}
+
+// NewBlock extends the relation by one page and returns the new block's
+// pinned, dirty, zeroed frame. The block reaches the device lazily.
+func (p *Pool) NewBlock(sm storage.ID, rel storage.RelName) (*Frame, storage.BlockNum, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n, err := p.nblocksLocked(sm, rel)
+	if err != nil {
+		return nil, 0, err
+	}
+	f, err := p.allocFrameLocked()
+	if err != nil {
+		return nil, 0, err
+	}
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	tag := Tag{SM: sm, Rel: rel, Blk: n}
+	f.tag = tag
+	f.dirty = true
+	f.pins = 1
+	p.lookup[tag] = f
+	p.nblocks[relKey{sm, rel}] = n + 1
+	return f, n, nil
+}
+
+// pinLocked pins an existing frame, removing it from the LRU list.
+func (p *Pool) pinLocked(f *Frame) {
+	if f.pins == 0 && f.lruEl != nil {
+		p.lru.Remove(f.lruEl)
+		f.lruEl = nil
+	}
+	f.pins++
+}
+
+// allocFrameLocked returns a free frame, evicting the least recently used
+// unpinned frame if the pool is full.
+func (p *Pool) allocFrameLocked() (*Frame, error) {
+	if len(p.lookup) < p.cap {
+		return &Frame{pool: p, data: make(page.Page, page.Size)}, nil
+	}
+	el := p.lru.Back()
+	if el == nil {
+		return nil, fmt.Errorf("%w (%d frames)", ErrPoolExhausted, p.cap)
+	}
+	f := el.Value.(*Frame)
+	if f.dirty {
+		if err := p.writeBackLocked(f); err != nil {
+			return nil, err
+		}
+	}
+	p.lru.Remove(el)
+	f.lruEl = nil
+	delete(p.lookup, f.tag)
+	return f, nil
+}
+
+// freeFrameLocked discards a frame that failed to load.
+func (p *Pool) freeFrameLocked(f *Frame) {
+	f.pins = 0
+	f.dirty = false
+}
+
+// writeBackLocked flushes one dirty frame, extending the physical relation
+// with intermediate dirty pages first if the device is shorter than needed.
+func (p *Pool) writeBackLocked(f *Frame) error {
+	mgr, err := p.sw.Get(f.tag.SM)
+	if err != nil {
+		return err
+	}
+	phys, err := mgr.NBlocks(f.tag.Rel)
+	if err != nil {
+		return err
+	}
+	// The device cannot have holes: materialise any not-yet-written blocks
+	// below ours, preferring their in-pool contents when available.
+	for blk := phys; blk < f.tag.Blk; blk++ {
+		if g, ok := p.lookup[Tag{SM: f.tag.SM, Rel: f.tag.Rel, Blk: blk}]; ok {
+			if err := mgr.WriteBlock(f.tag.Rel, blk, g.data); err != nil {
+				return err
+			}
+			g.dirty = false
+			continue
+		}
+		if err := mgr.WriteBlock(f.tag.Rel, blk, make([]byte, page.Size)); err != nil {
+			return err
+		}
+	}
+	if err := mgr.WriteBlock(f.tag.Rel, f.tag.Blk, f.data); err != nil {
+		return err
+	}
+	f.dirty = false
+	return nil
+}
+
+// FlushRel writes back every dirty page of the relation. Pinned frames are
+// flushed too (they stay resident); the page gate excludes concurrent
+// content mutation for the duration.
+func (p *Pool) FlushRel(sm storage.ID, rel storage.RelName) error {
+	p.gate.enterWrite()
+	defer p.gate.exitWrite()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.flushRelLocked(sm, rel)
+}
+
+func (p *Pool) flushRelLocked(sm storage.ID, rel storage.RelName) error {
+	frames := make([]*Frame, 0, 8)
+	for tag, f := range p.lookup {
+		if tag.SM == sm && tag.Rel == rel && f.dirty {
+			frames = append(frames, f)
+		}
+	}
+	// Ascending block order keeps device writes mostly sequential and the
+	// no-holes extension logic trivial.
+	for i := 1; i < len(frames); i++ {
+		for j := i; j > 0 && frames[j].tag.Blk < frames[j-1].tag.Blk; j-- {
+			frames[j], frames[j-1] = frames[j-1], frames[j]
+		}
+	}
+	for _, f := range frames {
+		if err := p.writeBackLocked(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushAll writes back every dirty page in the pool.
+func (p *Pool) FlushAll() error {
+	p.gate.enterWrite()
+	defer p.gate.exitWrite()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := make(map[relKey]bool)
+	for tag := range p.lookup {
+		key := relKey{tag.SM, tag.Rel}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if err := p.flushRelLocked(tag.SM, tag.Rel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DropRel invalidates every buffered page of a relation. With discard, dirty
+// pages are thrown away (used when unlinking temporaries); otherwise they
+// are flushed first. Fails if any page of the relation is pinned.
+func (p *Pool) DropRel(sm storage.ID, rel storage.RelName, discard bool) error {
+	if !discard {
+		// Flushing reads page contents; exclude mutators.
+		p.gate.enterWrite()
+		defer p.gate.exitWrite()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for tag, f := range p.lookup {
+		if tag.SM != sm || tag.Rel != rel {
+			continue
+		}
+		if f.pins > 0 {
+			return fmt.Errorf("%w: %s", ErrPinned, tag)
+		}
+	}
+	for tag, f := range p.lookup {
+		if tag.SM != sm || tag.Rel != rel {
+			continue
+		}
+		if f.dirty && !discard {
+			if err := p.writeBackLocked(f); err != nil {
+				return err
+			}
+		}
+		if f.lruEl != nil {
+			p.lru.Remove(f.lruEl)
+			f.lruEl = nil
+		}
+		delete(p.lookup, tag)
+	}
+	delete(p.nblocks, relKey{sm, rel})
+	return nil
+}

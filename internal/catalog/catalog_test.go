@@ -1,0 +1,168 @@
+package catalog
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/storage"
+)
+
+func TestCreateAndLookupClass(t *testing.T) {
+	c := NewMemory()
+	cols := []Column{{Name: "name", Type: "text"}, {Name: "picture", Type: "image"}}
+	cl, err := c.CreateClass("EMP", storage.Disk, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.OID < 16384 || cl.Rel == "" {
+		t.Fatalf("class = %+v", cl)
+	}
+	if _, err := c.CreateClass("EMP", storage.Disk, nil); !errors.Is(err, ErrClassExists) {
+		t.Fatalf("dup: %v", err)
+	}
+	got, err := c.Class("EMP")
+	if err != nil || got.OID != cl.OID || len(got.Columns) != 2 {
+		t.Fatalf("lookup = %+v, %v", got, err)
+	}
+	if got.ColumnIndex("picture") != 1 || got.ColumnIndex("nope") != -1 {
+		t.Fatal("ColumnIndex wrong")
+	}
+	if _, err := c.Class("DEPT"); !errors.Is(err, ErrNoClass) {
+		t.Fatalf("missing: %v", err)
+	}
+}
+
+func TestDistinctOIDsAndRels(t *testing.T) {
+	c := NewMemory()
+	a, _ := c.CreateClass("a", storage.Mem, nil)
+	b, _ := c.CreateClass("b", storage.Mem, nil)
+	if a.OID == b.OID || a.Rel == b.Rel {
+		t.Fatalf("collision: %+v %+v", a, b)
+	}
+	o1, _ := c.AllocOID()
+	o2, _ := c.AllocOID()
+	if o1 == o2 || o1 <= b.OID {
+		t.Fatalf("AllocOID: %d %d", o1, o2)
+	}
+}
+
+func TestDropClass(t *testing.T) {
+	c := NewMemory()
+	c.CreateClass("gone", storage.Mem, nil)
+	if err := c.DropClass("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Class("gone"); !errors.Is(err, ErrNoClass) {
+		t.Fatalf("after drop: %v", err)
+	}
+	if err := c.DropClass("gone"); !errors.Is(err, ErrNoClass) {
+		t.Fatalf("double drop: %v", err)
+	}
+}
+
+func TestObjectLifecycle(t *testing.T) {
+	c := NewMemory()
+	oid, _ := c.AllocOID()
+	meta := &LargeObjectMeta{
+		OID:     oid,
+		Kind:    adt.KindFChunk,
+		Codec:   "fast",
+		SM:      storage.Disk,
+		DataRel: "lobj_1_data",
+		IdxRel:  "lobj_1_idx",
+	}
+	if err := c.PutObject(meta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Object(oid)
+	if err != nil || got.Kind != adt.KindFChunk || got.Codec != "fast" {
+		t.Fatalf("object = %+v, %v", got, err)
+	}
+	// Returned copy does not alias catalog state.
+	got.Codec = "mutated"
+	again, _ := c.Object(oid)
+	if again.Codec != "fast" {
+		t.Fatal("catalog state aliased by caller")
+	}
+	if err := c.DeleteObject(oid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Object(oid); !errors.Is(err, ErrNoObject) {
+		t.Fatalf("after delete: %v", err)
+	}
+}
+
+func TestObjectsTempFilter(t *testing.T) {
+	c := NewMemory()
+	for i := 0; i < 4; i++ {
+		oid, _ := c.AllocOID()
+		c.PutObject(&LargeObjectMeta{OID: oid, Kind: adt.KindFChunk, Temp: i%2 == 0})
+	}
+	if got := len(c.Objects(false)); got != 4 {
+		t.Fatalf("all = %d", got)
+	}
+	temps := c.Objects(true)
+	if len(temps) != 2 {
+		t.Fatalf("temps = %d", len(temps))
+	}
+	for _, m := range temps {
+		if !m.Temp {
+			t.Fatal("non-temp in temp list")
+		}
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	c, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := c.CreateClass("EMP", storage.Worm, []Column{{Name: "name", Type: "text"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oid, _ := c.AllocOID()
+	c.PutObject(&LargeObjectMeta{OID: oid, Kind: adt.KindVSegment, Codec: "tight", StoreOID: 99})
+
+	c2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c2.Class("EMP")
+	if err != nil || got.OID != cl.OID || got.SM != storage.Worm {
+		t.Fatalf("reloaded class = %+v, %v", got, err)
+	}
+	obj, err := c2.Object(oid)
+	if err != nil || obj.Kind != adt.KindVSegment || obj.StoreOID != 99 {
+		t.Fatalf("reloaded object = %+v, %v", obj, err)
+	}
+	// OIDs continue past the persisted horizon.
+	next, _ := c2.AllocOID()
+	if next <= oid {
+		t.Fatalf("OID reuse: %d <= %d", next, oid)
+	}
+}
+
+func TestOpenCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "catalog.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpenMissingIsEmpty(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Classes()) != 0 || len(c.Objects(false)) != 0 {
+		t.Fatal("missing catalog not empty")
+	}
+}

@@ -1,0 +1,227 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"postlob/internal/vclock"
+)
+
+func codecs() []Codec { return []Codec{Fast{}, Tight{}} }
+
+func TestRoundTripBasic(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		{0},
+		{fastEsc},
+		bytes.Repeat([]byte{0}, 1000),
+		bytes.Repeat([]byte{fastEsc}, 1000),
+		[]byte("hello, large objects"),
+		bytes.Repeat([]byte("abcd"), 512),
+	}
+	for _, c := range codecs() {
+		for i, in := range inputs {
+			comp := c.Compress(nil, in)
+			out, err := c.Decompress(nil, comp)
+			if err != nil {
+				t.Fatalf("%s input %d: %v", c.Name(), i, err)
+			}
+			if !bytes.Equal(out, in) {
+				t.Fatalf("%s input %d: round trip mismatch (%d vs %d bytes)", c.Name(), i, len(out), len(in))
+			}
+		}
+	}
+}
+
+func TestQuickRoundTripArbitrary(t *testing.T) {
+	for _, c := range codecs() {
+		c := c
+		f := func(data []byte) bool {
+			comp := c.Compress(nil, data)
+			out, err := c.Decompress(nil, comp)
+			return err == nil && bytes.Equal(out, data)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+func TestRoundTripGeneratedFrames(t *testing.T) {
+	for _, c := range codecs() {
+		for _, frac := range []float64{0, 0.3, 0.5, 0.9, 1} {
+			in := GenFrame(42, 4096, frac)
+			comp := c.Compress(nil, in)
+			out, err := c.Decompress(nil, comp)
+			if err != nil || !bytes.Equal(out, in) {
+				t.Fatalf("%s frac %.1f: round trip failed (%v)", c.Name(), frac, err)
+			}
+		}
+	}
+}
+
+// TestRatioCalibration pins the paper's compression figures: ~30 % reduction
+// on the 30 %-compressible frames and ~50 % on the 50 % frames.
+func TestRatioCalibration(t *testing.T) {
+	for _, c := range codecs() {
+		var sum30, sum50 float64
+		const frames = 50
+		for i := int64(0); i < frames; i++ {
+			sum30 += Ratio(c, GenFrame(i, 4096, 0.3))
+			sum50 += Ratio(c, GenFrame(i, 4096, 0.5))
+		}
+		r30, r50 := sum30/frames, sum50/frames
+		t.Logf("%s: ratio at 0.3 = %.3f, at 0.5 = %.3f", c.Name(), r30, r50)
+		if r30 < 0.64 || r30 > 0.76 {
+			t.Errorf("%s: 30%% frames compress to %.3f, want ~0.70", c.Name(), r30)
+		}
+		if r50 < 0.44 || r50 > 0.56 {
+			t.Errorf("%s: 50%% frames compress to %.3f, want ~0.50", c.Name(), r50)
+		}
+	}
+}
+
+func TestIncompressibleDataDoesNotExplode(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]byte, 8192)
+	rng.Read(data)
+	for _, c := range codecs() {
+		comp := c.Compress(nil, data)
+		if float64(len(comp)) > 1.05*float64(len(data)) {
+			t.Errorf("%s expands random data to %.2fx", c.Name(), float64(len(comp))/float64(len(data)))
+		}
+	}
+}
+
+func TestEncodeDecodeEnvelope(t *testing.T) {
+	data := GenFrame(3, 4096, 0.5)
+	for _, c := range []Codec{nil, Fast{}, Tight{}} {
+		enc, err := Encode(c, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(dec, data) {
+			t.Fatalf("envelope round trip failed for %v", c)
+		}
+	}
+}
+
+func TestEncodeFallsBackToRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	data := make([]byte, 4096)
+	rng.Read(data)
+	enc, err := Encode(Fast{}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc[0] != methodRaw {
+		t.Fatalf("incompressible block stored with method %d", enc[0])
+	}
+	if len(enc) != len(data)+1 {
+		t.Fatalf("raw envelope length %d", len(enc))
+	}
+	dec, err := Decode(enc)
+	if err != nil || !bytes.Equal(dec, data) {
+		t.Fatalf("raw decode: %v", err)
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Decode([]byte{99, 1, 2}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad method: %v", err)
+	}
+	// Truncated Fast escape.
+	if _, err := (Fast{}).Decompress(nil, []byte{fastEsc}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("fast truncated: %v", err)
+	}
+	// Tight: truncated literal run and bad offset.
+	if _, err := (Tight{}).Decompress(nil, []byte{5, 'a'}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tight truncated: %v", err)
+	}
+	if _, err := (Tight{}).Decompress(nil, []byte{0x80, 9, 0}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("tight bad offset: %v", err)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if c, ok := Lookup("fast"); !ok || c.Name() != "fast" {
+		t.Fatalf("fast: %v %v", c, ok)
+	}
+	if c, ok := Lookup("tight"); !ok || c.Name() != "tight" {
+		t.Fatalf("tight: %v %v", c, ok)
+	}
+	if c, ok := Lookup(""); !ok || c != nil {
+		t.Fatalf("empty: %v %v", c, ok)
+	}
+	if _, ok := Lookup("zstd"); ok {
+		t.Fatal("unknown codec found")
+	}
+}
+
+func TestCPUModelCharging(t *testing.T) {
+	var clk vclock.Clock
+	m := CPUModel{IPS: 1_000_000} // 1 MIPS
+	Charge(&clk, m, Fast{}, 1000) // 8000 instructions = 8 ms
+	if got := clk.Now(); got != 8*time.Millisecond {
+		t.Fatalf("fast charge = %v", got)
+	}
+	clk.Reset()
+	Charge(&clk, m, Tight{}, 1000) // 20000 instructions = 20 ms
+	if got := clk.Now(); got != 20*time.Millisecond {
+		t.Fatalf("tight charge = %v", got)
+	}
+	clk.Reset()
+	Charge(&clk, m, nil, 1000)
+	if clk.Now() != 0 {
+		t.Fatal("nil codec charged")
+	}
+	if (CPUModel{}).Cost(1000) != 0 {
+		t.Fatal("zero model charged")
+	}
+}
+
+func TestCostPerByteMatchesPaper(t *testing.T) {
+	if got := (Fast{}).CostPerByte(); got != 8 {
+		t.Fatalf("Fast cost = %d, paper says 8 instr/byte", got)
+	}
+	if got := (Tight{}).CostPerByte(); got != 20 {
+		t.Fatalf("Tight cost = %d, paper says 20 instr/byte", got)
+	}
+}
+
+func TestTightCompressesRepetitivePatterns(t *testing.T) {
+	// LZ77 must beat plain zero-RLE on non-zero repeated data.
+	data := bytes.Repeat([]byte("0123456789abcdef"), 256)
+	rTight := Ratio(Tight{}, data)
+	rFast := Ratio(Fast{}, data)
+	if rTight >= 0.2 {
+		t.Fatalf("tight on pattern = %.3f", rTight)
+	}
+	if rFast < 0.99 {
+		t.Fatalf("fast unexpectedly compresses patterns: %.3f", rFast)
+	}
+}
+
+func TestGenFrameDeterministic(t *testing.T) {
+	a := GenFrame(5, 4096, 0.3)
+	b := GenFrame(5, 4096, 0.3)
+	if !bytes.Equal(a, b) {
+		t.Fatal("GenFrame not deterministic")
+	}
+	c := GenFrame(6, 4096, 0.3)
+	if bytes.Equal(a, c) {
+		t.Fatal("GenFrame ignores seed")
+	}
+}

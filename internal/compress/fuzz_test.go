@@ -1,0 +1,60 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets run their seed corpora under plain `go test` and can be
+// extended with `go test -fuzz`.
+
+func FuzzFastRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0, 0, 0, fastEsc, 0, fastEsc, fastEsc})
+	f.Add(bytes.Repeat([]byte{0}, 600))
+	f.Add(GenFrame(1, 512, 0.3))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comp := Fast{}.Compress(nil, data)
+		out, err := Fast{}.Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(out), len(data))
+		}
+	})
+}
+
+func FuzzTightRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add(bytes.Repeat([]byte("abcd"), 400))
+	f.Add(GenFrame(2, 4096, 0.5))
+	f.Add([]byte{0x80, 0x01, 0x00}) // looks like a match token
+	f.Fuzz(func(t *testing.T, data []byte) {
+		comp := Tight{}.Compress(nil, data)
+		out, err := Tight{}.Decompress(nil, comp)
+		if err != nil {
+			t.Fatalf("decompress: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("round trip mismatch: %d vs %d bytes", len(out), len(data))
+		}
+	})
+}
+
+// FuzzDecodeHostileInput feeds arbitrary bytes to the decoders: they must
+// return an error or a result, never panic or loop.
+func FuzzDecodeHostileInput(f *testing.F) {
+	f.Add([]byte{methodFast, fastEsc})
+	f.Add([]byte{methodTight, 0x80, 0xFF, 0xFF})
+	f.Add([]byte{99, 1, 2, 3})
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		out, err := Decode(data)
+		if err == nil && len(data) >= 1 && data[0] == methodRaw {
+			if !bytes.Equal(out, data[1:]) {
+				t.Fatal("raw decode mismatch")
+			}
+		}
+	})
+}

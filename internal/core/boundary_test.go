@@ -1,0 +1,225 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"postlob/internal/adt"
+)
+
+// Chunk-boundary edge cases for the f-chunk implementation: offsets and
+// lengths that land exactly on, one short of, and one past chunk edges.
+func TestFChunkBoundaryWrites(t *testing.T) {
+	s := newTestStore(t)
+	cs := int64(s.chunkSize)
+
+	cases := []struct {
+		name string
+		off  int64
+		n    int64
+	}{
+		{"exact-chunk", 0, cs},
+		{"two-exact-chunks", 0, 2 * cs},
+		{"ends-at-boundary", cs - 100, 100},
+		{"starts-at-boundary", cs, 100},
+		{"spans-boundary", cs - 50, 100},
+		{"one-byte-at-boundary", cs, 1},
+		{"one-short-of-boundary", cs - 1, 1},
+		{"spans-three-chunks", cs - 10, 2*cs + 20},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tx := s.mgr().Begin()
+			_, obj, err := s.Create(tx, CreateOptions{Kind: adt.KindFChunk})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Background pattern.
+			base := bytes.Repeat([]byte{0x11}, int(3*cs+64))
+			if _, err := obj.Write(base); err != nil {
+				t.Fatal(err)
+			}
+			// The boundary write.
+			patch := bytes.Repeat([]byte{0xEE}, int(c.n))
+			if _, err := obj.Seek(c.off, io.SeekStart); err != nil {
+				t.Fatal(err)
+			}
+			if n, err := obj.Write(patch); err != nil || int64(n) != c.n {
+				t.Fatalf("write = %d, %v", n, err)
+			}
+			// Validate the whole object.
+			want := append([]byte(nil), base...)
+			copy(want[c.off:], patch)
+			obj.Seek(0, io.SeekStart)
+			got, err := io.ReadAll(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("first diff at %d (chunk %d, within %d)", i, int64(i)/cs, int64(i)%cs)
+					}
+				}
+				t.Fatalf("length diff: %d vs %d", len(got), len(want))
+			}
+			obj.Close()
+			tx.Commit()
+		})
+	}
+}
+
+// TestFChunkSparseWrite writes far past the end; the gap reads as zeros and
+// the intermediate chunks are never materialised.
+func TestFChunkSparseWrite(t *testing.T) {
+	s := newTestStore(t)
+	tx := s.mgr().Begin()
+	ref, obj, err := s.Create(tx, CreateOptions{Kind: adt.KindFChunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Seek(100_000, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Write([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := obj.Size(); sz != 100_004 {
+		t.Fatalf("size = %d", sz)
+	}
+	// Gap is zeros.
+	obj.Seek(50_000, io.SeekStart)
+	gap := make([]byte, 128)
+	if _, err := io.ReadFull(obj, gap); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range gap {
+		if b != 0 {
+			t.Fatal("gap not zero")
+		}
+	}
+	obj.Seek(100_000, io.SeekStart)
+	tail, _ := io.ReadAll(obj)
+	if string(tail) != "tail" {
+		t.Fatalf("tail = %q", tail)
+	}
+	obj.Close()
+	tx.Commit()
+	// Sparse: far fewer data pages than a dense 100 KB object would need.
+	fp, err := s.Footprint(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Data > 40*8192 {
+		t.Fatalf("sparse object consumed %d bytes of data pages", fp.Data)
+	}
+}
+
+// TestVSegmentShadowingPatterns exercises the overlap-trimming logic with
+// every overlap topology.
+func TestVSegmentShadowingPatterns(t *testing.T) {
+	s := newTestStore(t)
+	write := func(obj Object, off int64, b byte, n int) {
+		t.Helper()
+		if _, err := obj.Seek(off, io.SeekStart); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := obj.Write(bytes.Repeat([]byte{b}, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		name string
+		ops  func(obj Object)
+	}{
+		{"exact-replace", func(obj Object) {
+			write(obj, 0, 'a', 100)
+			write(obj, 0, 'b', 100)
+		}},
+		{"new-inside-old", func(obj Object) {
+			write(obj, 0, 'a', 300)
+			write(obj, 100, 'b', 100)
+		}},
+		{"new-covers-old", func(obj Object) {
+			write(obj, 100, 'a', 100)
+			write(obj, 0, 'b', 300)
+		}},
+		{"left-overlap", func(obj Object) {
+			write(obj, 100, 'a', 200)
+			write(obj, 0, 'b', 200)
+		}},
+		{"right-overlap", func(obj Object) {
+			write(obj, 0, 'a', 200)
+			write(obj, 100, 'b', 200)
+		}},
+		{"covers-many", func(obj Object) {
+			for i := int64(0); i < 5; i++ {
+				write(obj, i*100, byte('a'+i), 100)
+			}
+			write(obj, 50, 'Z', 400)
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tx := s.mgr().Begin()
+			_, obj, err := s.Create(tx, CreateOptions{Kind: adt.KindVSegment, Codec: "fast"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Mirror into a model.
+			model := map[int64]byte{}
+			track := func(off int64, b byte, n int) {
+				for i := int64(0); i < int64(n); i++ {
+					model[off+i] = b
+				}
+			}
+			// Re-run the same ops against the model by re-describing them:
+			switch c.name {
+			case "exact-replace":
+				track(0, 'a', 100)
+				track(0, 'b', 100)
+			case "new-inside-old":
+				track(0, 'a', 300)
+				track(100, 'b', 100)
+			case "new-covers-old":
+				track(100, 'a', 100)
+				track(0, 'b', 300)
+			case "left-overlap":
+				track(100, 'a', 200)
+				track(0, 'b', 200)
+			case "right-overlap":
+				track(0, 'a', 200)
+				track(100, 'b', 200)
+			case "covers-many":
+				for i := int64(0); i < 5; i++ {
+					track(i*100, byte('a'+i), 100)
+				}
+				track(50, 'Z', 400)
+			}
+			c.ops(obj)
+			sz, _ := obj.Size()
+			obj.Seek(0, io.SeekStart)
+			got, err := io.ReadAll(obj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(got)) != sz {
+				t.Fatalf("read %d bytes, size %d", len(got), sz)
+			}
+			for i, b := range got {
+				want, ok := model[int64(i)]
+				if !ok {
+					want = 0
+				}
+				if b != want {
+					t.Fatalf("byte %d = %c, want %c", i, b, want)
+				}
+			}
+			obj.Close()
+			tx.Commit()
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/catalog"
+)
+
+// TestTinyChunkSize stresses the chunked implementations with a pathological
+// chunk size: every frame spans dozens of chunks.
+func TestTinyChunkSize(t *testing.T) {
+	s := newTestStore(t)
+	tx := s.mgr().Begin()
+	ref, obj, err := s.Create(tx, CreateOptions{Kind: adt.KindFChunk, Codec: "fast", ChunkSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("tiny-chunk-stress."), 500) // 9 KB over 64 B chunks
+	if _, err := obj.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	// Random-ish patching across many chunk boundaries.
+	for off := 37; off < len(payload)-80; off += 613 {
+		obj.Seek(int64(off), io.SeekStart)
+		if _, err := obj.Write(bytes.Repeat([]byte{0xAB}, 80)); err != nil {
+			t.Fatal(err)
+		}
+		copy(payload[off:off+80], bytes.Repeat([]byte{0xAB}, 80))
+	}
+	obj.Close()
+	tx.Commit()
+
+	tx2 := s.mgr().Begin()
+	defer tx2.Abort()
+	obj2, err := s.Open(tx2, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj2.Close()
+	got, err := io.ReadAll(obj2)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("tiny chunks corrupted data: %d bytes, %v", len(got), err)
+	}
+	// The per-object chunk size persisted in the catalog drives reopen.
+	meta, _ := s.cat.Object(catalog.OID(ref.OID))
+	if meta.ChunkSize != 64 {
+		t.Fatalf("persisted chunk size = %d", meta.ChunkSize)
+	}
+}

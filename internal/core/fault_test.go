@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/buffer"
+	"postlob/internal/catalog"
+	"postlob/internal/heap"
+	"postlob/internal/storage"
+	"postlob/internal/txn"
+)
+
+// newFaultyStore builds a store whose Mem manager can be made to fail.
+func newFaultyStore(t *testing.T) (*Store, *storage.FaultManager) {
+	t.Helper()
+	dir := t.TempDir()
+	sw := storage.NewSwitch()
+	fault := storage.NewFaultManager(storage.NewMemManager(storage.DeviceModel{}, nil))
+	sw.Register(storage.Mem, fault)
+	// Tiny pool forces evictions, so write faults surface during ops.
+	pool := &heap.Pool{Buf: buffer.NewPool(8, sw, nil), Mgr: txn.NewManager()}
+	store := NewStore(pool, catalog.NewMemory(), adt.NewRegistry(), Config{
+		FilesDir:  filepath.Join(dir, "pfiles"),
+		DefaultSM: storage.Mem,
+	})
+	return store, fault
+}
+
+func TestReadFaultSurfaces(t *testing.T) {
+	for _, kind := range []adt.StorageKind{adt.KindFChunk, adt.KindVSegment} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			s, fault := newFaultyStore(t)
+			tx := s.mgr().Begin()
+			ref, obj, err := s.Create(tx, CreateOptions{Kind: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			payload := bytes.Repeat([]byte("payload!"), 8192)
+			if _, err := obj.Write(payload); err != nil {
+				t.Fatal(err)
+			}
+			obj.Close()
+			tx.Commit()
+			// Force everything to the device and out of the pool.
+			if err := s.EvictFromPool(ref); err != nil {
+				t.Fatal(err)
+			}
+
+			fault.FailReads(true)
+			tx2 := s.mgr().Begin()
+			defer tx2.Abort()
+			obj2, err := s.Open(tx2, ref)
+			if err == nil {
+				_, err = io.ReadAll(obj2)
+				obj2.Close()
+			}
+			if !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("read during fault: %v", err)
+			}
+
+			// Device recovers: the object is intact.
+			fault.Heal()
+			obj3, err := s.Open(tx2, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := io.ReadAll(obj3)
+			obj3.Close()
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("after heal: %d bytes, %v", len(got), err)
+			}
+		})
+	}
+}
+
+func TestWriteFaultAbortsCleanly(t *testing.T) {
+	s, fault := newFaultyStore(t)
+
+	// Committed baseline.
+	tx := s.mgr().Begin()
+	ref, obj, err := s.Create(tx, CreateOptions{Kind: adt.KindFChunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte{0xAA}, 60000)
+	obj.Write(v1)
+	obj.Close()
+	tx.Commit()
+	if err := s.EvictFromPool(ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// A writer hits device failures mid-stream (evictions fail) and aborts.
+	fault.FailWrites(true)
+	tx2 := s.mgr().Begin()
+	obj2, err := s.Open(tx2, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wroteErr error
+	for i := 0; i < 60000; i += 4096 {
+		obj2.Seek(int64(i), io.SeekStart)
+		if _, err := obj2.Write(bytes.Repeat([]byte{0xBB}, 4096)); err != nil {
+			wroteErr = err
+			break
+		}
+	}
+	if wroteErr == nil {
+		wroteErr = obj2.Close()
+	} else {
+		obj2.Close()
+	}
+	if !errors.Is(wroteErr, storage.ErrInjected) {
+		t.Fatalf("expected injected failure during write, got %v", wroteErr)
+	}
+	tx2.Abort()
+	fault.Heal()
+
+	// The committed version is untouched.
+	tx3 := s.mgr().Begin()
+	defer tx3.Abort()
+	obj3, err := s.Open(tx3, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj3.Close()
+	got, err := io.ReadAll(obj3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v1) {
+		// Find first divergence for the report.
+		i := 0
+		for i < len(got) && i < len(v1) && got[i] == v1[i] {
+			i++
+		}
+		t.Fatalf("committed data corrupted after failed write (first diff at %d)", i)
+	}
+}
+
+func TestOneShotFaultThenRecovery(t *testing.T) {
+	s, fault := newFaultyStore(t)
+	tx := s.mgr().Begin()
+	ref, obj, err := s.Create(tx, CreateOptions{Kind: adt.KindFChunk, Codec: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("abcdefgh"), 4096)
+	obj.Write(payload)
+	obj.Close()
+	tx.Commit()
+	if err := s.EvictFromPool(ref); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail exactly one block operation somewhere in the middle of a scan.
+	fault.FailAfter(2)
+	tx2 := s.mgr().Begin()
+	defer tx2.Abort()
+	obj2, err := s.Open(tx2, ref)
+	if err == nil {
+		_, err = io.ReadAll(obj2)
+		obj2.Close()
+	}
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("one-shot fault not surfaced: %v", err)
+	}
+	// Immediately afterwards everything works.
+	obj3, err := s.Open(tx2, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(obj3)
+	obj3.Close()
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("recovery read: %d bytes, %v", len(got), err)
+	}
+}

@@ -1,0 +1,496 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"postlob/internal/adt"
+	"postlob/internal/btree"
+	"postlob/internal/catalog"
+	"postlob/internal/compress"
+	"postlob/internal/heap"
+	"postlob/internal/txn"
+)
+
+// The f-chunk implementation (§6.3): for each large object a class of the
+// form
+//
+//	create P (sequence-number = int4, data = byte[8000])
+//
+// is constructed, with a secondary B-tree index mapping sequence numbers to
+// tuple TIDs. Records live in the no-overwrite heap, so transactions and
+// time travel are automatic. When a conversion codec is configured, each
+// chunk is passed through it on the way in and out (just-in-time
+// conversion); a chunk that does not shrink is stored raw, which is why 30 %
+// compression saves no space — only one such value fits per 8 KB page.
+
+// metaSeq is the index key of the object's metadata record (its size); it
+// lies outside the 32-bit chunk sequence space.
+const metaSeq = uint64(1) << 40
+
+// metaMagic tags metadata tuple payloads. Chunk payloads start with their
+// 32-bit sequence number, which never reaches this value, so a recycled
+// heap slot can always be told apart from the tuple an index entry meant
+// (vacuum reuses slots but cannot clean the per-object indexes).
+const metaMagic = uint32(0xFFFFFFFF)
+
+// Chunk tuple payload: seqno u32, raw length u32, encoded bytes.
+// Meta tuple payload: metaMagic u32, size u64 (12 bytes).
+const chunkHdr = 8
+
+const metaPayloadSize = 12
+
+func encodeMetaPayload(size int64) []byte {
+	buf := make([]byte, metaPayloadSize)
+	binary.LittleEndian.PutUint32(buf[0:], metaMagic)
+	binary.LittleEndian.PutUint64(buf[4:], uint64(size))
+	return buf
+}
+
+// payloadMatches reports whether a fetched tuple payload really is the
+// record the index key addressed, guarding against recycled slots.
+func payloadMatches(key uint64, payload []byte) bool {
+	if key == metaSeq {
+		return len(payload) == metaPayloadSize && binary.LittleEndian.Uint32(payload) == metaMagic
+	}
+	return len(payload) >= chunkHdr && binary.LittleEndian.Uint32(payload) == uint32(key)
+}
+
+type fchunkObject struct {
+	store *Store
+	ref   adt.ObjectRef
+	meta  *catalog.LargeObjectMeta
+	codec compress.Codec
+	rel   *heap.Relation
+	idx   *btree.Tree
+
+	tx   *txn.Txn
+	ts   txn.TS
+	asOf bool
+
+	pos  int64
+	size int64
+
+	sizeTID   heap.TID // visible metadata tuple
+	sizeDirty bool
+
+	// one-chunk write-back cache
+	curSeq   int64 // -1 when empty
+	curData  []byte
+	curTID   heap.TID
+	curHas   bool // a stored tuple exists for curSeq
+	curDirty bool
+
+	closed bool
+}
+
+var _ Object = (*fchunkObject)(nil)
+
+// createFChunkStorage makes the chunk class, its index, and the initial
+// zero-length metadata record.
+func (s *Store) createFChunkStorage(tx *txn.Txn, meta *catalog.LargeObjectMeta) error {
+	if tx == nil {
+		return fmt.Errorf("core: %v objects require a transaction", meta.Kind)
+	}
+	rel, err := heap.Create(s.pool, meta.SM, meta.DataRel)
+	if err != nil {
+		return err
+	}
+	idx, err := btree.Create(s.pool.Buf, meta.SM, meta.IdxRel, s.btreeConfig())
+	if err != nil {
+		return err
+	}
+	tid, err := rel.Insert(tx, encodeMetaPayload(0))
+	if err != nil {
+		return err
+	}
+	return idx.Insert(metaSeq, heap.EncodeTID(tid))
+}
+
+func (s *Store) dropFChunkStorage(meta *catalog.LargeObjectMeta) error {
+	rel, err := heap.Open(s.pool, meta.SM, meta.DataRel)
+	if err != nil {
+		return err
+	}
+	if err := rel.Drop(); err != nil {
+		return err
+	}
+	idx, err := btree.Open(s.pool.Buf, meta.SM, meta.IdxRel, s.btreeConfig())
+	if err != nil {
+		return err
+	}
+	return idx.Drop()
+}
+
+// btreeConfig charges ~200 instructions per node visited when a CPU model
+// is configured; this is the traversal overhead §9.2 blames for f-chunk's
+// slower random access.
+func (s *Store) btreeConfig() btree.Config {
+	return btree.Config{Clock: s.clock, SearchCPU: s.cpu.Cost(200)}
+}
+
+func (s *Store) openFChunk(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRef, meta *catalog.LargeObjectMeta) (Object, error) {
+	rel, err := heap.Open(s.pool, meta.SM, meta.DataRel)
+	if err != nil {
+		return nil, err
+	}
+	idx, err := btree.Open(s.pool.Buf, meta.SM, meta.IdxRel, s.btreeConfig())
+	if err != nil {
+		return nil, err
+	}
+	codec, _ := compress.Lookup(meta.Codec)
+	o := &fchunkObject{
+		store: s, ref: ref, meta: meta, codec: codec,
+		rel: rel, idx: idx,
+		tx: tx, ts: ts, asOf: asOf,
+		curSeq: -1,
+	}
+	payload, tid, err := o.lookupVisible(metaSeq)
+	if err != nil {
+		return nil, fmt.Errorf("core: object %d metadata: %w", ref.OID, err)
+	}
+	if payload == nil {
+		return nil, fmt.Errorf("core: object %d has no metadata record", ref.OID)
+	}
+	o.size = int64(binary.LittleEndian.Uint64(payload[4:]))
+	o.sizeTID = tid
+	return o, nil
+}
+
+func (o *fchunkObject) chunkSize() int64 { return int64(o.meta.ChunkSize) }
+
+// fetch applies the handle's visibility mode.
+func (o *fchunkObject) fetch(tid heap.TID) ([]byte, error) {
+	if o.asOf {
+		return o.rel.FetchAsOf(o.ts, tid)
+	}
+	return o.rel.Fetch(o.tx, tid)
+}
+
+// lookupVisible finds the visible tuple indexed under key. Superseded
+// versions stay in the index (the no-overwrite philosophy) and are filtered
+// here by tuple visibility; entries whose heap slot vacuum recycled for a
+// different record are detected by tag mismatch and pruned.
+func (o *fchunkObject) lookupVisible(key uint64) ([]byte, heap.TID, error) {
+	vals, err := o.idx.Lookup(key)
+	if err != nil {
+		return nil, heap.InvalidTID, err
+	}
+	// Newest entries are most likely visible; scan from the end.
+	for i := len(vals) - 1; i >= 0; i-- {
+		tid := heap.DecodeTID(vals[i])
+		payload, err := o.fetch(tid)
+		if err == nil {
+			if !payloadMatches(key, payload) {
+				o.pruneStale(key, vals[i])
+				continue
+			}
+			return payload, tid, nil
+		}
+		if errors.Is(err, heap.ErrNoTuple) {
+			o.pruneStale(key, vals[i])
+			continue
+		}
+		if !isNotVisible(err) {
+			return nil, heap.InvalidTID, err
+		}
+	}
+	return nil, heap.InvalidTID, nil
+}
+
+// pruneStale removes an index entry whose target tuple no longer exists
+// (vacuumed, slot tombstoned or recycled). Physical cleanup, not
+// transactional; skipped on historical handles.
+func (o *fchunkObject) pruneStale(key, val uint64) {
+	if o.asOf {
+		return
+	}
+	_ = o.idx.Delete(key, val) // best effort; a concurrent pruner may win
+}
+
+func isNotVisible(err error) bool {
+	return errors.Is(err, heap.ErrNotVisible) || errors.Is(err, heap.ErrNoTuple)
+}
+
+// Ref implements Object.
+func (o *fchunkObject) Ref() adt.ObjectRef { return o.ref }
+
+// Size implements Object.
+func (o *fchunkObject) Size() (int64, error) {
+	if o.closed {
+		return 0, ErrClosed
+	}
+	return o.size, nil
+}
+
+// Seek implements io.Seeker.
+func (o *fchunkObject) Seek(offset int64, whence int) (int64, error) {
+	if o.closed {
+		return 0, ErrClosed
+	}
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = o.pos
+	case io.SeekEnd:
+		base = o.size
+	default:
+		return 0, fmt.Errorf("core: bad whence %d", whence)
+	}
+	np := base + offset
+	if np < 0 {
+		return 0, ErrBadSeek
+	}
+	o.pos = np
+	return np, nil
+}
+
+// loadChunk makes seq the cached chunk, flushing any dirty predecessor.
+func (o *fchunkObject) loadChunk(seq int64) error {
+	if o.curSeq == seq {
+		return nil
+	}
+	if err := o.flushChunk(); err != nil {
+		return err
+	}
+	payload, tid, err := o.lookupVisible(uint64(seq))
+	if err != nil {
+		return err
+	}
+	o.curSeq = seq
+	o.curDirty = false
+	if payload == nil {
+		o.curData = o.curData[:0]
+		o.curTID = heap.InvalidTID
+		o.curHas = false
+		return nil
+	}
+	rawLen := int(binary.LittleEndian.Uint32(payload[4:]))
+	decoded, err := compress.Decode(payload[chunkHdr:])
+	if err != nil {
+		return fmt.Errorf("core: chunk %d of object %d: %w", seq, o.ref.OID, err)
+	}
+	if len(decoded) != rawLen {
+		return fmt.Errorf("core: chunk %d of object %d: length %d, header says %d", seq, o.ref.OID, len(decoded), rawLen)
+	}
+	// Output conversion: just-in-time uncompression, charged per byte.
+	compress.Charge(o.store.clock, o.store.cpu, o.codec, rawLen)
+	o.curData = decoded
+	o.curTID = tid
+	o.curHas = true
+	return nil
+}
+
+// flushChunk writes back the cached chunk if dirty.
+func (o *fchunkObject) flushChunk() error {
+	if !o.curDirty {
+		return nil
+	}
+	encoded, err := compress.Encode(o.codec, o.curData)
+	if err != nil {
+		return err
+	}
+	// Input conversion cost.
+	compress.Charge(o.store.clock, o.store.cpu, o.codec, len(o.curData))
+	payload := make([]byte, chunkHdr+len(encoded))
+	binary.LittleEndian.PutUint32(payload[0:], uint32(o.curSeq))
+	binary.LittleEndian.PutUint32(payload[4:], uint32(len(o.curData)))
+	copy(payload[chunkHdr:], encoded)
+
+	var tid heap.TID
+	if o.curHas {
+		tid, err = o.rel.Replace(o.tx, o.curTID, payload)
+	} else {
+		tid, err = o.rel.Insert(o.tx, payload)
+	}
+	if err != nil {
+		return err
+	}
+	if err := o.idx.Insert(uint64(o.curSeq), heap.EncodeTID(tid)); err != nil {
+		return err
+	}
+	o.curTID = tid
+	o.curHas = true
+	o.curDirty = false
+	return nil
+}
+
+// flushSize persists the size metadata record.
+func (o *fchunkObject) flushSize() error {
+	if !o.sizeDirty {
+		return nil
+	}
+	buf := encodeMetaPayload(o.size)
+	ok, err := o.rel.UpdateOwnInPlace(o.tx, o.sizeTID, buf)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		tid, err := o.rel.Replace(o.tx, o.sizeTID, buf)
+		if err != nil {
+			return err
+		}
+		if err := o.idx.Insert(metaSeq, heap.EncodeTID(tid)); err != nil {
+			return err
+		}
+		o.sizeTID = tid
+	}
+	o.sizeDirty = false
+	return nil
+}
+
+// Read implements io.Reader at the seek position.
+func (o *fchunkObject) Read(p []byte) (int, error) {
+	if o.closed {
+		return 0, ErrClosed
+	}
+	if o.pos >= o.size {
+		return 0, io.EOF
+	}
+	if max := o.size - o.pos; int64(len(p)) > max {
+		p = p[:max]
+	}
+	total := 0
+	for len(p) > 0 {
+		seq := o.pos / o.chunkSize()
+		within := o.pos % o.chunkSize()
+		if err := o.loadChunk(seq); err != nil {
+			return total, err
+		}
+		n := o.chunkSize() - within
+		if int64(len(p)) < n {
+			n = int64(len(p))
+		}
+		// The cached chunk may be shorter than the logical span (trailing
+		// zeros were never materialised); copy what exists, zero the rest.
+		var copied int
+		if within < int64(len(o.curData)) {
+			copied = copy(p[:n], o.curData[within:])
+		}
+		for i := copied; int64(i) < n; i++ {
+			p[i] = 0
+		}
+		p = p[n:]
+		o.pos += n
+		total += int(n)
+	}
+	return total, nil
+}
+
+// Write implements io.Writer at the seek position.
+func (o *fchunkObject) Write(p []byte) (int, error) {
+	if o.closed {
+		return 0, ErrClosed
+	}
+	if o.asOf {
+		return 0, ErrReadOnly
+	}
+	if o.tx == nil {
+		return 0, fmt.Errorf("core: f-chunk write requires a transaction")
+	}
+	total := 0
+	for len(p) > 0 {
+		seq := o.pos / o.chunkSize()
+		within := o.pos % o.chunkSize()
+		if err := o.loadChunk(seq); err != nil {
+			return total, err
+		}
+		n := o.chunkSize() - within
+		if int64(len(p)) < n {
+			n = int64(len(p))
+		}
+		need := int(within + n)
+		for len(o.curData) < need {
+			o.curData = append(o.curData, 0)
+		}
+		copy(o.curData[within:need], p[:n])
+		o.curDirty = true
+		p = p[n:]
+		o.pos += n
+		total += int(n)
+		if o.pos > o.size {
+			o.size = o.pos
+			o.sizeDirty = true
+		}
+	}
+	return total, nil
+}
+
+// Truncate implements Object.
+func (o *fchunkObject) Truncate(n int64) error {
+	if o.closed {
+		return ErrClosed
+	}
+	if o.asOf {
+		return ErrReadOnly
+	}
+	if n < 0 {
+		return ErrBadSeek
+	}
+	if n >= o.size {
+		if n > o.size {
+			o.size = n
+			o.sizeDirty = true
+		}
+		return nil
+	}
+	lastOld := (o.size - 1) / o.chunkSize()
+	firstDead := (n + o.chunkSize() - 1) / o.chunkSize()
+	// Trim the boundary chunk.
+	if n%o.chunkSize() != 0 {
+		seq := n / o.chunkSize()
+		if err := o.loadChunk(seq); err != nil {
+			return err
+		}
+		keep := int(n % o.chunkSize())
+		if len(o.curData) > keep {
+			o.curData = o.curData[:keep]
+			o.curDirty = true
+		}
+	}
+	// Delete whole chunks beyond the boundary.
+	if o.curSeq >= firstDead {
+		// Cache holds a doomed chunk; drop it without flushing.
+		o.curSeq, o.curDirty, o.curHas = -1, false, false
+		o.curData = o.curData[:0]
+	}
+	for seq := firstDead; seq <= lastOld; seq++ {
+		_, tid, err := o.lookupVisible(uint64(seq))
+		if err != nil {
+			return err
+		}
+		if tid.Valid() {
+			if err := o.rel.Delete(o.tx, tid); err != nil {
+				return err
+			}
+		}
+	}
+	o.size = n
+	o.sizeDirty = true
+	if o.pos > n {
+		o.pos = n
+	}
+	return nil
+}
+
+// Close flushes buffered state. The handle must be closed before the
+// transaction commits for buffered writes to be part of it.
+func (o *fchunkObject) Close() error {
+	if o.closed {
+		return nil
+	}
+	if !o.asOf {
+		if err := o.flushChunk(); err != nil {
+			return err
+		}
+		if err := o.flushSize(); err != nil {
+			return err
+		}
+	}
+	o.closed = true
+	return nil
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/catalog"
+	"postlob/internal/storage"
+	"postlob/internal/txn"
+)
+
+func TestMigrateFChunkDiskToMem(t *testing.T) {
+	s := newTestStore(t)
+	disk := storage.Disk
+
+	// Build with history on disk.
+	tx1 := s.mgr().Begin()
+	ref, obj, err := s.Create(tx1, CreateOptions{Kind: adt.KindFChunk, Codec: "fast", SM: &disk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := bytes.Repeat([]byte("v1 data. "), 3000)
+	obj.Write(v1)
+	obj.Close()
+	ts1, _ := tx1.Commit()
+
+	tx2 := s.mgr().Begin()
+	obj2, _ := s.Open(tx2, ref)
+	obj2.Seek(0, io.SeekStart)
+	obj2.Write([]byte("PATCHED!"))
+	obj2.Close()
+	tx2.Commit()
+
+	// Migrate to the memory manager.
+	if err := s.Migrate(ref, storage.Mem); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := s.cat.Object(catalog.OID(ref.OID))
+	if err != nil || meta.SM != storage.Mem {
+		t.Fatalf("meta after migrate = %+v, %v", meta, err)
+	}
+
+	// Current contents identical.
+	tx3 := s.mgr().Begin()
+	defer tx3.Abort()
+	obj3, err := s.Open(tx3, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(obj3)
+	obj3.Close()
+	want := append([]byte(nil), v1...)
+	copy(want, "PATCHED!")
+	if !bytes.Equal(got, want) {
+		t.Fatal("contents changed by migration")
+	}
+
+	// Time travel still works after migration (history travelled too).
+	h, err := s.OpenAsOf(ts1, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := io.ReadAll(h)
+	h.Close()
+	if !bytes.Equal(old, v1) {
+		t.Fatal("history lost in migration")
+	}
+
+	// Old relations are gone from the source manager.
+	diskMgr, _ := s.pool.Buf.Switch().Get(storage.Disk)
+	if diskMgr.Exists(storage.RelName(trimSuffix(string(meta.DataRel), "_m1"))) {
+		t.Fatal("source data relation still exists")
+	}
+}
+
+func TestMigrateVSegmentIncludesByteStore(t *testing.T) {
+	s := newTestStore(t)
+	tx := s.mgr().Begin()
+	ref, obj, err := s.Create(tx, CreateOptions{Kind: adt.KindVSegment, Codec: "tight"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("segmented"), 4000)
+	obj.Write(payload)
+	obj.Close()
+	tx.Commit()
+
+	if err := s.Migrate(ref, storage.Disk); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := s.cat.Object(catalog.OID(ref.OID))
+	if meta.SM != storage.Disk {
+		t.Fatalf("vsegment SM = %v", meta.SM)
+	}
+	inner, err := s.cat.Object(meta.StoreOID)
+	if err != nil || inner.SM != storage.Disk {
+		t.Fatalf("byte store SM = %+v, %v", inner, err)
+	}
+
+	tx2 := s.mgr().Begin()
+	defer tx2.Abort()
+	obj2, err := s.Open(tx2, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(obj2)
+	obj2.Close()
+	if !bytes.Equal(got, payload) {
+		t.Fatal("vsegment contents changed by migration")
+	}
+}
+
+func TestMigrateRejectsFiles(t *testing.T) {
+	s := newTestStore(t)
+	tx := s.mgr().Begin()
+	ref, obj, err := s.Create(tx, CreateOptions{Kind: adt.KindPFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.Close()
+	tx.Commit()
+	if err := s.Migrate(ref, storage.Mem); err == nil {
+		t.Fatal("p-file migration accepted")
+	}
+}
+
+func TestMigrateNoopSameManager(t *testing.T) {
+	s := newTestStore(t)
+	tx := s.mgr().Begin()
+	ref, obj, _ := s.Create(tx, CreateOptions{Kind: adt.KindFChunk})
+	obj.Write([]byte("stay"))
+	obj.Close()
+	tx.Commit()
+	if err := s.Migrate(ref, storage.Mem); err != nil { // already on Mem
+		t.Fatal(err)
+	}
+	tx2 := s.mgr().Begin()
+	defer tx2.Abort()
+	obj2, err := s.Open(tx2, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj2.Close()
+	got, _ := io.ReadAll(obj2)
+	if string(got) != "stay" {
+		t.Fatalf("noop migrate changed contents: %q", got)
+	}
+}
+
+func TestObjectHistory(t *testing.T) {
+	for _, kind := range []adt.StorageKind{adt.KindFChunk, adt.KindVSegment} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			s := newTestStore(t)
+			tx1 := s.mgr().Begin()
+			ref, obj, err := s.Create(tx1, CreateOptions{Kind: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj.Write([]byte("one"))
+			obj.Close()
+			ts1, _ := tx1.Commit()
+
+			tx2 := s.mgr().Begin()
+			obj2, _ := s.Open(tx2, ref)
+			obj2.Seek(0, io.SeekEnd)
+			obj2.Write([]byte(" two"))
+			obj2.Close()
+			ts2, _ := tx2.Commit()
+
+			hist, err := s.ObjectHistory(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			has := func(ts txn.TS) bool {
+				for _, h := range hist {
+					if h == ts {
+						return true
+					}
+				}
+				return false
+			}
+			if !has(ts1) || !has(ts2) {
+				t.Fatalf("history %v missing %d or %d", hist, ts1, ts2)
+			}
+			// Ascending.
+			for i := 1; i < len(hist); i++ {
+				if hist[i] < hist[i-1] {
+					t.Fatalf("history not sorted: %v", hist)
+				}
+			}
+			// Each stamp is a valid OpenAsOf target.
+			h1, err := s.OpenAsOf(ts1, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(h1)
+			h1.Close()
+			if string(data) != "one" {
+				t.Fatalf("asof first stamp = %q", data)
+			}
+		})
+	}
+}

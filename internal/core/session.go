@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"postlob/internal/adt"
+	"postlob/internal/catalog"
+	"postlob/internal/txn"
+)
+
+// Session is the per-query context for large-object access. Functions that
+// return large objects cannot allocate them on the stack (§5); instead they
+// create a new temporary large object through the session, fill it with
+// writes, and return its handle. When the session closes, temporaries that
+// did not escape (via Keep) are garbage-collected exactly like temporary
+// classes at end of query.
+//
+// Session implements adt.ObjectStore, so it is what user-defined functions
+// see through their CallContext.
+type Session struct {
+	store *Store
+	tx    *txn.Txn
+
+	mu    sync.Mutex
+	temps map[uint64]bool // OID -> still collectible
+	open  []Object
+	done  bool
+}
+
+var _ adt.ObjectStore = (*Session)(nil)
+
+// NewSession creates a session bound to a transaction.
+func (s *Store) NewSession(tx *txn.Txn) *Session {
+	return &Session{store: s, tx: tx, temps: make(map[uint64]bool)}
+}
+
+// Txn returns the session's transaction.
+func (ss *Session) Txn() *txn.Txn { return ss.tx }
+
+// Store returns the owning store.
+func (ss *Session) Store() *Store { return ss.store }
+
+// OpenObject implements adt.ObjectStore.
+func (ss *Session) OpenObject(ref adt.ObjectRef) (adt.LargeObject, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.done {
+		return nil, ErrClosed
+	}
+	obj, err := ss.store.Open(ss.tx, ref)
+	if err != nil {
+		return nil, err
+	}
+	ss.open = append(ss.open, obj)
+	return obj, nil
+}
+
+// CreateTemp implements adt.ObjectStore: allocate a temporary large object
+// of the named large type (or an uncompressed f-chunk object when typeName
+// is empty).
+func (ss *Session) CreateTemp(typeName string) (adt.ObjectRef, adt.LargeObject, error) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.done {
+		return adt.ObjectRef{}, nil, ErrClosed
+	}
+	opts := CreateOptions{Temp: true}
+	if typeName != "" {
+		opts.TypeName = typeName
+	} else {
+		opts.Kind = adt.KindFChunk
+	}
+	ref, obj, err := ss.store.Create(ss.tx, opts)
+	if err != nil {
+		return adt.ObjectRef{}, nil, err
+	}
+	ss.temps[ref.OID] = true
+	ss.open = append(ss.open, obj)
+	return ref, obj, nil
+}
+
+// Keep promotes a temporary out of this session's garbage-collection set —
+// called when a function result escapes into a class or is returned to the
+// client as a named object.
+func (ss *Session) Keep(ref adt.ObjectRef) error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if !ss.temps[ref.OID] {
+		return fmt.Errorf("core: object %d is not a collectible temp of this session", ref.OID)
+	}
+	ss.temps[ref.OID] = false
+	return ss.store.Promote(ref)
+}
+
+// Promote clears an object's temporary mark so no session garbage-collects
+// it. Sessions other than the creator use this when a temp escapes into a
+// class in a later statement; the creating session re-checks the catalog at
+// Close and leaves promoted objects alone.
+func (s *Store) Promote(ref adt.ObjectRef) error {
+	meta, err := s.cat.Object(catalog.OID(ref.OID))
+	if err != nil {
+		return err
+	}
+	meta.Temp = false
+	if err := s.cat.PutObject(meta); err != nil {
+		return err
+	}
+	// A v-segment temp owns a nested byte-store object.
+	if meta.StoreOID != 0 {
+		inner, err := s.cat.Object(meta.StoreOID)
+		if err != nil {
+			return err
+		}
+		inner.Temp = false
+		return s.cat.PutObject(inner)
+	}
+	return nil
+}
+
+// Close closes every handle opened through the session and unlinks the
+// temporaries that were not kept.
+func (ss *Session) Close() error {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.done {
+		return nil
+	}
+	ss.done = true
+	var first error
+	for _, obj := range ss.open {
+		if err := obj.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for oid, collectible := range ss.temps {
+		if !collectible {
+			continue
+		}
+		// A later statement may have promoted the temp behind our back.
+		meta, err := ss.store.cat.Object(catalog.OID(oid))
+		if errors.Is(err, catalog.ErrNoObject) {
+			continue
+		}
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		if !meta.Temp {
+			continue
+		}
+		if err := ss.store.Unlink(adt.ObjectRef{OID: oid}); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// GCOrphanTemps unlinks every temporary object recorded in the catalog —
+// run at database open to clean up after crashed sessions. Returns the
+// number of objects collected.
+func (s *Store) GCOrphanTemps() (int, error) {
+	n := 0
+	for _, meta := range s.cat.Objects(true) {
+		// Nested byte stores are unlinked through their owners.
+		if meta.Kind == adt.KindFChunk && ownedByVSegment(s.cat, meta.OID) {
+			continue
+		}
+		// A v-segment earlier in the list already took its byte store with it.
+		if _, err := s.cat.Object(meta.OID); errors.Is(err, catalog.ErrNoObject) {
+			continue
+		}
+		if err := s.Unlink(adt.ObjectRef{OID: uint64(meta.OID)}); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+func ownedByVSegment(cat *catalog.Catalog, oid catalog.OID) bool {
+	for _, m := range cat.Objects(false) {
+		if m.StoreOID == oid {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"postlob/internal/txn"
+)
+
+// TestConcurrentInsertersDisjoint runs parallel writers, each inserting its
+// own rows, and checks every committed row is present exactly once.
+func TestConcurrentInsertersDisjoint(t *testing.T) {
+	p := newTestPool(t, 128)
+	r := mustCreate(t, p, "conc")
+	const writers = 8
+	const rowsPer = 50
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for wtr := 0; wtr < writers; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for i := 0; i < rowsPer; i++ {
+				err := txn.RunInTxn(p.Mgr, func(tx *txn.Txn) error {
+					_, err := r.Insert(tx, []byte(fmt.Sprintf("w%02d-%03d", wtr, i)))
+					return err
+				})
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(wtr)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	reader := p.Mgr.Begin()
+	defer reader.Abort()
+	seen := map[string]int{}
+	if err := r.Scan(reader, func(tid TID, data []byte) (bool, error) {
+		seen[string(data)]++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != writers*rowsPer {
+		t.Fatalf("distinct rows = %d, want %d", len(seen), writers*rowsPer)
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("row %q appears %d times", k, n)
+		}
+	}
+}
+
+// TestConcurrentReadersDuringWrites runs readers scanning while writers
+// insert and delete; readers must always see a consistent committed count
+// (never partial transactions).
+func TestConcurrentReadersDuringWrites(t *testing.T) {
+	p := newTestPool(t, 128)
+	r := mustCreate(t, p, "rw")
+	// Writers insert batches of 10 in single transactions.
+	const batches = 20
+	done := make(chan struct{})
+	werr := make(chan error, 1)
+	go func() {
+		defer close(done)
+		for b := 0; b < batches; b++ {
+			err := txn.RunInTxn(p.Mgr, func(tx *txn.Txn) error {
+				for i := 0; i < 10; i++ {
+					if _, err := r.Insert(tx, []byte(fmt.Sprintf("b%02d-%d", b, i))); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				werr <- err
+				return
+			}
+		}
+	}()
+
+	var rerr error
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false
+		default:
+		}
+		reader := p.Mgr.Begin()
+		count := 0
+		err := r.Scan(reader, func(tid TID, data []byte) (bool, error) {
+			count++
+			return true, nil
+		})
+		reader.Abort()
+		if err != nil {
+			rerr = err
+			break
+		}
+		if count%10 != 0 {
+			rerr = errors.New("reader saw a partial batch")
+			break
+		}
+	}
+	<-done
+	select {
+	case err := <-werr:
+		t.Fatal(err)
+	default:
+	}
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+}
+
+// TestConcurrentHintBitReaders hammers Fetch on the same committed tuples
+// from many goroutines; hint-bit maintenance must be race-free.
+func TestConcurrentHintBitReaders(t *testing.T) {
+	p := newTestPool(t, 64)
+	r := mustCreate(t, p, "hints")
+	var tids []TID
+	for i := 0; i < 20; i++ {
+		tids = append(tids, mustInsertCommitted(t, p, r, fmt.Sprintf("row%d", i)))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 50; round++ {
+				tx := p.Mgr.Begin()
+				for _, tid := range tids {
+					if _, err := r.Fetch(tx, tid); err != nil {
+						errs <- err
+						tx.Abort()
+						return
+					}
+				}
+				tx.Abort()
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

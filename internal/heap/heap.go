@@ -1,0 +1,672 @@
+// Package heap implements POSTGRES-style no-overwrite heap relations
+// ("classes"). A tuple is never updated in place: an insert writes a new
+// tuple stamped with the inserting transaction's XID (xmin); a delete merely
+// stamps the deleting XID (xmax); a replace is a delete plus an insert.
+// Because superseded tuple versions remain on disk together with the commit
+// timestamps of the transactions that created and deleted them, any past
+// state of a relation can be reconstructed — this is the time travel that
+// the f-chunk and v-segment large-object implementations inherit for free
+// (paper §6.3, §6.4).
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"postlob/internal/buffer"
+	"postlob/internal/page"
+	"postlob/internal/storage"
+	"postlob/internal/txn"
+)
+
+// TupleHeaderSize is the fixed per-tuple overhead:
+//
+//	0..3   xmin  — inserting transaction
+//	4..7   xmax  — deleting transaction (InvalidXID if live)
+//	8..9   infomask hint bits
+//	10..11 reserved
+const TupleHeaderSize = 12
+
+// Infomask hint bits cache commit-log lookups on the tuple itself.
+const (
+	hintXminCommitted uint16 = 1 << iota
+	hintXminAborted
+	hintXmaxCommitted
+	hintXmaxAborted
+)
+
+// MaxTupleSize is the largest tuple payload a heap page can hold.
+const MaxTupleSize = page.Size - 16 - 4 - TupleHeaderSize // page header, line ptr, tuple header
+
+// Errors returned by heap operations.
+var (
+	ErrTupleTooBig   = errors.New("heap: tuple exceeds page capacity")
+	ErrNotVisible    = errors.New("heap: tuple not visible")
+	ErrNoTuple       = errors.New("heap: no tuple at TID")
+	ErrConcurrentDel = errors.New("heap: tuple already deleted")
+)
+
+// TID addresses a tuple: block number plus line pointer slot.
+type TID struct {
+	Blk  storage.BlockNum
+	Slot page.SlotNum
+}
+
+// InvalidTID never addresses a real tuple.
+var InvalidTID = TID{Blk: 0, Slot: page.InvalidSlot}
+
+func (t TID) String() string { return fmt.Sprintf("(%d,%d)", t.Blk, t.Slot) }
+
+// Valid reports whether the TID could address a tuple.
+func (t TID) Valid() bool { return t.Slot != page.InvalidSlot }
+
+// EncodeTID packs a TID into 8 bytes for storage inside index entries.
+func EncodeTID(t TID) uint64 {
+	return uint64(t.Blk)<<16 | uint64(t.Slot)
+}
+
+// DecodeTID unpacks EncodeTID.
+func DecodeTID(v uint64) TID {
+	return TID{Blk: storage.BlockNum(v >> 16), Slot: page.SlotNum(v & 0xFFFF)}
+}
+
+// Pool bundles the buffer pool with the transaction manager; every access
+// method in the system shares one. Open relations are cached so every
+// opener shares one Relation instance — and with it the insert-target hint,
+// the free-space map, and the tuple-mutation mutex.
+type Pool struct {
+	Buf *buffer.Pool
+	Mgr *txn.Manager
+
+	relMu sync.Mutex
+	rels  map[relCacheKey]*Relation
+}
+
+type relCacheKey struct {
+	sm  storage.ID
+	rel storage.RelName
+}
+
+// cached returns the shared Relation for (sm, name), creating the handle on
+// first use.
+func (p *Pool) cached(sm storage.ID, name storage.RelName) *Relation {
+	p.relMu.Lock()
+	defer p.relMu.Unlock()
+	if p.rels == nil {
+		p.rels = make(map[relCacheKey]*Relation)
+	}
+	key := relCacheKey{sm, name}
+	if r, ok := p.rels[key]; ok {
+		return r
+	}
+	r := &Relation{pool: p, sm: sm, name: name}
+	p.rels[key] = r
+	return r
+}
+
+// forget drops a cached relation handle (after Drop).
+func (p *Pool) forget(sm storage.ID, name storage.RelName) {
+	p.relMu.Lock()
+	defer p.relMu.Unlock()
+	delete(p.rels, relCacheKey{sm, name})
+}
+
+// Relation is an open heap relation.
+type Relation struct {
+	pool *Pool
+	sm   storage.ID
+	name storage.RelName
+
+	mu            sync.Mutex
+	insertTarget  storage.BlockNum // block to try first for inserts
+	hasInsertHint bool
+	freeBlocks    []storage.BlockNum // blocks vacuum found reusable space in
+}
+
+// Create makes a new, empty heap relation on the given storage manager.
+func Create(p *Pool, sm storage.ID, name storage.RelName) (*Relation, error) {
+	mgr, err := p.Buf.Switch().Get(sm)
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Create(name); err != nil {
+		return nil, err
+	}
+	return p.cached(sm, name), nil
+}
+
+// Open returns the shared handle on an existing heap relation.
+func Open(p *Pool, sm storage.ID, name storage.RelName) (*Relation, error) {
+	mgr, err := p.Buf.Switch().Get(sm)
+	if err != nil {
+		return nil, err
+	}
+	if !mgr.Exists(name) {
+		return nil, fmt.Errorf("%w: %s", storage.ErrNoRelation, name)
+	}
+	return p.cached(sm, name), nil
+}
+
+// Name returns the relation's storage name.
+func (r *Relation) Name() storage.RelName { return r.name }
+
+// StorageManager returns the ID of the storage manager holding the relation.
+func (r *Relation) StorageManager() storage.ID { return r.sm }
+
+// lockPages pairs the relation mutex with the buffer pool's page gate: the
+// section may mutate page bytes (tuple headers, hint bits, new tuples), so
+// whole-relation flushes are excluded for its duration.
+func (r *Relation) lockPages() {
+	r.pool.Buf.BeginPageMutation()
+	r.mu.Lock()
+}
+
+func (r *Relation) unlockPages() {
+	r.mu.Unlock()
+	r.pool.Buf.EndPageMutation()
+}
+
+// NBlocks returns the relation's current length in pages.
+func (r *Relation) NBlocks() (storage.BlockNum, error) {
+	return r.pool.Buf.NBlocks(r.sm, r.name)
+}
+
+// Size returns the relation's footprint in bytes.
+func (r *Relation) Size() (int64, error) {
+	n, err := r.NBlocks()
+	if err != nil {
+		return 0, err
+	}
+	return int64(n) * page.Size, nil
+}
+
+// tuple header helpers operating on raw item bytes.
+
+func tupleXmin(item []byte) txn.XID { return txn.XID(binary.LittleEndian.Uint32(item[0:])) }
+func tupleXmax(item []byte) txn.XID { return txn.XID(binary.LittleEndian.Uint32(item[4:])) }
+func tupleMask(item []byte) uint16  { return binary.LittleEndian.Uint16(item[8:]) }
+
+func setTupleXmax(item []byte, x txn.XID) {
+	binary.LittleEndian.PutUint32(item[4:], uint32(x))
+	// Clear stale xmax hints; the new xmax is undecided.
+	mask := tupleMask(item) &^ (hintXmaxCommitted | hintXmaxAborted)
+	binary.LittleEndian.PutUint16(item[8:], mask)
+}
+
+func setTupleHint(item []byte, bit uint16) {
+	binary.LittleEndian.PutUint16(item[8:], tupleMask(item)|bit)
+}
+
+// TupleData returns the payload portion of a raw tuple image.
+func TupleData(item []byte) []byte { return item[TupleHeaderSize:] }
+
+// Insert appends a tuple and returns its TID. The tuple becomes visible to
+// other transactions when t commits.
+func (r *Relation) Insert(t *txn.Txn, data []byte) (TID, error) {
+	if len(data) > MaxTupleSize {
+		return InvalidTID, fmt.Errorf("%w: %d > %d", ErrTupleTooBig, len(data), MaxTupleSize)
+	}
+	item := make([]byte, TupleHeaderSize+len(data))
+	binary.LittleEndian.PutUint32(item[0:], uint32(t.ID()))
+	binary.LittleEndian.PutUint32(item[4:], uint32(txn.InvalidXID))
+	copy(item[TupleHeaderSize:], data)
+
+	r.lockPages()
+	defer r.unlockPages()
+
+	// Try the hinted insert target first, then blocks vacuum reclaimed
+	// space in, then extend.
+	if r.hasInsertHint {
+		if tid, ok, err := r.tryInsertAt(r.insertTarget, item); err != nil {
+			return InvalidTID, err
+		} else if ok {
+			return tid, nil
+		}
+	}
+	for len(r.freeBlocks) > 0 {
+		blk := r.freeBlocks[len(r.freeBlocks)-1]
+		tid, ok, err := r.tryInsertAt(blk, item)
+		if err != nil {
+			return InvalidTID, err
+		}
+		if ok {
+			r.insertTarget, r.hasInsertHint = blk, true
+			return tid, nil
+		}
+		r.freeBlocks = r.freeBlocks[:len(r.freeBlocks)-1]
+	}
+	f, blk, err := r.pool.Buf.NewBlock(r.sm, r.name)
+	if err != nil {
+		return InvalidTID, err
+	}
+	defer f.Release()
+	f.Page().Init(0)
+	slot, err := f.Page().AddItem(item)
+	if err != nil {
+		return InvalidTID, err
+	}
+	f.MarkDirty()
+	r.insertTarget, r.hasInsertHint = blk, true
+	return TID{Blk: blk, Slot: slot}, nil
+}
+
+// tryInsertAt attempts to place item on an existing block.
+func (r *Relation) tryInsertAt(blk storage.BlockNum, item []byte) (TID, bool, error) {
+	f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
+	if err != nil {
+		return InvalidTID, false, err
+	}
+	defer f.Release()
+	p := f.Page()
+	if !p.IsInitialized() {
+		p.Init(0)
+	}
+	slot, err := p.AddItem(item)
+	if errors.Is(err, page.ErrPageFull) {
+		return InvalidTID, false, nil
+	}
+	if err != nil {
+		return InvalidTID, false, err
+	}
+	f.MarkDirty()
+	return TID{Blk: blk, Slot: slot}, true, nil
+}
+
+// Delete stamps the tuple at tid with t's XID. The old version remains for
+// readers with older snapshots and for time travel. Deleting a tuple that a
+// committed transaction already deleted returns ErrConcurrentDel.
+func (r *Relation) Delete(t *txn.Txn, tid TID) error {
+	r.lockPages()
+	defer r.unlockPages()
+	f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: tid.Blk})
+	if err != nil {
+		return err
+	}
+	defer f.Release()
+	item, err := f.Page().Item(tid.Slot)
+	if err != nil {
+		return fmt.Errorf("%w: %s (%v)", ErrNoTuple, tid, err)
+	}
+	if !r.visible(t.Snapshot(), item, f) {
+		return fmt.Errorf("%w: %s", ErrNotVisible, tid)
+	}
+	if xmax := tupleXmax(item); xmax != txn.InvalidXID && xmax != t.ID() {
+		// Someone else stamped it; if their delete aborted we may proceed.
+		if r.pool.Mgr.Status(xmax) != txn.Aborted {
+			return fmt.Errorf("%w: %s by txn %d", ErrConcurrentDel, tid, xmax)
+		}
+	}
+	setTupleXmax(item, t.ID())
+	f.MarkDirty()
+	return nil
+}
+
+// UpdateOwnInPlace overwrites the payload of a same-sized tuple that t
+// itself inserted (and has not deleted) in this transaction. Since no other
+// transaction can see the tuple yet and time travel is commit-grained, this
+// is not an overwrite of visible history. Returns false when the tuple does
+// not qualify, in which case the caller should Replace instead.
+func (r *Relation) UpdateOwnInPlace(t *txn.Txn, tid TID, data []byte) (bool, error) {
+	r.lockPages()
+	defer r.unlockPages()
+	f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: tid.Blk})
+	if err != nil {
+		return false, err
+	}
+	defer f.Release()
+	item, err := f.Page().Item(tid.Slot)
+	if err != nil {
+		return false, fmt.Errorf("%w: %s (%v)", ErrNoTuple, tid, err)
+	}
+	if tupleXmin(item) != t.ID() || tupleXmax(item) != txn.InvalidXID {
+		return false, nil
+	}
+	if len(item) != TupleHeaderSize+len(data) {
+		return false, nil
+	}
+	copy(item[TupleHeaderSize:], data)
+	f.MarkDirty()
+	return true, nil
+}
+
+// Replace is the no-overwrite update: delete the old version, insert the
+// new, and return the new TID.
+func (r *Relation) Replace(t *txn.Txn, tid TID, data []byte) (TID, error) {
+	if err := r.Delete(t, tid); err != nil {
+		return InvalidTID, err
+	}
+	return r.Insert(t, data)
+}
+
+// Fetch returns a copy of the tuple payload at tid if it is visible to t.
+func (r *Relation) Fetch(t *txn.Txn, tid TID) ([]byte, error) {
+	return r.fetch(tid, func(item []byte, f *buffer.Frame) bool {
+		return r.visible(t.Snapshot(), item, f)
+	})
+}
+
+// FetchAsOf returns the tuple payload at tid as it stood at timestamp ts.
+func (r *Relation) FetchAsOf(ts txn.TS, tid TID) ([]byte, error) {
+	return r.fetch(tid, func(item []byte, f *buffer.Frame) bool {
+		return r.visibleAsOf(ts, item)
+	})
+}
+
+func (r *Relation) fetch(tid TID, vis func([]byte, *buffer.Frame) bool) ([]byte, error) {
+	// The relation mutex also serialises hint-bit maintenance: visibility
+	// checks may write the tuple's infomask.
+	r.lockPages()
+	defer r.unlockPages()
+	f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: tid.Blk})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Release()
+	item, err := f.Page().Item(tid.Slot)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrNoTuple, tid, err)
+	}
+	if !vis(item, f) {
+		return nil, fmt.Errorf("%w: %s", ErrNotVisible, tid)
+	}
+	return append([]byte(nil), TupleData(item)...), nil
+}
+
+// Scan calls fn for every tuple visible to t, in physical order. fn returns
+// false to stop early. The payload slice passed to fn is only valid for the
+// duration of the call.
+func (r *Relation) Scan(t *txn.Txn, fn func(TID, []byte) (bool, error)) error {
+	return r.scan(func(item []byte, f *buffer.Frame) bool {
+		return r.visible(t.Snapshot(), item, f)
+	}, fn)
+}
+
+// ScanAsOf calls fn for every tuple visible at timestamp ts.
+func (r *Relation) ScanAsOf(ts txn.TS, fn func(TID, []byte) (bool, error)) error {
+	return r.scan(func(item []byte, f *buffer.Frame) bool {
+		return r.visibleAsOf(ts, item)
+	}, fn)
+}
+
+func (r *Relation) scan(vis func([]byte, *buffer.Frame) bool, fn func(TID, []byte) (bool, error)) error {
+	n, err := r.NBlocks()
+	if err != nil {
+		return err
+	}
+	type hit struct {
+		tid  TID
+		data []byte
+	}
+	for blk := storage.BlockNum(0); blk < n; blk++ {
+		f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
+		if err != nil {
+			return err
+		}
+		// Collect the page's visible tuples (copying payloads) under the
+		// page lock — visibility may write hint bits, and concurrent
+		// writers may grow the page — then invoke fn unlocked so callbacks
+		// can re-enter the relation freely.
+		var hits []hit
+		r.lockPages()
+		p := f.Page()
+		if p.IsInitialized() {
+			for s := 0; s < p.NumSlots(); s++ {
+				slot := page.SlotNum(s)
+				if p.ItemIsDead(slot) {
+					continue
+				}
+				item, err := p.Item(slot)
+				if err != nil {
+					r.unlockPages()
+					f.Release()
+					return err
+				}
+				if vis(item, f) {
+					hits = append(hits, hit{
+						tid:  TID{Blk: blk, Slot: slot},
+						data: append([]byte(nil), TupleData(item)...),
+					})
+				}
+			}
+		}
+		r.unlockPages()
+		f.Release()
+		for _, h := range hits {
+			keep, err := fn(h.tid, h.data)
+			if err != nil {
+				return err
+			}
+			if !keep {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// visible implements snapshot visibility with hint-bit maintenance.
+func (r *Relation) visible(snap txn.Snapshot, item []byte, f *buffer.Frame) bool {
+	mgr := r.pool.Mgr
+	mask := tupleMask(item)
+	xmin := tupleXmin(item)
+
+	// Decide xmin.
+	switch {
+	case mask&hintXminAborted != 0:
+		return false
+	case mask&hintXminCommitted != 0:
+		if !snap.Sees(xmin) {
+			return false
+		}
+	case xmin == snap.Self:
+		// our own insert: visible
+	default:
+		switch mgr.Status(xmin) {
+		case txn.Aborted:
+			setTupleHint(item, hintXminAborted)
+			f.MarkDirty()
+			return false
+		case txn.InProgress:
+			return false
+		case txn.Committed:
+			setTupleHint(item, hintXminCommitted)
+			f.MarkDirty()
+			if !snap.Sees(xmin) {
+				return false
+			}
+		}
+	}
+
+	// Decide xmax.
+	xmax := tupleXmax(item)
+	if xmax == txn.InvalidXID {
+		return true
+	}
+	if xmax == snap.Self {
+		return false // we deleted it ourselves
+	}
+	mask = tupleMask(item)
+	switch {
+	case mask&hintXmaxAborted != 0:
+		return true
+	case mask&hintXmaxCommitted != 0:
+		return !snap.Sees(xmax)
+	}
+	switch mgr.Status(xmax) {
+	case txn.Aborted:
+		setTupleHint(item, hintXmaxAborted)
+		f.MarkDirty()
+		return true
+	case txn.InProgress:
+		return true // delete not yet committed
+	default: // committed
+		setTupleHint(item, hintXmaxCommitted)
+		f.MarkDirty()
+		return !snap.Sees(xmax)
+	}
+}
+
+// visibleAsOf implements time-travel visibility: the tuple existed at ts if
+// its inserter committed at or before ts and its deleter (if any) had not
+// yet committed by ts.
+func (r *Relation) visibleAsOf(ts txn.TS, item []byte) bool {
+	mgr := r.pool.Mgr
+	xmin := tupleXmin(item)
+	ins, ok := mgr.CommitTS(xmin)
+	if !ok || ins > ts {
+		return false
+	}
+	xmax := tupleXmax(item)
+	if xmax == txn.InvalidXID {
+		return true
+	}
+	del, ok := mgr.CommitTS(xmax)
+	if !ok {
+		return true // delete aborted or still in flight: tuple still existed
+	}
+	return del > ts
+}
+
+// VersionStamps calls fn with the commit timestamp of every committed
+// transaction that inserted or deleted a tuple in the relation — the set of
+// instants at which the relation's visible contents changed, and therefore
+// the meaningful time-travel targets.
+func (r *Relation) VersionStamps(fn func(txn.TS)) error {
+	n, err := r.NBlocks()
+	if err != nil {
+		return err
+	}
+	mgr := r.pool.Mgr
+	for blk := storage.BlockNum(0); blk < n; blk++ {
+		f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
+		if err != nil {
+			return err
+		}
+		r.lockPages()
+		p := f.Page()
+		if !p.IsInitialized() {
+			r.unlockPages()
+			f.Release()
+			continue
+		}
+		for s := 0; s < p.NumSlots(); s++ {
+			slot := page.SlotNum(s)
+			if p.ItemIsDead(slot) {
+				continue
+			}
+			item, err := p.Item(slot)
+			if err != nil {
+				r.unlockPages()
+				f.Release()
+				return err
+			}
+			if ts, ok := mgr.CommitTS(tupleXmin(item)); ok && ts != txn.InvalidTS {
+				fn(ts)
+			}
+			if xmax := tupleXmax(item); xmax != txn.InvalidXID {
+				if ts, ok := mgr.CommitTS(xmax); ok && ts != txn.InvalidTS {
+					fn(ts)
+				}
+			}
+		}
+		r.unlockPages()
+		f.Release()
+	}
+	return nil
+}
+
+// Vacuum physically removes tuple versions that no current or future reader
+// can see: tuples whose inserter aborted, and — when keepHistory is false —
+// tuples whose deleter committed. With keepHistory true (the POSTGRES
+// default: keep everything for time travel) only aborted debris is removed.
+// Returns the number of tuples reclaimed.
+func (r *Relation) Vacuum(keepHistory bool) (int, error) {
+	n, err := r.NBlocks()
+	if err != nil {
+		return 0, err
+	}
+	mgr := r.pool.Mgr
+	removed := 0
+	for blk := storage.BlockNum(0); blk < n; blk++ {
+		f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
+		if err != nil {
+			return removed, err
+		}
+		r.lockPages()
+		p := f.Page()
+		if !p.IsInitialized() {
+			r.unlockPages()
+			f.Release()
+			continue
+		}
+		changed := false
+		for s := 0; s < p.NumSlots(); s++ {
+			slot := page.SlotNum(s)
+			if p.ItemIsDead(slot) {
+				continue
+			}
+			item, err := p.Item(slot)
+			if err != nil {
+				r.unlockPages()
+				f.Release()
+				return removed, err
+			}
+			dead := false
+			if mgr.Status(tupleXmin(item)) == txn.Aborted {
+				dead = true
+			} else if !keepHistory {
+				if xmax := tupleXmax(item); xmax != txn.InvalidXID && mgr.Status(xmax) == txn.Committed {
+					dead = true
+				}
+			}
+			if dead {
+				if err := p.DeleteItem(slot); err != nil {
+					r.unlockPages()
+					f.Release()
+					return removed, err
+				}
+				removed++
+				changed = true
+			}
+		}
+		if changed {
+			free := p.Compact()
+			f.MarkDirty()
+			// Remember pages worth refilling (a crude free-space map).
+			if free > page.Size/4 {
+				r.freeBlocks = append(r.freeBlocks, blk)
+			}
+		}
+		r.unlockPages()
+		f.Release()
+	}
+	return removed, nil
+}
+
+// Flush writes the relation's dirty pages to its storage manager and syncs.
+func (r *Relation) Flush() error {
+	if err := r.pool.Buf.FlushRel(r.sm, r.name); err != nil {
+		return err
+	}
+	mgr, err := r.pool.Buf.Switch().Get(r.sm)
+	if err != nil {
+		return err
+	}
+	return mgr.Sync(r.name)
+}
+
+// Drop removes the relation: buffered pages are discarded and the underlying
+// storage unlinked.
+func (r *Relation) Drop() error {
+	if err := r.pool.Buf.DropRel(r.sm, r.name, true); err != nil {
+		return err
+	}
+	mgr, err := r.pool.Buf.Switch().Get(r.sm)
+	if err != nil {
+		return err
+	}
+	r.pool.forget(r.sm, r.name)
+	return mgr.Unlink(r.name)
+}

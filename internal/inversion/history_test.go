@@ -1,0 +1,67 @@
+package inversion
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"postlob/internal/adt"
+)
+
+func TestFileHistory(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "fast")
+
+	tx1 := mgr.Begin()
+	if err := fs.WriteFile(tx1, "/doc", []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	ts1, _ := tx1.Commit()
+
+	tx2 := mgr.Begin()
+	f, err := fs.Open(tx2, "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Seek(0, io.SeekEnd)
+	f.Write([]byte(" second"))
+	f.Close()
+	ts2, _ := tx2.Commit()
+
+	tx := mgr.Begin()
+	defer tx.Abort()
+	hist, err := fs.FileHistory(tx, "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(ts int64) bool {
+		for _, h := range hist {
+			if int64(h) == ts {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(int64(ts1)) || !has(int64(ts2)) {
+		t.Fatalf("history %v missing %d or %d", hist, ts1, ts2)
+	}
+	// Each stamp reproduces the file at that moment.
+	h1, err := fs.OpenAsOf(hist[0], "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, _ := io.ReadAll(h1)
+	h1.Close()
+	if string(v1) != "first" {
+		t.Fatalf("first version = %q", v1)
+	}
+	// Directories have no content history.
+	if err := fs.Mkdir(tx, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.FileHistory(tx, "/d"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("dir history: %v", err)
+	}
+	if _, err := fs.FileHistory(tx, "/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("missing history: %v", err)
+	}
+}

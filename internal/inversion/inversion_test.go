@@ -1,0 +1,454 @@
+package inversion
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/buffer"
+	"postlob/internal/catalog"
+	"postlob/internal/core"
+	"postlob/internal/heap"
+	"postlob/internal/storage"
+	"postlob/internal/txn"
+)
+
+func newTestFS(t *testing.T, kind adt.StorageKind, codec string) (*FS, *txn.Manager) {
+	t.Helper()
+	dir := t.TempDir()
+	sw := storage.NewSwitch()
+	sw.Register(storage.Mem, storage.NewMemManager(storage.DeviceModel{}, nil))
+	pool := &heap.Pool{Buf: buffer.NewPool(512, sw, nil), Mgr: txn.NewManager()}
+	store := core.NewStore(pool, catalog.NewMemory(), adt.NewRegistry(), core.Config{
+		FilesDir:  filepath.Join(dir, "pfiles"),
+		DefaultSM: storage.Mem,
+	})
+	tx := pool.Mgr.Begin()
+	fs, err := Init(tx, store, Options{Kind: kind, Codec: codec, SM: storage.Mem, Owner: "mike"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return fs, pool.Mgr
+}
+
+func TestCreateWriteReadFile(t *testing.T) {
+	for _, cfg := range []struct {
+		kind  adt.StorageKind
+		codec string
+	}{
+		{adt.KindFChunk, ""},
+		{adt.KindFChunk, "tight"},
+		{adt.KindVSegment, "fast"},
+	} {
+		t.Run(cfg.kind.String()+cfg.codec, func(t *testing.T) {
+			fs, mgr := newTestFS(t, cfg.kind, cfg.codec)
+			tx := mgr.Begin()
+			f, err := fs.Create(tx, "/hello.txt")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write([]byte("inversion says hi")); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				t.Fatal(err)
+			}
+			tx.Commit()
+
+			tx2 := mgr.Begin()
+			defer tx2.Abort()
+			data, err := fs.ReadFile(tx2, "/hello.txt")
+			if err != nil || string(data) != "inversion says hi" {
+				t.Fatalf("read = %q, %v", data, err)
+			}
+		})
+	}
+}
+
+func TestMkdirTreeAndReadDir(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	for _, d := range []string{"/usr", "/usr/joe", "/usr/mike", "/tmp"} {
+		if err := fs.Mkdir(tx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.WriteFile(tx, "/usr/joe/pic.img", []byte("pixels")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	root, err := fs.ReadDir(tx2, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(root) != 2 || root[0].Name != "tmp" || root[1].Name != "usr" {
+		t.Fatalf("root = %v", root)
+	}
+	usr, err := fs.ReadDir(tx2, "/usr")
+	if err != nil || len(usr) != 2 {
+		t.Fatalf("usr = %v, %v", usr, err)
+	}
+	joe, err := fs.ReadDir(tx2, "/usr/joe")
+	if err != nil || len(joe) != 1 || joe[0].Name != "pic.img" || joe[0].IsDir {
+		t.Fatalf("joe = %v, %v", joe, err)
+	}
+	// ReadDir of a file fails.
+	if _, err := fs.ReadDir(tx2, "/usr/joe/pic.img"); !errors.Is(err, ErrNotDir) {
+		t.Fatalf("readdir file: %v", err)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	defer tx.Abort()
+	if _, err := fs.Open(tx, "/missing"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if _, err := fs.Open(tx, "relative/path"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("relative: %v", err)
+	}
+	if _, err := fs.Open(tx, "/a/../b"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("dotdot: %v", err)
+	}
+	if err := fs.Mkdir(tx, "/a/b/c"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("deep mkdir: %v", err)
+	}
+	if err := fs.Mkdir(tx, "/"); !errors.Is(err, ErrBadPath) {
+		t.Fatalf("mkdir root: %v", err)
+	}
+	fs.Mkdir(tx, "/dir")
+	if _, err := fs.Create(tx, "/dir"); !errors.Is(err, ErrExist) {
+		t.Fatalf("create over dir: %v", err)
+	}
+	if _, err := fs.Open(tx, "/dir"); !errors.Is(err, ErrIsDir) {
+		t.Fatalf("open dir: %v", err)
+	}
+}
+
+func TestStat(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	if err := fs.WriteFile(tx, "/f.bin", make([]byte, 12345)); err != nil {
+		t.Fatal(err)
+	}
+	fs.Mkdir(tx, "/d")
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	fi, err := fs.Stat(tx2, "/f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Name != "f.bin" || fi.IsDir || fi.Size != 12345 || fi.Owner != "mike" {
+		t.Fatalf("stat = %+v", fi)
+	}
+	di, err := fs.Stat(tx2, "/d")
+	if err != nil || !di.IsDir {
+		t.Fatalf("dir stat = %+v, %v", di, err)
+	}
+	// mtime bumps on write.
+	tx3 := mgr.Begin()
+	f, err := fs.Open(tx3, "/f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("more"))
+	f.Close()
+	tx3.Commit()
+	tx4 := mgr.Begin()
+	defer tx4.Abort()
+	fi2, err := fs.Stat(tx4, "/f.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi2.MTime <= fi.MTime {
+		t.Fatalf("mtime did not advance: %d -> %d", fi.MTime, fi2.MTime)
+	}
+	if fi2.CTime != fi.CTime {
+		t.Fatalf("ctime changed: %d -> %d", fi.CTime, fi2.CTime)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	fs.Mkdir(tx, "/d")
+	fs.WriteFile(tx, "/d/f", []byte("x"))
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	if err := fs.Remove(tx2, "/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Fatalf("remove non-empty: %v", err)
+	}
+	if err := fs.Remove(tx2, "/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(tx2, "/d"); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+
+	tx3 := mgr.Begin()
+	defer tx3.Abort()
+	if _, err := fs.Open(tx3, "/d/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("open removed: %v", err)
+	}
+	if entries, _ := fs.ReadDir(tx3, "/"); len(entries) != 0 {
+		t.Fatalf("root after removes = %v", entries)
+	}
+	if err := fs.Remove(tx3, "/d"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("double remove: %v", err)
+	}
+}
+
+func TestRename(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	fs.Mkdir(tx, "/a")
+	fs.Mkdir(tx, "/b")
+	fs.WriteFile(tx, "/a/f", []byte("moved"))
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	if err := fs.Rename(tx2, "/a/f", "/b/g"); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+
+	tx3 := mgr.Begin()
+	defer tx3.Abort()
+	if _, err := fs.Open(tx3, "/a/f"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("old path: %v", err)
+	}
+	data, err := fs.ReadFile(tx3, "/b/g")
+	if err != nil || string(data) != "moved" {
+		t.Fatalf("new path = %q, %v", data, err)
+	}
+	// Rename onto an existing name fails.
+	tx4 := mgr.Begin()
+	defer tx4.Abort()
+	fs.WriteFile(tx4, "/a/f", []byte("again"))
+	if err := fs.Rename(tx4, "/a/f", "/b/g"); !errors.Is(err, ErrExist) {
+		t.Fatalf("rename onto existing: %v", err)
+	}
+}
+
+func TestTransactionProtectedFiles(t *testing.T) {
+	// §8: "transaction-protected access to conventional file data".
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	fs.WriteFile(tx, "/f", []byte("committed"))
+	tx.Commit()
+
+	// An aborted overwrite leaves the committed contents.
+	tx2 := mgr.Begin()
+	f, err := fs.Open(tx2, "/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Truncate(0)
+	f.Write([]byte("uncommitted"))
+	f.Close()
+	tx2.Abort()
+
+	tx3 := mgr.Begin()
+	defer tx3.Abort()
+	data, err := fs.ReadFile(tx3, "/f")
+	if err != nil || string(data) != "committed" {
+		t.Fatalf("after abort = %q, %v", data, err)
+	}
+	// An aborted create vanishes.
+	tx4 := mgr.Begin()
+	fs.WriteFile(tx4, "/ghost", []byte("boo"))
+	tx4.Abort()
+	tx5 := mgr.Begin()
+	defer tx5.Abort()
+	if _, err := fs.Open(tx5, "/ghost"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("aborted create visible: %v", err)
+	}
+}
+
+func TestFileTimeTravel(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindVSegment, "fast")
+	tx := mgr.Begin()
+	fs.WriteFile(tx, "/doc", []byte("version one of the document"))
+	ts1, _ := tx.Commit()
+
+	tx2 := mgr.Begin()
+	f, _ := fs.Open(tx2, "/doc")
+	f.Seek(8, io.SeekStart)
+	f.Write([]byte("TWO"))
+	f.Close()
+	ts2, _ := tx2.Commit()
+
+	// Historical contents as of ts1.
+	h, err := fs.OpenAsOf(ts1, "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := io.ReadAll(h)
+	h.Close()
+	if err != nil || string(old) != "version one of the document" {
+		t.Fatalf("asof ts1 = %q, %v", old, err)
+	}
+	// Current contents.
+	h2, err := fs.OpenAsOf(ts2, "/doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := io.ReadAll(h2)
+	h2.Close()
+	if string(cur) != "version TWO of the document" {
+		t.Fatalf("asof ts2 = %q", cur)
+	}
+	// Historical handles are read-only.
+	h3, _ := fs.OpenAsOf(ts1, "/doc")
+	if _, err := h3.Write([]byte("x")); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("asof write: %v", err)
+	}
+	h3.Close()
+}
+
+func TestDirectoryTimeTravel(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	fs.WriteFile(tx, "/old.txt", []byte("x"))
+	ts1, _ := tx.Commit()
+
+	tx2 := mgr.Begin()
+	fs.Remove(tx2, "/old.txt")
+	fs.WriteFile(tx2, "/new.txt", []byte("y"))
+	ts2, _ := tx2.Commit()
+
+	at1, err := fs.ReadDirAsOf(ts1, "/")
+	if err != nil || len(at1) != 1 || at1[0].Name != "old.txt" {
+		t.Fatalf("asof ts1 = %v, %v", at1, err)
+	}
+	at2, err := fs.ReadDirAsOf(ts2, "/")
+	if err != nil || len(at2) != 1 || at2[0].Name != "new.txt" {
+		t.Fatalf("asof ts2 = %v, %v", at2, err)
+	}
+	// A removed file is still readable in the past.
+	h, err := fs.OpenAsOf(ts1, "/old.txt")
+	if err != nil {
+		t.Fatalf("time travel to removed file: %v", err)
+	}
+	data, _ := io.ReadAll(h)
+	h.Close()
+	if string(data) != "x" {
+		t.Fatalf("removed file contents = %q", data)
+	}
+	// StatAsOf works on the removed file too.
+	if _, err := fs.StatAsOf(ts1, "/old.txt"); err != nil {
+		t.Fatalf("StatAsOf removed: %v", err)
+	}
+}
+
+func TestLargeFileSeekPatterns(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "tight")
+	tx := mgr.Begin()
+	f, err := fs.Create(tx, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const size = 100_000
+	payload := bytes.Repeat([]byte("0123456789abcdef"), size/16)
+	if _, err := f.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	// Random-access frame replacement, like the benchmark.
+	f.Seek(40960, io.SeekStart)
+	frame := bytes.Repeat([]byte{0xEE}, 4096)
+	f.Write(frame)
+	f.Close()
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	f2, err := fs.Open(tx2, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	f2.Seek(40960, io.SeekStart)
+	got := make([]byte, 4096)
+	io.ReadFull(f2, got)
+	if !bytes.Equal(got, frame) {
+		t.Fatal("frame replace lost")
+	}
+	f2.Seek(0, io.SeekStart)
+	head := make([]byte, 16)
+	io.ReadFull(f2, head)
+	if string(head) != "0123456789abcdef" {
+		t.Fatalf("head = %q", head)
+	}
+	if sz, _ := f2.Size(); sz != size {
+		t.Fatalf("size = %d", sz)
+	}
+}
+
+func TestMetadataIsQueryableClassData(t *testing.T) {
+	// §8: "a user can use the query language to perform searches on the
+	// DIRECTORY class" — the rows must decode with the shared row codec.
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	fs.Mkdir(tx, "/x")
+	fs.WriteFile(tx, "/x/y", []byte("z"))
+	tx.Commit()
+
+	cls, err := fs.store.Catalog().Class(ClassDirectory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := heap.Open(fs.pool, cls.SM, cls.Rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	names := map[string]bool{}
+	err = rel.Scan(tx2, func(tid heap.TID, data []byte) (bool, error) {
+		row, err := adt.DecodeRow(data)
+		if err != nil {
+			return false, err
+		}
+		names[row[0].Str] = true
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !names["x"] || !names["y"] {
+		t.Fatalf("directory rows = %v", names)
+	}
+}
+
+func TestReopenExistingFS(t *testing.T) {
+	// A second Init over the same store opens rather than recreates.
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	fs.WriteFile(tx, "/persist", []byte("still here"))
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	fs2, err := Init(tx2, fs.store, fs.opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := fs2.ReadFile(tx2, "/persist")
+	if err != nil || string(data) != "still here" {
+		t.Fatalf("reopened = %q, %v", data, err)
+	}
+	tx2.Abort()
+}

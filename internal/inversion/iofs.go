@@ -1,0 +1,237 @@
+package inversion
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"time"
+
+	"postlob/internal/txn"
+)
+
+// IoFS adapts an Inversion volume to the standard library's fs.FS, so any
+// Go code that consumes io/fs — template loading, http.FileServer, zip
+// archivers — can run directly against database-resident files. The view is
+// fixed at construction: either a transaction's snapshot or a historical
+// timestamp, which makes fs.FS's read-only contract a natural fit.
+type IoFS struct {
+	fs *FS
+	v  view
+}
+
+var (
+	_ fs.FS         = (*IoFS)(nil)
+	_ fs.ReadDirFS  = (*IoFS)(nil)
+	_ fs.StatFS     = (*IoFS)(nil)
+	_ fs.ReadFileFS = (*IoFS)(nil)
+)
+
+// IoFS returns an fs.FS over the volume as seen by tx.
+func (f *FS) IoFS(tx *txn.Txn) *IoFS {
+	return &IoFS{fs: f, v: view{fs: f, tx: tx}}
+}
+
+// IoFSAsOf returns an fs.FS over the volume as it stood at ts.
+func (f *FS) IoFSAsOf(ts txn.TS) *IoFS {
+	return &IoFS{fs: f, v: view{fs: f, ts: ts, asOf: true}}
+}
+
+// abs converts an io/fs name ("." or "a/b") to an Inversion path.
+func abs(name string) (string, error) {
+	if !fs.ValidPath(name) {
+		return "", fs.ErrInvalid
+	}
+	if name == "." {
+		return "/", nil
+	}
+	return "/" + name, nil
+}
+
+func mapErr(op, name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	switch {
+	case errors.Is(err, ErrNotExist):
+		err = fs.ErrNotExist
+	case errors.Is(err, ErrExist):
+		err = fs.ErrExist
+	case errors.Is(err, fs.ErrInvalid):
+		err = fs.ErrInvalid
+	}
+	return &fs.PathError{Op: op, Path: name, Err: err}
+}
+
+// Open implements fs.FS.
+func (io5 *IoFS) Open(name string) (fs.File, error) {
+	path, err := abs(name)
+	if err != nil {
+		return nil, mapErr("open", name, err)
+	}
+	info, err := io5.fs.statView(io5.v, path)
+	if err != nil {
+		return nil, mapErr("open", name, err)
+	}
+	if info.IsDir {
+		entries, err := io5.fs.readDir(io5.v, path)
+		if err != nil {
+			return nil, mapErr("open", name, err)
+		}
+		return &ioDir{info: ioInfo{fi: info}, entries: entries, iofs: io5, path: path}, nil
+	}
+	f, err := io5.fs.openView(io5.v, path)
+	if err != nil {
+		return nil, mapErr("open", name, err)
+	}
+	return &ioFile{f: f, info: ioInfo{fi: info}}, nil
+}
+
+// ReadDir implements fs.ReadDirFS.
+func (io5 *IoFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	path, err := abs(name)
+	if err != nil {
+		return nil, mapErr("readdir", name, err)
+	}
+	entries, err := io5.fs.readDir(io5.v, path)
+	if err != nil {
+		return nil, mapErr("readdir", name, err)
+	}
+	out := make([]fs.DirEntry, len(entries))
+	for i, e := range entries {
+		childPath := path + "/" + e.Name
+		if path == "/" {
+			childPath = "/" + e.Name
+		}
+		info, err := io5.fs.statView(io5.v, childPath)
+		if err != nil {
+			return nil, mapErr("readdir", name, err)
+		}
+		out[i] = fs.FileInfoToDirEntry(ioInfo{fi: info})
+	}
+	return out, nil
+}
+
+// Stat implements fs.StatFS.
+func (io5 *IoFS) Stat(name string) (fs.FileInfo, error) {
+	path, err := abs(name)
+	if err != nil {
+		return nil, mapErr("stat", name, err)
+	}
+	info, err := io5.fs.statView(io5.v, path)
+	if err != nil {
+		return nil, mapErr("stat", name, err)
+	}
+	return ioInfo{fi: info}, nil
+}
+
+// ReadFile implements fs.ReadFileFS.
+func (io5 *IoFS) ReadFile(name string) ([]byte, error) {
+	f, err := io5.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// ioInfo adapts FileInfo to fs.FileInfo.
+type ioInfo struct {
+	fi FileInfo
+}
+
+func (i ioInfo) Name() string {
+	if i.fi.Name == "" {
+		return "."
+	}
+	return i.fi.Name
+}
+func (i ioInfo) Size() int64 { return i.fi.Size }
+func (i ioInfo) Mode() fs.FileMode {
+	m := fs.FileMode(i.fi.Mode & 0o777)
+	if i.fi.IsDir {
+		m |= fs.ModeDir
+	}
+	return m
+}
+
+// ModTime maps the logical transaction stamp onto the time axis; callers
+// get ordering, not wall-clock time.
+func (i ioInfo) ModTime() time.Time { return time.Unix(i.fi.MTime, 0) }
+func (i ioInfo) IsDir() bool        { return i.fi.IsDir }
+func (i ioInfo) Sys() any           { return i.fi }
+
+// ioFile adapts File to fs.File.
+type ioFile struct {
+	f    *File
+	info ioInfo
+}
+
+func (f *ioFile) Stat() (fs.FileInfo, error) { return f.info, nil }
+func (f *ioFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+func (f *ioFile) Close() error               { return f.f.Close() }
+
+// Seek lets io/fs consumers that type-assert io.Seeker (http.FileServer)
+// work too.
+func (f *ioFile) Seek(offset int64, whence int) (int64, error) {
+	return f.f.Seek(offset, whence)
+}
+
+// ioDir adapts a directory to fs.ReadDirFile.
+type ioDir struct {
+	info    ioInfo
+	entries []DirEntry
+	iofs    *IoFS
+	path    string
+	off     int
+}
+
+func (d *ioDir) Stat() (fs.FileInfo, error) { return d.info, nil }
+func (d *ioDir) Close() error               { return nil }
+func (d *ioDir) Read(p []byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.path, Err: errors.New("is a directory")}
+}
+
+// ReadDir implements fs.ReadDirFile with the usual n semantics.
+func (d *ioDir) ReadDir(n int) ([]fs.DirEntry, error) {
+	remaining := d.entries[d.off:]
+	if n <= 0 {
+		d.off = len(d.entries)
+		out := make([]fs.DirEntry, 0, len(remaining))
+		for _, e := range remaining {
+			de, err := d.entry(e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, de)
+		}
+		return out, nil
+	}
+	if len(remaining) == 0 {
+		return nil, io.EOF
+	}
+	if n > len(remaining) {
+		n = len(remaining)
+	}
+	out := make([]fs.DirEntry, 0, n)
+	for _, e := range remaining[:n] {
+		de, err := d.entry(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, de)
+	}
+	d.off += n
+	return out, nil
+}
+
+func (d *ioDir) entry(e DirEntry) (fs.DirEntry, error) {
+	childPath := d.path + "/" + e.Name
+	if d.path == "/" {
+		childPath = "/" + e.Name
+	}
+	info, err := d.iofs.fs.statView(d.iofs.v, childPath)
+	if err != nil {
+		return nil, err
+	}
+	return fs.FileInfoToDirEntry(ioInfo{fi: info}), nil
+}

@@ -1,0 +1,150 @@
+package inversion
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"testing"
+	"testing/fstest"
+
+	"postlob/internal/adt"
+)
+
+func TestIoFSConformance(t *testing.T) {
+	invfs, mgr := newTestFS(t, adt.KindFChunk, "fast")
+	tx := mgr.Begin()
+	if err := invfs.Mkdir(tx, "/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if err := invfs.WriteFile(tx, "/hello.txt", []byte("hello, io/fs")); err != nil {
+		t.Fatal(err)
+	}
+	if err := invfs.WriteFile(tx, "/sub/inner.dat", []byte("nested")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Commit()
+
+	reader := mgr.Begin()
+	defer reader.Abort()
+	// The standard library's conformance battery.
+	if err := fstest.TestFS(invfs.IoFS(reader), "hello.txt", "sub/inner.dat"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIoFSReadFileAndStat(t *testing.T) {
+	invfs, mgr := newTestFS(t, adt.KindVSegment, "fast")
+	tx := mgr.Begin()
+	invfs.WriteFile(tx, "/data.bin", []byte("0123456789"))
+	tx.Commit()
+
+	reader := mgr.Begin()
+	defer reader.Abort()
+	io5 := invfs.IoFS(reader)
+
+	data, err := io5.ReadFile("data.bin")
+	if err != nil || string(data) != "0123456789" {
+		t.Fatalf("ReadFile = %q, %v", data, err)
+	}
+	fi, err := io5.Stat("data.bin")
+	if err != nil || fi.Size() != 10 || fi.IsDir() {
+		t.Fatalf("Stat = %+v, %v", fi, err)
+	}
+	root, err := io5.Stat(".")
+	if err != nil || !root.IsDir() {
+		t.Fatalf("root stat = %+v, %v", root, err)
+	}
+	// Seek support for http.FileServer-style consumers.
+	f, err := io5.Open("data.bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	seeker, ok := f.(io.Seeker)
+	if !ok {
+		t.Fatal("file does not implement io.Seeker")
+	}
+	if _, err := seeker.Seek(5, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	rest, _ := io.ReadAll(f)
+	if string(rest) != "56789" {
+		t.Fatalf("after seek = %q", rest)
+	}
+}
+
+func TestIoFSErrors(t *testing.T) {
+	invfs, mgr := newTestFS(t, adt.KindFChunk, "")
+	reader := mgr.Begin()
+	defer reader.Abort()
+	io5 := invfs.IoFS(reader)
+
+	if _, err := io5.Open("missing.txt"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open missing: %v", err)
+	}
+	if _, err := io5.Open("/absolute"); !errors.Is(err, fs.ErrInvalid) {
+		t.Fatalf("invalid name: %v", err)
+	}
+	var pe *fs.PathError
+	_, err := io5.Open("nope")
+	if !errors.As(err, &pe) || pe.Op != "open" {
+		t.Fatalf("not a PathError: %v", err)
+	}
+}
+
+func TestIoFSAsOf(t *testing.T) {
+	invfs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	invfs.WriteFile(tx, "/f", []byte("old"))
+	ts1, _ := tx.Commit()
+
+	tx2 := mgr.Begin()
+	invfs.WriteFile(tx2, "/f", []byte("newer!"))
+	invfs.WriteFile(tx2, "/g", []byte("brand new"))
+	tx2.Commit()
+
+	past := invfs.IoFSAsOf(ts1)
+	data, err := past.ReadFile("f")
+	if err != nil || string(data) != "old" {
+		t.Fatalf("asof read = %q, %v", data, err)
+	}
+	if _, err := past.Open("g"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("future file visible in the past: %v", err)
+	}
+	entries, err := past.ReadDir(".")
+	if err != nil || len(entries) != 1 || entries[0].Name() != "f" {
+		t.Fatalf("asof readdir = %v, %v", entries, err)
+	}
+}
+
+func TestIoFSDirReadInChunks(t *testing.T) {
+	invfs, mgr := newTestFS(t, adt.KindFChunk, "")
+	tx := mgr.Begin()
+	for _, n := range []string{"/a", "/b", "/c"} {
+		invfs.WriteFile(tx, n, []byte("x"))
+	}
+	tx.Commit()
+
+	reader := mgr.Begin()
+	defer reader.Abort()
+	f, err := invfs.IoFS(reader).Open(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dir, ok := f.(fs.ReadDirFile)
+	if !ok {
+		t.Fatal("root is not a ReadDirFile")
+	}
+	first, err := dir.ReadDir(2)
+	if err != nil || len(first) != 2 {
+		t.Fatalf("first chunk = %v, %v", first, err)
+	}
+	second, err := dir.ReadDir(2)
+	if err != nil || len(second) != 1 {
+		t.Fatalf("second chunk = %v, %v", second, err)
+	}
+	if _, err := dir.ReadDir(2); err != io.EOF {
+		t.Fatalf("after end: %v", err)
+	}
+}

@@ -1,0 +1,193 @@
+package inversion
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/txn"
+)
+
+// refFS is an in-memory reference model of the file system.
+type refFS struct {
+	files map[string][]byte // path -> contents
+	dirs  map[string]bool   // path -> exists
+}
+
+func newRefFS() *refFS {
+	return &refFS{files: map[string][]byte{}, dirs: map[string]bool{"/": true}}
+}
+
+func (r *refFS) parentExists(path string) bool {
+	i := strings.LastIndex(path, "/")
+	parent := path[:i]
+	if parent == "" {
+		parent = "/"
+	}
+	return r.dirs[parent]
+}
+
+func (r *refFS) exists(path string) bool {
+	_, f := r.files[path]
+	return f || r.dirs[path]
+}
+
+func (r *refFS) childrenOf(dir string) []string {
+	prefix := dir + "/"
+	if dir == "/" {
+		prefix = "/"
+	}
+	var names []string
+	add := func(p string) {
+		if !strings.HasPrefix(p, prefix) || p == dir {
+			return
+		}
+		rest := p[len(prefix):]
+		if rest == "" || strings.Contains(rest, "/") {
+			return
+		}
+		names = append(names, rest)
+	}
+	for p := range r.files {
+		add(p)
+	}
+	for p := range r.dirs {
+		add(p)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestRandomizedAgainstReference drives the Inversion FS with random
+// operations and compares every outcome with the reference model.
+func TestRandomizedAgainstReference(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "fast")
+	ref := newRefFS()
+	rng := rand.New(rand.NewSource(2024))
+
+	// A pool of candidate paths at depth <= 3.
+	var paths []string
+	for _, a := range []string{"a", "b", "c"} {
+		paths = append(paths, "/"+a)
+		for _, b := range []string{"x", "y"} {
+			paths = append(paths, "/"+a+"/"+b)
+			for _, c := range []string{"1", "2"} {
+				paths = append(paths, "/"+a+"/"+b+"/"+c)
+			}
+		}
+	}
+
+	step := func(tx *txn.Txn, op int, path string) error {
+		switch op {
+		case 0: // mkdir
+			err := fs.Mkdir(tx, path)
+			switch {
+			case ref.exists(path):
+				if err == nil {
+					return fmt.Errorf("mkdir %s: expected ErrExist", path)
+				}
+			case !ref.parentExists(path):
+				if err == nil {
+					return fmt.Errorf("mkdir %s: expected ErrNotExist", path)
+				}
+			default:
+				if err != nil {
+					return fmt.Errorf("mkdir %s: %v", path, err)
+				}
+				ref.dirs[path] = true
+			}
+		case 1: // write file
+			data := []byte(fmt.Sprintf("data-%s-%d", path, rng.Intn(1000)))
+			err := fs.WriteFile(tx, path, data)
+			switch {
+			case ref.dirs[path]:
+				if err == nil {
+					return fmt.Errorf("write over dir %s accepted", path)
+				}
+			case !ref.parentExists(path):
+				if err == nil {
+					return fmt.Errorf("write %s: expected ErrNotExist", path)
+				}
+			default:
+				if err != nil {
+					return fmt.Errorf("write %s: %v", path, err)
+				}
+				ref.files[path] = data
+			}
+		case 2: // read file
+			data, err := fs.ReadFile(tx, path)
+			want, ok := ref.files[path]
+			if !ok {
+				if err == nil {
+					return fmt.Errorf("read missing %s succeeded", path)
+				}
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("read %s: %v", path, err)
+			}
+			if !bytes.Equal(data, want) {
+				return fmt.Errorf("read %s: %q != %q", path, data, want)
+			}
+		case 3: // remove
+			err := fs.Remove(tx, path)
+			switch {
+			case ref.files[path] != nil:
+				if err != nil {
+					return fmt.Errorf("remove file %s: %v", path, err)
+				}
+				delete(ref.files, path)
+			case ref.dirs[path]:
+				if len(ref.childrenOf(path)) > 0 {
+					if err == nil {
+						return fmt.Errorf("remove non-empty %s accepted", path)
+					}
+				} else if err != nil {
+					return fmt.Errorf("remove empty dir %s: %v", path, err)
+				} else {
+					delete(ref.dirs, path)
+				}
+			default:
+				if err == nil {
+					return fmt.Errorf("remove missing %s succeeded", path)
+				}
+			}
+		case 4: // readdir
+			entries, err := fs.ReadDir(tx, path)
+			if !ref.dirs[path] {
+				if err == nil && ref.files[path] == nil {
+					return fmt.Errorf("readdir missing %s succeeded", path)
+				}
+				return nil
+			}
+			if err != nil {
+				return fmt.Errorf("readdir %s: %v", path, err)
+			}
+			want := ref.childrenOf(path)
+			if len(entries) != len(want) {
+				return fmt.Errorf("readdir %s: %d entries, want %d", path, len(entries), len(want))
+			}
+			for i := range entries {
+				if entries[i].Name != want[i] {
+					return fmt.Errorf("readdir %s: [%d] = %s, want %s", path, i, entries[i].Name, want[i])
+				}
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i < 600; i++ {
+		op := rng.Intn(5)
+		path := paths[rng.Intn(len(paths))]
+		err := txn.RunInTxn(mgr, func(tx *txn.Txn) error {
+			return step(tx, op, path)
+		})
+		if err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package inversion
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/txn"
+)
+
+func buildTree(t *testing.T, fs *FS, mgr *txn.Manager) {
+	t.Helper()
+	err := txn.RunInTxn(mgr, func(tx *txn.Txn) error {
+		for _, d := range []string{"/a", "/a/b", "/a/b/c", "/z"} {
+			if err := fs.Mkdir(tx, d); err != nil {
+				return err
+			}
+		}
+		for _, f := range []string{"/top", "/a/f1", "/a/b/f2", "/a/b/c/f3"} {
+			if err := fs.WriteFile(tx, f, []byte(f)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	buildTree(t, fs, mgr)
+
+	tx := mgr.Begin()
+	defer tx.Abort()
+	var visited []string
+	if err := fs.Walk(tx, "/", func(path string, info FileInfo) error {
+		visited = append(visited, path)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/", "/a", "/a/b", "/a/b/c", "/a/b/c/f3", "/a/b/f2", "/a/f1", "/top", "/z"}
+	sort.Strings(visited)
+	if len(visited) != len(want) {
+		t.Fatalf("visited = %v", visited)
+	}
+	for i := range want {
+		if visited[i] != want[i] {
+			t.Fatalf("visited[%d] = %s, want %s", i, visited[i], want[i])
+		}
+	}
+	// Walk a subtree only.
+	visited = nil
+	fs.Walk(tx, "/a/b", func(path string, info FileInfo) error {
+		visited = append(visited, path)
+		return nil
+	})
+	if len(visited) != 4 {
+		t.Fatalf("subtree visit = %v", visited)
+	}
+	// Error propagation.
+	sentinel := errors.New("stop")
+	if err := fs.Walk(tx, "/", func(path string, info FileInfo) error {
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	fs, mgr := newTestFS(t, adt.KindFChunk, "")
+	buildTree(t, fs, mgr)
+
+	if err := txn.RunInTxn(mgr, func(tx *txn.Txn) error {
+		return fs.RemoveAll(tx, "/a")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := mgr.Begin()
+	defer tx.Abort()
+	entries, err := fs.ReadDir(tx, "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Name != "top" || entries[1].Name != "z" {
+		t.Fatalf("root after RemoveAll = %v", entries)
+	}
+	// Missing path is a no-op.
+	if err := fs.RemoveAll(tx, "/a"); err != nil {
+		t.Fatalf("missing RemoveAll: %v", err)
+	}
+	// The root refuses.
+	if err := fs.RemoveAll(tx, "/"); !errors.Is(err, ErrRootLocked) {
+		t.Fatalf("root RemoveAll: %v", err)
+	}
+}

@@ -1,0 +1,291 @@
+package page
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPageLayout(t *testing.T) {
+	p := New(0)
+	if !p.IsInitialized() {
+		t.Fatal("new page not initialized")
+	}
+	if got := p.NumSlots(); got != 0 {
+		t.Fatalf("NumSlots = %d, want 0", got)
+	}
+	if got := p.FreeSpace(); got != Size-headerSize-linePtrSize {
+		t.Fatalf("FreeSpace = %d", got)
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpecialSpace(t *testing.T) {
+	p := New(64)
+	if got := len(p.Special()); got != 64 {
+		t.Fatalf("special size = %d, want 64", got)
+	}
+	copy(p.Special(), bytes.Repeat([]byte{0xAB}, 64))
+	slot, err := p.AddItem([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	item, err := p.Item(slot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(item) != "hello" {
+		t.Fatalf("item = %q", item)
+	}
+	for i, b := range p.Special() {
+		if b != 0xAB {
+			t.Fatalf("special[%d] clobbered: %x", i, b)
+		}
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddGetDelete(t *testing.T) {
+	p := New(0)
+	var slots []SlotNum
+	for i := 0; i < 10; i++ {
+		s, err := p.AddItem([]byte(fmt.Sprintf("item-%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	if got := p.NumSlots(); got != 10 {
+		t.Fatalf("NumSlots = %d", got)
+	}
+	for i, s := range slots {
+		item, err := p.Item(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("item-%03d", i); string(item) != want {
+			t.Fatalf("slot %d = %q, want %q", s, item, want)
+		}
+	}
+	if err := p.DeleteItem(slots[3]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Item(slots[3]); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("Item(dead) err = %v, want ErrBadSlot", err)
+	}
+	if !p.ItemIsDead(slots[3]) {
+		t.Fatal("slot not dead after delete")
+	}
+	// Other slots unaffected.
+	item, err := p.Item(slots[4])
+	if err != nil || string(item) != "item-004" {
+		t.Fatalf("slot 4 after delete: %q, %v", item, err)
+	}
+}
+
+func TestDeadSlotReuse(t *testing.T) {
+	p := New(0)
+	a, _ := p.AddItem([]byte("aaaa"))
+	b, _ := p.AddItem([]byte("bbbb"))
+	if err := p.DeleteItem(a); err != nil {
+		t.Fatal(err)
+	}
+	c, err := p.AddItem([]byte("cccc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != a {
+		t.Fatalf("dead slot not reused: got %d, want %d", c, a)
+	}
+	if p.NumSlots() != 2 {
+		t.Fatalf("NumSlots = %d, want 2", p.NumSlots())
+	}
+	itemB, _ := p.Item(b)
+	if string(itemB) != "bbbb" {
+		t.Fatalf("b clobbered: %q", itemB)
+	}
+}
+
+func TestPageFull(t *testing.T) {
+	p := New(0)
+	big := make([]byte, MaxItemSize(0))
+	if _, err := p.AddItem(big); err != nil {
+		t.Fatalf("max item rejected: %v", err)
+	}
+	if _, err := p.AddItem([]byte{1}); !errors.Is(err, ErrPageFull) {
+		t.Fatalf("err = %v, want ErrPageFull", err)
+	}
+}
+
+func TestItemTooBig(t *testing.T) {
+	p := New(0)
+	if _, err := p.AddItem(make([]byte, lpLenMax+1)); !errors.Is(err, ErrItemTooBig) {
+		t.Fatalf("err = %v, want ErrItemTooBig", err)
+	}
+}
+
+func TestReplaceItem(t *testing.T) {
+	p := New(0)
+	s, _ := p.AddItem([]byte("0123456789"))
+	if err := p.ReplaceItem(s, []byte("abcdefghij")); err != nil {
+		t.Fatal(err)
+	}
+	item, _ := p.Item(s)
+	if string(item) != "abcdefghij" {
+		t.Fatalf("item = %q", item)
+	}
+	if err := p.ReplaceItem(s, []byte("short")); err == nil {
+		t.Fatal("length-changing replace accepted")
+	}
+}
+
+func TestCompactReclaimsSpace(t *testing.T) {
+	p := New(32)
+	payload := make([]byte, 1000)
+	var slots []SlotNum
+	for {
+		s, err := p.AddItem(payload)
+		if err != nil {
+			break
+		}
+		slots = append(slots, s)
+	}
+	// Delete every other item; free space shouldn't grow until Compact.
+	freed := 0
+	for i := 0; i < len(slots); i += 2 {
+		if err := p.DeleteItem(slots[i]); err != nil {
+			t.Fatal(err)
+		}
+		freed += len(payload)
+	}
+	before := p.FreeSpace()
+	after := p.Compact()
+	if after < before+freed {
+		t.Fatalf("Compact freed %d, want >= %d", after-before, freed)
+	}
+	// Surviving items intact, same slots.
+	for i := 1; i < len(slots); i += 2 {
+		item, err := p.Item(slots[i])
+		if err != nil {
+			t.Fatalf("slot %d after compact: %v", slots[i], err)
+		}
+		if len(item) != len(payload) {
+			t.Fatalf("slot %d length %d", slots[i], len(item))
+		}
+	}
+	if err := p.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// Space is genuinely reusable.
+	if _, err := p.AddItem(payload); err != nil {
+		t.Fatalf("add after compact: %v", err)
+	}
+}
+
+func TestUnformattedPageRejected(t *testing.T) {
+	p := Page(make([]byte, Size))
+	if p.IsInitialized() {
+		t.Fatal("zero page claims initialized")
+	}
+	if _, err := p.AddItem([]byte("x")); !errors.Is(err, ErrUnformatted) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := p.Item(0); !errors.Is(err, ErrUnformatted) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := p.Check(); err != nil {
+		t.Fatalf("zero page should pass Check: %v", err)
+	}
+}
+
+func TestBadSlotErrors(t *testing.T) {
+	p := New(0)
+	if _, err := p.Item(0); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := p.DeleteItem(5); !errors.Is(err, ErrBadSlot) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestQuickAddDeleteModel drives a page with random add/delete/compact
+// operations against an in-memory reference model.
+func TestQuickAddDeleteModel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(16)
+		model := map[SlotNum][]byte{}
+		for op := 0; op < 300; op++ {
+			switch rng.Intn(4) {
+			case 0, 1: // add
+				data := make([]byte, 1+rng.Intn(500))
+				rng.Read(data)
+				s, err := p.AddItem(data)
+				if errors.Is(err, ErrPageFull) {
+					continue
+				}
+				if err != nil {
+					t.Logf("add: %v", err)
+					return false
+				}
+				if _, exists := model[s]; exists {
+					t.Logf("slot %d reused while live", s)
+					return false
+				}
+				model[s] = append([]byte(nil), data...)
+			case 2: // delete a random live slot
+				for s := range model {
+					if err := p.DeleteItem(s); err != nil {
+						t.Logf("delete: %v", err)
+						return false
+					}
+					delete(model, s)
+					break
+				}
+			case 3:
+				p.Compact()
+			}
+			if err := p.Check(); err != nil {
+				t.Logf("check: %v", err)
+				return false
+			}
+			for s, want := range model {
+				got, err := p.Item(s)
+				if err != nil || !bytes.Equal(got, want) {
+					t.Logf("slot %d mismatch: %v", s, err)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSNRoundTrip(t *testing.T) {
+	p := New(0)
+	p.SetLSN(0xDEADBEEFCAFE)
+	if got := p.LSN(); got != 0xDEADBEEFCAFE {
+		t.Fatalf("LSN = %#x", got)
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	p := New(0)
+	if _, err := p.AddItem([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	p.setU16(offUpper, Size) // upper beyond special
+	if err := p.Check(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

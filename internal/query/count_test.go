@@ -1,0 +1,73 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestCountAggregate(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create T (x = int4)`)
+	for i := 0; i < 7; i++ {
+		mustExec(t, e, tx, fmt.Sprintf(`append T (x = %d)`, i))
+	}
+
+	res := mustExec(t, e, tx, `retrieve (count(T.x))`)
+	if v, _ := res.First(); v.Int != 7 {
+		t.Fatalf("count = %v", v)
+	}
+	res.Close()
+
+	res = mustExec(t, e, tx, `retrieve (n = count(T.x)) where T.x >= 4`)
+	if v, _ := res.First(); v.Int != 3 {
+		t.Fatalf("qualified count = %v", v)
+	}
+	if res.Columns[0] != "n" {
+		t.Fatalf("count column = %v", res.Columns)
+	}
+	res.Close()
+
+	// Empty class counts zero.
+	mustExec(t, e, tx, `create E (y = int4)`)
+	res = mustExec(t, e, tx, `retrieve (count(E.y))`)
+	if v, ok := res.First(); !ok || v.Int != 0 {
+		t.Fatalf("empty count = %v", v)
+	}
+	res.Close()
+
+	// count over an indexed equality uses the index.
+	mustExec(t, e, tx, `define index t_x on T (T.x)`)
+	res = mustExec(t, e, tx, `retrieve (count(T.x)) where T.x = 5`)
+	if v, _ := res.First(); v.Int != 1 {
+		t.Fatalf("indexed count = %v", v)
+	}
+	if res.UsedIndex != "t_x" {
+		t.Fatalf("UsedIndex = %q", res.UsedIndex)
+	}
+	res.Close()
+
+	// Mixing count with row targets is rejected.
+	if _, err := e.Exec(tx, `retrieve (count(T.x), T.x)`); !errors.Is(err, ErrSyntax) {
+		t.Fatalf("mixed targets: %v", err)
+	}
+}
+
+func TestCountJoin(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create A (x = int4)`)
+	mustExec(t, e, tx, `create B (x = int4)`)
+	for i := 0; i < 3; i++ {
+		mustExec(t, e, tx, fmt.Sprintf(`append A (x = %d)`, i))
+		mustExec(t, e, tx, fmt.Sprintf(`append B (x = %d)`, i))
+	}
+	res := mustExec(t, e, tx, `retrieve (count(A.x)) where A.x = B.x`)
+	defer res.Close()
+	if v, _ := res.First(); v.Int != 3 {
+		t.Fatalf("join count = %v", v)
+	}
+}

@@ -1,0 +1,160 @@
+package query
+
+import (
+	"errors"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/storage"
+)
+
+func TestLiteralCasts(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create C (i = int4, b = bool, r = rect, s = text)`)
+	mustExec(t, e, tx, `append C (i = "42"::int4, b = "true"::bool, r = "1,2,3,4"::rect, s = "x"::text)`)
+	res := mustExec(t, e, tx, `retrieve (C.i, C.b, C.r, C.s)`)
+	defer res.Close()
+	row := res.Rows[0]
+	if row[0].Int != 42 || !row[1].Bool || row[2].Rect != (adt.Rect{X0: 1, Y0: 2, X1: 3, Y1: 4}) || row[3].Str != "x" {
+		t.Fatalf("row = %v", row)
+	}
+	// Bare booleans.
+	res2 := mustExec(t, e, tx, `retrieve (C.s) where C.b = true`)
+	defer res2.Close()
+	if len(res2.Rows) != 1 {
+		t.Fatalf("bool literal qual = %v", res2.Rows)
+	}
+	// Bad casts error.
+	for _, q := range []string{
+		`append C (i = "nope"::int4)`,
+		`append C (b = "maybe"::bool)`,
+		`append C (r = "1,2"::rect)`,
+		`append C (i = 1::int8)`,
+	} {
+		if _, err := e.Exec(tx, q); err == nil {
+			t.Errorf("%s accepted", q)
+		}
+	}
+	// Text value coerced into a rect column.
+	mustExec(t, e, tx, `append C (i = 1, b = false, r = "5,6,7,8", s = "y")`)
+	res3 := mustExec(t, e, tx, `retrieve (C.r) where C.i = 1`)
+	defer res3.Close()
+	if res3.Rows[0][0].Rect != (adt.Rect{X0: 5, Y0: 6, X1: 7, Y1: 8}) {
+		t.Fatalf("coerced rect = %v", res3.Rows)
+	}
+}
+
+func TestCreateClassOnNamedManager(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create M (x = int4) using mem`)
+	cls, err := e.store.Catalog().Class("M")
+	if err != nil || cls.SM != storage.Mem {
+		t.Fatalf("class = %+v, %v", cls, err)
+	}
+	if _, err := e.Exec(tx, `create W (x = int4) using floppy`); err == nil {
+		t.Fatal("unknown manager accepted")
+	}
+	// parseSM aliases.
+	for _, name := range []string{"disk", "mem", "memory", "worm", "jukebox"} {
+		if _, err := parseSM(name, storage.Disk); err != nil {
+			t.Errorf("parseSM(%q): %v", name, err)
+		}
+	}
+	if sm, err := parseSM("", storage.Worm); err != nil || sm != storage.Worm {
+		t.Errorf("default SM: %v, %v", sm, err)
+	}
+}
+
+func TestStringConcatOperator(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	reg := e.store.Registry()
+	if err := reg.DefineFunction(adt.Func{
+		Name: "concat", Arity: 2,
+		Impl: func(ctx *adt.CallContext, args []adt.Value) (adt.Value, error) {
+			return adt.Text(args[0].Str + args[1].Str), nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.DefineOperator("||", "concat"); err != nil {
+		t.Fatal(err)
+	}
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create T (a = text, b = text)`)
+	mustExec(t, e, tx, `append T (a = "foo", b = "bar")`)
+	res := mustExec(t, e, tx, `retrieve (T.a || T.b)`)
+	defer res.Close()
+	if v, _ := res.First(); v.Str != "foobar" {
+		t.Fatalf("concat = %v", v)
+	}
+}
+
+func TestRowFreeDetection(t *testing.T) {
+	cases := []struct {
+		src  string
+		free bool
+	}{
+		{`42`, true},
+		{`"x"`, true},
+		{`bound`, true},
+		{`T.col`, false},
+		{`f(1, "a")`, true},
+		{`f(T.col)`, false},
+		{`(1 = 2)`, true},
+		{`(T.a = 2)`, false},
+	}
+	for _, c := range cases {
+		e, err := parseExprString(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := exprIsRowFree(e); got != c.free {
+			t.Errorf("exprIsRowFree(%s) = %v", c.src, got)
+		}
+	}
+}
+
+func TestDeleteWithoutQualClearsClass(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create T (x = int4)`)
+	mustExec(t, e, tx, `append T (x = 1)`)
+	mustExec(t, e, tx, `append T (x = 2)`)
+	res := mustExec(t, e, tx, `delete T`)
+	if res.Rows[0][0].Int != 2 {
+		t.Fatalf("deleted = %v", res.Rows)
+	}
+	out := mustExec(t, e, tx, `retrieve (T.x)`)
+	defer out.Close()
+	if len(out.Rows) != 0 {
+		t.Fatalf("rows remain: %v", out.Rows)
+	}
+}
+
+func TestResultCloseNilSafe(t *testing.T) {
+	var r *Result
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Result{}).Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := (&Result{}).First(); ok {
+		t.Fatal("empty result has a first value")
+	}
+}
+
+func TestUnknownFunctionInQuery(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	if _, err := e.Exec(tx, `retrieve (nonesuch())`); !errors.Is(err, adt.ErrNoFunc) {
+		t.Fatalf("err = %v", err)
+	}
+}

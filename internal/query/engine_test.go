@@ -1,0 +1,428 @@
+package query
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/buffer"
+	"postlob/internal/catalog"
+	"postlob/internal/core"
+	"postlob/internal/heap"
+	"postlob/internal/storage"
+	"postlob/internal/txn"
+)
+
+func newTestEngine(t *testing.T) (*Engine, *txn.Manager) {
+	t.Helper()
+	dir := t.TempDir()
+	sw := storage.NewSwitch()
+	sw.Register(storage.Mem, storage.NewMemManager(storage.DeviceModel{}, nil))
+	disk, err := storage.NewDiskManager(filepath.Join(dir, "data"), storage.DeviceModel{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.Register(storage.Disk, disk)
+	pool := &heap.Pool{Buf: buffer.NewPool(256, sw, nil), Mgr: txn.NewManager()}
+	store := core.NewStore(pool, catalog.NewMemory(), adt.NewRegistry(), core.Config{
+		FilesDir:  filepath.Join(dir, "pfiles"),
+		DefaultSM: storage.Mem,
+	})
+	return New(store), pool.Mgr
+}
+
+func mustExec(t *testing.T, e *Engine, tx *txn.Txn, q string) *Result {
+	t.Helper()
+	res, err := e.Exec(tx, q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return res
+}
+
+func TestCreateAppendRetrieve(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create EMP (name = text, age = int4)`)
+	mustExec(t, e, tx, `append EMP (name = "Joe", age = 29)`)
+	mustExec(t, e, tx, `append EMP (name = "Mike", age = 45)`)
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	res := mustExec(t, e, tx2, `retrieve (EMP.name, EMP.age) where EMP.age > 30`)
+	defer res.Close()
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "Mike" || res.Rows[0][1].Int != 45 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	if res.Columns[0] != "name" || res.Columns[1] != "age" {
+		t.Fatalf("columns = %v", res.Columns)
+	}
+
+	all := mustExec(t, e, tx2, `retrieve (EMP.name)`)
+	defer all.Close()
+	if len(all.Rows) != 2 {
+		t.Fatalf("all rows = %v", all.Rows)
+	}
+}
+
+func TestWhereOperatorsAndBoolLogic(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create T (a = int4, b = text)`)
+	for _, q := range []string{
+		`append T (a = 1, b = "x")`,
+		`append T (a = 2, b = "y")`,
+		`append T (a = 3, b = "y")`,
+	} {
+		mustExec(t, e, tx, q)
+	}
+	cases := []struct {
+		qual string
+		want int
+	}{
+		{`T.a = 2`, 1},
+		{`T.a != 2`, 2},
+		{`T.a <= 2`, 2},
+		{`T.a >= 3`, 1},
+		{`T.a < 1`, 0},
+		{`T.b = "y" and T.a > 2`, 1},
+		{`T.a = 1 or T.b = "y"`, 3},
+	}
+	for _, c := range cases {
+		res := mustExec(t, e, tx, `retrieve (T.a) where `+c.qual)
+		if len(res.Rows) != c.want {
+			t.Fatalf("%s: %d rows, want %d", c.qual, len(res.Rows), c.want)
+		}
+		res.Close()
+	}
+	tx.Commit()
+}
+
+func TestDeleteAndReplace(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create T (a = int4)`)
+	mustExec(t, e, tx, `append T (a = 1)`)
+	mustExec(t, e, tx, `append T (a = 2)`)
+	mustExec(t, e, tx, `append T (a = 3)`)
+
+	res := mustExec(t, e, tx, `delete T where T.a = 2`)
+	if res.Rows[0][0].Int != 1 {
+		t.Fatalf("deleted = %v", res.Rows)
+	}
+	res = mustExec(t, e, tx, `replace T (a = 30) where T.a = 3`)
+	if res.Rows[0][0].Int != 1 {
+		t.Fatalf("replaced = %v", res.Rows)
+	}
+	out := mustExec(t, e, tx, `retrieve (T.a)`)
+	defer out.Close()
+	vals := map[int64]bool{}
+	for _, r := range out.Rows {
+		vals[r[0].Int] = true
+	}
+	if len(vals) != 2 || !vals[1] || !vals[30] {
+		t.Fatalf("final = %v", out.Rows)
+	}
+	tx.Commit()
+}
+
+func TestUFilePaperExample(t *testing.T) {
+	// append EMP (name = "Joe", picture = "/usr/joe") — a path literal into
+	// a u-file typed column creates the large object.
+	e, mgr := newTestEngine(t)
+	dir := t.TempDir()
+	pic := filepath.Join(dir, "joe.img")
+
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create large type image (input = none, output = none, storage = u-file)`)
+	mustExec(t, e, tx, `create EMP (name = text, picture = image)`)
+	mustExec(t, e, tx, `append EMP (name = "Joe", picture = "`+pic+`")`)
+	tx.Commit()
+
+	// The query returns a large object name; open it and write bytes.
+	tx2 := mgr.Begin()
+	res := mustExec(t, e, tx2, `retrieve (EMP.picture) where EMP.name = "Joe"`)
+	v, ok := res.First()
+	if !ok || v.Kind != adt.KindObject {
+		t.Fatalf("picture = %v", v)
+	}
+	obj, err := e.store.Open(tx2, v.Obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obj.Write([]byte("JPEG...")); err != nil {
+		t.Fatal(err)
+	}
+	obj.Close()
+	res.Close()
+	tx2.Commit()
+
+	// Bytes landed in the user's file.
+	tx3 := mgr.Begin()
+	defer tx3.Abort()
+	res2 := mustExec(t, e, tx3, `retrieve (lobj_read(EMP.picture, 0, 4)) where EMP.name = "Joe"`)
+	defer res2.Close()
+	if v, _ := res2.First(); v.Str != "JPEG" {
+		t.Fatalf("lobj_read = %v", v)
+	}
+}
+
+func TestPFileNewfilenameIdiom(t *testing.T) {
+	// retrieve (result = newfilename())
+	// append EMP (name = "Joe", picture = result)
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create large type picfile (input = none, output = none, storage = p-file)`)
+	mustExec(t, e, tx, `create EMP (name = text, picture = picfile)`)
+	res := mustExec(t, e, tx, `retrieve (result = newfilename())`)
+	v, ok := res.First()
+	if !ok || v.Kind != adt.KindText || v.Str == "" {
+		t.Fatalf("newfilename = %v", v)
+	}
+	res.Close()
+	mustExec(t, e, tx, `append EMP (name = "Joe", picture = result)`)
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	out := mustExec(t, e, tx2, `retrieve (EMP.picture) where EMP.name = "Joe"`)
+	defer out.Close()
+	pv, _ := out.First()
+	if pv.Kind != adt.KindObject {
+		t.Fatalf("picture = %v", pv)
+	}
+	meta, err := e.store.Catalog().Object(catalog.OID(pv.Obj.OID))
+	if err != nil || meta.Path != v.Str {
+		t.Fatalf("p-file path = %q, want %q (%v)", meta.Path, v.Str, err)
+	}
+}
+
+func TestClipFunctionWithTempObjects(t *testing.T) {
+	// The paper's §5 example: clip(EMP.picture, "0,0,20,20"::rect) returns
+	// a temporary large object that is GCed when the query closes.
+	e, mgr := newTestEngine(t)
+	reg := e.store.Registry()
+
+	// A toy 1-byte-per-pixel row-major "image" format, 100x100.
+	const width = 100
+	err := reg.DefineFunction(adt.Func{
+		Name: "clip", Arity: 2,
+		ArgKinds: []adt.ValueKind{adt.KindObject, adt.KindRect},
+		Impl: func(ctx *adt.CallContext, args []adt.Value) (adt.Value, error) {
+			src, err := ctx.Store.OpenObject(args[0].Obj)
+			if err != nil {
+				return adt.Null(), err
+			}
+			defer src.Close()
+			r := args[1].Rect
+			ref, dst, err := ctx.Store.CreateTemp("")
+			if err != nil {
+				return adt.Null(), err
+			}
+			defer dst.Close()
+			row := make([]byte, r.X1-r.X0)
+			for y := r.Y0; y < r.Y1; y++ {
+				if _, err := src.Seek(y*width+r.X0, io.SeekStart); err != nil {
+					return adt.Null(), err
+				}
+				if _, err := io.ReadFull(src, row); err != nil {
+					return adt.Null(), err
+				}
+				if _, err := dst.Write(row); err != nil {
+					return adt.Null(), err
+				}
+			}
+			return adt.Object(ref), nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create large type image (input = fast, output = fast, storage = f-chunk)`)
+	mustExec(t, e, tx, `create EMP (name = text, picture = image)`)
+	// Build Mike's picture: pixel (x,y) = byte (x+y) % 251.
+	ref, obj, err := e.store.Create(tx, core.CreateOptions{TypeName: "image"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := make([]byte, width*width)
+	for y := 0; y < width; y++ {
+		for x := 0; x < width; x++ {
+			img[y*width+x] = byte((x + y) % 251)
+		}
+	}
+	obj.Write(img)
+	obj.Close()
+	e.Let("mikespic", adt.Object(ref))
+	mustExec(t, e, tx, `append EMP (name = "Mike", picture = mikespic)`)
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	res := mustExec(t, e, tx2, `retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike"`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	clipRef := res.Rows[0][0]
+	if clipRef.Kind != adt.KindObject {
+		t.Fatalf("clip result = %v", clipRef)
+	}
+	// The temp is readable while the result is open.
+	tmp, err := e.store.Open(tx2, clipRef.Obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clipped, _ := io.ReadAll(tmp)
+	tmp.Close()
+	if len(clipped) != 400 {
+		t.Fatalf("clip size = %d", len(clipped))
+	}
+	for y := 0; y < 20; y++ {
+		for x := 0; x < 20; x++ {
+			if clipped[y*20+x] != byte((x+y)%251) {
+				t.Fatalf("pixel (%d,%d) = %d", x, y, clipped[y*20+x])
+			}
+		}
+	}
+	// Closing the result garbage-collects the temporary (§5).
+	if err := res.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tx2.Commit()
+	tx3 := mgr.Begin()
+	defer tx3.Abort()
+	if _, err := e.store.Open(tx3, clipRef.Obj); !errors.Is(err, catalog.ErrNoObject) {
+		t.Fatalf("temp survived result close: %v", err)
+	}
+}
+
+func TestTempEscapesIntoClassIsKept(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create DOCS (name = text, body = large-object)`)
+	res := mustExec(t, e, tx, `retrieve (doc = newlobj(""))`)
+	v, _ := res.First()
+	if v.Kind != adt.KindObject {
+		t.Fatalf("newlobj = %v", v)
+	}
+	mustExec(t, e, tx, `append DOCS (name = "d", body = doc)`)
+	res.Close() // would GC the temp if it had not escaped
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	out := mustExec(t, e, tx2, `retrieve (DOCS.body) where DOCS.name = "d"`)
+	defer out.Close()
+	bv, _ := out.First()
+	if _, err := e.store.Open(tx2, bv.Obj); err != nil {
+		t.Fatalf("escaped temp was collected: %v", err)
+	}
+}
+
+func TestLobjWriteAndSizeBuiltins(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create B (body = large-object)`)
+	mustExec(t, e, tx, `retrieve (doc = newlobj(""))`)
+	mustExec(t, e, tx, `append B (body = doc)`)
+	res := mustExec(t, e, tx, `retrieve (n = lobj_write(B.body, 0, "hello world"))`)
+	if v, _ := res.First(); v.Int != 11 {
+		t.Fatalf("written = %v", v)
+	}
+	res.Close()
+	sz := mustExec(t, e, tx, `retrieve (lobj_size(B.body))`)
+	if v, _ := sz.First(); v.Int != 11 {
+		t.Fatalf("size = %v", v)
+	}
+	sz.Close()
+	rd := mustExec(t, e, tx, `retrieve (lobj_read(B.body, 6, 5))`)
+	if v, _ := rd.First(); v.Str != "world" {
+		t.Fatalf("read = %v", v)
+	}
+	rd.Close()
+	tx.Commit()
+}
+
+func TestErrors(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create A (x = int4)`)
+	mustExec(t, e, tx, `create B (y = int4)`)
+	mustExec(t, e, tx, `append A (x = 1)`)
+
+	cases := []struct {
+		q    string
+		want error
+	}{
+		{`retrieve (A.nope)`, ErrUnknownCol},
+		{`append A (nope = 1)`, ErrUnknownCol},
+		{`append A (x = "text")`, ErrTypeMismatch},
+		{`retrieve (A.x) where A.x`, ErrNotBool},
+		{`retrieve (unbound_var)`, ErrUnbound},
+		{`frobnicate A`, ErrSyntax},
+		{`retrieve (A.x`, ErrSyntax},
+		{`append MISSING (x = 1)`, catalog.ErrNoClass},
+		{`create A (x = int4)`, catalog.ErrClassExists},
+	}
+	for _, c := range cases {
+		_, err := e.Exec(tx, c.q)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.q, err, c.want)
+		}
+	}
+	// Unknown column type.
+	if _, err := e.Exec(tx, `create C (z = blob)`); err == nil || !strings.Contains(err.Error(), "unknown column type") {
+		t.Errorf("bad type: %v", err)
+	}
+	// Mismatched conversions.
+	if _, err := e.Exec(tx, `create large type t1 (input = fast, output = tight, storage = f-chunk)`); !errors.Is(err, adt.ErrCodecMismatch) {
+		t.Errorf("codec mismatch: %v", err)
+	}
+}
+
+func TestRetrieveSnapshotConsistency(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create T (a = int4)`)
+	mustExec(t, e, tx, `append T (a = 1)`)
+	tx.Commit()
+
+	reader := mgr.Begin()
+	defer reader.Abort()
+	writer := mgr.Begin()
+	mustExec(t, e, writer, `append T (a = 2)`)
+	writer.Commit()
+
+	res := mustExec(t, e, reader, `retrieve (T.a)`)
+	defer res.Close()
+	if len(res.Rows) != 1 {
+		t.Fatalf("snapshot sees %d rows, want 1", len(res.Rows))
+	}
+}
+
+func TestQueryInversionMetadata(t *testing.T) {
+	// §8: query-language searches on the DIRECTORY class. Use the engine
+	// over a store that also hosts an Inversion FS.
+	e, mgr := newTestEngine(t)
+	// Minimal stand-in for the FS: a DIRECTORY class with paper schema.
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create DIRECTORY (file-name = text, file-id = int4, parent-file-id = int4)`)
+	mustExec(t, e, tx, `append DIRECTORY (file-name = "notes.txt", file-id = 10, parent-file-id = 1)`)
+	mustExec(t, e, tx, `append DIRECTORY (file-name = "pics", file-id = 11, parent-file-id = 1)`)
+	mustExec(t, e, tx, `append DIRECTORY (file-name = "me.img", file-id = 12, parent-file-id = 11)`)
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	res := mustExec(t, e, tx2, `retrieve (DIRECTORY.file-name) where DIRECTORY.parent-file-id = 1`)
+	defer res.Close()
+	if len(res.Rows) != 2 {
+		t.Fatalf("children of root = %v", res.Rows)
+	}
+}

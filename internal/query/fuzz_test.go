@@ -1,0 +1,20 @@
+package query
+
+import "testing"
+
+// FuzzParseNeverPanics: arbitrary statement text must produce a statement
+// or an error, never a panic.
+func FuzzParseNeverPanics(f *testing.F) {
+	f.Add(`retrieve (EMP.name) where EMP.age = 1`)
+	f.Add(`create large type t (input = fast, output = fast, storage = f-chunk)`)
+	f.Add(`append T (x = "unterminated`)
+	f.Add(`define index i on T (f(T.x))`)
+	f.Add(`retrieve (((((`)
+	f.Add(`:: :: ::`)
+	f.Fuzz(func(t *testing.T, src string) {
+		st, err := parse(src)
+		if err == nil && st == nil {
+			t.Fatal("nil statement without error")
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"postlob/internal/adt"
+)
+
+func TestDefineIndexAndProbe(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create EMP (name = text, age = int4)`)
+	for i := 0; i < 50; i++ {
+		mustExec(t, e, tx, fmt.Sprintf(`append EMP (name = "emp%02d", age = %d)`, i, 20+i%10))
+	}
+	res := mustExec(t, e, tx, `define index emp_age on EMP (EMP.age)`)
+	if v, _ := res.First(); v.Int != 50 {
+		t.Fatalf("indexed = %v", v)
+	}
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	out := mustExec(t, e, tx2, `retrieve (EMP.name) where EMP.age = 25`)
+	defer out.Close()
+	if out.UsedIndex != "emp_age" {
+		t.Fatalf("UsedIndex = %q", out.UsedIndex)
+	}
+	if len(out.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(out.Rows))
+	}
+	// Results identical to a full scan.
+	scan := mustExec(t, e, tx2, `retrieve (EMP.name) where EMP.age >= 25 and EMP.age <= 25`)
+	defer scan.Close()
+	if scan.UsedIndex != "" {
+		t.Fatalf("range qual unexpectedly used index %q", scan.UsedIndex)
+	}
+	if len(scan.Rows) != len(out.Rows) {
+		t.Fatalf("index %d rows vs scan %d rows", len(out.Rows), len(scan.Rows))
+	}
+}
+
+func TestTextIndexWithCollisionVerify(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create T (k = text, v = int4)`)
+	mustExec(t, e, tx, `append T (k = "alpha", v = 1)`)
+	mustExec(t, e, tx, `append T (k = "beta", v = 2)`)
+	mustExec(t, e, tx, `define index t_k on T (T.k)`)
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	out := mustExec(t, e, tx2, `retrieve (T.v) where T.k = "beta"`)
+	defer out.Close()
+	if out.UsedIndex != "t_k" || len(out.Rows) != 1 || out.Rows[0][0].Int != 2 {
+		t.Fatalf("out = %+v (index %q)", out.Rows, out.UsedIndex)
+	}
+	miss := mustExec(t, e, tx2, `retrieve (T.v) where T.k = "gamma"`)
+	defer miss.Close()
+	if len(miss.Rows) != 0 {
+		t.Fatalf("miss rows = %v", miss.Rows)
+	}
+}
+
+func TestIndexMaintainedAcrossMutations(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create T (k = int4)`)
+	mustExec(t, e, tx, `define index t_k on T (T.k)`)
+	mustExec(t, e, tx, `append T (k = 1)`)
+	mustExec(t, e, tx, `append T (k = 2)`)
+	mustExec(t, e, tx, `replace T (k = 20) where T.k = 2`)
+	mustExec(t, e, tx, `delete T where T.k = 1`)
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	// Old value gone (stale entries filtered by visibility).
+	gone := mustExec(t, e, tx2, `retrieve (T.k) where T.k = 2`)
+	defer gone.Close()
+	if gone.UsedIndex != "t_k" || len(gone.Rows) != 0 {
+		t.Fatalf("old value: %v via %q", gone.Rows, gone.UsedIndex)
+	}
+	del := mustExec(t, e, tx2, `retrieve (T.k) where T.k = 1`)
+	defer del.Close()
+	if len(del.Rows) != 0 {
+		t.Fatalf("deleted value: %v", del.Rows)
+	}
+	cur := mustExec(t, e, tx2, `retrieve (T.k) where T.k = 20`)
+	defer cur.Close()
+	if cur.UsedIndex != "t_k" || len(cur.Rows) != 1 {
+		t.Fatalf("new value: %v via %q", cur.Rows, cur.UsedIndex)
+	}
+}
+
+func TestFunctionIndexOnLargeObjects(t *testing.T) {
+	// The §3 headline: index the result of a function invoked on a BLOB.
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create large type blob (input = none, output = none, storage = f-chunk)`)
+	mustExec(t, e, tx, `create DOCS (name = text, body = blob)`)
+	for i, size := range []int{100, 2500, 2500, 9000} {
+		mustExec(t, e, tx, `retrieve (doc = newlobj("blob"))`)
+		res := mustExec(t, e, tx, fmt.Sprintf(`append DOCS (name = "d%d", body = doc)`, i))
+		res.Close()
+		// Fill the object to its size.
+		out := mustExec(t, e, tx, fmt.Sprintf(`retrieve (DOCS.body) where DOCS.name = "d%d"`, i))
+		v, _ := out.First()
+		obj, err := e.store.Open(tx, v.Obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj.Write(make([]byte, size))
+		obj.Close()
+		out.Close()
+	}
+	res := mustExec(t, e, tx, `define index doc_size on DOCS (lobj_size(DOCS.body))`)
+	if v, _ := res.First(); v.Int != 4 {
+		t.Fatalf("indexed = %v", v)
+	}
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	out := mustExec(t, e, tx2, `retrieve (DOCS.name) where lobj_size(DOCS.body) = 2500`)
+	defer out.Close()
+	if out.UsedIndex != "doc_size" {
+		t.Fatalf("UsedIndex = %q", out.UsedIndex)
+	}
+	if len(out.Rows) != 2 {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+}
+
+func TestIndexProbeWithConjunct(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create T (a = int4, b = text)`)
+	mustExec(t, e, tx, `define index t_a on T (T.a)`)
+	mustExec(t, e, tx, `append T (a = 1, b = "x")`)
+	mustExec(t, e, tx, `append T (a = 1, b = "y")`)
+	mustExec(t, e, tx, `append T (a = 2, b = "y")`)
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	out := mustExec(t, e, tx2, `retrieve (T.b) where T.a = 1 and T.b = "y"`)
+	defer out.Close()
+	if out.UsedIndex != "t_a" || len(out.Rows) != 1 || out.Rows[0][0].Str != "y" {
+		t.Fatalf("out = %v via %q", out.Rows, out.UsedIndex)
+	}
+	// Reversed equality sides also match.
+	rev := mustExec(t, e, tx2, `retrieve (T.b) where 2 = T.a`)
+	defer rev.Close()
+	if rev.UsedIndex != "t_a" || len(rev.Rows) != 1 {
+		t.Fatalf("rev = %v via %q", rev.Rows, rev.UsedIndex)
+	}
+}
+
+func TestDefineIndexErrors(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create A (x = int4)`)
+	mustExec(t, e, tx, `create B (y = int4)`)
+	if _, err := e.Exec(tx, `define index i on A (A.nope)`); !errors.Is(err, ErrUnknownCol) {
+		t.Fatalf("bad column: %v", err)
+	}
+	if _, err := e.Exec(tx, `define index i on A (B.y)`); !errors.Is(err, ErrMultiClass) {
+		t.Fatalf("cross class: %v", err)
+	}
+	mustExec(t, e, tx, `define index i on A (A.x)`)
+	if _, err := e.Exec(tx, `define index i on A (A.x)`); err == nil {
+		t.Fatal("duplicate index name accepted")
+	}
+}
+
+func TestIndexPersistence(t *testing.T) {
+	// Index definitions live in the catalog and survive re-creation of the
+	// engine over the same store.
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create T (k = int4)`)
+	mustExec(t, e, tx, `define index t_k on T (T.k)`)
+	mustExec(t, e, tx, `append T (k = 7)`)
+	tx.Commit()
+
+	e2 := New(e.store)
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	res, err := e2.Exec(tx2, `retrieve (T.k) where T.k = 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.UsedIndex != "t_k" || len(res.Rows) != 1 {
+		t.Fatalf("res = %v via %q", res.Rows, res.UsedIndex)
+	}
+}
+
+func TestIndexKeyOrderPreservingInts(t *testing.T) {
+	vals := []int64{-1 << 62, -5, -1, 0, 1, 5, 1 << 62}
+	for i := 1; i < len(vals); i++ {
+		a := adt.Int(vals[i-1]).IndexKey()
+		b := adt.Int(vals[i]).IndexKey()
+		if a >= b {
+			t.Fatalf("IndexKey not order preserving: %d -> %d, %d -> %d", vals[i-1], a, vals[i], b)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"postlob/internal/catalog"
+)
+
+func TestSortBy(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create T (name = text, age = int4)`)
+	for _, row := range []string{
+		`append T (name = "carol", age = 35)`,
+		`append T (name = "alice", age = 41)`,
+		`append T (name = "bob", age = 29)`,
+	} {
+		mustExec(t, e, tx, row)
+	}
+
+	res := mustExec(t, e, tx, `retrieve (T.name, T.age) sort by age`)
+	if got := []int64{res.Rows[0][1].Int, res.Rows[1][1].Int, res.Rows[2][1].Int}; got[0] != 29 || got[1] != 35 || got[2] != 41 {
+		t.Fatalf("asc ages = %v", got)
+	}
+	res.Close()
+
+	res = mustExec(t, e, tx, `retrieve (T.name) sort by name desc`)
+	if res.Rows[0][0].Str != "carol" || res.Rows[2][0].Str != "alice" {
+		t.Fatalf("desc names = %v", res.Rows)
+	}
+	res.Close()
+
+	// Sorting by a non-result column errors.
+	if _, err := e.Exec(tx, `retrieve (T.name) sort by age`); !errors.Is(err, ErrUnknownCol) {
+		t.Fatalf("bad sort column: %v", err)
+	}
+	// Combined with where.
+	res = mustExec(t, e, tx, `retrieve (T.name, T.age) where T.age > 30 sort by age desc`)
+	if len(res.Rows) != 2 || res.Rows[0][1].Int != 41 {
+		t.Fatalf("qualified sorted = %v", res.Rows)
+	}
+	res.Close()
+}
+
+func TestRetrieveInto(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create EMP (name = text, age = int4)`)
+	for i := 0; i < 5; i++ {
+		mustExec(t, e, tx, fmt.Sprintf(`append EMP (name = "e%d", age = %d)`, i, 20+i*10))
+	}
+	res := mustExec(t, e, tx, `retrieve into SENIORS (EMP.name, EMP.age) where EMP.age >= 40`)
+	res.Close()
+	tx.Commit()
+
+	// The new class exists with inferred schema and the matching rows.
+	cls, err := e.store.Catalog().Class("SENIORS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls.Columns) != 2 || cls.Columns[0].Type != "text" || cls.Columns[1].Type != "int4" {
+		t.Fatalf("schema = %+v", cls.Columns)
+	}
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	out := mustExec(t, e, tx2, `retrieve (SENIORS.name) sort by name`)
+	defer out.Close()
+	if len(out.Rows) != 3 || out.Rows[0][0].Str != "e2" || out.Rows[2][0].Str != "e4" {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+	// Into an existing class name errors.
+	if _, err := e.Exec(tx2, `retrieve into SENIORS (EMP.name)`); !errors.Is(err, catalog.ErrClassExists) {
+		t.Fatalf("into existing: %v", err)
+	}
+}
+
+func TestRetrieveIntoWithObjects(t *testing.T) {
+	// Temps stored through `into` escape garbage collection.
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	res := mustExec(t, e, tx, `retrieve into HOLD (doc = newlobj(""))`)
+	v := res.Rows[0][0]
+	res.Close() // would GC the temp without the escape
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	out := mustExec(t, e, tx2, `retrieve (HOLD.doc)`)
+	defer out.Close()
+	stored, _ := out.First()
+	if stored.Obj.OID != v.Obj.OID {
+		t.Fatalf("stored = %v, want %v", stored, v)
+	}
+	if _, err := e.store.Open(tx2, stored.Obj); err != nil {
+		t.Fatalf("escaped temp collected: %v", err)
+	}
+}

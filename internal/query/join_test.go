@@ -1,0 +1,139 @@
+package query
+
+import (
+	"testing"
+)
+
+// Multi-class retrieval: nested-loop joins, as POSTQUEL supported.
+func TestJoinTwoClasses(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	mustExec(t, e, tx, `create EMP (name = text, dept = int4)`)
+	mustExec(t, e, tx, `create DEPT (id = int4, title = text)`)
+	for _, q := range []string{
+		`append EMP (name = "Joe", dept = 1)`,
+		`append EMP (name = "Sam", dept = 2)`,
+		`append EMP (name = "Ann", dept = 1)`,
+		`append DEPT (id = 1, title = "storage")`,
+		`append DEPT (id = 2, title = "optimizer")`,
+	} {
+		mustExec(t, e, tx, q)
+	}
+	tx.Commit()
+
+	tx2 := mgr.Begin()
+	defer tx2.Abort()
+	res := mustExec(t, e, tx2,
+		`retrieve (EMP.name, DEPT.title) where EMP.dept = DEPT.id and DEPT.title = "storage"`)
+	defer res.Close()
+	if len(res.Rows) != 2 {
+		t.Fatalf("join rows = %v", res.Rows)
+	}
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		if row[1].Str != "storage" {
+			t.Fatalf("wrong dept in %v", row)
+		}
+		names[row[0].Str] = true
+	}
+	if !names["Joe"] || !names["Ann"] {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestJoinCrossProductAndEmpty(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create A (x = int4)`)
+	mustExec(t, e, tx, `create B (y = int4)`)
+	mustExec(t, e, tx, `append A (x = 1)`)
+	mustExec(t, e, tx, `append A (x = 2)`)
+	mustExec(t, e, tx, `append B (y = 10)`)
+	mustExec(t, e, tx, `append B (y = 20)`)
+	mustExec(t, e, tx, `append B (y = 30)`)
+
+	// Unqualified: full cross product.
+	res := mustExec(t, e, tx, `retrieve (A.x, B.y)`)
+	if len(res.Rows) != 6 {
+		t.Fatalf("cross product = %d rows", len(res.Rows))
+	}
+	res.Close()
+
+	// Join against an empty class yields nothing.
+	mustExec(t, e, tx, `create C (z = int4)`)
+	empty := mustExec(t, e, tx, `retrieve (A.x, C.z)`)
+	defer empty.Close()
+	if len(empty.Rows) != 0 {
+		t.Fatalf("join with empty = %v", empty.Rows)
+	}
+}
+
+func TestJoinThreeClasses(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create A (x = int4)`)
+	mustExec(t, e, tx, `create B (x = int4)`)
+	mustExec(t, e, tx, `create C (x = int4)`)
+	for i := 1; i <= 3; i++ {
+		mustExec(t, e, tx, `append A (x = `+itoa(i)+`)`)
+		mustExec(t, e, tx, `append B (x = `+itoa(i)+`)`)
+		mustExec(t, e, tx, `append C (x = `+itoa(i)+`)`)
+	}
+	res := mustExec(t, e, tx, `retrieve (A.x) where A.x = B.x and B.x = C.x`)
+	defer res.Close()
+	if len(res.Rows) != 3 {
+		t.Fatalf("3-way join rows = %v", res.Rows)
+	}
+}
+
+func itoa(i int) string { return string(rune('0' + i)) }
+
+func TestJoinHistorical(t *testing.T) {
+	// asof applies to every class in the join.
+	e, mgr := newTestEngine(t)
+	tx1 := mgr.Begin()
+	mustExec(t, e, tx1, `create A (x = int4)`)
+	mustExec(t, e, tx1, `create B (x = int4)`)
+	mustExec(t, e, tx1, `append A (x = 1)`)
+	mustExec(t, e, tx1, `append B (x = 1)`)
+	ts1, _ := tx1.Commit()
+
+	tx2 := mgr.Begin()
+	mustExec(t, e, tx2, `append B (x = 1)`) // second match appears later
+	tx2.Commit()
+
+	tx := mgr.Begin()
+	defer tx.Abort()
+	old := mustExec(t, e, tx, `retrieve (A.x, B.x) asof `+itoa(int(ts1))+` where A.x = B.x`)
+	defer old.Close()
+	if len(old.Rows) != 1 {
+		t.Fatalf("historical join = %v", old.Rows)
+	}
+	cur := mustExec(t, e, tx, `retrieve (A.x, B.x) where A.x = B.x`)
+	defer cur.Close()
+	if len(cur.Rows) != 2 {
+		t.Fatalf("current join = %v", cur.Rows)
+	}
+}
+
+// Joining the paper's Inversion metadata shape: files with their stat rows.
+func TestJoinDirectoryWithFilestat(t *testing.T) {
+	e, mgr := newTestEngine(t)
+	tx := mgr.Begin()
+	defer tx.Abort()
+	mustExec(t, e, tx, `create DIR (file-name = text, file-id = int4)`)
+	mustExec(t, e, tx, `create FSTAT (file-id = int4, owner = text)`)
+	mustExec(t, e, tx, `append DIR (file-name = "a.txt", file-id = 10)`)
+	mustExec(t, e, tx, `append DIR (file-name = "b.txt", file-id = 11)`)
+	mustExec(t, e, tx, `append FSTAT (file-id = 10, owner = "mike")`)
+	mustExec(t, e, tx, `append FSTAT (file-id = 11, owner = "joe")`)
+
+	res := mustExec(t, e, tx,
+		`retrieve (DIR.file-name) where DIR.file-id = FSTAT.file-id and FSTAT.owner = "mike"`)
+	defer res.Close()
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "a.txt" {
+		t.Fatalf("metadata join = %v", res.Rows)
+	}
+}

@@ -1,0 +1,130 @@
+// Package query implements the slice of POSTQUEL the paper exercises:
+// class DDL, large-type DDL, append / retrieve / replace / delete with
+// qualifications, and user-defined function invocation — enough to run the
+// paper's examples verbatim:
+//
+//	retrieve (EMP.picture) where EMP.name = "Joe"
+//	append EMP (name = "Joe", picture = "/usr/joe")
+//	retrieve (result = newfilename())
+//	retrieve (clip(EMP.picture, "0,0,20,20"::rect)) where EMP.name = "Mike"
+//
+// Functions returning large objects allocate temporaries through the
+// executor's session, which garbage-collects them when the result is closed
+// (§5).
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // ( ) , . :: and comparison operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// lex splits a statement into tokens. Identifiers may contain '-' after the
+// first character (the paper's column names: file-id, parent-file-id), so
+// "a - b" needs spaces — consistent with POSTQUEL usage.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '"':
+			j := i + 1
+			var sb strings.Builder
+			for j < n && src[j] != '"' {
+				if src[j] == '\\' && j+1 < n {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("query: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String(), i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '-' && i+1 < n && unicode.IsDigit(rune(src[i+1])) && startsValue(toks)):
+			j := i + 1
+			for j < n && unicode.IsDigit(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < n && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '-') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j], i})
+			i = j
+		case c == ':' && i+1 < n && src[i+1] == ':':
+			toks = append(toks, token{tokPunct, "::", i})
+			i += 2
+		case strings.ContainsRune("(),.=", c):
+			toks = append(toks, token{tokPunct, string(c), i})
+			i++
+		case c == '!' || c == '<' || c == '>':
+			op := string(c)
+			if i+1 < n && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("query: stray '!' at %d", i)
+			}
+			toks = append(toks, token{tokPunct, op, i})
+			i++
+		case c == '|' && i+1 < n && src[i+1] == '|':
+			toks = append(toks, token{tokPunct, "||", i})
+			i += 2
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+// startsValue reports whether a '-' here begins a negative number literal
+// rather than a binary minus (we support no arithmetic, so any position
+// where a value may start qualifies).
+func startsValue(toks []token) bool {
+	if len(toks) == 0 {
+		return true
+	}
+	last := toks[len(toks)-1]
+	if last.kind == tokPunct && last.text != ")" {
+		return true
+	}
+	return false
+}

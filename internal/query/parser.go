@@ -1,0 +1,635 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrSyntax wraps all parse failures.
+var ErrSyntax = errors.New("query: syntax error")
+
+// --- AST ----------------------------------------------------------------------
+
+type statement interface{ stmt() }
+
+// createClassStmt: create NAME (col = type, ...)
+type createClassStmt struct {
+	name string
+	cols []colDef
+	smgr string // optional: , smgr = disk|mem|worm after cols? given via "using" clause
+}
+
+type colDef struct {
+	name string
+	typ  string
+}
+
+// createLargeTypeStmt: create large type NAME (input = f, output = f, storage = kind [, smgr = m])
+type createLargeTypeStmt struct {
+	name    string
+	input   string
+	output  string
+	storage string
+	smgr    string
+}
+
+// appendStmt: append NAME (col = expr, ...)
+type appendStmt struct {
+	class   string
+	assigns []assign
+}
+
+type assign struct {
+	col  string
+	expr expr
+}
+
+// retrieveStmt: retrieve [into CLASS] (targets) [asof TS] [where qual]
+// [sort by col [desc]]
+type retrieveStmt struct {
+	into     string // materialise results into a new class
+	targets  []target
+	asOf     int64 // 0 = current snapshot
+	qual     expr
+	sortBy   string // result column name; "" = unsorted
+	sortDesc bool
+}
+
+type target struct {
+	alias string
+	expr  expr
+}
+
+// deleteStmt: delete NAME [where qual]
+type deleteStmt struct {
+	class string
+	qual  expr
+}
+
+// replaceStmt: replace NAME (col = expr, ...) [where qual]
+type replaceStmt struct {
+	class   string
+	assigns []assign
+	qual    expr
+}
+
+// defineIndexStmt: define index NAME on CLASS (expr)
+type defineIndexStmt struct {
+	name  string
+	class string
+	expr  expr
+}
+
+func (*createClassStmt) stmt()     {}
+func (*createLargeTypeStmt) stmt() {}
+func (*appendStmt) stmt()          {}
+func (*retrieveStmt) stmt()        {}
+func (*deleteStmt) stmt()          {}
+func (*replaceStmt) stmt()         {}
+func (*defineIndexStmt) stmt()     {}
+
+// Expressions.
+
+type expr interface{ expr() }
+
+type litExpr struct {
+	text  string // raw literal text
+	isNum bool
+	cast  string // "::type", empty if none
+}
+
+type colRef struct {
+	class string
+	col   string
+}
+
+type callExpr struct {
+	fn   string
+	args []expr
+}
+
+type binExpr struct {
+	op  string // =, !=, <, <=, >, >=, ||, and, or
+	lhs expr
+	rhs expr
+}
+
+func (*litExpr) expr()  {}
+func (*colRef) expr()   {}
+func (*callExpr) expr() {}
+func (*binExpr) expr()  {}
+
+// --- parser -------------------------------------------------------------------
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func parse(src string) (statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected %s after statement", p.cur())
+	}
+	return st, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.i] }
+func (p *parser) advance()   { p.i++ }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || strings.EqualFold(t.text, text))
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	t := p.cur()
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = map[tokenKind]string{tokIdent: "identifier", tokNumber: "number", tokString: "string"}[kind]
+		}
+		return t, p.errf("expected %s, found %s", want, t)
+	}
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s (at offset %d)", ErrSyntax, fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *parser) statement() (statement, error) {
+	switch {
+	case p.accept(tokIdent, "create"):
+		if p.at(tokIdent, "large") {
+			return p.createLargeType()
+		}
+		return p.createClass()
+	case p.accept(tokIdent, "append"):
+		return p.appendStmt()
+	case p.accept(tokIdent, "retrieve"):
+		return p.retrieveStmt()
+	case p.accept(tokIdent, "delete"):
+		return p.deleteStmt()
+	case p.accept(tokIdent, "replace"):
+		return p.replaceStmt()
+	case p.accept(tokIdent, "define"):
+		return p.defineIndexStmt()
+	default:
+		return nil, p.errf("unknown statement %s", p.cur())
+	}
+}
+
+func (p *parser) defineIndexStmt() (statement, error) {
+	if _, err := p.expect(tokIdent, "index"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokIdent, "on"); err != nil {
+		return nil, err
+	}
+	class, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return &defineIndexStmt{name: name.text, class: class.text, expr: e}, nil
+}
+
+func (p *parser) createLargeType() (statement, error) {
+	p.expect(tokIdent, "large")
+	if _, err := p.expect(tokIdent, "type"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	st := &createLargeTypeStmt{name: name.text}
+	for {
+		key, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(key.text) {
+		case "input":
+			st.input = val.text
+		case "output":
+			st.output = val.text
+		case "storage":
+			st.storage = val.text
+		case "smgr":
+			st.smgr = val.text
+		default:
+			return nil, p.errf("unknown large type option %q", key.text)
+		}
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) createClass() (statement, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	st := &createClassStmt{name: name.text}
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		typ, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st.cols = append(st.cols, colDef{name: col.text, typ: typ.text})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	// Optional: using smgr
+	if p.accept(tokIdent, "using") {
+		sm, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st.smgr = sm.text
+	}
+	return st, nil
+}
+
+func (p *parser) assigns() ([]assign, error) {
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	var out []assign
+	for {
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, assign{col: col.text, expr: e})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *parser) appendStmt() (statement, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	as, err := p.assigns()
+	if err != nil {
+		return nil, err
+	}
+	return &appendStmt{class: name.text, assigns: as}, nil
+}
+
+func (p *parser) retrieveStmt() (statement, error) {
+	st := &retrieveStmt{}
+	if p.accept(tokIdent, "into") {
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st.into = name.text
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	for {
+		// alias = expr | expr
+		var alias string
+		if p.cur().kind == tokIdent && p.toks[p.i+1].kind == tokPunct && p.toks[p.i+1].text == "=" {
+			alias = p.cur().text
+			p.advance()
+			p.advance()
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.targets = append(st.targets, target{alias: alias, expr: e})
+		if p.accept(tokPunct, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	// The paper's POSTQUEL supports time-qualified classes (EMP[T]); we
+	// spell it "asof <ts>" applying to the whole retrieve.
+	if p.accept(tokIdent, "asof") {
+		ts, err := p.expect(tokNumber, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := parseIntLit(ts.text)
+		if err != nil || n <= 0 {
+			return nil, p.errf("bad asof timestamp %q", ts.text)
+		}
+		st.asOf = n
+	}
+	if p.accept(tokIdent, "where") {
+		q, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.qual = q
+	}
+	if p.accept(tokIdent, "sort") {
+		if _, err := p.expect(tokIdent, "by"); err != nil {
+			return nil, err
+		}
+		col, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		st.sortBy = col.text
+		if p.accept(tokIdent, "desc") {
+			st.sortDesc = true
+		} else {
+			p.accept(tokIdent, "asc")
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) deleteStmt() (statement, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	st := &deleteStmt{class: name.text}
+	if p.accept(tokIdent, "where") {
+		q, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.qual = q
+	}
+	return st, nil
+}
+
+func (p *parser) replaceStmt() (statement, error) {
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	as, err := p.assigns()
+	if err != nil {
+		return nil, err
+	}
+	st := &replaceStmt{class: name.text, assigns: as}
+	if p.accept(tokIdent, "where") {
+		q, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		st.qual = q
+	}
+	return st, nil
+}
+
+// expr := andor
+// andor := cmp (('and'|'or') cmp)*
+// cmp := primary (op primary)?
+func (p *parser) expr() (expr, error) {
+	lhs, err := p.cmp()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.accept(tokIdent, "and"):
+			op = "and"
+		case p.accept(tokIdent, "or"):
+			op = "or"
+		default:
+			return lhs, nil
+		}
+		rhs, err := p.cmp()
+		if err != nil {
+			return nil, err
+		}
+		lhs = &binExpr{op: op, lhs: lhs, rhs: rhs}
+	}
+}
+
+func (p *parser) cmp() (expr, error) {
+	lhs, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "!=", "<", "<=", ">", ">=", "||":
+			p.advance()
+			rhs, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			return &binExpr{op: t.text, lhs: lhs, rhs: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *parser) primary() (expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return p.maybeCast(&litExpr{text: t.text, isNum: true})
+	case t.kind == tokString:
+		p.advance()
+		return p.maybeCast(&litExpr{text: t.text})
+	case p.accept(tokPunct, "("):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.advance()
+		// IDENT '(' args ')' — function call
+		if p.accept(tokPunct, "(") {
+			call := &callExpr{fn: t.text}
+			if !p.accept(tokPunct, ")") {
+				for {
+					arg, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.args = append(call.args, arg)
+					if p.accept(tokPunct, ",") {
+						continue
+					}
+					break
+				}
+				if _, err := p.expect(tokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		// IDENT '.' IDENT — column reference
+		if p.accept(tokPunct, ".") {
+			col, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			return &colRef{class: t.text, col: col.text}, nil
+		}
+		// Bare identifier: treat booleans specially, otherwise it is a
+		// free variable bound by the executor (e.g. a prior result).
+		if strings.EqualFold(t.text, "true") || strings.EqualFold(t.text, "false") {
+			return &litExpr{text: strings.ToLower(t.text)}, nil
+		}
+		return &colRef{col: t.text}, nil
+	default:
+		return nil, p.errf("expected expression, found %s", t)
+	}
+}
+
+func (p *parser) maybeCast(l *litExpr) (expr, error) {
+	if p.accept(tokPunct, "::") {
+		typ, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		l.cast = typ.text
+	}
+	return l, nil
+}
+
+// parseIntLit is shared by the executor.
+func parseIntLit(s string) (int64, error) {
+	return strconv.ParseInt(s, 10, 64)
+}
+
+// canonicalExpr renders an expression in a normal form used to match index
+// definitions against qualifications.
+func canonicalExpr(x expr) string {
+	switch x := x.(type) {
+	case *litExpr:
+		s := strconv.Quote(x.text)
+		if x.isNum {
+			s = x.text
+		}
+		if x.cast != "" {
+			s += "::" + strings.ToLower(x.cast)
+		}
+		return s
+	case *colRef:
+		if x.class == "" {
+			return x.col
+		}
+		return strings.ToUpper(x.class) + "." + x.col
+	case *callExpr:
+		args := make([]string, len(x.args))
+		for i, a := range x.args {
+			args[i] = canonicalExpr(a)
+		}
+		return strings.ToLower(x.fn) + "(" + strings.Join(args, ",") + ")"
+	case *binExpr:
+		return "(" + canonicalExpr(x.lhs) + " " + x.op + " " + canonicalExpr(x.rhs) + ")"
+	default:
+		return "?"
+	}
+}
+
+// parseExprString parses a stored index expression back into an AST.
+func parseExprString(s string) (expr, error) {
+	toks, err := lex(s)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing tokens in expression %q", s)
+	}
+	return e, nil
+}

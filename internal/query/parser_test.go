@@ -1,0 +1,209 @@
+package query
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex(`retrieve (EMP.name, clip(EMP.picture, "0,0,20,20"::rect)) where EMP.age >= -5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []tokenKind
+	for _, tk := range toks {
+		kinds = append(kinds, tk.kind)
+	}
+	if toks[len(toks)-1].kind != tokEOF {
+		t.Fatal("no EOF token")
+	}
+	// Spot checks.
+	if toks[0].text != "retrieve" || toks[0].kind != tokIdent {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.kind == tokString && tk.text == "0,0,20,20" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("string literal not lexed")
+	}
+}
+
+func TestLexHyphenatedIdentifiers(t *testing.T) {
+	// The paper's column names: file-id, parent-file-id.
+	toks, err := lex(`retrieve (DIRECTORY.file-name) where DIRECTORY.parent-file-id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idents []string
+	for _, tk := range toks {
+		if tk.kind == tokIdent {
+			idents = append(idents, tk.text)
+		}
+	}
+	joined := strings.Join(idents, " ")
+	if !strings.Contains(joined, "file-name") || !strings.Contains(joined, "parent-file-id") {
+		t.Fatalf("idents = %v", idents)
+	}
+}
+
+func TestLexNegativeNumbers(t *testing.T) {
+	toks, err := lex(`append T (a = -42)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.kind == tokNumber && tk.text == "-42" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("negative literal not lexed: %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, bad := range []string{`"unterminated`, `a ! b`, "emoji ☃"} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseStatements(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // statement type name
+	}{
+		{`create EMP (name = text)`, "*query.createClassStmt"},
+		{`create EMP (name = text) using worm`, "*query.createClassStmt"},
+		{`create large type image (input = fast, output = fast, storage = f-chunk)`, "*query.createLargeTypeStmt"},
+		{`append EMP (name = "Joe")`, "*query.appendStmt"},
+		{`retrieve (EMP.name) where EMP.age = 1`, "*query.retrieveStmt"},
+		{`retrieve (result = newfilename())`, "*query.retrieveStmt"},
+		{`delete EMP where EMP.name = "Joe"`, "*query.deleteStmt"},
+		{`replace EMP (name = "Mo") where EMP.name = "Joe"`, "*query.replaceStmt"},
+		{`define index i on EMP (lobj_size(EMP.picture))`, "*query.defineIndexStmt"},
+	}
+	for _, c := range cases {
+		st, err := parse(c.src)
+		if err != nil {
+			t.Fatalf("%s: %v", c.src, err)
+		}
+		if got := typeOf(st); got != c.want {
+			t.Fatalf("%s: parsed as %s", c.src, got)
+		}
+	}
+}
+
+func typeOf(v any) string {
+	switch v.(type) {
+	case *createClassStmt:
+		return "*query.createClassStmt"
+	case *createLargeTypeStmt:
+		return "*query.createLargeTypeStmt"
+	case *appendStmt:
+		return "*query.appendStmt"
+	case *retrieveStmt:
+		return "*query.retrieveStmt"
+	case *deleteStmt:
+		return "*query.deleteStmt"
+	case *replaceStmt:
+		return "*query.replaceStmt"
+	case *defineIndexStmt:
+		return "*query.defineIndexStmt"
+	default:
+		return "unknown"
+	}
+}
+
+func TestParseSyntaxErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`retrieve`,
+		`retrieve ()`,
+		`retrieve (A.x) where`,
+		`create`,
+		`create T ()`,
+		`create T (x = )`,
+		`append T`,
+		`append T (x)`,
+		`define index on T (x)`,
+		`retrieve (A.x) extra`,
+		`create large type t (input fast)`,
+		`create large type t (wibble = 1)`,
+	}
+	for _, src := range bad {
+		if _, err := parse(src); !errors.Is(err, ErrSyntax) {
+			t.Errorf("parse(%q) err = %v, want ErrSyntax", src, err)
+		}
+	}
+}
+
+func TestCanonicalExprStability(t *testing.T) {
+	cases := []struct {
+		a, b string
+	}{
+		{`retrieve (x) where EMP.age = 5`, `retrieve (x) where emp.age = 5`},
+		{`retrieve (x) where lobj_size(D.body) = 1`, `retrieve (x) where LOBJ_SIZE(D.body) = 1`},
+	}
+	for _, c := range cases {
+		sa, err := parse(c.a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, err := parse(c.b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qa := canonicalExpr(sa.(*retrieveStmt).qual)
+		qb := canonicalExpr(sb.(*retrieveStmt).qual)
+		if qa != qb {
+			t.Fatalf("canonical mismatch: %q vs %q", qa, qb)
+		}
+	}
+}
+
+func TestCanonicalExprRoundTrip(t *testing.T) {
+	exprs := []string{
+		`EMP.age`,
+		`lobj_size(DOCS.body)`,
+		`clip(EMP.picture, "0,0,20,20"::rect)`,
+		`42`,
+		`"joe"`,
+	}
+	for _, src := range exprs {
+		e, err := parseExprString(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		canon := canonicalExpr(e)
+		e2, err := parseExprString(canon)
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", canon, err)
+		}
+		if canonicalExpr(e2) != canon {
+			t.Fatalf("canonical not a fixpoint: %q -> %q", canon, canonicalExpr(e2))
+		}
+	}
+}
+
+func TestOperatorPrecedenceAndOr(t *testing.T) {
+	st, err := parse(`retrieve (T.a) where T.a = 1 and T.b = 2 or T.c = 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := st.(*retrieveStmt).qual.(*binExpr)
+	// Left-associative chain: ((a=1 and b=2) or c=3).
+	if q.op != "or" {
+		t.Fatalf("top op = %s", q.op)
+	}
+	if l := q.lhs.(*binExpr); l.op != "and" {
+		t.Fatalf("left op = %s", l.op)
+	}
+}

@@ -1,0 +1,320 @@
+// Package server exposes a database over a stream connection: POSTQUEL
+// execution plus file-oriented large-object access, with raw (compressed)
+// reads so geographically remote clients pay network transfer only for
+// stored bytes (paper §3).
+//
+// Each connection owns at most one transaction at a time and a table of
+// open large-object handles; a dropped connection aborts its transaction
+// and closes its handles.
+package server
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"postlob/internal/adt"
+	"postlob/internal/core"
+	"postlob/internal/query"
+	"postlob/internal/txn"
+	"postlob/internal/wire"
+)
+
+// Server accepts connections and serves the protocol.
+type Server struct {
+	store  *core.Store
+	engine *query.Engine
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	conns    map[net.Conn]bool
+	wg       sync.WaitGroup
+}
+
+// New creates a server over a store; queries run through a dedicated
+// engine sharing the store's catalog and registry.
+func New(store *core.Store) *Server {
+	return &Server{
+		store:  store,
+		engine: query.New(store),
+		conns:  make(map[net.Conn]bool),
+	}
+}
+
+// Serve accepts connections on l until Close. It returns after the
+// listener fails or is closed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: closed")
+	}
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and tears down live connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	l := s.listener
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// session is one connection's state.
+type session struct {
+	srv     *Server
+	tx      *txn.Txn
+	handles map[int]core.Object
+	results []*query.Result // kept open until end of txn (temp lifetimes)
+	nextID  int
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	sess := &session{srv: s, handles: make(map[int]core.Object), nextID: 1}
+	defer sess.cleanup()
+
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken connection
+		}
+		resp := sess.dispatch(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// cleanup aborts any open transaction and releases handles.
+func (sess *session) cleanup() {
+	for _, obj := range sess.handles {
+		obj.Close()
+	}
+	sess.handles = map[int]core.Object{}
+	for _, res := range sess.results {
+		res.Close()
+	}
+	sess.results = nil
+	if sess.tx != nil && !sess.tx.Done() {
+		sess.tx.Abort()
+	}
+	sess.tx = nil
+}
+
+func fail(format string, args ...any) *wire.Response {
+	return &wire.Response{Err: fmt.Sprintf(format, args...)}
+}
+
+func (sess *session) dispatch(req *wire.Request) *wire.Response {
+	switch req.Op {
+	case wire.OpBegin:
+		if sess.tx != nil && !sess.tx.Done() {
+			return fail("transaction already open")
+		}
+		sess.tx = sess.srv.store.Pool().Mgr.Begin()
+		return &wire.Response{}
+	case wire.OpCommit:
+		if sess.tx == nil || sess.tx.Done() {
+			return fail("no open transaction")
+		}
+		sess.closeHandles()
+		ts, err := sess.tx.Commit()
+		sess.finishResults()
+		sess.tx = nil
+		if err != nil {
+			return fail("commit: %v", err)
+		}
+		return &wire.Response{TS: ts}
+	case wire.OpAbort:
+		if sess.tx == nil || sess.tx.Done() {
+			return fail("no open transaction")
+		}
+		sess.closeHandles()
+		err := sess.tx.Abort()
+		sess.finishResults()
+		sess.tx = nil
+		if err != nil {
+			return fail("abort: %v", err)
+		}
+		return &wire.Response{}
+	case wire.OpNow:
+		return &wire.Response{TS: sess.srv.store.Pool().Mgr.Now()}
+	case wire.OpExec:
+		return sess.exec(req)
+	case wire.OpOpen:
+		return sess.open(req)
+	case wire.OpRead, wire.OpRaw, wire.OpWrite, wire.OpSize, wire.OpClose:
+		return sess.objectOp(req)
+	default:
+		return fail("unknown op %q", req.Op)
+	}
+}
+
+func (sess *session) closeHandles() {
+	for id, obj := range sess.handles {
+		obj.Close()
+		delete(sess.handles, id)
+	}
+}
+
+func (sess *session) finishResults() {
+	for _, res := range sess.results {
+		res.Close()
+	}
+	sess.results = nil
+}
+
+// needTx returns the current transaction, or an auto-abort error.
+func (sess *session) needTx() (*txn.Txn, *wire.Response) {
+	if sess.tx == nil || sess.tx.Done() {
+		return nil, fail("no open transaction (send begin first)")
+	}
+	return sess.tx, nil
+}
+
+func (sess *session) exec(req *wire.Request) *wire.Response {
+	tx, errResp := sess.needTx()
+	if errResp != nil {
+		return errResp
+	}
+	res, err := sess.srv.engine.Exec(tx, req.Query)
+	if err != nil {
+		return fail("%v", err)
+	}
+	// Keep the result (and its temporaries) alive until the transaction
+	// ends, so the client can open returned object names.
+	sess.results = append(sess.results, res)
+	return &wire.Response{Columns: res.Columns, Rows: res.Rows, UsedIndex: res.UsedIndex}
+}
+
+func (sess *session) open(req *wire.Request) *wire.Response {
+	var obj core.Object
+	var err error
+	if req.AsOf != txn.InvalidTS {
+		obj, err = sess.srv.store.OpenAsOf(req.AsOf, req.Ref)
+	} else {
+		tx, errResp := sess.needTx()
+		if errResp != nil {
+			return errResp
+		}
+		obj, err = sess.srv.store.Open(tx, req.Ref)
+	}
+	if err != nil {
+		return fail("open: %v", err)
+	}
+	id := sess.nextID
+	sess.nextID++
+	sess.handles[id] = obj
+	return &wire.Response{Handle: id}
+}
+
+func (sess *session) objectOp(req *wire.Request) *wire.Response {
+	obj, ok := sess.handles[req.Handle]
+	if !ok {
+		return fail("bad handle %d", req.Handle)
+	}
+	switch req.Op {
+	case wire.OpSize:
+		n, err := obj.Size()
+		if err != nil {
+			return fail("size: %v", err)
+		}
+		return &wire.Response{Size: n}
+	case wire.OpClose:
+		delete(sess.handles, req.Handle)
+		if err := obj.Close(); err != nil {
+			return fail("close: %v", err)
+		}
+		return &wire.Response{}
+	case wire.OpRead:
+		if _, err := obj.Seek(req.Offset, io.SeekStart); err != nil {
+			return fail("seek: %v", err)
+		}
+		buf := make([]byte, req.N)
+		n, err := io.ReadFull(obj, buf)
+		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+			return fail("read: %v", err)
+		}
+		return &wire.Response{Data: buf[:n], N: int64(n)}
+	case wire.OpWrite:
+		if _, err := obj.Seek(req.Offset, io.SeekStart); err != nil {
+			return fail("seek: %v", err)
+		}
+		n, err := obj.Write(req.Data)
+		if err != nil {
+			return fail("write: %v", err)
+		}
+		return &wire.Response{N: int64(n)}
+	case wire.OpRaw:
+		tx, errResp := sess.needTx()
+		if errResp != nil {
+			return errResp
+		}
+		extents, err := sess.srv.store.ReadRaw(tx, refOf(obj, req), req.Offset, req.N)
+		if err != nil {
+			return fail("readraw: %v", err)
+		}
+		size, err := obj.Size()
+		if err != nil {
+			return fail("size: %v", err)
+		}
+		out := make([]wire.RawExtent, len(extents))
+		for i, e := range extents {
+			out[i] = wire.RawExtent{LogStart: e.LogStart, Skip: e.Skip, Take: e.Take, Encoded: e.Encoded}
+		}
+		return &wire.Response{Extents: out, Size: size}
+	default:
+		return fail("unknown object op %q", req.Op)
+	}
+}
+
+// refOf resolves the object reference for a raw read: the handle's own ref
+// unless the request names one explicitly.
+func refOf(obj core.Object, req *wire.Request) adt.ObjectRef {
+	if req.Ref.OID != 0 {
+		return req.Ref
+	}
+	return obj.Ref()
+}

@@ -1,0 +1,214 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"postlob/internal/page"
+	"postlob/internal/vclock"
+)
+
+// DiskManager stores each relation as one file under a base directory — the
+// "thin veneer on top of the UNIX file system" of §7. An optional DeviceModel
+// charges magnetic-disk costs to a virtual clock so the benchmark harness can
+// report era-appropriate elapsed times.
+type DiskManager struct {
+	dir   string
+	model DeviceModel
+	clock *vclock.Clock
+	track *tracker
+
+	mu    sync.Mutex
+	files map[RelName]*os.File
+}
+
+var _ Manager = (*DiskManager)(nil)
+
+// NewDiskManager creates a disk manager rooted at dir, creating dir if
+// needed. clock may be nil to disable cost accounting.
+func NewDiskManager(dir string, model DeviceModel, clock *vclock.Clock) (*DiskManager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	return &DiskManager{
+		dir:   dir,
+		model: model,
+		clock: clock,
+		track: newTracker(),
+		files: make(map[RelName]*os.File),
+	}, nil
+}
+
+// Name implements Manager.
+func (d *DiskManager) Name() string { return "magnetic disk" }
+
+// Dir returns the manager's base directory.
+func (d *DiskManager) Dir() string { return d.dir }
+
+func (d *DiskManager) path(rel RelName) string {
+	return filepath.Join(d.dir, string(rel))
+}
+
+// open returns the cached file handle for rel, opening it if necessary.
+func (d *DiskManager) open(rel RelName) (*os.File, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if f, ok := d.files[rel]; ok {
+		return f, nil
+	}
+	f, err := os.OpenFile(d.path(rel), os.O_RDWR, 0)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, fmt.Errorf("%w: %s", ErrNoRelation, rel)
+		}
+		return nil, fmt.Errorf("disk: %w", err)
+	}
+	d.files[rel] = f
+	return f, nil
+}
+
+// Create implements Manager.
+func (d *DiskManager) Create(rel RelName) error {
+	f, err := os.OpenFile(d.path(rel), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return fmt.Errorf("%w: %s", ErrRelExists, rel)
+		}
+		return fmt.Errorf("disk: %w", err)
+	}
+	d.mu.Lock()
+	d.files[rel] = f
+	d.mu.Unlock()
+	return nil
+}
+
+// Exists implements Manager.
+func (d *DiskManager) Exists(rel RelName) bool {
+	d.mu.Lock()
+	if _, ok := d.files[rel]; ok {
+		d.mu.Unlock()
+		return true
+	}
+	d.mu.Unlock()
+	_, err := os.Stat(d.path(rel))
+	return err == nil
+}
+
+// NBlocks implements Manager.
+func (d *DiskManager) NBlocks(rel RelName) (BlockNum, error) {
+	f, err := d.open(rel)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("disk: %w", err)
+	}
+	return BlockNum(fi.Size() / page.Size), nil
+}
+
+// ReadBlock implements Manager.
+func (d *DiskManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
+	if err := checkBuf(buf); err != nil {
+		return err
+	}
+	f, err := d.open(rel)
+	if err != nil {
+		return err
+	}
+	n, err := f.ReadAt(buf, int64(blk)*page.Size)
+	if err != nil {
+		if err == io.EOF && n == 0 {
+			return fmt.Errorf("%w: %s block %d", ErrBadBlock, rel, blk)
+		}
+		if err != io.EOF {
+			return fmt.Errorf("disk: read %s block %d: %w", rel, blk, err)
+		}
+	}
+	if n != page.Size {
+		return fmt.Errorf("%w: %s block %d (short read %d)", ErrBadBlock, rel, blk, n)
+	}
+	charge(d.clock, d.model, d.track.sequential(rel, blk))
+	return nil
+}
+
+// WriteBlock implements Manager.
+func (d *DiskManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
+	if err := checkBuf(buf); err != nil {
+		return err
+	}
+	f, err := d.open(rel)
+	if err != nil {
+		return err
+	}
+	n, err := d.NBlocks(rel)
+	if err != nil {
+		return err
+	}
+	if blk > n {
+		return fmt.Errorf("%w: write %s block %d beyond end %d", ErrBadBlock, rel, blk, n)
+	}
+	if _, err := f.WriteAt(buf, int64(blk)*page.Size); err != nil {
+		return fmt.Errorf("disk: write %s block %d: %w", rel, blk, err)
+	}
+	charge(d.clock, d.model, d.track.sequential(rel, blk))
+	return nil
+}
+
+// Sync implements Manager.
+func (d *DiskManager) Sync(rel RelName) error {
+	f, err := d.open(rel)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("disk: sync %s: %w", rel, err)
+	}
+	return nil
+}
+
+// Unlink implements Manager.
+func (d *DiskManager) Unlink(rel RelName) error {
+	d.mu.Lock()
+	if f, ok := d.files[rel]; ok {
+		f.Close()
+		delete(d.files, rel)
+	}
+	d.mu.Unlock()
+	d.track.forget(rel)
+	if err := os.Remove(d.path(rel)); err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("%w: %s", ErrNoRelation, rel)
+		}
+		return fmt.Errorf("disk: %w", err)
+	}
+	return nil
+}
+
+// Size implements Manager.
+func (d *DiskManager) Size(rel RelName) (int64, error) {
+	n, err := d.NBlocks(rel)
+	if err != nil {
+		return 0, err
+	}
+	return int64(n) * page.Size, nil
+}
+
+// Close implements Manager.
+func (d *DiskManager) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var first error
+	for rel, f := range d.files {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(d.files, rel)
+	}
+	return first
+}

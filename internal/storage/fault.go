@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the failure produced by a FaultManager.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultManager wraps another manager and fails operations on command. It
+// exists for failure-injection tests: every layer above the storage switch
+// must surface device errors rather than corrupt state, and must work again
+// once the device recovers — which is exactly what a flaky SCSI chain or
+// the paper's misbehaving jukebox driver (§9.3) looks like from above.
+type FaultManager struct {
+	inner Manager
+
+	mu         sync.Mutex
+	failReads  bool
+	failWrites bool
+	countdown  int // fail once the countdown reaches zero; <0 disabled
+}
+
+var _ Manager = (*FaultManager)(nil)
+
+// NewFaultManager wraps inner with injectable failures (initially healthy).
+func NewFaultManager(inner Manager) *FaultManager {
+	return &FaultManager{inner: inner, countdown: -1}
+}
+
+// FailReads toggles failing all reads.
+func (f *FaultManager) FailReads(on bool) {
+	f.mu.Lock()
+	f.failReads = on
+	f.mu.Unlock()
+}
+
+// FailWrites toggles failing all writes.
+func (f *FaultManager) FailWrites(on bool) {
+	f.mu.Lock()
+	f.failWrites = on
+	f.mu.Unlock()
+}
+
+// FailAfter arms a one-shot failure after n successful block operations.
+func (f *FaultManager) FailAfter(n int) {
+	f.mu.Lock()
+	f.countdown = n
+	f.mu.Unlock()
+}
+
+// Heal clears all injected failures.
+func (f *FaultManager) Heal() {
+	f.mu.Lock()
+	f.failReads, f.failWrites, f.countdown = false, false, -1
+	f.mu.Unlock()
+}
+
+// shouldFail consumes the countdown and consults the toggles.
+func (f *FaultManager) shouldFail(write bool) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.countdown == 0 {
+		f.countdown = -1
+		return true
+	}
+	if f.countdown > 0 {
+		f.countdown--
+	}
+	if write {
+		return f.failWrites
+	}
+	return f.failReads
+}
+
+// Name implements Manager.
+func (f *FaultManager) Name() string { return f.inner.Name() + " (fault-injected)" }
+
+// Create implements Manager.
+func (f *FaultManager) Create(rel RelName) error { return f.inner.Create(rel) }
+
+// Exists implements Manager.
+func (f *FaultManager) Exists(rel RelName) bool { return f.inner.Exists(rel) }
+
+// NBlocks implements Manager.
+func (f *FaultManager) NBlocks(rel RelName) (BlockNum, error) { return f.inner.NBlocks(rel) }
+
+// ReadBlock implements Manager.
+func (f *FaultManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
+	if f.shouldFail(false) {
+		return ErrInjected
+	}
+	return f.inner.ReadBlock(rel, blk, buf)
+}
+
+// WriteBlock implements Manager.
+func (f *FaultManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
+	if f.shouldFail(true) {
+		return ErrInjected
+	}
+	return f.inner.WriteBlock(rel, blk, buf)
+}
+
+// Sync implements Manager.
+func (f *FaultManager) Sync(rel RelName) error {
+	if f.shouldFail(true) {
+		return ErrInjected
+	}
+	return f.inner.Sync(rel)
+}
+
+// Unlink implements Manager.
+func (f *FaultManager) Unlink(rel RelName) error { return f.inner.Unlink(rel) }
+
+// Size implements Manager.
+func (f *FaultManager) Size(rel RelName) (int64, error) { return f.inner.Size(rel) }
+
+// Close implements Manager.
+func (f *FaultManager) Close() error { return f.inner.Close() }

@@ -1,0 +1,150 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"postlob/internal/page"
+	"postlob/internal/vclock"
+)
+
+// MemManager keeps relations entirely in main memory — the paper's
+// non-volatile RAM storage manager. On the original hardware the memory was
+// battery-backed; here durability ends with the process, which is the honest
+// equivalent for a simulation. Access costs are negligible, but an optional
+// model can still charge a small per-block CPU cost.
+type MemManager struct {
+	model DeviceModel
+	clock *vclock.Clock
+	track *tracker
+
+	mu   sync.RWMutex
+	rels map[RelName][][]byte
+}
+
+var _ Manager = (*MemManager)(nil)
+
+// NewMemManager creates an empty main-memory manager.
+func NewMemManager(model DeviceModel, clock *vclock.Clock) *MemManager {
+	return &MemManager{
+		model: model,
+		clock: clock,
+		track: newTracker(),
+		rels:  make(map[RelName][][]byte),
+	}
+}
+
+// Name implements Manager.
+func (m *MemManager) Name() string { return "main memory" }
+
+// Create implements Manager.
+func (m *MemManager) Create(rel RelName) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rels[rel]; ok {
+		return fmt.Errorf("%w: %s", ErrRelExists, rel)
+	}
+	m.rels[rel] = nil
+	return nil
+}
+
+// Exists implements Manager.
+func (m *MemManager) Exists(rel RelName) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.rels[rel]
+	return ok
+}
+
+// NBlocks implements Manager.
+func (m *MemManager) NBlocks(rel RelName) (BlockNum, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	blocks, ok := m.rels[rel]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoRelation, rel)
+	}
+	return BlockNum(len(blocks)), nil
+}
+
+// ReadBlock implements Manager.
+func (m *MemManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
+	if err := checkBuf(buf); err != nil {
+		return err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	blocks, ok := m.rels[rel]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRelation, rel)
+	}
+	if int(blk) >= len(blocks) {
+		return fmt.Errorf("%w: %s block %d of %d", ErrBadBlock, rel, blk, len(blocks))
+	}
+	copy(buf, blocks[blk])
+	charge(m.clock, m.model, m.track.sequential(rel, blk))
+	return nil
+}
+
+// WriteBlock implements Manager.
+func (m *MemManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
+	if err := checkBuf(buf); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blocks, ok := m.rels[rel]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRelation, rel)
+	}
+	switch {
+	case int(blk) < len(blocks):
+		copy(blocks[blk], buf)
+	case int(blk) == len(blocks):
+		b := make([]byte, page.Size)
+		copy(b, buf)
+		m.rels[rel] = append(blocks, b)
+	default:
+		return fmt.Errorf("%w: write %s block %d beyond end %d", ErrBadBlock, rel, blk, len(blocks))
+	}
+	charge(m.clock, m.model, m.track.sequential(rel, blk))
+	return nil
+}
+
+// Sync implements Manager. Memory is modelled as non-volatile, so Sync is a
+// no-op.
+func (m *MemManager) Sync(rel RelName) error {
+	if !m.Exists(rel) {
+		return fmt.Errorf("%w: %s", ErrNoRelation, rel)
+	}
+	return nil
+}
+
+// Unlink implements Manager.
+func (m *MemManager) Unlink(rel RelName) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.rels[rel]; !ok {
+		return fmt.Errorf("%w: %s", ErrNoRelation, rel)
+	}
+	delete(m.rels, rel)
+	m.track.forget(rel)
+	return nil
+}
+
+// Size implements Manager.
+func (m *MemManager) Size(rel RelName) (int64, error) {
+	n, err := m.NBlocks(rel)
+	if err != nil {
+		return 0, err
+	}
+	return int64(n) * page.Size, nil
+}
+
+// Close implements Manager.
+func (m *MemManager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rels = make(map[RelName][][]byte)
+	return nil
+}

@@ -1,0 +1,224 @@
+// Package storage implements the POSTGRES user-defined storage manager
+// switch (paper §7): a table-driven abstraction, modelled on the UNIX file
+// system switch, behind which any block device can be slotted by writing a
+// small set of interface routines.
+//
+// Three managers are provided, matching POSTGRES Version 4:
+//
+//   - DiskManager: classes on local magnetic disk — a thin veneer on top of
+//     the host file system.
+//   - MemManager: classes in (non-volatile) random-access memory.
+//   - WormManager: classes on a write-once optical-disk jukebox, fronted by a
+//     magnetic-disk block cache. The jukebox hardware is simulated by a
+//     parameterised device cost model charged to a virtual clock (see
+//     package vclock and DESIGN.md for the substitution rationale).
+//
+// All managers move fixed page.Size blocks addressed by (relation, block
+// number). Any new manager registered on a Switch automatically supports
+// every structure built above it — heap classes, B-trees, large objects, and
+// therefore Inversion files, which is the property the paper highlights.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"postlob/internal/page"
+	"postlob/internal/vclock"
+)
+
+// BlockNum addresses a page.Size block within a relation.
+type BlockNum = uint32
+
+// RelName names a stored relation (class, index, or large-object store). It
+// must be usable as a file name component.
+type RelName string
+
+// ID identifies a storage manager in the switch. Classes record the ID of
+// the manager they were created on, as with the storage parameter to the
+// POSTGRES create command.
+type ID uint8
+
+// Built-in storage manager IDs.
+const (
+	Disk ID = 0 // local magnetic disk
+	Mem  ID = 1 // non-volatile main memory
+	Worm ID = 2 // write-once optical jukebox
+)
+
+func (id ID) String() string {
+	switch id {
+	case Disk:
+		return "disk"
+	case Mem:
+		return "mem"
+	case Worm:
+		return "worm"
+	default:
+		return fmt.Sprintf("smgr(%d)", uint8(id))
+	}
+}
+
+// Errors shared by storage managers.
+var (
+	ErrNoRelation   = errors.New("storage: relation does not exist")
+	ErrRelExists    = errors.New("storage: relation already exists")
+	ErrBadBlock     = errors.New("storage: block out of range")
+	ErrWriteOnce    = errors.New("storage: block already written (WORM)")
+	ErrShortBuffer  = errors.New("storage: buffer is not a full block")
+	ErrUnregistered = errors.New("storage: no such storage manager")
+)
+
+// Manager is the interface every storage manager implements — the analogue
+// of the paper's "small set of interface routines" registered in the switch.
+type Manager interface {
+	// Name returns a short human-readable manager name.
+	Name() string
+	// Create makes an empty relation. It fails if the relation exists.
+	Create(rel RelName) error
+	// Exists reports whether the relation exists.
+	Exists(rel RelName) bool
+	// NBlocks returns the number of blocks currently in the relation.
+	NBlocks(rel RelName) (BlockNum, error)
+	// ReadBlock fills buf (which must be page.Size long) with block blk.
+	ReadBlock(rel RelName, blk BlockNum, buf []byte) error
+	// WriteBlock stores buf as block blk. blk may be at most NBlocks (the
+	// append position); writing past the end is an error.
+	WriteBlock(rel RelName, blk BlockNum, buf []byte) error
+	// Sync forces the relation's blocks to stable storage.
+	Sync(rel RelName) error
+	// Unlink removes the relation and its storage.
+	Unlink(rel RelName) error
+	// Size returns the relation's footprint in bytes (blocks × page size).
+	Size(rel RelName) (int64, error)
+	// Close releases manager resources.
+	Close() error
+}
+
+// DeviceModel parameterises the virtual cost of block accesses. A zero model
+// charges nothing. Sequential access (blk == last accessed + 1 on the same
+// relation) charges only transfer time; any other access charges a seek
+// first, which is how rotating storage of the paper's era behaved.
+type DeviceModel struct {
+	Seek     time.Duration // positioning cost for a non-sequential access
+	PerByte  time.Duration // transfer cost per byte moved
+	PerBlock time.Duration // fixed per-operation overhead
+}
+
+// BlockCost returns the modelled cost of one block transfer.
+func (m DeviceModel) BlockCost(sequential bool) time.Duration {
+	d := m.PerBlock + time.Duration(page.Size)*m.PerByte
+	if !sequential {
+		d += m.Seek
+	}
+	return d
+}
+
+// IsZero reports whether the model charges nothing.
+func (m DeviceModel) IsZero() bool {
+	return m.Seek == 0 && m.PerByte == 0 && m.PerBlock == 0
+}
+
+// tracker remembers the last block accessed per relation so managers can
+// distinguish sequential from random access when charging costs.
+type tracker struct {
+	mu   sync.Mutex
+	last map[RelName]BlockNum
+	has  map[RelName]bool
+}
+
+func newTracker() *tracker {
+	return &tracker{last: make(map[RelName]BlockNum), has: make(map[RelName]bool)}
+}
+
+// sequential records an access and reports whether it continued the previous
+// one.
+func (t *tracker) sequential(rel RelName, blk BlockNum) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seq := t.has[rel] && blk == t.last[rel]+1
+	t.last[rel] = blk
+	t.has[rel] = true
+	return seq
+}
+
+func (t *tracker) forget(rel RelName) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.last, rel)
+	delete(t.has, rel)
+}
+
+// Switch is the storage manager switch: a registry mapping IDs to managers.
+type Switch struct {
+	mu   sync.RWMutex
+	mgrs map[ID]Manager
+}
+
+// NewSwitch returns an empty switch.
+func NewSwitch() *Switch {
+	return &Switch{mgrs: make(map[ID]Manager)}
+}
+
+// Register installs mgr under id, replacing any previous registration. This
+// is the user-defined storage manager extension point of §7.
+func (s *Switch) Register(id ID, mgr Manager) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mgrs[id] = mgr
+}
+
+// Get returns the manager registered under id.
+func (s *Switch) Get(id ID) (Manager, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	mgr, ok := s.mgrs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnregistered, id)
+	}
+	return mgr, nil
+}
+
+// IDs returns the registered manager IDs in ascending order.
+func (s *Switch) IDs() []ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]ID, 0, len(s.mgrs))
+	for id := range s.mgrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Close closes every registered manager, returning the first error.
+func (s *Switch) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for _, mgr := range s.mgrs {
+		if err := mgr.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.mgrs = make(map[ID]Manager)
+	return first
+}
+
+func checkBuf(buf []byte) error {
+	if len(buf) != page.Size {
+		return fmt.Errorf("%w: %d bytes", ErrShortBuffer, len(buf))
+	}
+	return nil
+}
+
+// charge applies a device model to a clock for one block access.
+func charge(clk *vclock.Clock, m DeviceModel, sequential bool) {
+	if m.IsZero() {
+		return
+	}
+	clk.Advance(m.BlockCost(sequential))
+}

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"postlob/internal/page"
+)
+
+// TestWormPhysicalBlocksNeverRewritten checks the medium-level write-once
+// invariant directly against the backing file: once a physical block is on
+// the .dat file, later logical rewrites never change its bytes.
+func TestWormPhysicalBlocksNeverRewritten(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWormManager(dir, WormConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rel = RelName("inv")
+	if err := w.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(rel, 0, block('A')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(rel); err != nil {
+		t.Fatal(err)
+	}
+	datPath := filepath.Join(dir, string(rel)+".dat")
+	before, err := os.ReadFile(datPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the logical block several times, then reread the original
+	// physical region.
+	for _, fill := range []byte{'B', 'C', 'D'} {
+		if err := w.WriteBlock(rel, 0, block(fill)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(rel); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(datPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) < len(before) {
+		t.Fatalf("medium shrank: %d -> %d", len(before), len(after))
+	}
+	if !bytes.Equal(after[:len(before)], before) {
+		t.Fatal("previously written physical blocks were modified")
+	}
+	if len(after) != 4*page.Size {
+		t.Fatalf("medium holds %d blocks, want 4 (original + 3 relocations)", len(after)/page.Size)
+	}
+	// The logical view returns the newest version.
+	buf := make([]byte, page.Size)
+	if err := w.ReadBlock(rel, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'D' {
+		t.Fatalf("logical read = %c", buf[0])
+	}
+	w.Close()
+}
+
+// TestWormCacheDoesNotBreakInvariant repeats the check with a cache in
+// front: pending blocks coalesce (the cache IS the staging area), so only
+// the final version reaches the medium, still write-once.
+func TestWormCacheDoesNotBreakInvariant(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWormManager(dir, WormConfig{CacheBlocks: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rel = RelName("staged")
+	if err := w.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	for _, fill := range []byte{'1', '2', '3'} {
+		if err := w.WriteBlock(rel, 0, block(fill)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(rel); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, string(rel)+".dat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != page.Size {
+		t.Fatalf("medium holds %d blocks, want 1 (staging coalesced)", len(data)/page.Size)
+	}
+	if data[0] != '3' {
+		t.Fatalf("archived %c", data[0])
+	}
+	w.Close()
+}

@@ -1,0 +1,235 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"postlob/internal/page"
+	"postlob/internal/vclock"
+)
+
+func TestWormRelocationOnRewrite(t *testing.T) {
+	// Without a cache, every write consumes a fresh physical block; the
+	// medium is write-once even though logical rewrites succeed.
+	w, err := NewWormManager(t.TempDir(), WormConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const rel = RelName("wo")
+	if err := w.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(rel, 0, block('1')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(rel, 0, block('2')); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, page.Size)
+	if err := w.ReadBlock(rel, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != '2' {
+		t.Fatalf("read %c, want 2", buf[0])
+	}
+	// One logical block, two physical blocks burned.
+	sz, err := w.Size(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sz != 2*page.Size {
+		t.Fatalf("Size = %d, want %d (dead version retained on WORM)", sz, 2*page.Size)
+	}
+	n, _ := w.NBlocks(rel)
+	if n != 1 {
+		t.Fatalf("NBlocks = %d, want 1", n)
+	}
+}
+
+func TestWormCacheAbsorbsRereads(t *testing.T) {
+	var clk vclock.Clock
+	cfg := WormConfig{
+		Model:       WormModel{Device: DeviceModel{Seek: 100 * time.Millisecond, PerByte: time.Microsecond}},
+		CacheModel:  DeviceModel{Seek: time.Millisecond},
+		CacheBlocks: 4,
+		Clock:       &clk,
+	}
+	w, err := NewWormManager(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const rel = RelName("cached")
+	if err := w.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(rel, 0, block('c')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(rel); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, page.Size)
+	clk.Reset()
+	if err := w.ReadBlock(rel, 0, buf); err != nil { // cache hit (still resident)
+		t.Fatal(err)
+	}
+	hitCost := clk.Now()
+	if hitCost >= 100*time.Millisecond {
+		t.Fatalf("cache hit charged device cost: %v", hitCost)
+	}
+	hits, _ := w.CacheStats()
+	if hits == 0 {
+		t.Fatal("expected a cache hit")
+	}
+}
+
+func TestWormCacheMissChargesDevice(t *testing.T) {
+	var clk vclock.Clock
+	cfg := WormConfig{
+		Model:       WormModel{Device: DeviceModel{Seek: 100 * time.Millisecond}},
+		CacheBlocks: 2,
+		Clock:       &clk,
+	}
+	w, err := NewWormManager(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const rel = RelName("miss")
+	if err := w.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	// Write 5 blocks through a 2-block cache: evictions archive to medium.
+	for i := 0; i < 5; i++ {
+		if err := w.WriteBlock(rel, BlockNum(i), block(byte('0'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(rel); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, page.Size)
+	clk.Reset()
+	if err := w.ReadBlock(rel, 0, buf); err != nil { // evicted long ago: device read
+		t.Fatal(err)
+	}
+	if buf[0] != '0' {
+		t.Fatalf("content = %c", buf[0])
+	}
+	if clk.Now() < 100*time.Millisecond {
+		t.Fatalf("cache miss did not charge device seek: %v", clk.Now())
+	}
+}
+
+func TestWormPlatterSwitchCost(t *testing.T) {
+	var clk vclock.Clock
+	cfg := WormConfig{
+		Model: WormModel{
+			Device:        DeviceModel{PerBlock: time.Millisecond},
+			PlatterBlocks: 2,
+			PlatterSwitch: 5 * time.Second,
+		},
+		Clock: &clk,
+	}
+	w, err := NewWormManager(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const rel = RelName("platter")
+	if err := w.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ { // physical blocks 0..3, platters 0,0,1,1
+		if err := w.WriteBlock(rel, BlockNum(i), block(byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, page.Size)
+	clk.Reset()
+	if err := w.ReadBlock(rel, 0, buf); err != nil { // platter 1 -> 0: switch
+		t.Fatal(err)
+	}
+	if clk.Now() < 5*time.Second {
+		t.Fatalf("no platter switch charged: %v", clk.Now())
+	}
+	clk.Reset()
+	if err := w.ReadBlock(rel, 1, buf); err != nil { // same platter: cheap
+		t.Fatal(err)
+	}
+	if clk.Now() >= 5*time.Second {
+		t.Fatalf("platter switch charged on same platter: %v", clk.Now())
+	}
+}
+
+func TestWormMapPersistence(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWormManager(dir, WormConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rel = RelName("persist")
+	if err := w.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(rel, 0, block('a')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(rel, 0, block('b')); err != nil { // relocated
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(rel, 1, block('c')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := NewWormManager(dir, WormConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	buf := make([]byte, page.Size)
+	if err := w2.ReadBlock(rel, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'b' {
+		t.Fatalf("block 0 = %c, want b (latest relocation)", buf[0])
+	}
+	if err := w2.ReadBlock(rel, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 'c' {
+		t.Fatalf("block 1 = %c", buf[0])
+	}
+}
+
+func TestWormDirtyEvictionDurable(t *testing.T) {
+	// A dirty block evicted from the cache must be archived, not lost.
+	w, err := NewWormManager(t.TempDir(), WormConfig{CacheBlocks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	const rel = RelName("evict")
+	if err := w.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(rel, 0, block('x')); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBlock(rel, 1, block('y')); err != nil { // evicts block 0
+		t.Fatal(err)
+	}
+	buf := make([]byte, page.Size)
+	if err := w.ReadBlock(rel, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, block('x')) {
+		t.Fatal("evicted dirty block lost")
+	}
+}

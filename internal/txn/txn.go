@@ -1,0 +1,357 @@
+// Package txn implements the transaction machinery the no-overwrite storage
+// system needs: transaction identifiers, a commit log recording the state of
+// every transaction (the analogue of POSTGRES' pg_log), snapshots for
+// visibility checks, and commit timestamps, which are what make time travel
+// possible — a historical query "as of T" sees exactly the tuples whose
+// inserting transaction committed at or before T and whose deleting
+// transaction (if any) committed after T.
+package txn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+)
+
+// XID identifies a transaction.
+type XID uint32
+
+const (
+	// InvalidXID marks "no transaction", e.g. a tuple that was never deleted.
+	InvalidXID XID = 0
+	// BootstrapXID is a permanently committed transaction used for data
+	// created outside any user transaction (catalog bootstrap).
+	BootstrapXID XID = 1
+	firstUserXID XID = 2
+)
+
+// Status is a transaction's state in the commit log.
+type Status uint8
+
+// Transaction states.
+const (
+	InProgress Status = iota
+	Committed
+	Aborted
+)
+
+func (s Status) String() string {
+	switch s {
+	case InProgress:
+		return "in progress"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// TS is a commit timestamp: a monotonically increasing logical time assigned
+// when a transaction commits. Time-travel queries name a TS.
+type TS int64
+
+// InvalidTS is earlier than every commit.
+const InvalidTS TS = 0
+
+// Errors returned by the manager.
+var (
+	ErrDone     = errors.New("txn: transaction already finished")
+	ErrUnknown  = errors.New("txn: unknown transaction")
+	ErrCorrupt  = errors.New("txn: corrupt log file")
+	ErrInClosed = errors.New("txn: manager closed")
+)
+
+// Snapshot captures the set of transactions visible to a transaction when it
+// starts: everything committed before Xmax that was not still running.
+type Snapshot struct {
+	// Self is the observing transaction.
+	Self XID
+	// Xmax: transactions with ID >= Xmax had not started.
+	Xmax XID
+	// Active lists transactions that were in progress, sorted ascending.
+	Active []XID
+}
+
+// Sees reports whether the snapshot observes the effects of x.
+func (s Snapshot) Sees(x XID) bool {
+	if x == s.Self || x == BootstrapXID {
+		return true
+	}
+	if x == InvalidXID || x >= s.Xmax {
+		return false
+	}
+	i := sort.Search(len(s.Active), func(i int) bool { return s.Active[i] >= x })
+	return !(i < len(s.Active) && s.Active[i] == x)
+}
+
+// Manager hands out transactions and records their outcomes.
+type Manager struct {
+	mu       sync.Mutex
+	nextXID  XID
+	nextTS   TS
+	status   map[XID]Status
+	commitTS map[XID]TS
+	active   map[XID]bool
+}
+
+// NewManager returns an empty transaction manager.
+func NewManager() *Manager {
+	return &Manager{
+		nextXID:  firstUserXID,
+		nextTS:   1,
+		status:   make(map[XID]Status),
+		commitTS: make(map[XID]TS),
+		active:   make(map[XID]bool),
+	}
+}
+
+// Begin starts a transaction with a fresh snapshot.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := m.nextXID
+	m.nextXID++
+	m.status[id] = InProgress
+	active := make([]XID, 0, len(m.active))
+	for x := range m.active {
+		active = append(active, x)
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
+	m.active[id] = true
+	return &Txn{
+		mgr: m,
+		id:  id,
+		snap: Snapshot{
+			Self:   id,
+			Xmax:   id, // everything from us onward is invisible (except Self)
+			Active: active,
+		},
+	}
+}
+
+// Status returns the commit-log state of x. The bootstrap transaction is
+// always committed; unknown IDs are reported aborted (a crashed transaction
+// never reached the log).
+func (m *Manager) Status(x XID) Status {
+	if x == BootstrapXID {
+		return Committed
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.status[x]
+	if !ok {
+		return Aborted
+	}
+	return st
+}
+
+// CommitTS returns the commit timestamp of x, if committed.
+func (m *Manager) CommitTS(x XID) (TS, bool) {
+	if x == BootstrapXID {
+		return InvalidTS, true // committed before all time
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.commitTS[x]
+	return ts, ok
+}
+
+// Now returns the timestamp of the most recent commit; reading "as of Now"
+// sees every transaction committed so far and nothing that commits later.
+func (m *Manager) Now() TS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.nextTS - 1
+}
+
+func (m *Manager) finish(x XID, st Status) TS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.status[x] = st
+	delete(m.active, x)
+	if st != Committed {
+		return InvalidTS
+	}
+	ts := m.nextTS
+	m.nextTS++
+	m.commitTS[x] = ts
+	return ts
+}
+
+// Txn is a live transaction.
+type Txn struct {
+	mgr  *Manager
+	id   XID
+	snap Snapshot
+	done bool
+
+	mu       sync.Mutex
+	onCommit []func()
+	onAbort  []func()
+}
+
+// ID returns the transaction's XID.
+func (t *Txn) ID() XID { return t.id }
+
+// Snapshot returns the visibility snapshot taken at Begin.
+func (t *Txn) Snapshot() Snapshot { return t.snap }
+
+// Manager returns the owning manager.
+func (t *Txn) Manager() *Manager { return t.mgr }
+
+// Done reports whether the transaction has committed or aborted.
+func (t *Txn) Done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.done
+}
+
+// OnCommit registers fn to run after a successful commit; used by temporary
+// large objects and other end-of-transaction cleanups.
+func (t *Txn) OnCommit(fn func()) {
+	t.mu.Lock()
+	t.onCommit = append(t.onCommit, fn)
+	t.mu.Unlock()
+}
+
+// OnAbort registers fn to run after an abort.
+func (t *Txn) OnAbort(fn func()) {
+	t.mu.Lock()
+	t.onAbort = append(t.onAbort, fn)
+	t.mu.Unlock()
+}
+
+// Commit marks the transaction committed, assigning its commit timestamp.
+func (t *Txn) Commit() (TS, error) {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return InvalidTS, ErrDone
+	}
+	t.done = true
+	hooks := t.onCommit
+	t.onCommit, t.onAbort = nil, nil
+	t.mu.Unlock()
+	ts := t.mgr.finish(t.id, Committed)
+	for _, fn := range hooks {
+		fn()
+	}
+	return ts, nil
+}
+
+// Abort marks the transaction aborted; its effects become invisible.
+func (t *Txn) Abort() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrDone
+	}
+	t.done = true
+	hooks := t.onAbort
+	t.onCommit, t.onAbort = nil, nil
+	t.mu.Unlock()
+	t.mgr.finish(t.id, Aborted)
+	for _, fn := range hooks {
+		fn()
+	}
+	return nil
+}
+
+// --- commit log persistence -------------------------------------------------
+
+const logMagic = 0x504C4F47 // "PLOG"
+
+// Save writes the commit log and counters to path. In-progress transactions
+// are not persisted: after a restart they are implicitly aborted, which is
+// exactly the recovery semantics of a no-overwrite store with a forced log.
+func (m *Manager) Save(path string) error {
+	m.mu.Lock()
+	type entry struct {
+		xid XID
+		st  Status
+		ts  TS
+	}
+	entries := make([]entry, 0, len(m.status))
+	for x, st := range m.status {
+		if st == InProgress {
+			continue
+		}
+		entries = append(entries, entry{x, st, m.commitTS[x]})
+	}
+	nextXID, nextTS := m.nextXID, m.nextTS
+	m.mu.Unlock()
+
+	sort.Slice(entries, func(i, j int) bool { return entries[i].xid < entries[j].xid })
+	buf := make([]byte, 0, 20+len(entries)*13)
+	var scratch [13]byte
+	binary.LittleEndian.PutUint32(scratch[:4], logMagic)
+	buf = append(buf, scratch[:4]...)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(nextXID))
+	buf = append(buf, scratch[:4]...)
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(nextTS))
+	buf = append(buf, scratch[:8]...)
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(entries)))
+	buf = append(buf, scratch[:4]...)
+	for _, e := range entries {
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(e.xid))
+		scratch[4] = byte(e.st)
+		binary.LittleEndian.PutUint64(scratch[5:13], uint64(e.ts))
+		buf = append(buf, scratch[:13]...)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("txn: save: %w", err)
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load restores a commit log previously written by Save.
+func Load(path string) (*Manager, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("txn: load: %w", err)
+	}
+	if len(data) < 20 || binary.LittleEndian.Uint32(data[0:]) != logMagic {
+		return nil, ErrCorrupt
+	}
+	m := NewManager()
+	m.nextXID = XID(binary.LittleEndian.Uint32(data[4:]))
+	m.nextTS = TS(binary.LittleEndian.Uint64(data[8:]))
+	n := int(binary.LittleEndian.Uint32(data[16:]))
+	if len(data) < 20+13*n {
+		return nil, ErrCorrupt
+	}
+	for i := 0; i < n; i++ {
+		rec := data[20+13*i:]
+		xid := XID(binary.LittleEndian.Uint32(rec))
+		st := Status(rec[4])
+		ts := TS(binary.LittleEndian.Uint64(rec[5:]))
+		m.status[xid] = st
+		if st == Committed {
+			m.commitTS[xid] = ts
+		}
+	}
+	return m, nil
+}
+
+// RunInTxn executes fn inside a fresh transaction, committing on success and
+// aborting on error or panic.
+func RunInTxn(m *Manager, fn func(*Txn) error) error {
+	t := m.Begin()
+	defer func() {
+		if !t.Done() {
+			t.Abort()
+		}
+	}()
+	if err := fn(t); err != nil {
+		t.Abort()
+		return err
+	}
+	_, err := t.Commit()
+	return err
+}

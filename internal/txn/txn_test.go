@@ -1,0 +1,215 @@
+package txn
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBeginCommitStatus(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	if got := m.Status(tx.ID()); got != InProgress {
+		t.Fatalf("status = %v", got)
+	}
+	ts, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts == InvalidTS {
+		t.Fatal("commit returned invalid TS")
+	}
+	if got := m.Status(tx.ID()); got != Committed {
+		t.Fatalf("status = %v", got)
+	}
+	got, ok := m.CommitTS(tx.ID())
+	if !ok || got != ts {
+		t.Fatalf("CommitTS = %v, %v", got, ok)
+	}
+}
+
+func TestAbort(t *testing.T) {
+	m := NewManager()
+	tx := m.Begin()
+	if err := tx.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Status(tx.ID()); got != Aborted {
+		t.Fatalf("status = %v", got)
+	}
+	if _, ok := m.CommitTS(tx.ID()); ok {
+		t.Fatal("aborted txn has a commit TS")
+	}
+	if _, err := tx.Commit(); !errors.Is(err, ErrDone) {
+		t.Fatalf("commit after abort: %v", err)
+	}
+}
+
+func TestCommitTimestampsMonotonic(t *testing.T) {
+	m := NewManager()
+	var last TS
+	for i := 0; i < 10; i++ {
+		tx := m.Begin()
+		ts, err := tx.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts <= last {
+			t.Fatalf("commit TS not monotonic: %d after %d", ts, last)
+		}
+		last = ts
+	}
+	if now := m.Now(); now != last {
+		t.Fatalf("Now() = %d, want last commit %d", now, last)
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	m := NewManager()
+	t1 := m.Begin() // will stay open
+	t2 := m.Begin()
+	t2.Commit()
+	t3 := m.Begin() // starts after t2 committed, while t1 active
+
+	snap := t3.Snapshot()
+	if snap.Sees(t1.ID()) {
+		t.Fatal("snapshot sees a concurrent in-progress txn")
+	}
+	if !snap.Sees(t2.ID()) {
+		t.Fatal("snapshot misses a committed txn")
+	}
+	if !snap.Sees(t3.ID()) {
+		t.Fatal("snapshot misses self")
+	}
+	if !snap.Sees(BootstrapXID) {
+		t.Fatal("snapshot misses bootstrap")
+	}
+	if snap.Sees(InvalidXID) {
+		t.Fatal("snapshot sees invalid XID")
+	}
+	// t1 commits now — t3's snapshot must still not see it.
+	t1.Commit()
+	if snap.Sees(t1.ID()) {
+		t.Fatal("snapshot changed after concurrent commit")
+	}
+	// A future transaction is invisible.
+	t4 := m.Begin()
+	if snap.Sees(t4.ID()) {
+		t.Fatal("snapshot sees a future txn")
+	}
+}
+
+func TestUnknownXIDAborted(t *testing.T) {
+	m := NewManager()
+	if got := m.Status(999); got != Aborted {
+		t.Fatalf("unknown status = %v", got)
+	}
+}
+
+func TestHooks(t *testing.T) {
+	m := NewManager()
+	var committed, aborted bool
+	tx := m.Begin()
+	tx.OnCommit(func() { committed = true })
+	tx.OnAbort(func() { aborted = true })
+	tx.Commit()
+	if !committed || aborted {
+		t.Fatalf("commit hooks: committed=%v aborted=%v", committed, aborted)
+	}
+
+	committed, aborted = false, false
+	tx2 := m.Begin()
+	tx2.OnCommit(func() { committed = true })
+	tx2.OnAbort(func() { aborted = true })
+	tx2.Abort()
+	if committed || !aborted {
+		t.Fatalf("abort hooks: committed=%v aborted=%v", committed, aborted)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := NewManager()
+	c1 := m.Begin()
+	c1ts, _ := c1.Commit()
+	a1 := m.Begin()
+	a1.Abort()
+	open := m.Begin() // in progress at save time
+
+	path := filepath.Join(t.TempDir(), "pg_log")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m2.Status(c1.ID()); got != Committed {
+		t.Fatalf("c1 = %v", got)
+	}
+	if ts, ok := m2.CommitTS(c1.ID()); !ok || ts != c1ts {
+		t.Fatalf("c1 ts = %v, %v", ts, ok)
+	}
+	if got := m2.Status(a1.ID()); got != Aborted {
+		t.Fatalf("a1 = %v", got)
+	}
+	// Crash semantics: the open transaction is implicitly aborted.
+	if got := m2.Status(open.ID()); got != Aborted {
+		t.Fatalf("open = %v", got)
+	}
+	// XIDs keep advancing past the saved horizon.
+	next := m2.Begin()
+	if next.ID() <= open.ID() {
+		t.Fatalf("XID reuse after reload: %d <= %d", next.ID(), open.ID())
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad")
+	if err := writeFile(path, []byte("not a log")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRunInTxn(t *testing.T) {
+	m := NewManager()
+	var id XID
+	if err := RunInTxn(m, func(tx *Txn) error {
+		id = tx.ID()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if m.Status(id) != Committed {
+		t.Fatal("RunInTxn did not commit")
+	}
+
+	sentinel := errors.New("boom")
+	if err := RunInTxn(m, func(tx *Txn) error {
+		id = tx.ID()
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if m.Status(id) != Aborted {
+		t.Fatal("RunInTxn did not abort on error")
+	}
+
+	func() {
+		defer func() { recover() }()
+		RunInTxn(m, func(tx *Txn) error {
+			id = tx.ID()
+			panic("kaboom")
+		})
+	}()
+	if m.Status(id) != Aborted {
+		t.Fatal("RunInTxn did not abort on panic")
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,69 @@
+package vclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdvanceAndNow(t *testing.T) {
+	var c Clock
+	c.Advance(3 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if got := c.Now(); got != 5*time.Millisecond {
+		t.Fatalf("Now = %v", got)
+	}
+	c.Reset()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now after Reset = %v", got)
+	}
+}
+
+func TestNegativeAdvanceIgnored(t *testing.T) {
+	var c Clock
+	c.Advance(-time.Second)
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now = %v", got)
+	}
+}
+
+func TestNilClockSafe(t *testing.T) {
+	var c *Clock
+	c.Advance(time.Second) // must not panic
+	if got := c.Now(); got != 0 {
+		t.Fatalf("nil Now = %v", got)
+	}
+	c.Reset()
+	sw := NewStopwatch(c)
+	if got := sw.Elapsed(); got != 0 {
+		t.Fatalf("nil stopwatch = %v", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var c Clock
+	c.Advance(time.Second)
+	sw := NewStopwatch(&c)
+	c.Advance(250 * time.Millisecond)
+	if got := sw.Elapsed(); got != 250*time.Millisecond {
+		t.Fatalf("Elapsed = %v", got)
+	}
+}
+
+func TestConcurrentAdvance(t *testing.T) {
+	var c Clock
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Advance(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != 8*1000*time.Microsecond {
+		t.Fatalf("Now = %v", got)
+	}
+}

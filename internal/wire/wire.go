@@ -1,0 +1,70 @@
+// Package wire defines the client/server protocol: gob-encoded request and
+// response frames over a stream connection. The design point carried over
+// from the paper (§3) is that large-object reads travel as stored
+// compressed extents and are decompressed by the *client* — just-in-time
+// output conversion at the edge of the network, instead of the server-side
+// conversion the original ADT proposal was limited to.
+package wire
+
+import (
+	"postlob/internal/adt"
+	"postlob/internal/txn"
+)
+
+// Op identifies a request type.
+type Op string
+
+// Protocol operations.
+const (
+	OpBegin  Op = "begin"
+	OpCommit Op = "commit"
+	OpAbort  Op = "abort"
+	OpExec   Op = "exec"    // run a query statement in the current txn
+	OpOpen   Op = "open"    // open a large object, returns a handle
+	OpRead   Op = "read"    // server-side read (decompressed on the server)
+	OpRaw    Op = "readraw" // raw read: compressed extents, client decodes
+	OpWrite  Op = "write"
+	OpSize   Op = "size"
+	OpClose  Op = "close"
+	OpNow    Op = "now"
+)
+
+// Request is one client frame.
+type Request struct {
+	Op     Op
+	Query  string // OpExec
+	Ref    adt.ObjectRef
+	AsOf   txn.TS // nonzero with OpOpen: historical handle
+	Handle int
+	Offset int64
+	N      int64
+	Data   []byte
+}
+
+// RawExtent mirrors core.RawExtent for transport.
+type RawExtent struct {
+	LogStart int64
+	Skip     int
+	Take     int
+	Encoded  []byte
+}
+
+// Response is one server frame.
+type Response struct {
+	Err string
+
+	// OpExec results.
+	Columns   []string
+	Rows      [][]adt.Value
+	UsedIndex string
+
+	// Object operations.
+	Handle  int
+	Data    []byte
+	Size    int64
+	N       int64
+	Extents []RawExtent
+
+	// OpBegin / OpCommit / OpNow.
+	TS txn.TS
+}

@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"postlob/internal/adt"
+)
+
+// TestFrameGobRoundTrip pins the wire compatibility of request and response
+// frames, including adt.Value payloads.
+func TestFrameGobRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	dec := gob.NewDecoder(&buf)
+
+	req := Request{
+		Op:     OpExec,
+		Query:  `retrieve (EMP.name) where EMP.age > 30`,
+		Ref:    adt.ObjectRef{OID: 42, TypeName: "image"},
+		Handle: 7,
+		Offset: 1 << 40,
+		N:      4096,
+		Data:   []byte{1, 2, 3},
+	}
+	if err := enc.Encode(&req); err != nil {
+		t.Fatal(err)
+	}
+	var gotReq Request
+	if err := dec.Decode(&gotReq); err != nil {
+		t.Fatal(err)
+	}
+	if gotReq.Op != req.Op || gotReq.Query != req.Query || gotReq.Ref != req.Ref ||
+		gotReq.Offset != req.Offset || !bytes.Equal(gotReq.Data, req.Data) {
+		t.Fatalf("request round trip: %+v", gotReq)
+	}
+
+	resp := Response{
+		Columns:   []string{"name", "picture"},
+		Rows:      [][]adt.Value{{adt.Text("Joe"), adt.Object(adt.ObjectRef{OID: 9})}},
+		UsedIndex: "emp_age",
+		Extents: []RawExtent{
+			{LogStart: 8000, Skip: 3, Take: 100, Encoded: []byte{0xFF, 0x00}},
+		},
+		Size: 51200000,
+		TS:   12,
+	}
+	if err := enc.Encode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	var gotResp Response
+	if err := dec.Decode(&gotResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(gotResp.Rows) != 1 || gotResp.Rows[0][0].Str != "Joe" || gotResp.Rows[0][1].Obj.OID != 9 {
+		t.Fatalf("rows round trip: %+v", gotResp.Rows)
+	}
+	if len(gotResp.Extents) != 1 || gotResp.Extents[0].Take != 100 || !bytes.Equal(gotResp.Extents[0].Encoded, []byte{0xFF, 0x00}) {
+		t.Fatalf("extents round trip: %+v", gotResp.Extents)
+	}
+	if gotResp.Size != resp.Size || gotResp.TS != resp.TS || gotResp.UsedIndex != "emp_age" {
+		t.Fatalf("scalar fields: %+v", gotResp)
+	}
+}

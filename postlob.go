@@ -1,0 +1,409 @@
+// Package postlob is a from-scratch Go reproduction of "Large Object
+// Support in POSTGRES" (Stonebraker & Olson, ICDE 1993): large objects as
+// large abstract data types with a file-oriented interface, four
+// interchangeable storage implementations (u-file, p-file, f-chunk,
+// v-segment), user-defined storage managers (magnetic disk, main memory,
+// WORM optical jukebox), user-defined functions and operators over large
+// ADTs, temporary-object garbage collection, and the Inversion file system
+// built on top of it all.
+//
+// Quick start:
+//
+//	db, _ := postlob.Open(dir, postlob.Options{})
+//	defer db.Close()
+//	tx := db.Begin()
+//	ref, obj, _ := db.LargeObjects().Create(tx, postlob.CreateOptions{Kind: postlob.FChunk})
+//	obj.Write([]byte("gigabytes welcome"))
+//	obj.Close()
+//	tx.Commit()
+//
+// See the examples/ directory for the paper's scenarios.
+package postlob
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"postlob/internal/adt"
+	"postlob/internal/buffer"
+	"postlob/internal/catalog"
+	"postlob/internal/compress"
+	"postlob/internal/core"
+	"postlob/internal/heap"
+	"postlob/internal/inversion"
+	"postlob/internal/query"
+	"postlob/internal/server"
+	"postlob/internal/storage"
+	"postlob/internal/txn"
+	"postlob/internal/vclock"
+)
+
+// Re-exported types so applications rarely import internals directly.
+type (
+	// Txn is a database transaction.
+	Txn = txn.Txn
+	// TS is a commit timestamp usable for time travel.
+	TS = txn.TS
+	// ObjectRef names a stored large object.
+	ObjectRef = adt.ObjectRef
+	// Object is the file-oriented large-object handle.
+	Object = core.Object
+	// CreateOptions control large-object creation.
+	CreateOptions = core.CreateOptions
+	// StorageKind selects a large-object implementation.
+	StorageKind = adt.StorageKind
+	// Value is a query datum.
+	Value = adt.Value
+	// Result is a query result; Close it to collect temporaries.
+	Result = query.Result
+	// LargeType declares a large abstract data type.
+	LargeType = adt.LargeType
+	// Func is a user-defined function registration.
+	Func = adt.Func
+	// CallContext is passed to user-defined functions.
+	CallContext = adt.CallContext
+	// FSOptions configure the Inversion file system.
+	FSOptions = inversion.Options
+	// FS is the Inversion file system.
+	FS = inversion.FS
+	// DirEntry is one Inversion directory listing entry.
+	DirEntry = inversion.DirEntry
+	// FileInfo is an Inversion stat result.
+	FileInfo = inversion.FileInfo
+	// File is an open Inversion file.
+	File = inversion.File
+	// DeviceModel parameterises virtual device costs.
+	DeviceModel = storage.DeviceModel
+	// WormConfig parameterises the optical jukebox simulation.
+	WormConfig = storage.WormConfig
+	// WormModel is the jukebox device cost model.
+	WormModel = storage.WormModel
+	// CPUModel converts codec instruction counts to virtual time.
+	CPUModel = compress.CPUModel
+	// Clock accumulates modelled time for the performance study.
+	Clock = vclock.Clock
+	// StorageFootprint is a Figure 1 style size breakdown.
+	StorageFootprint = core.StorageFootprint
+)
+
+// The four large-object implementations (paper §6).
+const (
+	UFile    = adt.KindUFile
+	PFile    = adt.KindPFile
+	FChunk   = adt.KindFChunk
+	VSegment = adt.KindVSegment
+)
+
+// Built-in storage manager IDs (paper §7).
+const (
+	Disk = storage.Disk
+	Mem  = storage.Mem
+	Worm = storage.Worm
+)
+
+// Options configure Open.
+type Options struct {
+	// BufferPoolPages sizes the shared buffer pool (default 1024 pages).
+	BufferPoolPages int
+	// DefaultSM is the storage manager used when unspecified (default Disk).
+	DefaultSM *storage.ID
+	// ChunkSize overrides the 8000-byte f-chunk payload (tests/ablations).
+	ChunkSize int
+
+	// Clock, when set, receives modelled device and codec costs; the
+	// benchmark harness uses it to report era-calibrated elapsed times.
+	Clock *vclock.Clock
+	// DiskModel charges magnetic-disk costs for DB page I/O.
+	DiskModel storage.DeviceModel
+	// FileModel charges native-file costs for u-file/p-file objects.
+	FileModel storage.DeviceModel
+	// WormConfig, when non-nil, registers the WORM jukebox manager.
+	WormConfig *storage.WormConfig
+	// CPU converts compression instruction counts to virtual time.
+	CPU compress.CPUModel
+
+	// ForceAtCommit makes every commit flush dirty pages and persist the
+	// commit log before returning — the POSTGRES no-write-ahead-log
+	// discipline: committed data survives a crash without a Checkpoint.
+	// Costs a device sync per commit; without it, durability is
+	// checkpoint-grained.
+	ForceAtCommit bool
+}
+
+// DB is an open database.
+type DB struct {
+	dir    string
+	sw     *storage.Switch
+	pool   *heap.Pool
+	cat    *catalog.Catalog
+	reg    *adt.Registry
+	store  *core.Store
+	engine *query.Engine
+	clock  *vclock.Clock
+	force  bool
+}
+
+// Open opens (or creates) a database rooted at dir.
+func Open(dir string, opts Options) (*DB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("postlob: %w", err)
+	}
+	frames := opts.BufferPoolPages
+	if frames <= 0 {
+		frames = 1024
+	}
+	sw := storage.NewSwitch()
+	disk, err := storage.NewDiskManager(filepath.Join(dir, "data"), opts.DiskModel, opts.Clock)
+	if err != nil {
+		return nil, err
+	}
+	sw.Register(storage.Disk, disk)
+	sw.Register(storage.Mem, storage.NewMemManager(storage.DeviceModel{}, opts.Clock))
+	if opts.WormConfig != nil {
+		cfg := *opts.WormConfig
+		if cfg.Clock == nil {
+			cfg.Clock = opts.Clock
+		}
+		worm, err := storage.NewWormManager(filepath.Join(dir, "worm"), cfg)
+		if err != nil {
+			return nil, err
+		}
+		sw.Register(storage.Worm, worm)
+	}
+
+	logPath := filepath.Join(dir, "pg_log")
+	var mgr *txn.Manager
+	if _, err := os.Stat(logPath); err == nil {
+		if mgr, err = txn.Load(logPath); err != nil {
+			return nil, err
+		}
+	} else {
+		mgr = txn.NewManager()
+	}
+
+	cat, err := catalog.Open(filepath.Join(dir, "catalog.json"))
+	if err != nil {
+		return nil, err
+	}
+
+	defaultSM := storage.Disk
+	if opts.DefaultSM != nil {
+		defaultSM = *opts.DefaultSM
+	}
+	pool := &heap.Pool{Buf: buffer.NewPool(frames, sw, opts.Clock), Mgr: mgr}
+	reg := adt.NewRegistry()
+	store := core.NewStore(pool, cat, reg, core.Config{
+		FilesDir:  filepath.Join(dir, "pfiles"),
+		DefaultSM: defaultSM,
+		ChunkSize: opts.ChunkSize,
+		Clock:     opts.Clock,
+		CPU:       opts.CPU,
+		FileModel: opts.FileModel,
+	})
+	db := &DB{
+		dir:    dir,
+		sw:     sw,
+		pool:   pool,
+		cat:    cat,
+		reg:    reg,
+		store:  store,
+		engine: query.New(store),
+		clock:  opts.Clock,
+		force:  opts.ForceAtCommit,
+	}
+	// Reload persisted large type definitions into the registry.
+	for _, def := range cat.LargeTypes() {
+		codec, ok := compress.Lookup(def.Codec)
+		if !ok {
+			return nil, fmt.Errorf("postlob: type %q uses unknown codec %q", def.Name, def.Codec)
+		}
+		if err := reg.CreateLargeType(adt.LargeType{
+			Name: def.Name, Kind: def.Kind, Codec: codec, SM: def.SM,
+		}); err != nil {
+			return nil, err
+		}
+	}
+	// Crash recovery for temporaries left by dead sessions (§5).
+	if _, err := store.GCOrphanTemps(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}
+
+// CreateLargeType registers a large ADT and persists its definition —
+// the Go-API equivalent of the `create large type` statement.
+func (db *DB) CreateLargeType(t LargeType) error {
+	if err := db.reg.CreateLargeType(t); err != nil {
+		return err
+	}
+	codec := ""
+	if t.Codec != nil {
+		codec = t.Codec.Name()
+	}
+	return db.cat.PutLargeType(catalog.LargeTypeDef{
+		Name: t.Name, Kind: t.Kind, Codec: codec, SM: t.SM,
+	})
+}
+
+// Begin starts a transaction. With ForceAtCommit, its commit flushes dirty
+// pages and the commit log to stable storage before control returns.
+func (db *DB) Begin() *Txn {
+	tx := db.pool.Mgr.Begin()
+	if db.force {
+		tx.OnCommit(func() {
+			// Best effort: a failure here leaves the transaction durable
+			// only to checkpoint granularity, never inconsistent (the
+			// no-overwrite store tolerates partial flushes).
+			db.Checkpoint()
+		})
+	}
+	return tx
+}
+
+// RunInTxn executes fn in a transaction, committing on success.
+func (db *DB) RunInTxn(fn func(*Txn) error) error {
+	return txn.RunInTxn(db.pool.Mgr, fn)
+}
+
+// Now returns the latest commit timestamp, for time-travel reads of the
+// current state.
+func (db *DB) Now() TS { return db.pool.Mgr.Now() }
+
+// Exec runs one POSTQUEL statement under tx.
+func (db *DB) Exec(tx *Txn, statement string) (*Result, error) {
+	return db.engine.Exec(tx, statement)
+}
+
+// Let binds a free query variable (the paper's newfilename idiom).
+func (db *DB) Let(name string, v Value) { db.engine.Let(name, v) }
+
+// LargeObjects returns the large-object store.
+func (db *DB) LargeObjects() *core.Store { return db.store }
+
+// Registry returns the type/function/operator registry for extending the
+// system with new large types, functions, and operators.
+func (db *DB) Registry() *adt.Registry { return db.reg }
+
+// Catalog returns the system catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// StorageSwitch exposes the storage-manager switch so user-defined managers
+// can be registered (§7).
+func (db *DB) StorageSwitch() *storage.Switch { return db.sw }
+
+// Inversion opens (or bootstraps) the Inversion file system in this
+// database.
+func (db *DB) Inversion(opts FSOptions) (*FS, error) {
+	var fs *FS
+	err := db.RunInTxn(func(tx *Txn) error {
+		var err error
+		fs, err = inversion.Init(tx, db.store, opts)
+		return err
+	})
+	return fs, err
+}
+
+// Serve exposes the database to remote clients on l, accepting in a
+// background goroutine until the returned Server is closed (see
+// internal/client for the application library). Remote large-object reads
+// ship stored compressed extents and are decompressed client-side (§3's
+// just-in-time conversion).
+func (db *DB) Serve(l net.Listener) *server.Server {
+	srv := server.New(db.store)
+	go srv.Serve(l)
+	return srv
+}
+
+// Stats is a snapshot of cache behaviour, for observability and the
+// benchmark analyses.
+type Stats struct {
+	// BufferHits / BufferMisses count shared buffer pool lookups.
+	BufferHits   int64
+	BufferMisses int64
+	// WormCacheHits / WormCacheMisses count the jukebox's magnetic-disk
+	// block cache (zero unless a WORM manager is registered).
+	WormCacheHits   int64
+	WormCacheMisses int64
+	// VirtualElapsed is the modelled device/CPU time accumulated on the
+	// database clock, when one was configured.
+	VirtualElapsed time.Duration
+}
+
+// Stats returns current cache and clock counters.
+func (db *DB) Stats() Stats {
+	s := Stats{VirtualElapsed: db.clock.Now()}
+	s.BufferHits, s.BufferMisses = db.pool.Buf.Stats()
+	if mgr, err := db.sw.Get(storage.Worm); err == nil {
+		if w, ok := mgr.(*storage.WormManager); ok {
+			s.WormCacheHits, s.WormCacheMisses = w.CacheStats()
+		}
+	}
+	return s
+}
+
+// Vacuum reclaims space in every class and large-object relation: debris
+// from aborted transactions always goes; with keepHistory false, superseded
+// committed versions go too — surrendering time travel for space, the
+// trade POSTGRES's vacuum cleaner offered. Returns tuples removed.
+func (db *DB) Vacuum(keepHistory bool) (int, error) {
+	total := 0
+	vac := func(sm storage.ID, rel storage.RelName) error {
+		if rel == "" {
+			return nil
+		}
+		r, err := heap.Open(db.pool, sm, rel)
+		if err != nil {
+			return err
+		}
+		n, err := r.Vacuum(keepHistory)
+		total += n
+		return err
+	}
+	for _, cls := range db.cat.Classes() {
+		if err := vac(cls.SM, cls.Rel); err != nil {
+			return total, err
+		}
+	}
+	for _, meta := range db.cat.Objects(false) {
+		if err := vac(meta.SM, meta.DataRel); err != nil {
+			return total, err
+		}
+		if err := vac(meta.SM, meta.SegRel); err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Checkpoint flushes all dirty pages, syncs devices, and persists the
+// commit log.
+func (db *DB) Checkpoint() error {
+	if err := db.pool.Buf.FlushAll(); err != nil {
+		return err
+	}
+	for _, id := range db.sw.IDs() {
+		mgr, err := db.sw.Get(id)
+		if err != nil {
+			return err
+		}
+		for _, cls := range db.cat.Classes() {
+			if cls.SM == id && mgr.Exists(cls.Rel) {
+				if err := mgr.Sync(cls.Rel); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return db.pool.Mgr.Save(filepath.Join(db.dir, "pg_log"))
+}
+
+// Close checkpoints and shuts the database down.
+func (db *DB) Close() error {
+	if err := db.Checkpoint(); err != nil {
+		return err
+	}
+	return db.sw.Close()
+}

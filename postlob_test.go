@@ -1,0 +1,210 @@
+package postlob
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"postlob/internal/catalog"
+)
+
+func TestOpenWriteReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref ObjectRef
+	if err := db.RunInTxn(func(tx *Txn) error {
+		var obj Object
+		var err error
+		ref, obj, err = db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk, Codec: "fast"})
+		if err != nil {
+			return err
+		}
+		if _, err := obj.Write(bytes.Repeat([]byte("durable data. "), 1000)); err != nil {
+			return err
+		}
+		return obj.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full restart: catalog, commit log, and pages all reload from disk.
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tx := db2.Begin()
+	defer tx.Abort()
+	obj, err := db2.LargeObjects().Open(tx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	data, err := io.ReadAll(obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 14000 || !bytes.HasPrefix(data, []byte("durable data. ")) {
+		t.Fatalf("reloaded %d bytes", len(data))
+	}
+}
+
+func TestTimeTravelSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref ObjectRef
+	tx := db.Begin()
+	ref, obj, err := db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.Write([]byte("version 1"))
+	obj.Close()
+	ts1, _ := tx.Commit()
+
+	tx2 := db.Begin()
+	obj2, _ := db.LargeObjects().Open(tx2, ref)
+	obj2.Seek(8, io.SeekStart)
+	obj2.Write([]byte("2"))
+	obj2.Close()
+	tx2.Commit()
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	h, err := db2.LargeObjects().OpenAsOf(ts1, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := io.ReadAll(h)
+	h.Close()
+	if string(old) != "version 1" {
+		t.Fatalf("asof after restart = %q", old)
+	}
+}
+
+func TestQueryThroughFacade(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.RunInTxn(func(tx *Txn) error {
+		if _, err := db.Exec(tx, `create EMP (name = text, age = int4)`); err != nil {
+			return err
+		}
+		_, err := db.Exec(tx, `append EMP (name = "Sam", age = 33)`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	defer tx.Abort()
+	res, err := db.Exec(tx, `retrieve (EMP.name) where EMP.age = 33`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if v, ok := res.First(); !ok || v.Str != "Sam" {
+		t.Fatalf("result = %v", res.Rows)
+	}
+}
+
+func TestInversionThroughFacade(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	fs, err := db.Inversion(FSOptions{Kind: FChunk, SM: Disk, Owner: "tester"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RunInTxn(func(tx *Txn) error {
+		if err := fs.Mkdir(tx, "/docs"); err != nil {
+			return err
+		}
+		return fs.WriteFile(tx, "/docs/a.txt", []byte("inverted"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	defer tx.Abort()
+	data, err := fs.ReadFile(tx, "/docs/a.txt")
+	if err != nil || string(data) != "inverted" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	// The FS metadata is visible to the query language (§8).
+	res, err := db.Exec(tx, `retrieve (DIRECTORY.file-name) where DIRECTORY.parent-file-id > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "a.txt" {
+		t.Fatalf("directory query = %v", res.Rows)
+	}
+}
+
+func TestOrphanTempGCOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: create a temp, never close the session, close db.
+	tx := db.Begin()
+	ref, obj, err := db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk, Temp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.Close()
+	tx.Commit()
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tx2 := db2.Begin()
+	defer tx2.Abort()
+	if _, err := db2.LargeObjects().Open(tx2, ref); !errors.Is(err, catalog.ErrNoObject) {
+		t.Fatalf("orphan temp survived restart: %v", err)
+	}
+}
+
+func TestWormManagerRegistration(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{
+		WormConfig: &WormConfig{CacheBlocks: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	worm := Worm
+	if err := db.RunInTxn(func(tx *Txn) error {
+		_, obj, err := db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk, SM: &worm})
+		if err != nil {
+			return err
+		}
+		if _, err := obj.Write(bytes.Repeat([]byte{7}, 20000)); err != nil {
+			return err
+		}
+		return obj.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+package postlob
+
+// A full-stack soak test: random mixed workload across the query engine,
+// large objects, and the Inversion file system, with periodic checkpoints,
+// vacuums, and restarts, validated against in-memory reference models.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestSoakMixedWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := db.Inversion(FSOptions{Kind: FChunk, Codec: "fast", SM: Disk, Owner: "soak"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RunInTxn(func(tx *Txn) error {
+		if _, err := db.Exec(tx, `create KV (k = int4, v = text)`); err != nil {
+			return err
+		}
+		if _, err := db.Exec(tx, `define index kv_k on KV (KV.k)`); err != nil {
+			return err
+		}
+		return fs.Mkdir(tx, "/soak")
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(seedFlag))
+	kv := map[int64]string{}       // reference for the KV class
+	objects := map[uint64][]byte{} // reference for large objects
+	files := map[string][]byte{}   // reference for inversion files
+	var objRefs []ObjectRef
+
+	reopen := func() {
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+		db, err = Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err = db.Inversion(FSOptions{Kind: FChunk, Codec: "fast", SM: Disk, Owner: "soak"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	steps := stepsFlag
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(12) {
+		case 0, 1: // KV upsert
+			k := int64(rng.Intn(40))
+			v := fmt.Sprintf("v%d-%d", k, i)
+			err := db.RunInTxn(func(tx *Txn) error {
+				if _, exists := kv[k]; exists {
+					_, err := db.Exec(tx, fmt.Sprintf(`replace KV (v = "%s") where KV.k = %d`, v, k))
+					return err
+				}
+				_, err := db.Exec(tx, fmt.Sprintf(`append KV (k = %d, v = "%s")`, k, v))
+				return err
+			})
+			if err != nil {
+				t.Fatalf("step %d upsert: %v", i, err)
+			}
+			kv[k] = v
+		case 2: // KV delete
+			for k := range kv {
+				if err := db.RunInTxn(func(tx *Txn) error {
+					_, err := db.Exec(tx, fmt.Sprintf(`delete KV where KV.k = %d`, k))
+					return err
+				}); err != nil {
+					t.Fatalf("step %d delete: %v", i, err)
+				}
+				delete(kv, k)
+				break
+			}
+		case 3: // KV indexed probe
+			k := int64(rng.Intn(40))
+			tx := db.Begin()
+			res, err := db.Exec(tx, fmt.Sprintf(`retrieve (KV.v) where KV.k = %d`, k))
+			if err != nil {
+				t.Fatalf("step %d probe: %v", i, err)
+			}
+			want, exists := kv[k]
+			if exists && (len(res.Rows) != 1 || res.Rows[0][0].Str != want) {
+				t.Fatalf("step %d probe k=%d: %v, want %q", i, k, res.Rows, want)
+			}
+			if !exists && len(res.Rows) != 0 {
+				t.Fatalf("step %d probe deleted k=%d: %v", i, k, res.Rows)
+			}
+			res.Close()
+			tx.Abort()
+		case 4, 5: // large object create or rewrite
+			if len(objRefs) < 5 || rng.Intn(2) == 0 {
+				var ref ObjectRef
+				data := make([]byte, 1000+rng.Intn(30000))
+				rng.Read(data)
+				if err := db.RunInTxn(func(tx *Txn) error {
+					var obj Object
+					var err error
+					kind := FChunk
+					if rng.Intn(2) == 0 {
+						kind = VSegment
+					}
+					ref, obj, err = db.LargeObjects().Create(tx, CreateOptions{Kind: kind, Codec: "fast"})
+					if err != nil {
+						return err
+					}
+					obj.Write(data)
+					return obj.Close()
+				}); err != nil {
+					t.Fatalf("step %d lobj create: %v", i, err)
+				}
+				objRefs = append(objRefs, ref)
+				objects[ref.OID] = data
+			} else {
+				ref := objRefs[rng.Intn(len(objRefs))]
+				model := objects[ref.OID]
+				off := rng.Intn(len(model))
+				patch := make([]byte, 1+rng.Intn(4000))
+				rng.Read(patch)
+				if err := db.RunInTxn(func(tx *Txn) error {
+					obj, err := db.LargeObjects().Open(tx, ref)
+					if err != nil {
+						return err
+					}
+					obj.Seek(int64(off), io.SeekStart)
+					obj.Write(patch)
+					return obj.Close()
+				}); err != nil {
+					t.Fatalf("step %d lobj write: %v", i, err)
+				}
+				for len(model) < off+len(patch) {
+					model = append(model, 0)
+				}
+				copy(model[off:], patch)
+				objects[ref.OID] = model
+			}
+		case 6: // large object verify
+			if len(objRefs) == 0 {
+				continue
+			}
+			ref := objRefs[rng.Intn(len(objRefs))]
+			tx := db.Begin()
+			obj, err := db.LargeObjects().Open(tx, ref)
+			if err != nil {
+				t.Fatalf("step %d lobj open: %v", i, err)
+			}
+			got, err := io.ReadAll(obj)
+			obj.Close()
+			tx.Abort()
+			if err != nil {
+				t.Fatalf("step %d lobj read: %v", i, err)
+			}
+			if !bytes.Equal(got, objects[ref.OID]) {
+				t.Fatalf("step %d lobj %d mismatch (%d vs %d bytes)", i, ref.OID, len(got), len(objects[ref.OID]))
+			}
+		case 7, 8: // inversion write
+			path := fmt.Sprintf("/soak/f%d", rng.Intn(10))
+			data := []byte(fmt.Sprintf("file %s step %d", path, i))
+			if err := db.RunInTxn(func(tx *Txn) error {
+				return fs.WriteFile(tx, path, data)
+			}); err != nil {
+				t.Fatalf("step %d fs write: %v", i, err)
+			}
+			files[path] = data
+		case 9: // inversion verify
+			for path, want := range files {
+				tx := db.Begin()
+				got, err := fs.ReadFile(tx, path)
+				tx.Abort()
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("step %d fs read %s: %q, %v", i, path, got, err)
+				}
+				break
+			}
+		case 10: // maintenance
+			switch rng.Intn(3) {
+			case 0:
+				if err := db.Checkpoint(); err != nil {
+					t.Fatalf("step %d checkpoint: %v", i, err)
+				}
+			case 1:
+				if _, err := db.Vacuum(true); err != nil {
+					t.Fatalf("step %d vacuum: %v", i, err)
+				}
+			case 2:
+				if _, err := db.Vacuum(false); err != nil {
+					t.Fatalf("step %d full vacuum: %v", i, err)
+				}
+			}
+		case 11: // restart
+			if rng.Intn(4) == 0 {
+				reopen()
+			}
+		}
+	}
+
+	// Final full validation.
+	tx := db.Begin()
+	res, err := db.Exec(tx, `retrieve (KV.k, KV.v)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64]string{}
+	for _, row := range res.Rows {
+		got[row[0].Int] = row[1].Str
+	}
+	res.Close()
+	tx.Abort()
+	if len(got) != len(kv) {
+		t.Fatalf("final KV size %d, want %d", len(got), len(kv))
+	}
+	for k, v := range kv {
+		if got[k] != v {
+			t.Fatalf("final KV[%d] = %q, want %q", k, got[k], v)
+		}
+	}
+	db.Close()
+}
+
+// Tunables for one-off deep soaks (edit or ldflags in CI).
+var (
+	seedFlag  int64 = 77
+	stepsFlag       = 1500
+)

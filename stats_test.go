@@ -1,0 +1,38 @@
+package postlob
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestStatsCounters(t *testing.T) {
+	var clock Clock
+	db, err := Open(t.TempDir(), Options{
+		Clock:           &clock,
+		BufferPoolPages: 16,
+		DiskModel:       DeviceModel{Seek: time.Millisecond, PerByte: time.Nanosecond},
+		WormConfig:      &WormConfig{CacheBlocks: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.RunInTxn(func(tx *Txn) error {
+		_, obj, err := db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk})
+		if err != nil {
+			return err
+		}
+		obj.Write(bytes.Repeat([]byte{1}, 500_000))
+		return obj.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.BufferHits == 0 || s.BufferMisses == 0 {
+		t.Fatalf("buffer stats = %+v", s)
+	}
+	if s.VirtualElapsed == 0 {
+		t.Fatalf("virtual clock idle: %+v", s)
+	}
+}

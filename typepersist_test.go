@@ -1,0 +1,93 @@
+package postlob
+
+import (
+	"io"
+	"testing"
+
+	"postlob/internal/compress"
+)
+
+// TestLargeTypesSurviveRestart: a `create large type` definition persists in
+// the catalog and is usable without re-registration after reopen.
+func TestLargeTypesSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RunInTxn(func(tx *Txn) error {
+		for _, q := range []string{
+			`create large type image (input = tight, output = tight, storage = v-segment)`,
+			`create EMP (name = text, picture = image)`,
+		} {
+			if _, err := db.Exec(tx, q); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	// The type is present...
+	typ, err := db2.Registry().LargeTypeByName("image")
+	if err != nil || typ.Kind != VSegment || typ.Codec.Name() != "tight" {
+		t.Fatalf("reloaded type = %+v, %v", typ, err)
+	}
+	// ...and creating an object of it works.
+	var ref ObjectRef
+	if err := db2.RunInTxn(func(tx *Txn) error {
+		var obj Object
+		var err error
+		ref, obj, err = db2.LargeObjects().Create(tx, CreateOptions{TypeName: "image"})
+		if err != nil {
+			return err
+		}
+		obj.Write([]byte("typed bytes"))
+		return obj.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tx := db2.Begin()
+	defer tx.Abort()
+	obj, err := db2.LargeObjects().Open(tx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obj.Close()
+	data, _ := io.ReadAll(obj)
+	if string(data) != "typed bytes" {
+		t.Fatalf("data = %q", data)
+	}
+}
+
+// TestCreateLargeTypeGoAPIPersists covers the facade registration path.
+func TestCreateLargeTypeGoAPIPersists(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateLargeType(LargeType{
+		Name: "audio", Kind: FChunk, Codec: compress.Fast{}, SM: Disk,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	typ, err := db2.Registry().LargeTypeByName("audio")
+	if err != nil || typ.Kind != FChunk || typ.Codec.Name() != "fast" || typ.SM != Disk {
+		t.Fatalf("type = %+v, %v", typ, err)
+	}
+}

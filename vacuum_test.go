@@ -1,0 +1,220 @@
+package postlob
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"postlob/internal/heap"
+)
+
+func TestVacuumReclaimsAndPreservesChoice(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// Build an object, then rewrite every frame once: each chunk gains a
+	// dead predecessor version.
+	var ref ObjectRef
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 4096) // 64 KB
+	if err := db.RunInTxn(func(tx *Txn) error {
+		var obj Object
+		var err error
+		ref, obj, err = db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk})
+		if err != nil {
+			return err
+		}
+		obj.Write(payload)
+		return obj.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts1 := db.Now()
+	if err := db.RunInTxn(func(tx *Txn) error {
+		obj, err := db.LargeObjects().Open(tx, ref)
+		if err != nil {
+			return err
+		}
+		obj.Seek(0, io.SeekStart)
+		obj.Write(bytes.Repeat([]byte("FEDCBA9876543210"), 4096))
+		return obj.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// History-preserving vacuum removes nothing here (no aborted debris)...
+	n, err := db.Vacuum(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("vacuum(keep) removed %d", n)
+	}
+	// ...and time travel still works.
+	h, err := db.LargeObjects().OpenAsOf(ts1, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := io.ReadAll(h)
+	h.Close()
+	if !bytes.Equal(old, payload) {
+		t.Fatal("history damaged by keepHistory vacuum")
+	}
+
+	// Full vacuum trades history for space.
+	n, err = db.Vacuum(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("full vacuum removed nothing")
+	}
+	// Current contents intact.
+	tx := db.Begin()
+	defer tx.Abort()
+	obj, err := db.LargeObjects().Open(tx, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, _ := io.ReadAll(obj)
+	obj.Close()
+	if !bytes.HasPrefix(cur, []byte("FEDCBA")) || len(cur) != len(payload) {
+		t.Fatalf("current contents damaged: %d bytes", len(cur))
+	}
+}
+
+func TestVacuumEnablesSpaceReuse(t *testing.T) {
+	db, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.RunInTxn(func(tx *Txn) error {
+		_, err := db.Exec(tx, `create T (pad = text)`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	big := string(bytes.Repeat([]byte("x"), 3000))
+	fill := func() error {
+		return db.RunInTxn(func(tx *Txn) error {
+			for i := 0; i < 20; i++ {
+				if _, err := db.Exec(tx, `append T (pad = "`+big+`")`); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}
+	if err := fill(); err != nil {
+		t.Fatal(err)
+	}
+	cls, _ := db.Catalog().Class("T")
+	rel, err := heap.Open(db.pool, cls.SM, cls.Rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := rel.NBlocks()
+
+	// Delete everything, vacuum away the versions, refill: the relation
+	// should not grow (pages were reused).
+	if err := db.RunInTxn(func(tx *Txn) error {
+		_, err := db.Exec(tx, `delete T where T.pad = "`+big+`"`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Vacuum(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := fill(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := rel.NBlocks()
+	if after > before {
+		t.Fatalf("relation grew despite vacuum: %d -> %d blocks", before, after)
+	}
+}
+
+func TestCrashSnapshotConsistency(t *testing.T) {
+	// Snapshot the database directory at a checkpoint, keep working in the
+	// original, then open the snapshot: it must show exactly the
+	// checkpointed state, and remain writable.
+	dir := t.TempDir()
+	snap := t.TempDir()
+	db, err := Open(filepath.Join(dir, "db"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RunInTxn(func(tx *Txn) error {
+		if _, err := db.Exec(tx, `create T (x = int4)`); err != nil {
+			return err
+		}
+		_, err := db.Exec(tx, `append T (x = 1)`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := copyTree(filepath.Join(dir, "db"), filepath.Join(snap, "db")); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot work in the original (never checkpointed there).
+	if err := db.RunInTxn(func(tx *Txn) error {
+		_, err := db.Exec(tx, `append T (x = 2)`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	db2, err := Open(filepath.Join(snap, "db"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	tx := db2.Begin()
+	res, err := db2.Exec(tx, `retrieve (T.x)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 1 {
+		t.Fatalf("snapshot rows = %v", res.Rows)
+	}
+	res.Close()
+	tx.Abort()
+	// The snapshot accepts new work.
+	if err := db2.RunInTxn(func(tx *Txn) error {
+		_, err := db2.Exec(tx, `append T (x = 3)`)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func copyTree(src, dst string) error {
+	return filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, info.Mode())
+	})
+}
