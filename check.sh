@@ -1,0 +1,36 @@
+#!/bin/sh
+# check.sh — the tier-1 + lint gate. Everything here must pass before a
+# change lands:
+#
+#   1. go build ./...              the module compiles
+#   2. go vet ./...                the standard vet suite
+#   3. go run ./cmd/lobvet ./...   the postlob invariant analyzers
+#                                  (frame release, txn completion, storage
+#                                  errors, lock guards, no stray panics)
+#   4. go test ./...               the full test suite
+#
+# Run with RACE=1 to add a race-detector pass (slower; the suite is
+# expected to stay race-clean):
+#
+#   RACE=1 ./check.sh
+set -e
+cd "$(dirname "$0")"
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== lobvet ./..."
+go run ./cmd/lobvet ./...
+
+echo "== go test ./..."
+go test ./...
+
+if [ -n "$RACE" ]; then
+	echo "== go test -race ./..."
+	go test -race ./...
+fi
+
+echo "check.sh: all green"

@@ -56,9 +56,13 @@ func main() {
 		log.Fatal(err)
 	}
 	f.Seek(0, io.SeekEnd)
-	f.Write([]byte("\\section{Performance}\n"))
+	if _, err := f.Write([]byte("\\section{Performance}\n")); err != nil {
+		log.Fatal(err)
+	}
 	f.Close()
-	tx2.Commit()
+	if _, err := tx2.Commit(); err != nil {
+		log.Fatal(err)
+	}
 
 	// List the directory and stat the file.
 	tx3 := db.Begin()

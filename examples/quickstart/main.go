@@ -64,7 +64,10 @@ func main() {
 	if err := obj2.Close(); err != nil {
 		log.Fatal(err)
 	}
-	ts2, _ := tx2.Commit()
+	ts2, err := tx2.Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("patched bytes 100000.. (committed at ts %d)\n", ts2)
 
 	// Read the current state.

@@ -22,7 +22,9 @@ import (
 // ErrRowCorrupt reports an undecodable row image.
 var ErrRowCorrupt = fmt.Errorf("adt: corrupt row encoding")
 
-// EncodeRow serialises a row of values.
+// EncodeRow serialises a row of values. It panics on a value kind this
+// package did not mint; an unknown kind means a corrupted Value, and
+// serialising it would write an undecodable row.
 func EncodeRow(row []Value) []byte {
 	buf := make([]byte, 2, 16+8*len(row))
 	binary.LittleEndian.PutUint16(buf, uint16(len(row)))

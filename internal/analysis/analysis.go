@@ -1,0 +1,151 @@
+// Package analysis is a deliberately small, dependency-free skeleton of the
+// golang.org/x/tools/go/analysis framework. The container this repo builds in
+// has no module proxy access, so rather than vendoring x/tools we implement
+// the three pieces lobvet actually needs: the Analyzer/Pass/Diagnostic value
+// shapes, a module-aware package loader built on go/parser + go/types
+// (load.go), and a tiny control-flow graph (cfg subpackage) for the
+// must-release path checks.
+//
+// Analyzers written against this package look exactly like x/tools analyzers:
+//
+//	var Analyzer = &analysis.Analyzer{
+//		Name: "framerelease",
+//		Doc:  "check that pinned buffer frames are released on all paths",
+//		Run:  run,
+//	}
+//
+// so they can be ported to the real framework by changing one import path if
+// x/tools ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be a
+	// valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation; the first line is used as a
+	// summary in -list output.
+	Doc string
+
+	// Run applies the analyzer to a package. Diagnostics are delivered
+	// through pass.Report; the result value is unused by lobvet but kept
+	// for x/tools signature compatibility.
+	Run func(*Pass) (interface{}, error)
+}
+
+// Diagnostic is a message associated with a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass provides one analyzer with the syntax, type information, and report
+// sink for a single package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// IgnoreDirective is the line comment that suppresses every lobvet
+// diagnostic reported for the same source line. It must be used sparingly:
+// the point of the suite is machine-checked invariants, and each ignore is a
+// hole in the fence that needs a justification in the surrounding comment.
+const IgnoreDirective = "lobvet:ignore"
+
+// ignoredLines returns the set of (file, line) pairs carrying an ignore
+// directive, keyed by filename.
+func ignoredLines(fset *token.FileSet, files []*ast.File) map[string]map[int]bool {
+	ignored := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, IgnoreDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := ignored[pos.Filename]
+				if m == nil {
+					m = make(map[int]bool)
+					ignored[pos.Filename] = m
+				}
+				m[pos.Line] = true
+			}
+		}
+	}
+	return ignored
+}
+
+// RunAnalyzer applies one analyzer to a loaded package and returns its
+// diagnostics sorted by position, with lobvet:ignore'd lines filtered out.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	ignored := ignoredLines(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if m := ignored[pos.Filename]; m != nil && m[pos.Line] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// ObjectOf is a nil-safe lookup of the object denoted by an identifier.
+func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
+	if id == nil || info == nil {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// Callee returns the named function or method called by call, or nil when
+// the callee is a builtin, a type conversion, or a dynamic call through a
+// function value.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := ObjectOf(info, id).(*types.Func)
+	return fn
+}

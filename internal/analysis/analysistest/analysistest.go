@@ -1,0 +1,152 @@
+// Package analysistest runs lobvet analyzers over golden testdata packages,
+// mirroring golang.org/x/tools/go/analysis/analysistest. Fixture packages
+// live in a GOPATH-style tree, testdata/src/<importpath>/, which lets a
+// fixture provide stub versions of real postlob packages under their real
+// import paths (the analyzers match on those paths).
+//
+// Expected diagnostics are written as comments on the offending line:
+//
+//	pool.Get(tag) // want `frame .* is discarded`
+//
+// The payload is a regular expression in a Go string or backquote literal;
+// several "want" expectations may share one line. The test fails on any
+// unmatched expectation and on any unexpected diagnostic.
+package analysistest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"postlob/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory. It panics when the caller's source location is unavailable,
+// which can only happen outside a normal test binary.
+func TestData() string {
+	_, file, _, ok := runtime.Caller(1)
+	if !ok {
+		panic("analysistest: cannot locate caller")
+	}
+	return filepath.Join(filepath.Dir(file), "testdata")
+}
+
+// expectation is one "// want" comment awaiting a matching diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads each fixture package beneath testdata/src and applies the
+// analyzer, comparing diagnostics against the packages' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	loader := analysis.NewOverlayLoader(testdata)
+	for _, path := range paths {
+		pkg, _, err := loader.LoadPackage(path, true)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			continue
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: fixture does not type-check: %v", path, terr)
+		}
+		want, err := collectWants(pkg)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzer(a, pkg)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			continue
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			if !consume(want, pos.Filename, pos.Line, d.Message) {
+				t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+			}
+		}
+		for _, w := range want {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+			}
+		}
+	}
+}
+
+func consume(want []*expectation, file string, line int, msg string) bool {
+	for _, w := range want {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// collectWants extracts want expectations from every comment in the package.
+func collectWants(pkg *analysis.Package) ([]*expectation, error) {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				patterns, err := parsePatterns(m[1])
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want comment: %v", pos.Filename, pos.Line, err)
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, p, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// parsePatterns splits the payload of a want comment into its string
+// literals using the Go scanner, so quoting and escaping follow Go rules.
+func parsePatterns(payload string) ([]string, error) {
+	var s scanner.Scanner
+	fset := token.NewFileSet()
+	file := fset.AddFile("", fset.Base(), len(payload))
+	s.Init(file, []byte(payload), nil, 0)
+	var out []string
+	for {
+		_, tok, lit := s.Scan()
+		if tok == token.EOF || tok == token.SEMICOLON {
+			break
+		}
+		if tok != token.STRING {
+			return nil, fmt.Errorf("expected string literal, got %s", tok)
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, unq)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no patterns")
+	}
+	return out, nil
+}

@@ -1,0 +1,293 @@
+// Package cfg builds a lightweight intraprocedural control-flow graph over
+// go/ast function bodies. It exists because the x/tools CFG package is not
+// available in this build environment, and the lobvet leak checkers
+// (framerelease, txncomplete) need path sensitivity: "released somewhere in
+// the function" is not the invariant — "released on every path to every
+// return" is.
+//
+// The graph is intentionally simple. Each block holds a flat list of nodes:
+// plain statements appear whole, while compound statements contribute only
+// their non-body parts (an if contributes its condition, a switch its tag)
+// so a client walking Block.Nodes never sees the same syntax twice. Panics
+// and runtime.Goexit are not modeled as edges; clients that care treat the
+// calls themselves as terminators. Functions using goto are reported as
+// unanalyzable rather than modeled wrong.
+package cfg
+
+import "go/ast"
+
+// Block is a basic block: a run of straight-line nodes and the set of
+// successor blocks control may reach next.
+type Block struct {
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry *Block
+	// Exit is the single synthetic exit block. Every return statement and
+	// the natural end of the body connect to it; it holds no nodes.
+	Exit   *Block
+	Blocks []*Block
+	// Unanalyzable is set when the body uses constructs the builder does
+	// not model (goto). Clients should skip such functions rather than
+	// trust an incomplete graph.
+	Unanalyzable bool
+}
+
+// New builds the control-flow graph for body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Exit = b.newBlock()
+	b.cur = b.newBlock()
+	b.g.Entry = b.cur
+	b.stmt(body)
+	b.jump(b.g.Exit)
+	return b.g
+}
+
+// target is one enclosing breakable/continuable construct.
+type target struct {
+	label    string
+	brk, cnt *Block // cnt is nil for switch/select
+}
+
+type builder struct {
+	g       *Graph
+	cur     *Block
+	targets []target
+	// label pending from an enclosing LabeledStmt, consumed by the next
+	// loop/switch/select construct.
+	label string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) jump(to *Block) {
+	b.cur.Succs = append(b.cur.Succs, to)
+}
+
+// startUnreachable parks the builder on a fresh block with no predecessors,
+// used after return/break/continue so trailing dead code still parses into
+// the graph without creating bogus edges.
+func (b *builder) startUnreachable() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	label := b.label
+	b.label = ""
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		head.Succs = append(head.Succs, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.jump(join)
+		if s.Else != nil {
+			els := b.newBlock()
+			head.Succs = append(head.Succs, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.jump(join)
+		} else {
+			head.Succs = append(head.Succs, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		exit := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Succs = append(head.Succs, body, exit)
+		} else {
+			head.Succs = append(head.Succs, body)
+		}
+		b.targets = append(b.targets, target{label: label, brk: exit, cnt: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(post)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = post
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.jump(head)
+		b.cur = exit
+
+	case *ast.RangeStmt:
+		b.add(s.X)
+		head := b.newBlock()
+		body := b.newBlock()
+		exit := b.newBlock()
+		b.jump(head)
+		head.Succs = append(head.Succs, body, exit)
+		b.targets = append(b.targets, target{label: label, brk: exit, cnt: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.jump(head)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = exit
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var init ast.Stmt
+		var flat ast.Node // tag expression / type-switch assign
+		var clauses []ast.Stmt
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			init, flat, clauses = sw.Init, sw.Tag, sw.Body.List
+		case *ast.TypeSwitchStmt:
+			init, flat, clauses = sw.Init, sw.Assign, sw.Body.List
+		}
+		if init != nil {
+			b.add(init)
+		}
+		if flat != nil {
+			b.add(flat)
+		}
+		head := b.cur
+		join := b.newBlock()
+		caseBlocks := make([]*Block, len(clauses))
+		hasDefault := false
+		for i, cl := range clauses {
+			caseBlocks[i] = b.newBlock()
+			head.Succs = append(head.Succs, caseBlocks[i])
+			if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			head.Succs = append(head.Succs, join)
+		}
+		b.targets = append(b.targets, target{label: label, brk: join})
+		for i, cl := range clauses {
+			cc := cl.(*ast.CaseClause)
+			b.cur = caseBlocks[i]
+			for _, e := range cc.List {
+				b.add(e)
+			}
+			fallsThrough := false
+			for _, st := range cc.Body {
+				if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+					fallsThrough = true
+					continue
+				}
+				b.stmt(st)
+			}
+			if fallsThrough && i+1 < len(caseBlocks) {
+				b.jump(caseBlocks[i+1])
+			} else {
+				b.jump(join)
+			}
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = join
+
+	case *ast.SelectStmt:
+		head := b.cur
+		join := b.newBlock()
+		b.targets = append(b.targets, target{label: label, brk: join})
+		for _, cl := range s.Body.List {
+			cc := cl.(*ast.CommClause)
+			blk := b.newBlock()
+			head.Succs = append(head.Succs, blk)
+			b.cur = blk
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.jump(join)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = join
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+		b.startUnreachable()
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			if t := b.findTarget(s.Label, false); t != nil {
+				b.jump(t.brk)
+			} else {
+				b.g.Unanalyzable = true
+			}
+			b.startUnreachable()
+		case "continue":
+			if t := b.findTarget(s.Label, true); t != nil {
+				b.jump(t.cnt)
+			} else {
+				b.g.Unanalyzable = true
+			}
+			b.startUnreachable()
+		case "goto":
+			b.g.Unanalyzable = true
+		}
+		// fallthrough is handled by the switch builder.
+
+	case *ast.LabeledStmt:
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			b.label = s.Label.Name
+			b.stmt(s.Stmt)
+		default:
+			// A labeled plain statement only matters as a goto target, and
+			// goto already marks the graph unanalyzable.
+			b.stmt(s.Stmt)
+		}
+
+	default:
+		// Straight-line statements: assignments, calls, declarations,
+		// sends, defers, go statements, inc/dec.
+		b.add(s)
+	}
+}
+
+// findTarget resolves a break (needContinue=false) or continue label to the
+// innermost matching enclosing construct.
+func (b *builder) findTarget(label *ast.Ident, needContinue bool) *target {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needContinue && t.cnt == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+// Package framerelease defines an analyzer that checks buffer-pool pin
+// discipline: every *buffer.Frame obtained from the pool must be Released on
+// every path out of the acquiring function, or its ownership must visibly
+// move elsewhere (returned, stored, passed on, captured). A pinned frame
+// that leaks is permanent — the pool can never evict the page, and enough
+// leaks exhaust the pool and wedge every access method — which is why this
+// is an analyzer and not a code-review convention.
+package framerelease
+
+import (
+	"go/ast"
+	"go/types"
+
+	"postlob/internal/analysis"
+)
+
+// BufferPkgPath is the import path of the package whose Frame type the
+// analyzer tracks.
+const BufferPkgPath = "postlob/internal/buffer"
+
+// Analyzer reports buffer frames that are not released on all paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "framerelease",
+	Doc:  "check that every pinned buffer.Frame is Released on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg != nil && pass.Pkg.Path() == BufferPkgPath {
+		// The pool's own internals construct and recycle frames below the
+		// pin/release protocol; the invariant binds its callers.
+		return nil, nil
+	}
+	spec := &analysis.LeakSpec{
+		Kind:         "buffer frame",
+		Settle:       "released",
+		ReleaseNames: map[string]bool{"Release": true},
+		IsAcquire:    isFrameAcquire,
+	}
+	analysis.CheckLeaks(pass, spec)
+	return nil, nil
+}
+
+// isFrameAcquire reports calls that yield a pinned *buffer.Frame in their
+// result tuple, and at which index. Matching on the result type rather than
+// a method-name list means helper wrappers that fetch-and-return frames are
+// tracked at their call sites too.
+func isFrameAcquire(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return 0, false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isFramePtr(t.At(i).Type()) {
+				return i, true
+			}
+		}
+	default:
+		if isFramePtr(t) {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func isFramePtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Frame" && obj.Pkg() != nil && obj.Pkg().Path() == BufferPkgPath
+}

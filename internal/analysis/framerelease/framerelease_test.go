@@ -1,0 +1,12 @@
+package framerelease_test
+
+import (
+	"testing"
+
+	"postlob/internal/analysis/analysistest"
+	"postlob/internal/analysis/framerelease"
+)
+
+func TestFrameRelease(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), framerelease.Analyzer, "a")
+}

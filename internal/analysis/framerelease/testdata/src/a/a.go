@@ -1,0 +1,190 @@
+// Fixture for the framerelease analyzer: each function is one accepted or
+// rejected usage pattern of the pinned-frame protocol.
+package a
+
+import (
+	"errors"
+	"fmt"
+
+	"postlob/internal/buffer"
+)
+
+// --- violations --------------------------------------------------------------
+
+func leakSimple(p *buffer.Pool, tag buffer.Tag) error {
+	f, err := p.Get(tag) // want `buffer frame obtained from \*Pool\.Get is not released on every path`
+	if err != nil {
+		return err
+	}
+	f.MarkDirty()
+	return nil
+}
+
+func leakDiscarded(p *buffer.Pool, tag buffer.Tag) {
+	p.Get(tag) // want `result of \*Pool\.Get \(a buffer frame\) is discarded`
+}
+
+func leakBlank(p *buffer.Pool, tag buffer.Tag) {
+	_, _ = p.Get(tag) // want `buffer frame from \*Pool\.Get assigned to _`
+}
+
+func leakBlankLater(p *buffer.Pool, tag buffer.Tag) error {
+	f, err := p.Get(tag) // want `not released on every path`
+	if err != nil {
+		return err
+	}
+	// Discarding into the blank identifier is not a handoff.
+	_ = f
+	return nil
+}
+
+func leakOneBranch(p *buffer.Pool, tag buffer.Tag, cond bool) error {
+	f, err := p.Get(tag) // want `not released on every path`
+	if err != nil {
+		return err
+	}
+	if cond {
+		f.Release()
+		return nil
+	}
+	// Falls out with the frame still pinned.
+	return errors.New("skipped release")
+}
+
+func leakEarlyReturn(p *buffer.Pool, tag buffer.Tag, n int) error {
+	f, err := p.Get(tag) // want `not released on every path`
+	if err != nil {
+		return err
+	}
+	if n > 10 {
+		return errors.New("too big") // pinned frame leaks here
+	}
+	f.Release()
+	return nil
+}
+
+func leakNewBlock(p *buffer.Pool) error {
+	f, blk, err := p.NewBlock("rel") // want `not released on every path`
+	if err != nil {
+		return err
+	}
+	if blk > 100 {
+		return fmt.Errorf("relation too long")
+	}
+	f.MarkDirty()
+	f.Release()
+	return nil
+}
+
+// --- accepted usages ---------------------------------------------------------
+
+func okDefer(p *buffer.Pool, tag buffer.Tag) error {
+	f, err := p.Get(tag)
+	if err != nil {
+		return err
+	}
+	defer f.Release()
+	f.MarkDirty()
+	return nil
+}
+
+func okStraightLine(p *buffer.Pool, tag buffer.Tag) error {
+	f, err := p.Get(tag)
+	if err != nil {
+		return err
+	}
+	f.MarkDirty()
+	f.Release()
+	return nil
+}
+
+func okBothBranches(p *buffer.Pool, tag buffer.Tag, cond bool) error {
+	f, err := p.Get(tag)
+	if err != nil {
+		return err
+	}
+	if cond {
+		f.MarkDirty()
+		f.Release()
+		return nil
+	}
+	f.Release()
+	return nil
+}
+
+// okReturned transfers ownership to the caller.
+func okReturned(p *buffer.Pool, tag buffer.Tag) (*buffer.Frame, error) {
+	f, err := p.Get(tag)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// okHandedOff transfers ownership to a helper.
+func okHandedOff(p *buffer.Pool, tag buffer.Tag, sink func(*buffer.Frame)) error {
+	f, err := p.Get(tag)
+	if err != nil {
+		return err
+	}
+	sink(f)
+	return nil
+}
+
+// okCaptured hands the frame to a closure, which releases it.
+func okCaptured(p *buffer.Pool, tag buffer.Tag) (func(), error) {
+	f, err := p.Get(tag)
+	if err != nil {
+		return nil, err
+	}
+	return func() { f.Release() }, nil
+}
+
+// okDeferredClosure releases through a deferred function literal.
+func okDeferredClosure(p *buffer.Pool, tag buffer.Tag) error {
+	f, err := p.Get(tag)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		f.MarkDirty()
+		f.Release()
+	}()
+	return nil
+}
+
+// okLoop releases on every iteration before rebinding.
+func okLoop(p *buffer.Pool, tags []buffer.Tag) error {
+	for _, tag := range tags {
+		f, err := p.Get(tag)
+		if err != nil {
+			return err
+		}
+		f.MarkDirty()
+		f.Release()
+	}
+	return nil
+}
+
+// okErrorWrapped returns a wrapped acquisition error; the failure path
+// carries no frame.
+func okErrorWrapped(p *buffer.Pool, tag buffer.Tag) error {
+	f, err := p.Get(tag)
+	if err != nil {
+		return fmt.Errorf("fetching %v: %w", tag, err)
+	}
+	f.Release()
+	return nil
+}
+
+// okStoredInStruct parks ownership in a longer-lived holder.
+type holder struct{ f *buffer.Frame }
+
+func okStored(p *buffer.Pool, tag buffer.Tag, h *holder) error {
+	f, err := p.Get(tag)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}

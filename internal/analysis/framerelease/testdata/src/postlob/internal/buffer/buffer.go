@@ -1,0 +1,18 @@
+// Stub of the real buffer package: just enough surface for the
+// framerelease analyzer fixture, under the real import path the analyzer
+// matches on.
+package buffer
+
+type Tag struct{ Blk int }
+
+type Frame struct{}
+
+func (f *Frame) Release()     {}
+func (f *Frame) MarkDirty()   {}
+func (f *Frame) Page() []byte { return nil }
+func (f *Frame) Tag() Tag     { return Tag{} }
+
+type Pool struct{}
+
+func (p *Pool) Get(tag Tag) (*Frame, error)              { return nil, nil }
+func (p *Pool) NewBlock(rel string) (*Frame, int, error) { return nil, 0, nil }

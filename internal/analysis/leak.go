@@ -1,0 +1,385 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"postlob/internal/analysis/cfg"
+)
+
+// LeakSpec configures CheckLeaks for one resource kind. The same engine
+// drives framerelease (*buffer.Frame must be Released) and txncomplete
+// (*txn.Txn must be Committed or Aborted).
+type LeakSpec struct {
+	// Kind names the resource in diagnostics, e.g. "buffer frame".
+	Kind string
+	// Settle names the resolving action in diagnostics, e.g. "released".
+	Settle string
+	// IsAcquire reports whether the call acquires the resource, and at
+	// which index of the result tuple the resource sits.
+	IsAcquire func(pass *Pass, call *ast.CallExpr) (resultIdx int, ok bool)
+	// ReleaseNames are the method names on the resource that settle it.
+	ReleaseNames map[string]bool
+}
+
+// CheckLeaks walks every function body (including function literals, each
+// analyzed independently) and reports acquisitions whose resource can reach
+// a function exit unsettled. A resource is settled on a path when it is
+// released via one of ReleaseNames, deferred for release, or its ownership
+// escapes the function (returned, passed to a call, stored, captured).
+// Returns on the acquisition's error variable are treated as failure paths
+// that carry no resource.
+func CheckLeaks(pass *Pass, spec *LeakSpec) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body != nil {
+				checkBody(pass, spec, body)
+			}
+			return true
+		})
+	}
+}
+
+// acquisition is one tracked acquire site within a function body.
+type acquisition struct {
+	pos   ast.Node
+	res   types.Object // the resource variable; nil when discarded
+	errV  types.Object // paired error result variable, may be nil
+	block *cfg.Block
+	index int // index of the acquire node within block.Nodes
+	what  string
+}
+
+func checkBody(pass *Pass, spec *LeakSpec, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	if g.Unanalyzable {
+		return
+	}
+	var acqs []acquisition
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			// Nested function literals get their own graph; do not
+			// attribute their acquisitions to this body.
+			forEachShallowCall(n, func(call *ast.CallExpr, parent ast.Node) {
+				idx, ok := spec.IsAcquire(pass, call)
+				if !ok {
+					return
+				}
+				what := callName(pass, call)
+				switch p := parent.(type) {
+				case *ast.ExprStmt:
+					pass.Reportf(call.Pos(), "result of %s (a %s) is discarded; the %s is never %s",
+						what, spec.Kind, spec.Kind, spec.Settle)
+				case *ast.AssignStmt:
+					if len(p.Rhs) != 1 {
+						return
+					}
+					id, isIdent := p.Lhs[idx].(*ast.Ident)
+					if !isIdent {
+						// Stored straight into a field/map/slice element:
+						// ownership lives beyond this function.
+						return
+					}
+					if id.Name == "_" {
+						pass.Reportf(call.Pos(), "%s from %s assigned to _; it is never %s",
+							spec.Kind, what, spec.Settle)
+						return
+					}
+					a := acquisition{pos: call, res: ObjectOf(pass.TypesInfo, id),
+						block: blk, index: i, what: what}
+					for j, lhs := range p.Lhs {
+						if j == idx {
+							continue
+						}
+						if eid, ok := lhs.(*ast.Ident); ok && eid.Name != "_" {
+							if obj := ObjectOf(pass.TypesInfo, eid); obj != nil && isErrorType(obj.Type()) {
+								a.errV = obj
+							}
+						}
+					}
+					if a.res != nil {
+						acqs = append(acqs, a)
+					}
+				}
+			})
+		}
+	}
+
+	for _, a := range acqs {
+		if deferredSettle(g, spec, a.res) {
+			continue
+		}
+		if leaks(g, spec, a) {
+			pass.Reportf(a.pos.Pos(), "%s obtained from %s is not %s on every path to return",
+				spec.Kind, a.what, spec.Settle)
+		}
+	}
+}
+
+// forEachShallowCall visits calls within a flat CFG node without descending
+// into nested function literals, reporting each call's immediate statement
+// context (ExprStmt or AssignStmt) when it is the statement's direct
+// expression.
+func forEachShallowCall(n ast.Node, f func(call *ast.CallExpr, parent ast.Node)) {
+	switch s := n.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			f(call, s)
+		}
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr); ok {
+				f(call, s)
+			}
+		}
+	}
+}
+
+// deferredSettle reports whether any defer in the function releases res,
+// either directly (defer f.Release()) or inside a deferred closure.
+func deferredSettle(g *cfg.Graph, spec *LeakSpec, res types.Object) bool {
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			d, ok := n.(*ast.DeferStmt)
+			if !ok {
+				continue
+			}
+			if settlesInside(d.Call, spec, res) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// settlesInside reports whether node's subtree contains a release-method
+// call on res, or captures res in a function literal (ownership handed to
+// the closure).
+func settlesInside(node ast.Node, spec *LeakSpec, res types.Object) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && spec.ReleaseNames[sel.Sel.Name] {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && id.Name == objName(res) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func objName(o types.Object) string {
+	if o == nil {
+		return ""
+	}
+	return o.Name()
+}
+
+type pathStatus int
+
+const (
+	statusFlow    pathStatus = iota // resource still held, keep walking
+	statusSettled                   // released / escaped / failure path
+	statusStop                      // path terminates (panic, os.Exit, t.Fatal)
+)
+
+// leaks walks all paths from the acquisition and reports whether the
+// function exit is reachable with the resource still held.
+func leaks(g *cfg.Graph, spec *LeakSpec, a acquisition) bool {
+	type item struct {
+		b     *cfg.Block
+		start int
+	}
+	visited := make(map[*cfg.Block]bool)
+	work := []item{{a.block, a.index + 1}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		settled := false
+		for i := it.start; i < len(it.b.Nodes) && !settled; i++ {
+			switch nodeStatus(it.b.Nodes[i], spec, a) {
+			case statusSettled, statusStop:
+				settled = true
+			}
+		}
+		if settled {
+			continue
+		}
+		for _, s := range it.b.Succs {
+			if s == g.Exit {
+				return true
+			}
+			if !visited[s] {
+				visited[s] = true
+				work = append(work, item{s, 0})
+			}
+		}
+	}
+	return false
+}
+
+// nodeStatus classifies one flat CFG node with respect to the held resource.
+func nodeStatus(n ast.Node, spec *LeakSpec, a acquisition) pathStatus {
+	res, errV := a.res, a.errV
+	status := statusFlow
+	ast.Inspect(n, func(node ast.Node) bool {
+		if status != statusFlow {
+			return false
+		}
+		switch x := node.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if spec.ReleaseNames[sel.Sel.Name] && isObjIdent(sel.X, res) {
+					status = statusSettled
+					return false
+				}
+			}
+			// Passing the resource to any call transfers ownership.
+			for _, arg := range x.Args {
+				if usesObj(arg, res) {
+					status = statusSettled
+					return false
+				}
+			}
+			if isTerminatorCall(x) {
+				status = statusStop
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, r := range x.Results {
+				if usesObj(r, res) || (errV != nil && usesObj(r, errV)) {
+					status = statusSettled
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// Only a store of the resource value itself (x = v, x = &v,
+			// x = T{..v..}) transfers ownership; a call with v as receiver
+			// on the RHS (n := v.ID()) is just a use, and a store into the
+			// blank identifier (_ = v) discards the value without settling
+			// it.
+			for i, r := range x.Rhs {
+				if !isDirectValue(r, res) {
+					continue
+				}
+				if len(x.Lhs) == len(x.Rhs) {
+					if l, ok := ast.Unparen(x.Lhs[i]).(*ast.Ident); ok && l.Name == "_" {
+						continue
+					}
+				}
+				status = statusSettled
+				return false
+			}
+			// Reassigning the variable loses the old handle; treat it as a
+			// handoff rather than guessing (keeps loops with rebinding out
+			// of the false-positive column).
+			for _, l := range x.Lhs {
+				if isObjIdent(l, res) {
+					status = statusSettled
+					return false
+				}
+			}
+		case *ast.FuncLit:
+			if usesObj(x, res) {
+				status = statusSettled
+			}
+			return false // closure bodies are analyzed independently
+		case *ast.UnaryExpr:
+			if x.Op.String() == "&" && usesObj(x.X, res) {
+				status = statusSettled
+				return false
+			}
+		case *ast.SendStmt:
+			if usesObj(x.Value, res) {
+				status = statusSettled
+				return false
+			}
+		}
+		return true
+	})
+	return status
+}
+
+// isDirectValue reports whether e stores the resource value itself: the
+// bare identifier, its address, or a composite literal embedding it.
+func isDirectValue(e ast.Expr, obj types.Object) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return obj != nil && x.Name == obj.Name()
+	case *ast.UnaryExpr:
+		return x.Op == token.AND && isDirectValue(x.X, obj)
+	case *ast.CompositeLit:
+		return usesObj(x, obj)
+	}
+	return false
+}
+
+func isObjIdent(e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && obj != nil && id.Name == obj.Name() && id.Pos() != obj.Pos()
+}
+
+// usesObj reports whether the subtree mentions the object by name. Matching
+// by name rather than resolved object keeps the engine independent of which
+// Info map (Defs vs Uses) holds the identifier; within one function body a
+// shadowing redeclaration would be an acquire of its own anyway.
+func usesObj(n ast.Node, obj types.Object) bool {
+	if obj == nil || n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok && id.Name == obj.Name() {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isTerminatorCall reports calls that end the goroutine or process: panic,
+// os.Exit, runtime.Goexit, log.Fatal*, and testing's t.Fatal*/b.Fatal*.
+// Paths ending in one of these do not need to settle resources.
+func isTerminatorCall(call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Goexit", "Fatal", "Fatalf", "FailNow", "Skip", "Skipf", "SkipNow":
+			return true
+		}
+	}
+	return false
+}
+
+// callName renders a short human name for the called function.
+func callName(pass *Pass, call *ast.CallExpr) string {
+	if fn := Callee(pass.TypesInfo, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			short := func(p *types.Package) string { return "" }
+			return types.TypeString(sig.Recv().Type(), short) + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}

@@ -1,0 +1,304 @@
+// Package loading for lobvet. The drivers cannot shell out to
+// golang.org/x/tools/go/packages, so this file implements the minimum viable
+// loader on top of go/parser and go/types:
+//
+//   - imports within the current module resolve to directories under the
+//     module root (read from go.mod),
+//   - standard-library imports are delegated to the compiler "source"
+//     importer, which type-checks GOROOT sources and needs no export data or
+//     network access,
+//   - analysistest suites install a GOPATH-style overlay (testdata/src/...)
+//     that shadows both, so analyzer fixtures can provide stub versions of
+//     real postlob packages under their real import paths.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path       string // import path
+	Name       string // package name from the package clauses
+	Dir        string // directory the files were read from
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error // type-check problems, nil for a healthy package
+}
+
+// Loader loads and caches type-checked packages for one analysis run.
+type Loader struct {
+	Fset *token.FileSet
+
+	overlay    string // GOPATH-style root (containing src/), or ""
+	modulePath string // module path from go.mod, or ""
+	moduleDir  string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+var moduleRE = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// NewModuleLoader returns a loader rooted at the Go module containing dir
+// (dir itself or an ancestor must hold go.mod).
+func NewModuleLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lobvet: no go.mod found in or above %s", abs)
+		}
+		root = parent
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	m := moduleRE.FindSubmatch(data)
+	if m == nil {
+		return nil, fmt.Errorf("lobvet: %s/go.mod has no module directive", root)
+	}
+	l := newLoader()
+	l.modulePath = string(m[1])
+	l.moduleDir = root
+	return l, nil
+}
+
+// NewOverlayLoader returns a loader that resolves imports from a GOPATH-style
+// tree (root/src/<importpath>) first and the standard library second. It is
+// the loader analysistest uses, so fixture packages can shadow real module
+// packages under their canonical import paths.
+func NewOverlayLoader(root string) *Loader {
+	l := newLoader()
+	l.overlay = root
+	return l
+}
+
+func newLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// ModulePath returns the module path the loader resolves against ("" for
+// overlay loaders).
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// ModuleDir returns the module root directory ("" for overlay loaders).
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
+// resolveDir maps an import path to a source directory, or reports that the
+// path is not provided by the overlay or module (i.e. should be stdlib).
+func (l *Loader) resolveDir(path string) (string, bool) {
+	if l.overlay != "" {
+		dir := filepath.Join(l.overlay, "src", filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	if l.modulePath != "" {
+		if path == l.modulePath {
+			return l.moduleDir, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			dir := filepath.Join(l.moduleDir, filepath.FromSlash(rest))
+			if hasGoFiles(dir) {
+				return dir, true
+			}
+		}
+	}
+	return "", false
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer over the overlay → module → stdlib chain.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	pkg, err := l.importPkg(path)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+func (l *Loader) importPkg(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("lobvet: import cycle through %q", path)
+	}
+	dir, ok := l.resolveDir(path)
+	if !ok {
+		// Gate on GOROOT so an overlay fixture that forgot a stub fails
+		// loudly instead of silently type-checking against the real module
+		// via the build system's module fallback.
+		if !hasGoFiles(filepath.Join(build.Default.GOROOT, "src", filepath.FromSlash(path))) {
+			return nil, fmt.Errorf("lobvet: cannot resolve import %q (not in overlay, module, or GOROOT)", path)
+		}
+		tpkg, err := l.std.Import(path)
+		if err != nil {
+			return nil, fmt.Errorf("lobvet: importing stdlib %q: %w", path, err)
+		}
+		pkg := &Package{Path: path, Name: tpkg.Name(), Fset: l.Fset, Types: tpkg}
+		l.pkgs[path] = pkg
+		return pkg, nil
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	pkg, _, err := l.loadDir(path, dir, false)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadPackage loads the package at import path as an analysis target. With
+// includeTests, in-package _test.go files are added to the returned package
+// and any external test package (package foo_test) is returned as extra.
+func (l *Loader) LoadPackage(path string, includeTests bool) (pkg, extra *Package, err error) {
+	dir, ok := l.resolveDir(path)
+	if !ok {
+		return nil, nil, fmt.Errorf("lobvet: %q is not a package in this module", path)
+	}
+	l.loading[path] = true
+	pkg, extra, err = l.loadDir(path, dir, includeTests)
+	delete(l.loading, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Register the target for future importers only if the path has not been
+	// imported already: every package in one load session must see a single
+	// types.Package identity per import path, so a with-tests reload must
+	// never displace an instance other packages already reference.
+	if _, ok := l.pkgs[path]; !ok {
+		l.pkgs[path] = pkg
+	}
+	return pkg, extra, nil
+}
+
+// loadDir parses and type-checks the package in dir.
+func (l *Loader) loadDir(path, dir string, includeTests bool) (pkg, extra *Package, err error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	ctxt := build.Default
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !includeTests {
+			continue
+		}
+		if match, _ := ctxt.MatchFile(dir, name); !match {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var files, testFiles []*ast.File // package p vs package p_test
+	var pkgName, extName string
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, err
+		}
+		fname := f.Name.Name
+		switch {
+		case strings.HasSuffix(name, "_test.go") && strings.HasSuffix(fname, "_test"):
+			extName = fname
+			testFiles = append(testFiles, f)
+		default:
+			if pkgName == "" {
+				pkgName = fname
+			}
+			if fname == pkgName {
+				files = append(files, f)
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, nil, fmt.Errorf("lobvet: no buildable Go files in %s", dir)
+	}
+
+	pkg = l.check(path, pkgName, dir, files)
+	if len(testFiles) > 0 {
+		// The external test package imports the base package and may use
+		// exported helpers that live in in-package _test.go files, so it
+		// must see the with-tests variant — but only for the duration of
+		// this check (see LoadPackage on import identity).
+		prev, had := l.pkgs[path]
+		l.pkgs[path] = pkg
+		extra = l.check(path+"_test", extName, dir, testFiles)
+		if had {
+			l.pkgs[path] = prev
+		} else {
+			delete(l.pkgs, path)
+		}
+	}
+	return pkg, extra, nil
+}
+
+func (l *Loader) check(path, name, dir string, files []*ast.File) *Package {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg := &Package{Path: path, Name: name, Dir: dir, Fset: l.Fset, Files: files, Info: info}
+	conf := types.Config{
+		Importer:                 l,
+		FakeImportC:              true,
+		Error:                    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+		DisableUnusedImportCheck: true,
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	pkg.Types = tpkg
+	return pkg
+}

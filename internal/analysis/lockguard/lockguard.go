@@ -1,0 +1,201 @@
+// Package lockguard defines an analyzer for the "// guarded by mu" field
+// annotation convention. A struct field carrying the annotation may only be
+// read or written while the named mutex is held. The check is lexical and
+// intraprocedural by design — Go has no ownership types, so the analyzer
+// approximates "holds the lock" as "a Lock/RLock call on the named mutex
+// appears earlier in the same function body". Three idioms are accepted
+// without a visible Lock:
+//
+//   - functions whose name ends in "Locked", the codebase's convention for
+//     "caller holds the mutex";
+//   - functions that create the value locally (a freshly constructed struct
+//     is not yet shared, so its fields need no lock);
+//   - composite literals, for the same reason.
+//
+// The annotation is written on the field's line or doc comment:
+//
+//	mu     sync.Mutex
+//	lookup map[Tag]*Frame // guarded by mu
+//
+// Dotted paths ("guarded by pool.mu") are allowed; the final path component
+// names the mutex field the analyzer looks for.
+package lockguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"postlob/internal/analysis"
+)
+
+// Analyzer reports guarded-field accesses with no preceding lock
+// acquisition in the same function.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "check that fields annotated '// guarded by mu' are only accessed with the mutex held",
+	Run:  run,
+}
+
+var guardRE = regexp.MustCompile(`guarded by ([A-Za-z_][\w.]*)`)
+
+// guardedField records one annotated field and the terminal name of its
+// guarding mutex.
+type guardedField struct {
+	mutex string // final component of the annotation path, e.g. "mu"
+	decl  string // annotation as written, for diagnostics
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, name = fn.Body, fn.Name.Name
+			default:
+				return true
+			}
+			if body == nil || strings.HasSuffix(name, "Locked") {
+				return true
+			}
+			checkFunc(pass, guards, body)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectGuards maps annotated field objects to their guard info.
+func collectGuards(pass *analysis.Pass) map[types.Object]guardedField {
+	guards := make(map[types.Object]guardedField)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				ann := fieldAnnotation(field)
+				if ann == "" {
+					continue
+				}
+				parts := strings.Split(ann, ".")
+				g := guardedField{mutex: parts[len(parts)-1], decl: ann}
+				for _, id := range field.Names {
+					if obj := pass.TypesInfo.Defs[id]; obj != nil {
+						guards[obj] = g
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+func fieldAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkFunc verifies every guarded-field access in one function body.
+func checkFunc(pass *analysis.Pass, guards map[types.Object]guardedField, body *ast.BlockStmt) {
+	// Pass 1: where are locks taken, and which objects are local?
+	lockPos := make(map[string][]token.Pos) // mutex name -> Lock/RLock call positions
+	locals := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					if mu := terminalName(sel.X); mu != "" {
+						lockPos[mu] = append(lockPos[mu], x.Pos())
+					}
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Defs[x]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					locals[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: check accesses.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CompositeLit); ok {
+			return false // initializing a fresh value needs no lock
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj := analysis.ObjectOf(pass.TypesInfo, sel.Sel)
+		g, guarded := guards[obj]
+		if !guarded {
+			return true
+		}
+		if rootIsLocal(pass, sel.X, locals) {
+			return true
+		}
+		for _, p := range lockPos[g.mutex] {
+			if p < sel.Pos() {
+				return true
+			}
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"access to %s (guarded by %s) without %s.Lock in scope; hold the mutex or name the function *Locked",
+			sel.Sel.Name, g.decl, g.mutex)
+		return true
+	})
+}
+
+// terminalName renders the final selector component of a mutex expression:
+// p.mu.Lock() and f.pool.mu.Lock() both yield "mu".
+func terminalName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// rootIsLocal reports whether the base identifier of a selector chain is a
+// variable declared inside this function body (freshly created values are
+// unshared, so unlocked access is fine).
+func rootIsLocal(pass *analysis.Pass, e ast.Expr, locals map[types.Object]bool) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			obj := analysis.ObjectOf(pass.TypesInfo, x)
+			return obj != nil && locals[obj]
+		default:
+			return false
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockguard_test
+
+import (
+	"testing"
+
+	"postlob/internal/analysis/analysistest"
+	"postlob/internal/analysis/lockguard"
+)
+
+func TestLockGuard(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), lockguard.Analyzer, "a")
+}

@@ -1,0 +1,80 @@
+// Fixture for the lockguard analyzer: '// guarded by mu' fields must be
+// accessed under the named mutex, by a *Locked function, or on a freshly
+// constructed local value.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	// hits is the running total.
+	hits int // guarded by mu
+	name string
+}
+
+type nested struct {
+	parent *counter
+	n      int // guarded by parent.mu
+}
+
+// --- violations --------------------------------------------------------------
+
+func (c *counter) BadRead() int {
+	return c.hits // want `access to hits \(guarded by mu\) without mu\.Lock`
+}
+
+func (c *counter) BadWrite(n int) {
+	c.hits = n // want `access to hits \(guarded by mu\) without mu\.Lock`
+}
+
+func (c *counter) BadUnlockedFirst() int {
+	v := c.hits // want `access to hits \(guarded by mu\) without mu\.Lock`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return v + c.hits
+}
+
+func badOutsideMethod(c *counter) {
+	c.hits++ // want `access to hits \(guarded by mu\) without mu\.Lock`
+}
+
+func (x *nested) BadDotted() int {
+	return x.n // want `access to n \(guarded by parent\.mu\) without mu\.Lock`
+}
+
+// --- accepted usages ---------------------------------------------------------
+
+func (c *counter) OkLocked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *counter) OkWrite(n int) {
+	c.mu.Lock()
+	c.hits = n
+	c.mu.Unlock()
+}
+
+// hitsLocked follows the caller-holds-the-mutex naming convention.
+func (c *counter) hitsLocked() int {
+	return c.hits
+}
+
+// OkUnguardedField: name carries no annotation.
+func (c *counter) OkUnguardedField() string {
+	return c.name
+}
+
+// okFreshLocal constructs the value locally; nothing else can see it yet.
+func okFreshLocal() *counter {
+	c := &counter{name: "fresh"}
+	c.hits = 1
+	return c
+}
+
+func (x *nested) OkDotted() int {
+	x.parent.mu.Lock()
+	defer x.parent.mu.Unlock()
+	return x.n
+}

@@ -1,0 +1,12 @@
+package nopanic_test
+
+import (
+	"testing"
+
+	"postlob/internal/analysis/analysistest"
+	"postlob/internal/analysis/nopanic"
+)
+
+func TestNoPanic(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), nopanic.Analyzer, "postlob/internal/a", "b")
+}

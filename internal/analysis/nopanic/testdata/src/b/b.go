@@ -1,0 +1,9 @@
+// Fixture for the nopanic analyzer: packages outside internal/ (API
+// surface, examples) may panic; the rule does not apply.
+package b
+
+func TopLevelMayPanic(n int) {
+	if n < 0 {
+		panic("b: negative")
+	}
+}

@@ -1,0 +1,52 @@
+// Fixture for the nopanic analyzer. The package path places it under
+// internal/, where the no-undocumented-panic rule applies.
+package a
+
+import "fmt"
+
+// --- violations --------------------------------------------------------------
+
+func undocumented(n int) int {
+	if n < 0 {
+		panic("negative") // want `panic in internal package postlob/internal/a`
+	}
+	return n
+}
+
+// parse converts s, dying on malformed input instead of reporting it.
+func parse(s string) int {
+	if s == "" {
+		panic(fmt.Sprintf("empty input")) // want `panic in internal package postlob/internal/a`
+	}
+	return len(s)
+}
+
+// --- accepted usages ---------------------------------------------------------
+
+// MustParse parses s. Must-helpers are panic-by-contract.
+func MustParse(s string) int {
+	if s == "" {
+		panic("a: empty input")
+	}
+	return len(s)
+}
+
+// checkInvariant validates internal state. Panics if the pin count is
+// negative, which indicates memory corruption rather than a recoverable
+// condition.
+func checkInvariant(pins int) {
+	if pins < 0 {
+		panic("a: pin count underflow")
+	}
+}
+
+// handled recovers from downstream panics; recover is not a panic.
+func handled(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovered: %v", r)
+		}
+	}()
+	f()
+	return nil
+}

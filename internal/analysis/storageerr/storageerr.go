@@ -1,0 +1,133 @@
+// Package storageerr defines an analyzer that forbids silently dropping
+// errors from the storage stack's durability-critical operations. A write,
+// flush, sync, commit, or unlink that fails and is ignored converts a
+// recoverable I/O error into silent data loss — precisely the failure mode a
+// no-overwrite store exists to rule out. The analyzer flags three shapes:
+// bare call statements, results discarded into _, and deferred/go'ed calls
+// whose error has nowhere to go.
+package storageerr
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"postlob/internal/analysis"
+)
+
+// Analyzer reports discarded errors from storage-stack mutation methods.
+var Analyzer = &analysis.Analyzer{
+	Name: "storageerr",
+	Doc:  "check that errors from storage/buffer/inversion write, flush, sync, and commit operations are not discarded",
+	Run:  run,
+}
+
+// watchedPkgs are the packages whose mutation errors must be handled. Paths
+// are matched exactly so analyzer fixtures can stub them under testdata.
+var watchedPkgs = map[string]bool{
+	"postlob/internal/storage":   true,
+	"postlob/internal/buffer":    true,
+	"postlob/internal/inversion": true,
+	"postlob/internal/txn":       true,
+}
+
+// watchedPrefixes select the durability-relevant operations by name within a
+// watched package. Only functions whose final result is error are checked.
+var watchedPrefixes = []string{
+	"Write", "Flush", "Sync", "Commit", "Save", "Unlink", "Drop",
+	"Put", "Truncate", "Extend", "Remove",
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		// Tests deliberately drive failure paths and assert on observable
+		// behavior; the durability invariant binds production code.
+		if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+					if fn := watchedCall(pass, call); fn != nil {
+						pass.Reportf(call.Pos(), "error from %s is silently discarded", fullName(fn))
+					}
+				}
+			case *ast.DeferStmt:
+				if fn := watchedCall(pass, s.Call); fn != nil {
+					pass.Reportf(s.Call.Pos(), "error from deferred %s is silently discarded", fullName(fn))
+				}
+			case *ast.GoStmt:
+				if fn := watchedCall(pass, s.Call); fn != nil {
+					pass.Reportf(s.Call.Pos(), "error from %s in go statement is silently discarded", fullName(fn))
+				}
+			case *ast.AssignStmt:
+				if len(s.Rhs) != 1 {
+					return true
+				}
+				call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := watchedCall(pass, call)
+				if fn == nil {
+					return true
+				}
+				// The error is the final result; with a 1:1 assignment the
+				// final LHS receives it.
+				if id, ok := s.Lhs[len(s.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(call.Pos(), "error from %s discarded via _", fullName(fn))
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// watchedCall returns the callee when call is a watched durability operation
+// whose last result is error, else nil.
+func watchedCall(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !watchedPkgs[fn.Pkg().Path()] {
+		return nil
+	}
+	name := fn.Name()
+	watched := false
+	for _, p := range watchedPrefixes {
+		if strings.HasPrefix(name, p) {
+			watched = true
+			break
+		}
+	}
+	if !watched {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	res := sig.Results()
+	if res.Len() == 0 {
+		return nil
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Name() != "error" || named.Obj().Pkg() != nil {
+		return nil
+	}
+	return fn
+}
+
+func fullName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Name()
+}

@@ -1,0 +1,12 @@
+package storageerr_test
+
+import (
+	"testing"
+
+	"postlob/internal/analysis/analysistest"
+	"postlob/internal/analysis/storageerr"
+)
+
+func TestStorageErr(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), storageerr.Analyzer, "a")
+}

@@ -1,0 +1,67 @@
+// Fixture for the storageerr analyzer: durability-critical errors must not
+// be dropped; read-path errors and handled errors are fine.
+package a
+
+import (
+	"log"
+
+	"postlob/internal/storage"
+)
+
+// --- violations --------------------------------------------------------------
+
+func dropBare(m *storage.Manager, rel storage.RelName, data []byte) {
+	m.WriteBlock(rel, 0, data) // want `error from Manager\.WriteBlock is silently discarded`
+	m.Flush(rel)               // want `error from Manager\.Flush is silently discarded`
+	m.Sync()                   // want `error from Manager\.Sync is silently discarded`
+}
+
+func dropBlank(m *storage.Manager, rel storage.RelName) {
+	_ = m.Flush(rel) // want `error from Manager\.Flush discarded via _`
+}
+
+func dropDeferred(m *storage.Manager, rel storage.RelName) {
+	defer m.Sync() // want `error from deferred Manager\.Sync is silently discarded`
+}
+
+func dropGo(m *storage.Manager, rel storage.RelName) {
+	go m.Flush(rel) // want `error from Manager\.Flush in go statement is silently discarded`
+}
+
+func dropUnlink(m *storage.Manager, rel storage.RelName) {
+	m.Unlink(rel) // want `error from Manager\.Unlink is silently discarded`
+}
+
+// --- accepted usages ---------------------------------------------------------
+
+func okChecked(m *storage.Manager, rel storage.RelName, data []byte) error {
+	if err := m.WriteBlock(rel, 0, data); err != nil {
+		return err
+	}
+	return m.Sync()
+}
+
+func okAssigned(m *storage.Manager, rel storage.RelName) {
+	err := m.Flush(rel)
+	if err != nil {
+		log.Println(err)
+	}
+}
+
+// okReadPath: read-side errors are not this analyzer's business (ordinary
+// error hygiene is), so a bare read call is accepted here.
+func okReadPath(m *storage.Manager, rel storage.RelName, data []byte) {
+	m.ReadBlock(rel, 0, data)
+}
+
+// okNonError: NBlocks' first result being dropped is fine; only the error
+// result is protected, and here it is bound.
+func okNonError(m *storage.Manager, rel storage.RelName) error {
+	_, err := m.NBlocks(rel)
+	return err
+}
+
+// okReturned propagates the error to the caller.
+func okReturned(m *storage.Manager, rel storage.RelName) error {
+	return m.Flush(rel)
+}

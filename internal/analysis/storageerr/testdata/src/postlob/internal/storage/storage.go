@@ -1,0 +1,15 @@
+// Stub of the real storage package: just enough surface for the storageerr
+// analyzer fixture, under the real import path the analyzer matches on.
+package storage
+
+type RelName string
+type BlockNum uint32
+
+type Manager struct{}
+
+func (m *Manager) WriteBlock(rel RelName, blk BlockNum, data []byte) error { return nil }
+func (m *Manager) Flush(rel RelName) error                                 { return nil }
+func (m *Manager) Sync() error                                             { return nil }
+func (m *Manager) Unlink(rel RelName) error                                { return nil }
+func (m *Manager) ReadBlock(rel RelName, blk BlockNum, data []byte) error  { return nil }
+func (m *Manager) NBlocks(rel RelName) (BlockNum, error)                   { return 0, nil }

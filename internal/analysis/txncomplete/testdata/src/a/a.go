@@ -1,0 +1,94 @@
+// Fixture for the txncomplete analyzer: accepted and rejected transaction
+// lifecycle patterns.
+package a
+
+import (
+	"errors"
+
+	"postlob/internal/txn"
+)
+
+// --- violations --------------------------------------------------------------
+
+func leakForgotten(m *txn.Manager) {
+	tx := m.Begin() // want `transaction obtained from \*Manager\.Begin is not committed or aborted on every path`
+	_ = tx.ID()
+}
+
+func leakDiscarded(m *txn.Manager) {
+	m.Begin() // want `result of \*Manager\.Begin \(a transaction\) is discarded`
+}
+
+func leakErrorPath(m *txn.Manager, work func() error) error {
+	tx := m.Begin() // want `not committed or aborted on every path`
+	if err := work(); err != nil {
+		return err // abandons the open transaction
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+func leakCommitOnlyOneArm(m *txn.Manager, ok bool) {
+	tx := m.Begin() // want `not committed or aborted on every path`
+	if ok {
+		tx.Commit()
+	}
+}
+
+// --- accepted usages ---------------------------------------------------------
+
+func okCommit(m *txn.Manager) error {
+	tx := m.Begin()
+	_, err := tx.Commit()
+	return err
+}
+
+func okBothArms(m *txn.Manager, work func() error) error {
+	tx := m.Begin()
+	if err := work(); err != nil {
+		tx.Abort()
+		return err
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+func okDeferredAbort(m *txn.Manager, work func() error) error {
+	tx := m.Begin()
+	defer tx.Abort()
+	if err := work(); err != nil {
+		return err
+	}
+	_, err := tx.Commit()
+	return err
+}
+
+// okReturned transfers the open transaction to the caller (session pattern).
+func okReturned(m *txn.Manager) *txn.Txn {
+	tx := m.Begin()
+	return tx
+}
+
+// okStored parks the transaction in a session for a later request to finish.
+type session struct{ tx *txn.Txn }
+
+func okStored(m *txn.Manager, s *session) {
+	s.tx = m.Begin()
+}
+
+func okHelper(m *txn.Manager, finish func(*txn.Txn) error) error {
+	tx := m.Begin()
+	return finish(tx)
+}
+
+func okSwitch(m *txn.Manager, mode int) error {
+	tx := m.Begin()
+	switch mode {
+	case 0:
+		tx.Abort()
+		return errors.New("refused")
+	default:
+		_, err := tx.Commit()
+		return err
+	}
+}

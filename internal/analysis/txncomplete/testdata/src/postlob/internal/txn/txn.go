@@ -1,0 +1,15 @@
+// Stub of the real txn package: just enough surface for the txncomplete
+// analyzer fixture, under the real import path the analyzer matches on.
+package txn
+
+type TS int64
+
+type Txn struct{}
+
+func (t *Txn) Commit() (TS, error) { return 0, nil }
+func (t *Txn) Abort() error        { return nil }
+func (t *Txn) ID() uint32          { return 0 }
+
+type Manager struct{}
+
+func (m *Manager) Begin() *Txn { return nil }

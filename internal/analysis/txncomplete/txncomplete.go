@@ -1,0 +1,82 @@
+// Package txncomplete defines an analyzer enforcing transaction hygiene:
+// every *txn.Txn obtained from a Begin must reach Commit or Abort on every
+// path out of the acquiring function, unless ownership visibly transfers
+// (the transaction is returned, stored in a session, passed to a helper, or
+// captured by a closure). An unfinished transaction pins its snapshot in
+// every later snapshot's active set, so vacuum can never reclaim versions
+// newer than it — the no-overwrite store grows without bound.
+package txncomplete
+
+import (
+	"go/ast"
+	"go/types"
+
+	"postlob/internal/analysis"
+)
+
+// TxnPkgPath is the import path of the transaction package.
+const TxnPkgPath = "postlob/internal/txn"
+
+// Analyzer reports transactions that are neither committed nor aborted on
+// some path.
+var Analyzer = &analysis.Analyzer{
+	Name: "txncomplete",
+	Doc:  "check that every txn.Begin is paired with Commit or Abort on all paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg != nil && pass.Pkg.Path() == TxnPkgPath {
+		// The manager itself mints Txn values below the protocol.
+		return nil, nil
+	}
+	spec := &analysis.LeakSpec{
+		Kind:         "transaction",
+		Settle:       "committed or aborted",
+		ReleaseNames: map[string]bool{"Commit": true, "Abort": true},
+		IsAcquire:    isBegin,
+	}
+	analysis.CheckLeaks(pass, spec)
+	return nil, nil
+}
+
+// isBegin matches calls to a function or method named Begin whose result
+// tuple contains a *txn.Txn. The name restriction keeps accessors that
+// merely hand back an existing transaction (session.Txn() and friends) from
+// being misread as acquisitions.
+func isBegin(pass *analysis.Pass, call *ast.CallExpr) (int, bool) {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Begin" {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return 0, false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isTxnPtr(t.At(i).Type()) {
+				return i, true
+			}
+		}
+	default:
+		if isTxnPtr(t) {
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func isTxnPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Txn" && obj.Pkg() != nil && obj.Pkg().Path() == TxnPkgPath
+}

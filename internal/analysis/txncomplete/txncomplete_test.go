@@ -1,0 +1,12 @@
+package txncomplete_test
+
+import (
+	"testing"
+
+	"postlob/internal/analysis/analysistest"
+	"postlob/internal/analysis/txncomplete"
+)
+
+func TestTxnComplete(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), txncomplete.Analyzer, "a")
+}

@@ -46,9 +46,9 @@ type Frame struct {
 	pool  *Pool
 	tag   Tag
 	data  page.Page
-	pins  int
-	dirty bool
-	lruEl *list.Element // non-nil iff unpinned and on the LRU list
+	pins  int           // guarded by pool.mu
+	dirty bool          // guarded by pool.mu
+	lruEl *list.Element // guarded by pool.mu; non-nil iff unpinned and on the LRU list
 }
 
 // Page returns the frame's page. The slice is valid while the frame is
@@ -67,7 +67,9 @@ func (f *Frame) MarkDirty() {
 }
 
 // Release drops one pin. When the last pin is released the frame becomes a
-// candidate for replacement.
+// candidate for replacement. Release panics on a pin-count underflow: a
+// frame released more often than it was obtained is always a caller bug,
+// and continuing would let the pool evict a page someone still points at.
 func (f *Frame) Release() {
 	f.pool.mu.Lock()
 	defer f.pool.mu.Unlock()
@@ -90,8 +92,8 @@ func (f *Frame) Release() {
 type pageGate struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
-	readers int
-	writer  bool
+	readers int  // guarded by mu
+	writer  bool // guarded by mu
 }
 
 func (g *pageGate) init() { g.cond = sync.NewCond(&g.mu) }
@@ -137,16 +139,17 @@ type Pool struct {
 	gate  pageGate
 
 	mu      sync.Mutex
-	cap     int
-	lookup  map[Tag]*Frame
-	lru     *list.List // unpinned frames; front = most recently used
-	nblocks map[relKey]storage.BlockNum
-	hits    int64
-	misses  int64
+	cap     int                         // immutable after NewPool
+	lookup  map[Tag]*Frame              // guarded by mu
+	lru     *list.List                  // guarded by mu; unpinned frames, front = most recently used
+	nblocks map[relKey]storage.BlockNum // guarded by mu
+	hits    int64                       // guarded by mu
+	misses  int64                       // guarded by mu
 }
 
 // NewPool creates a pool of nframes pages over the given switch. clock may
-// be nil.
+// be nil. Panics if nframes < 1: a zero-frame pool cannot make progress and
+// only a hardcoded configuration error can ask for one.
 func NewPool(nframes int, sw *storage.Switch, clock *vclock.Clock) *Pool {
 	if nframes < 1 {
 		panic("buffer: pool needs at least one frame")

@@ -81,7 +81,9 @@ func New(specialSize int) Page {
 }
 
 // Init formats p in place, discarding any previous contents. specialSize
-// bytes at the end of the page are reserved for the access method.
+// bytes at the end of the page are reserved for the access method. Init
+// panics when p is not exactly Size bytes or specialSize is out of range;
+// both are compiled-in layout bugs, not data-dependent conditions.
 func (p Page) Init(specialSize int) {
 	if len(p) != Size {
 		panic(fmt.Sprintf("page: Init on %d-byte buffer", len(p)))

@@ -927,6 +927,9 @@ func (e *Engine) execReplace(tx *txn.Txn, st *replaceStmt) (*Result, error) {
 
 // --- built-in functions -----------------------------------------------------------
 
+// registerBuiltins installs the built-in functions into the store's ADT
+// registry. It panics if a definition is rejected: the set is compiled into
+// the binary, so a failure is a programming error no caller can handle.
 func (e *Engine) registerBuiltins() {
 	reg := e.store.Registry()
 	define := func(f adt.Func) {

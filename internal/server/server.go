@@ -29,9 +29,9 @@ type Server struct {
 	engine *query.Engine
 
 	mu       sync.Mutex
-	listener net.Listener
-	closed   bool
-	conns    map[net.Conn]bool
+	listener net.Listener      // guarded by mu
+	closed   bool              // guarded by mu
+	conns    map[net.Conn]bool // guarded by mu
 	wg       sync.WaitGroup
 }
 

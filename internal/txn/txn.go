@@ -92,11 +92,11 @@ func (s Snapshot) Sees(x XID) bool {
 // Manager hands out transactions and records their outcomes.
 type Manager struct {
 	mu       sync.Mutex
-	nextXID  XID
-	nextTS   TS
-	status   map[XID]Status
-	commitTS map[XID]TS
-	active   map[XID]bool
+	nextXID  XID            // guarded by mu
+	nextTS   TS             // guarded by mu
+	status   map[XID]Status // guarded by mu
+	commitTS map[XID]TS     // guarded by mu
+	active   map[XID]bool   // guarded by mu
 }
 
 // NewManager returns an empty transaction manager.
@@ -188,11 +188,11 @@ type Txn struct {
 	mgr  *Manager
 	id   XID
 	snap Snapshot
-	done bool
+	done bool // guarded by mu
 
 	mu       sync.Mutex
-	onCommit []func()
-	onAbort  []func()
+	onCommit []func() // guarded by mu
+	onAbort  []func() // guarded by mu
 }
 
 // ID returns the transaction's XID.
