@@ -7,12 +7,17 @@
 #   3. go run ./cmd/lobvet ./...   the postlob invariant analyzers
 #                                  (frame release, txn completion, storage
 #                                  errors, lock guards, no stray panics)
-#   4. go test ./...               the full test suite
+#   4. go test -race ./...         the full test suite under the race
+#                                  detector — the concurrent read path is
+#                                  expected to stay race-clean
+#   5. BenchmarkConcurrentRead     one-iteration smoke run of the concurrent
+#                                  read benchmark, so scaling regressions
+#                                  break the build, not just the numbers
 #
-# Run with RACE=1 to add a race-detector pass (slower; the suite is
-# expected to stay race-clean):
+# The race detector is on by default. Run with RACE=0 to skip it (plain
+# go test ./...) when iterating on something slow:
 #
-#   RACE=1 ./check.sh
+#   RACE=0 ./check.sh
 set -e
 cd "$(dirname "$0")"
 
@@ -25,12 +30,15 @@ go vet ./...
 echo "== lobvet ./..."
 go run ./cmd/lobvet ./...
 
-echo "== go test ./..."
-go test ./...
-
-if [ -n "$RACE" ]; then
+if [ "${RACE:-1}" = "0" ]; then
+	echo "== go test ./... (race detector skipped: RACE=0)"
+	go test ./...
+else
 	echo "== go test -race ./..."
 	go test -race ./...
 fi
+
+echo "== BenchmarkConcurrentRead smoke (-benchtime=1x)"
+go test -run '^$' -bench BenchmarkConcurrentRead -benchtime=1x .
 
 echo "check.sh: all green"

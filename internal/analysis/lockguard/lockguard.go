@@ -3,8 +3,15 @@
 // read or written while the named mutex is held. The check is lexical and
 // intraprocedural by design — Go has no ownership types, so the analyzer
 // approximates "holds the lock" as "a Lock/RLock call on the named mutex
-// appears earlier in the same function body". Three idioms are accepted
-// without a visible Lock:
+// appears earlier in the same function body".
+//
+// The analyzer understands sync.RWMutex: a read of a guarded field is
+// satisfied by either Lock or RLock, but a write (assignment target or
+// inc/dec operand, including writes through an index expression such as
+// m.cache[k] = v) demands the exclusive Lock — mutating shared state under a
+// shared lock would race the other readers it admits.
+//
+// Three idioms are accepted without a visible Lock:
 //
 //   - functions whose name ends in "Locked", the codebase's convention for
 //     "caller holds the mutex";
@@ -115,16 +122,23 @@ func fieldAnnotation(field *ast.Field) string {
 
 // checkFunc verifies every guarded-field access in one function body.
 func checkFunc(pass *analysis.Pass, guards map[types.Object]guardedField, body *ast.BlockStmt) {
-	// Pass 1: where are locks taken, and which objects are local?
-	lockPos := make(map[string][]token.Pos) // mutex name -> Lock/RLock call positions
+	// Pass 1: where are locks taken (exclusive and shared separately), which
+	// objects are local, and which selectors are written rather than read?
+	exclPos := make(map[string][]token.Pos)   // mutex name -> Lock call positions
+	sharedPos := make(map[string][]token.Pos) // mutex name -> RLock call positions
 	locals := make(map[types.Object]bool)
+	writes := make(map[*ast.SelectorExpr]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.CallExpr:
 			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
 				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
 					if mu := terminalName(sel.X); mu != "" {
-						lockPos[mu] = append(lockPos[mu], x.Pos())
+						if sel.Sel.Name == "Lock" {
+							exclPos[mu] = append(exclPos[mu], x.Pos())
+						} else {
+							sharedPos[mu] = append(sharedPos[mu], x.Pos())
+						}
 					}
 				}
 			}
@@ -134,11 +148,28 @@ func checkFunc(pass *analysis.Pass, guards map[types.Object]guardedField, body *
 					locals[obj] = true
 				}
 			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markWrites(lhs, writes)
+			}
+		case *ast.IncDecStmt:
+			markWrites(x.X, writes)
 		}
 		return true
 	})
 
-	// Pass 2: check accesses.
+	heldBefore := func(positions []token.Pos, at token.Pos) bool {
+		for _, p := range positions {
+			if p < at {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: check accesses. Reads are satisfied by either lock flavour
+	// (sync.RWMutex.RLock or a plain Lock); writes demand the exclusive
+	// Lock — a shared holder mutating the field would race other readers.
 	ast.Inspect(body, func(n ast.Node) bool {
 		if _, ok := n.(*ast.CompositeLit); ok {
 			return false // initializing a fresh value needs no lock
@@ -155,16 +186,45 @@ func checkFunc(pass *analysis.Pass, guards map[types.Object]guardedField, body *
 		if rootIsLocal(pass, sel.X, locals) {
 			return true
 		}
-		for _, p := range lockPos[g.mutex] {
-			if p < sel.Pos() {
+		excl := heldBefore(exclPos[g.mutex], sel.Pos())
+		shared := heldBefore(sharedPos[g.mutex], sel.Pos())
+		if writes[sel] {
+			if excl {
 				return true
 			}
+			if shared {
+				pass.Reportf(sel.Sel.Pos(),
+					"write to %s (guarded by %s) under %s.RLock; writes require the exclusive %s.Lock",
+					sel.Sel.Name, g.decl, g.mutex, g.mutex)
+				return true
+			}
+		} else if excl || shared {
+			return true
 		}
 		pass.Reportf(sel.Sel.Pos(),
-			"access to %s (guarded by %s) without %s.Lock in scope; hold the mutex or name the function *Locked",
-			sel.Sel.Name, g.decl, g.mutex)
+			"access to %s (guarded by %s) without %s.Lock or %s.RLock in scope; hold the mutex or name the function *Locked",
+			sel.Sel.Name, g.decl, g.mutex, g.mutex)
 		return true
 	})
+}
+
+// markWrites records every selector appearing in an assignment target or
+// inc/dec operand. Selectors inside index expressions count too: writing
+// m.cache[k] mutates the guarded map held in m.cache.
+func markWrites(e ast.Expr, writes map[*ast.SelectorExpr]bool) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			writes[x] = true
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return
+		}
+	}
 }
 
 // terminalName renders the final selector component of a mutex expression:

@@ -78,3 +78,49 @@ func (x *nested) OkDotted() int {
 	defer x.parent.mu.Unlock()
 	return x.n
 }
+
+// --- sync.RWMutex: shared readers, exclusive writers -------------------------
+
+type registry struct {
+	mu    sync.RWMutex
+	byID  map[int]string // guarded by mu
+	count int            // guarded by mu
+}
+
+// OkSharedRead: RLock satisfies a read of a guarded field.
+func (r *registry) OkSharedRead(id int) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byID[id]
+}
+
+// OkExclusiveWrite: writes under the exclusive lock are fine.
+func (r *registry) OkExclusiveWrite(id int, v string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byID[id] = v
+	r.count++
+}
+
+// OkExclusiveRead: the exclusive lock also covers reads.
+func (r *registry) OkExclusiveRead() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+func (r *registry) BadWriteUnderRLock(id int, v string) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.byID[id] = v // want `write to byID \(guarded by mu\) under mu\.RLock; writes require the exclusive mu\.Lock`
+}
+
+func (r *registry) BadIncUnderRLock() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	r.count++ // want `write to count \(guarded by mu\) under mu\.RLock`
+}
+
+func (r *registry) BadReadNoLock() int {
+	return r.count // want `access to count \(guarded by mu\) without mu\.Lock`
+}

@@ -86,7 +86,13 @@ type Tree struct {
 	name storage.RelName
 	cfg  Config
 
-	mu sync.Mutex // serialises structural modification and descent
+	// mu is held shared by read-only descents and scans — node pages only
+	// change under the exclusive side, so readers never see a node
+	// mid-modification — and exclusive by Insert/Delete. Writers
+	// additionally take each frame's content latch around page-byte
+	// mutation so the buffer pool can write back node pages concurrently
+	// without tearing them.
+	mu sync.RWMutex
 }
 
 // Create makes a new empty tree in its own relation.
@@ -113,16 +119,15 @@ func Create(buf *buffer.Pool, sm storage.ID, name storage.RelName, cfg Config) (
 		meta.Release()
 		return nil, err
 	}
-	initNode(rootFrame.Page(), true)
-	rootFrame.MarkDirty()
+	mutate(rootFrame, func(p []byte) { initNode(p, true) })
 	rootFrame.Release()
 
-	m := meta.Page()
-	binary.LittleEndian.PutUint32(m[0:], metaMagic)
-	binary.LittleEndian.PutUint32(m[4:], rootBlk)
-	binary.LittleEndian.PutUint32(m[8:], 1)
-	binary.LittleEndian.PutUint64(m[12:], 0)
-	meta.MarkDirty()
+	mutate(meta, func(m []byte) {
+		binary.LittleEndian.PutUint32(m[0:], metaMagic)
+		binary.LittleEndian.PutUint32(m[4:], rootBlk)
+		binary.LittleEndian.PutUint32(m[8:], 1)
+		binary.LittleEndian.PutUint64(m[12:], 0)
+	})
 	meta.Release()
 	return t, nil
 }
@@ -151,30 +156,26 @@ func Open(buf *buffer.Pool, sm storage.ID, name storage.RelName, cfg Config) (*T
 // Name returns the tree's relation name.
 func (t *Tree) Name() storage.RelName { return t.name }
 
-// lock pairs the tree mutex with the buffer pool's page gate: tree
-// operations mutate node pages, so whole-relation flushes are excluded for
-// their duration.
-func (t *Tree) lock() {
-	t.buf.BeginPageMutation()
-	t.mu.Lock()
-}
-
-func (t *Tree) unlock() {
-	t.mu.Unlock()
-	t.buf.EndPageMutation()
+// mutate runs fn on f's page under the frame's exclusive content latch and
+// marks the frame dirty: the write-a-node idiom for every structural change.
+func mutate(f *buffer.Frame, fn func(p []byte)) {
+	f.LockContent()
+	fn(f.Page())
+	f.MarkDirty()
+	f.UnlockContent()
 }
 
 // Len returns the number of live entries.
 func (t *Tree) Len() (uint64, error) {
-	t.lock()
-	defer t.unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.lenLocked()
 }
 
 // Height returns the number of node levels (1 = single leaf).
 func (t *Tree) Height() (int, error) {
-	t.lock()
-	defer t.unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	f, err := t.getBlock(0)
 	if err != nil {
 		return 0, err
@@ -327,17 +328,18 @@ func (t *Tree) bumpLen(delta int64) error {
 		return err
 	}
 	defer f.Release()
-	n := binary.LittleEndian.Uint64(f.Page()[12:])
-	binary.LittleEndian.PutUint64(f.Page()[12:], uint64(int64(n)+delta))
-	f.MarkDirty()
+	mutate(f, func(m []byte) {
+		n := binary.LittleEndian.Uint64(m[12:])
+		binary.LittleEndian.PutUint64(m[12:], uint64(int64(n)+delta))
+	})
 	return nil
 }
 
 // Insert adds the entry (key, val). Duplicate (key, val) pairs are allowed
 // and stored separately.
 func (t *Tree) Insert(key, val uint64) error {
-	t.lock()
-	defer t.unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	root, err := t.root()
 	if err != nil {
 		return err
@@ -355,21 +357,21 @@ func (t *Tree) Insert(key, val uint64) error {
 		if err != nil {
 			return err
 		}
-		p := f.Page()
-		initNode(p, false)
-		nodeInsertAt(p, 0, 0, 0, root)
-		nodeInsertAt(p, 1, sep.key, sep.val, newChild)
-		f.MarkDirty()
+		mutate(f, func(p []byte) {
+			initNode(p, false)
+			nodeInsertAt(p, 0, 0, 0, root)
+			nodeInsertAt(p, 1, sep.key, sep.val, newChild)
+		})
 		f.Release()
 		meta, err := t.getBlock(0)
 		if err != nil {
 			return err
 		}
-		m := meta.Page()
-		binary.LittleEndian.PutUint32(m[4:], blk)
-		h := binary.LittleEndian.Uint32(m[8:])
-		binary.LittleEndian.PutUint32(m[8:], h+1)
-		meta.MarkDirty()
+		mutate(meta, func(m []byte) {
+			binary.LittleEndian.PutUint32(m[4:], blk)
+			h := binary.LittleEndian.Uint32(m[8:])
+			binary.LittleEndian.PutUint32(m[8:], h+1)
+		})
 		meta.Release()
 	}
 	return t.bumpLen(1)
@@ -395,8 +397,7 @@ func (t *Tree) insertInto(blk storage.BlockNum, key, val uint64) (separator, sto
 	if nodeIsLeaf(p) {
 		i := nodeSearch(p, key, val)
 		if nodeCount(p) < nodeCapacity(p) {
-			nodeInsertAt(p, i, key, val, 0)
-			f.MarkDirty()
+			mutate(f, func(p []byte) { nodeInsertAt(p, i, key, val, 0) })
 			f.Release()
 			return separator{}, noSibling, nil
 		}
@@ -414,9 +415,9 @@ func (t *Tree) insertInto(blk storage.BlockNum, key, val uint64) (separator, sto
 				return separator{}, noSibling, err
 			}
 		}
-		tp := target.Page()
-		nodeInsertAt(tp, nodeSearch(tp, key, val), key, val, 0)
-		target.MarkDirty()
+		mutate(target, func(tp []byte) {
+			nodeInsertAt(tp, nodeSearch(tp, key, val), key, val, 0)
+		})
 		target.Release()
 		return sep, rightBlk, nil
 	}
@@ -446,8 +447,9 @@ func (t *Tree) insertInto(blk storage.BlockNum, key, val uint64) (separator, sto
 	}
 	p = f.Page()
 	if nodeCount(p) < nodeCapacity(p) {
-		nodeInsertAt(p, nodeSearch(p, sep.key, sep.val), sep.key, sep.val, newChild)
-		f.MarkDirty()
+		mutate(f, func(p []byte) {
+			nodeInsertAt(p, nodeSearch(p, sep.key, sep.val), sep.key, sep.val, newChild)
+		})
 		f.Release()
 		return separator{}, noSibling, nil
 	}
@@ -464,9 +466,9 @@ func (t *Tree) insertInto(blk storage.BlockNum, key, val uint64) (separator, sto
 			return separator{}, noSibling, err
 		}
 	}
-	tp := target.Page()
-	nodeInsertAt(tp, nodeSearch(tp, sep.key, sep.val), sep.key, sep.val, newChild)
-	target.MarkDirty()
+	mutate(target, func(tp []byte) {
+		nodeInsertAt(tp, nodeSearch(tp, sep.key, sep.val), sep.key, sep.val, newChild)
+	})
 	target.Release()
 	return upSep, rightBlk, nil
 }
@@ -480,30 +482,34 @@ func (t *Tree) splitNode(f *buffer.Frame, blk storage.BlockNum) (separator, stor
 	if err != nil {
 		return separator{}, noSibling, err
 	}
-	rp := rf.Page()
-	initNode(rp, nodeIsLeaf(p))
 
 	n := nodeCount(p)
 	mid := n / 2
 	es := nodeEntrySize(p)
 	moved := n - mid
-	copy(rp[nodeHdr:nodeHdr+moved*es], p[nodeHdr+mid*es:nodeHdr+n*es])
-	setNodeCount(rp, moved)
-	setNodeCount(p, mid)
-	setNodeRight(rp, nodeRight(p))
-	setNodeRight(p, rightBlk)
-
-	sk, sv, _ := nodeEntry(rp, 0)
-	if !nodeIsLeaf(p) {
-		// The parent remembers (sk, sv) as the right node's separator; inside
-		// the right node the leftmost entry now acts as -infinity, matching
-		// the convention used at root creation.
-		_, _, child := nodeEntry(rp, 0)
-		putNodeEntry(rp, 0, 0, 0, child)
-	}
-	rf.MarkDirty()
+	var sk, sv uint64
+	// One content latch at a time: build the right sibling (reading the
+	// left node is safe — this tree's writers are excluded by t.mu and the
+	// pool only ever reads pages), then shrink the left node.
+	mutate(rf, func(rp []byte) {
+		initNode(rp, nodeIsLeaf(p))
+		copy(rp[nodeHdr:nodeHdr+moved*es], p[nodeHdr+mid*es:nodeHdr+n*es])
+		setNodeCount(rp, moved)
+		setNodeRight(rp, nodeRight(p))
+		sk, sv, _ = nodeEntry(rp, 0)
+		if !nodeIsLeaf(p) {
+			// The parent remembers (sk, sv) as the right node's separator;
+			// inside the right node the leftmost entry now acts as
+			// -infinity, matching the convention used at root creation.
+			_, _, child := nodeEntry(rp, 0)
+			putNodeEntry(rp, 0, 0, 0, child)
+		}
+	})
 	rf.Release()
-	f.MarkDirty()
+	mutate(f, func(p []byte) {
+		setNodeCount(p, mid)
+		setNodeRight(p, rightBlk)
+	})
 	return separator{key: sk, val: sv}, rightBlk, nil
 }
 
@@ -543,8 +549,8 @@ func (t *Tree) descendToLeaf(key, val uint64) (storage.BlockNum, error) {
 
 // Delete removes the entry exactly matching (key, val).
 func (t *Tree) Delete(key, val uint64) error {
-	t.lock()
-	defer t.unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	blk, err := t.descendToLeaf(key, val)
 	if err != nil {
 		return err
@@ -559,8 +565,7 @@ func (t *Tree) Delete(key, val uint64) error {
 		if i < nodeCount(p) {
 			ek, ev, _ := nodeEntry(p, i)
 			if ek == key && ev == val {
-				nodeRemoveAt(p, i)
-				f.MarkDirty()
+				mutate(f, func(p []byte) { nodeRemoveAt(p, i) })
 				f.Release()
 				return t.bumpLen(-1)
 			}
@@ -587,8 +592,8 @@ func (t *Tree) Lookup(key uint64) ([]uint64, error) {
 // Range calls fn for every entry with lo <= key <= hi in ascending (key,val)
 // order; fn returns false to stop.
 func (t *Tree) Range(lo, hi uint64, fn func(key, val uint64) (bool, error)) error {
-	t.lock()
-	defer t.unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	blk, err := t.descendToLeaf(lo, 0)
 	if err != nil {
 		return err
@@ -626,8 +631,8 @@ func (t *Tree) Range(lo, hi uint64, fn func(key, val uint64) (bool, error)) erro
 // Floor returns the largest entry with key <= k, mirroring the "find the
 // segment covering this byte offset" lookup v-segment needs.
 func (t *Tree) Floor(k uint64) (key, val uint64, ok bool, err error) {
-	t.lock()
-	defer t.unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	blk, err := t.descendToLeaf(k, ^uint64(0))
 	if err != nil {
 		return 0, 0, false, err
@@ -699,8 +704,8 @@ func (t *Tree) rangeLockedAll(fn func(key, val uint64) (bool, error)) error {
 
 // Check walks the tree verifying ordering and sibling invariants; for tests.
 func (t *Tree) Check() error {
-	t.lock()
-	defer t.unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var prevK, prevV uint64
 	first := true
 	var count uint64

@@ -4,13 +4,29 @@
 // frames, and write-back of dirty pages. The pool also tracks a "virtual"
 // relation length so new blocks can be allocated in memory and written out
 // lazily, the way POSTGRES extends relations.
+//
+// Concurrency model: the lookup table, LRU list, and pin counts are sharded
+// into lock-striped partitions keyed by a hash of the page Tag, so readers
+// of different pages contend only when their tags collide. Device reads on
+// a miss happen with no pool lock held — concurrent misses overlap their
+// I/O — and a lost install race simply discards the duplicate read. Each
+// frame carries a shared/exclusive content latch: access methods hold it
+// exclusive around page-byte mutation and the pool holds it shared while a
+// page's bytes are on their way to the device, so a flush never writes a
+// torn page. Lock ordering is nbMu → partition mutexes (ascending) →
+// relation extension lock → frame latch; no code acquires an earlier lock
+// while holding a later one, and no pool call is made while a content latch
+// is held.
 package buffer
 
 import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"postlob/internal/page"
 	"postlob/internal/storage"
@@ -22,6 +38,10 @@ var (
 	ErrPoolExhausted = errors.New("buffer: all frames pinned")
 	ErrPinned        = errors.New("buffer: frame still pinned")
 )
+
+// maxPartitions caps the lock striping; pools smaller than this get one
+// partition per frame.
+const maxPartitions = 16
 
 // Tag identifies a disk page: which storage manager, which relation, which
 // block.
@@ -41,14 +61,21 @@ type relKey struct {
 }
 
 // Frame is a pinned buffer holding one page. Callers must Release every
-// frame they obtain, and MarkDirty after mutating its page.
+// frame they obtain, and MarkDirty after mutating its page under the
+// exclusive content latch.
 type Frame struct {
-	pool  *Pool
-	tag   Tag
-	data  page.Page
-	pins  int           // guarded by pool.mu
-	dirty bool          // guarded by pool.mu
-	lruEl *list.Element // guarded by pool.mu; non-nil iff unpinned and on the LRU list
+	pool *Pool
+	// part is the frame's resident partition. It is written only while the
+	// frame is unreferenced (install time) and is stable while pinned, so
+	// pin holders may read it without a lock.
+	part     *partition
+	tag      Tag
+	data     page.Page
+	pins     int           // guarded by part.mu
+	evicting bool          // guarded by part.mu; a write-back holds the only pin
+	lruEl    *list.Element // guarded by part.mu; non-nil iff unpinned and resident
+	dirty    atomic.Bool
+	latch    sync.RWMutex // content latch; see LockContent
 }
 
 // Page returns the frame's page. The slice is valid while the frame is
@@ -60,91 +87,98 @@ func (f *Frame) Tag() Tag { return f.tag }
 
 // MarkDirty records that the page has been modified and must be written back
 // before eviction.
-func (f *Frame) MarkDirty() {
-	f.pool.mu.Lock()
-	f.dirty = true
-	f.pool.mu.Unlock()
-}
+func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+
+// LockContent takes the frame's content latch exclusive. Every code path
+// that writes page bytes must hold it for the duration of the mutation
+// (ending with MarkDirty), so a concurrent flush never writes a torn page.
+// Do not call back into the pool — including Release — while holding it.
+func (f *Frame) LockContent() { f.latch.Lock() }
+
+// UnlockContent releases the exclusive content latch.
+func (f *Frame) UnlockContent() { f.latch.Unlock() }
+
+// RLockContent takes the content latch shared: page bytes are stable until
+// RUnlockContent. Readers that tolerate in-place hint-bit style updates may
+// skip the latch entirely; readers that require a torn-free view (or that
+// run concurrently with in-place updaters) hold it shared.
+func (f *Frame) RLockContent() { f.latch.RLock() }
+
+// RUnlockContent releases the shared content latch.
+func (f *Frame) RUnlockContent() { f.latch.RUnlock() }
 
 // Release drops one pin. When the last pin is released the frame becomes a
 // candidate for replacement. Release panics on a pin-count underflow: a
 // frame released more often than it was obtained is always a caller bug,
 // and continuing would let the pool evict a page someone still points at.
 func (f *Frame) Release() {
-	f.pool.mu.Lock()
-	defer f.pool.mu.Unlock()
+	part := f.part
+	part.mu.Lock()
+	defer part.mu.Unlock()
 	if f.pins <= 0 {
 		panic("buffer: Release of unpinned frame " + f.tag.String())
 	}
 	f.pins--
 	if f.pins == 0 {
-		f.lruEl = f.pool.lru.PushFront(f)
+		f.lruEl = part.lru.PushFront(f)
 	}
 }
 
-// pageGate is a shared/exclusive latch separating page-content mutation
-// (shared side, taken by the access methods around their page writes) from
-// whole-relation flushing (exclusive side), so a flush never reads a page
-// mid-mutation. Readers may re-enter while a writer waits — necessary
-// because access methods nest (a B-tree range scan fetches heap tuples) —
-// at the cost of theoretical writer starvation, which the short mutation
-// windows make a non-issue.
-type pageGate struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	readers int  // guarded by mu
-	writer  bool // guarded by mu
+// partition is one lock stripe of the pool: the frames whose tags hash
+// here, their lookup table, and their LRU list.
+type partition struct {
+	mu     sync.Mutex
+	lookup map[Tag]*Frame // guarded by mu
+	lru    *list.List     // guarded by mu; unpinned frames, front = most recently used
 }
 
-func (g *pageGate) init() { g.cond = sync.NewCond(&g.mu) }
-
-func (g *pageGate) enterRead() {
-	g.mu.Lock()
-	for g.writer {
-		g.cond.Wait()
+// tryPin returns the resident frame for tag with one more pin, or nil.
+func (part *partition) tryPin(tag Tag) *Frame {
+	part.mu.Lock()
+	defer part.mu.Unlock()
+	f, ok := part.lookup[tag]
+	if !ok {
+		return nil
 	}
-	g.readers++
-	g.mu.Unlock()
+	part.pinLocked(f)
+	return f
 }
 
-func (g *pageGate) exitRead() {
-	g.mu.Lock()
-	g.readers--
-	if g.readers == 0 {
-		g.cond.Broadcast()
+// pinLocked pins a resident frame, removing it from the LRU list.
+func (part *partition) pinLocked(f *Frame) {
+	if f.pins == 0 && f.lruEl != nil {
+		part.lru.Remove(f.lruEl)
+		f.lruEl = nil
 	}
-	g.mu.Unlock()
-}
-
-func (g *pageGate) enterWrite() {
-	g.mu.Lock()
-	for g.writer || g.readers > 0 {
-		g.cond.Wait()
-	}
-	g.writer = true
-	g.mu.Unlock()
-}
-
-func (g *pageGate) exitWrite() {
-	g.mu.Lock()
-	g.writer = false
-	g.cond.Broadcast()
-	g.mu.Unlock()
+	f.pins++
 }
 
 // Pool is a fixed-capacity page cache over a storage switch.
 type Pool struct {
 	sw    *storage.Switch
 	clock *vclock.Clock
-	gate  pageGate
+	cap   int // immutable after NewPool
 
-	mu      sync.Mutex
-	cap     int                         // immutable after NewPool
-	lookup  map[Tag]*Frame              // guarded by mu
-	lru     *list.List                  // guarded by mu; unpinned frames, front = most recently used
-	nblocks map[relKey]storage.BlockNum // guarded by mu
-	hits    int64                       // guarded by mu
-	misses  int64                       // guarded by mu
+	partMask uint64
+	parts    []*partition
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	// allocated counts frames ever created, bounded by cap; the pool's
+	// frame budget is global even though the metadata is sharded.
+	allocated atomic.Int64
+
+	freeMu sync.Mutex
+	free   []*Frame // guarded by freeMu; allocated frames resident nowhere
+
+	nbMu    sync.Mutex
+	nblocks map[relKey]storage.BlockNum // guarded by nbMu
+
+	extMu sync.Mutex
+	ext   map[relKey]*sync.Mutex // guarded by extMu; per-relation extension locks
+
+	evictHand atomic.Uint64 // rotates the partition eviction scan start
 }
 
 // NewPool creates a pool of nframes pages over the given switch. clock may
@@ -154,44 +188,58 @@ func NewPool(nframes int, sw *storage.Switch, clock *vclock.Clock) *Pool {
 	if nframes < 1 {
 		panic("buffer: pool needs at least one frame")
 	}
-	p := &Pool{
-		sw:      sw,
-		clock:   clock,
-		cap:     nframes,
-		lookup:  make(map[Tag]*Frame),
-		lru:     list.New(),
-		nblocks: make(map[relKey]storage.BlockNum),
+	nparts := maxPartitions
+	for nparts > nframes {
+		nparts /= 2
 	}
-	p.gate.init()
+	p := &Pool{
+		sw:       sw,
+		clock:    clock,
+		cap:      nframes,
+		partMask: uint64(nparts - 1),
+		parts:    make([]*partition, nparts),
+		nblocks:  make(map[relKey]storage.BlockNum),
+		ext:      make(map[relKey]*sync.Mutex),
+	}
+	for i := range p.parts {
+		p.parts[i] = &partition{lookup: make(map[Tag]*Frame), lru: list.New()}
+	}
 	return p
 }
 
-// BeginPageMutation enters the shared side of the page gate. Every code
-// path that writes page bytes through a pinned frame must hold it (the heap
-// and B-tree pair it with their own mutexes); relation flushes exclude it.
-func (p *Pool) BeginPageMutation() { p.gate.enterRead() }
-
-// EndPageMutation leaves the shared side of the page gate.
-func (p *Pool) EndPageMutation() { p.gate.exitRead() }
+// part hashes a tag to its partition (FNV-1a over rel, SM, and block).
+func (p *Pool) part(tag Tag) *partition {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(tag.Rel); i++ {
+		h = (h ^ uint64(tag.Rel[i])) * prime
+	}
+	h = (h ^ uint64(tag.SM)) * prime
+	h = (h ^ uint64(tag.Blk)) * prime
+	return p.parts[h&p.partMask]
+}
 
 // Switch returns the storage switch the pool reads and writes through.
 func (p *Pool) Switch() *storage.Switch { return p.sw }
 
-// Stats returns cache hits and misses since creation.
+// Stats returns cache hits and misses since creation. The two counters are
+// read independently, so the snapshot is approximate under concurrency but
+// each counter is exact.
 func (p *Pool) Stats() (hits, misses int64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses
+	return p.hits.Load(), p.misses.Load()
 }
 
 // Capacity returns the number of frames in the pool.
 func (p *Pool) Capacity() int { return p.cap }
 
+// Partitions returns the number of lock stripes, for observability.
+func (p *Pool) Partitions() int { return len(p.parts) }
+
 // NBlocks returns the relation's length including blocks that exist only as
 // dirty frames not yet written out.
 func (p *Pool) NBlocks(sm storage.ID, rel storage.RelName) (storage.BlockNum, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.nbMu.Lock()
+	defer p.nbMu.Unlock()
 	return p.nblocksLocked(sm, rel)
 }
 
@@ -213,183 +261,317 @@ func (p *Pool) nblocksLocked(sm storage.ID, rel storage.RelName) (storage.BlockN
 }
 
 // Get pins the frame holding the page identified by tag, reading it from the
-// storage manager on a miss.
+// storage manager on a miss. The device read happens with no pool lock held,
+// so concurrent misses overlap their I/O; when two goroutines race to load
+// the same page, one install wins and the other read is discarded.
 func (p *Pool) Get(tag Tag) (*Frame, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if f, ok := p.lookup[tag]; ok {
-		p.hits++
-		p.pinLocked(f)
+	part := p.part(tag)
+	if f := part.tryPin(tag); f != nil {
+		p.hits.Add(1)
 		return f, nil
 	}
-	p.misses++
-	n, err := p.nblocksLocked(tag.SM, tag.Rel)
-	if err != nil {
-		return nil, err
+	p.misses.Add(1)
+	for attempt := 0; ; attempt++ {
+		n, err := p.NBlocks(tag.SM, tag.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if tag.Blk >= n {
+			return nil, fmt.Errorf("%w: %s (nblocks %d)", storage.ErrBadBlock, tag, n)
+		}
+		f, err := p.allocFrame()
+		if err != nil {
+			return nil, err
+		}
+		mgr, err := p.sw.Get(tag.SM)
+		if err != nil {
+			p.putFree(f)
+			return nil, err
+		}
+		readErr := mgr.ReadBlock(tag.Rel, tag.Blk, f.data)
+
+		part.mu.Lock()
+		if g, ok := part.lookup[tag]; ok {
+			// Lost the install race (or the page was born in the pool while
+			// we were at the device): use the resident frame.
+			part.pinLocked(g)
+			part.mu.Unlock()
+			p.putFree(f)
+			return g, nil
+		}
+		if readErr != nil {
+			part.mu.Unlock()
+			p.putFree(f)
+			// A block inside the relation's virtual length lives either in
+			// the pool or on the device; a failed device read can race an
+			// eviction that was still materialising the block. Retry only
+			// when the device genuinely lacks the block — if the device
+			// claims it exists, the failure is a real I/O error and must
+			// surface to the caller.
+			if devN, nErr := mgr.NBlocks(tag.Rel); attempt == 0 && nErr == nil && tag.Blk >= devN {
+				continue
+			}
+			return nil, readErr
+		}
+		f.tag = tag
+		f.part = part
+		f.pins = 1
+		f.evicting = false
+		f.lruEl = nil
+		f.dirty.Store(false)
+		part.lookup[tag] = f
+		part.mu.Unlock()
+		return f, nil
 	}
-	if tag.Blk >= n {
-		return nil, fmt.Errorf("%w: %s (nblocks %d)", storage.ErrBadBlock, tag, n)
-	}
-	f, err := p.allocFrameLocked()
-	if err != nil {
-		return nil, err
-	}
-	mgr, err := p.sw.Get(tag.SM)
-	if err != nil {
-		return nil, err
-	}
-	if err := mgr.ReadBlock(tag.Rel, tag.Blk, f.data); err != nil {
-		p.freeFrameLocked(f)
-		return nil, err
-	}
-	f.tag = tag
-	f.dirty = false
-	f.pins = 1
-	p.lookup[tag] = f
-	return f, nil
 }
 
 // NewBlock extends the relation by one page and returns the new block's
-// pinned, dirty, zeroed frame. The block reaches the device lazily.
+// pinned, dirty, zeroed frame. The block reaches the device lazily. The
+// frame is installed in its partition before the new length is published,
+// so a concurrent Get that sees the length always finds the page.
 func (p *Pool) NewBlock(sm storage.ID, rel storage.RelName) (*Frame, storage.BlockNum, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	n, err := p.nblocksLocked(sm, rel)
-	if err != nil {
-		return nil, 0, err
-	}
-	f, err := p.allocFrameLocked()
+	f, err := p.allocFrame()
 	if err != nil {
 		return nil, 0, err
 	}
 	for i := range f.data {
 		f.data[i] = 0
 	}
+	p.nbMu.Lock()
+	n, err := p.nblocksLocked(sm, rel)
+	if err != nil {
+		p.nbMu.Unlock()
+		p.putFree(f)
+		return nil, 0, err
+	}
 	tag := Tag{SM: sm, Rel: rel, Blk: n}
+	part := p.part(tag)
+	part.mu.Lock()
 	f.tag = tag
-	f.dirty = true
+	f.part = part
 	f.pins = 1
-	p.lookup[tag] = f
+	f.evicting = false
+	f.lruEl = nil
+	f.dirty.Store(true)
+	part.lookup[tag] = f
 	p.nblocks[relKey{sm, rel}] = n + 1
+	part.mu.Unlock()
+	p.nbMu.Unlock()
 	return f, n, nil
 }
 
-// pinLocked pins an existing frame, removing it from the LRU list.
-func (p *Pool) pinLocked(f *Frame) {
-	if f.pins == 0 && f.lruEl != nil {
-		p.lru.Remove(f.lruEl)
-		f.lruEl = nil
+// allocFrame produces an unreferenced frame: from the free list, by growing
+// toward the pool's frame budget, or by evicting.
+func (p *Pool) allocFrame() (*Frame, error) {
+	if f := p.takeFree(); f != nil {
+		return f, nil
 	}
-	f.pins++
+	for {
+		n := p.allocated.Load()
+		if int(n) >= p.cap {
+			break
+		}
+		if p.allocated.CompareAndSwap(n, n+1) {
+			return &Frame{pool: p, data: make(page.Page, page.Size)}, nil
+		}
+	}
+	return p.evict()
 }
 
-// allocFrameLocked returns a free frame, evicting the least recently used
-// unpinned frame if the pool is full.
-func (p *Pool) allocFrameLocked() (*Frame, error) {
-	if len(p.lookup) < p.cap {
-		return &Frame{pool: p, data: make(page.Page, page.Size)}, nil
+func (p *Pool) takeFree() *Frame {
+	p.freeMu.Lock()
+	defer p.freeMu.Unlock()
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f
 	}
-	el := p.lru.Back()
+	return nil
+}
+
+// putFree returns an unreferenced frame (never installed, or already
+// removed from its partition with no pins) to the free list.
+func (p *Pool) putFree(f *Frame) {
+	p.freeMu.Lock()
+	p.free = append(p.free, f)
+	p.freeMu.Unlock()
+}
+
+// evict reclaims the least recently used unpinned frame of some partition,
+// writing its page back first when dirty. The scan starts at a rotating
+// partition so replacement pressure spreads across stripes.
+func (p *Pool) evict() (*Frame, error) {
+	const rounds = 4
+	for r := 0; r < rounds; r++ {
+		start := p.evictHand.Add(1)
+		for i := range p.parts {
+			part := p.parts[(start+uint64(i))&p.partMask]
+			f, err := p.evictFrom(part)
+			if err != nil {
+				return nil, err
+			}
+			if f != nil {
+				return f, nil
+			}
+		}
+		// Frames may have been freed while we scanned.
+		if f := p.takeFree(); f != nil {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("%w (%d frames)", ErrPoolExhausted, p.cap)
+}
+
+// evictFrom tries to reclaim one partition's LRU victim. A clean victim is
+// removed immediately; a dirty one stays resident — privately pinned and
+// flagged evicting — while its page goes out with no partition lock held,
+// then is reclaimed only if still clean and otherwise unpinned.
+func (p *Pool) evictFrom(part *partition) (*Frame, error) {
+	part.mu.Lock()
+	el := part.lru.Back()
 	if el == nil {
-		return nil, fmt.Errorf("%w (%d frames)", ErrPoolExhausted, p.cap)
+		part.mu.Unlock()
+		return nil, nil
 	}
 	f := el.Value.(*Frame)
-	if f.dirty {
-		if err := p.writeBackLocked(f); err != nil {
-			return nil, err
-		}
-	}
-	p.lru.Remove(el)
+	part.lru.Remove(el)
 	f.lruEl = nil
-	delete(p.lookup, f.tag)
-	return f, nil
+	if !f.dirty.Load() {
+		delete(part.lookup, f.tag)
+		part.mu.Unlock()
+		return f, nil
+	}
+	f.pins = 1
+	f.evicting = true
+	part.mu.Unlock()
+
+	err := p.writeBack(f)
+
+	part.mu.Lock()
+	f.pins--
+	f.evicting = false
+	if err == nil && f.pins == 0 && !f.dirty.Load() {
+		delete(part.lookup, f.tag)
+		part.mu.Unlock()
+		return f, nil
+	}
+	// Redirtied, re-pinned, or the write failed: the frame stays resident.
+	if f.pins == 0 {
+		f.lruEl = part.lru.PushBack(f)
+	}
+	part.mu.Unlock()
+	return nil, err
 }
 
-// freeFrameLocked discards a frame that failed to load.
-func (p *Pool) freeFrameLocked(f *Frame) {
-	f.pins = 0
-	f.dirty = false
+// extLock returns the relation's extension lock, which serialises device
+// growth (the no-holes invariant needs a stable view of the physical
+// length).
+func (p *Pool) extLock(sm storage.ID, rel storage.RelName) *sync.Mutex {
+	key := relKey{sm, rel}
+	p.extMu.Lock()
+	defer p.extMu.Unlock()
+	mu, ok := p.ext[key]
+	if !ok {
+		mu = new(sync.Mutex)
+		p.ext[key] = mu
+	}
+	return mu
 }
 
-// writeBackLocked flushes one dirty frame, extending the physical relation
-// with intermediate dirty pages first if the device is shorter than needed.
-func (p *Pool) writeBackLocked(f *Frame) error {
-	mgr, err := p.sw.Get(f.tag.SM)
+// writeBack flushes one frame's page. The caller must guarantee residence
+// (a pin, or every partition lock held). The extension lock serialises
+// no-holes device growth; the content latch is held shared across the
+// device write so a concurrent exclusive-latch mutator cannot tear the
+// written page.
+func (p *Pool) writeBack(f *Frame) error {
+	tag := f.tag
+	mgr, err := p.sw.Get(tag.SM)
 	if err != nil {
 		return err
 	}
-	phys, err := mgr.NBlocks(f.tag.Rel)
+	ext := p.extLock(tag.SM, tag.Rel)
+	ext.Lock()
+	defer ext.Unlock()
+	phys, err := mgr.NBlocks(tag.Rel)
 	if err != nil {
 		return err
 	}
-	// The device cannot have holes: materialise any not-yet-written blocks
-	// below ours, preferring their in-pool contents when available.
-	for blk := phys; blk < f.tag.Blk; blk++ {
-		if g, ok := p.lookup[Tag{SM: f.tag.SM, Rel: f.tag.Rel, Blk: blk}]; ok {
-			if err := mgr.WriteBlock(f.tag.Rel, blk, g.data); err != nil {
+	if phys < tag.Blk {
+		// The device cannot have holes: materialise missing blocks below
+		// ours as zero pages. Any such block still has a dirty in-pool frame
+		// (a clean frame implies the device already holds its block), and
+		// that frame's own write-back later replaces the zeros.
+		zero := make([]byte, page.Size)
+		for blk := phys; blk < tag.Blk; blk++ {
+			if err := mgr.WriteBlock(tag.Rel, blk, zero); err != nil {
 				return err
 			}
-			g.dirty = false
-			continue
-		}
-		if err := mgr.WriteBlock(f.tag.Rel, blk, make([]byte, page.Size)); err != nil {
-			return err
 		}
 	}
-	if err := mgr.WriteBlock(f.tag.Rel, f.tag.Blk, f.data); err != nil {
+	f.latch.RLock()
+	f.dirty.Store(false)
+	err = mgr.WriteBlock(tag.Rel, tag.Blk, f.data)
+	f.latch.RUnlock()
+	if err != nil {
+		f.dirty.Store(true)
 		return err
 	}
-	f.dirty = false
 	return nil
 }
 
 // FlushRel writes back every dirty page of the relation. Pinned frames are
-// flushed too (they stay resident); the page gate excludes concurrent
-// content mutation for the duration.
+// flushed too (they stay resident); each page's content latch excludes
+// concurrent mutation for the duration of its device write.
 func (p *Pool) FlushRel(sm storage.ID, rel storage.RelName) error {
-	p.gate.enterWrite()
-	defer p.gate.exitWrite()
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.flushRelLocked(sm, rel)
-}
-
-func (p *Pool) flushRelLocked(sm storage.ID, rel storage.RelName) error {
-	frames := make([]*Frame, 0, 8)
-	for tag, f := range p.lookup {
-		if tag.SM == sm && tag.Rel == rel && f.dirty {
-			frames = append(frames, f)
-		}
-	}
+	frames := p.pinDirty(sm, rel)
 	// Ascending block order keeps device writes mostly sequential and the
 	// no-holes extension logic trivial.
-	for i := 1; i < len(frames); i++ {
-		for j := i; j > 0 && frames[j].tag.Blk < frames[j-1].tag.Blk; j-- {
-			frames[j], frames[j-1] = frames[j-1], frames[j]
-		}
-	}
+	sort.Slice(frames, func(i, j int) bool { return frames[i].tag.Blk < frames[j].tag.Blk })
+	var first error
 	for _, f := range frames {
-		if err := p.writeBackLocked(f); err != nil {
-			return err
+		if first == nil && f.dirty.Load() {
+			if err := p.writeBack(f); err != nil {
+				first = err
+			}
 		}
+		f.Release()
 	}
-	return nil
+	return first
+}
+
+// pinDirty pins every dirty resident frame of the relation.
+func (p *Pool) pinDirty(sm storage.ID, rel storage.RelName) []*Frame {
+	var frames []*Frame
+	for _, part := range p.parts {
+		part.mu.Lock()
+		for tag, f := range part.lookup {
+			if tag.SM == sm && tag.Rel == rel && f.dirty.Load() {
+				part.pinLocked(f)
+				frames = append(frames, f)
+			}
+		}
+		part.mu.Unlock()
+	}
+	return frames
 }
 
 // FlushAll writes back every dirty page in the pool.
 func (p *Pool) FlushAll() error {
-	p.gate.enterWrite()
-	defer p.gate.exitWrite()
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	seen := make(map[relKey]bool)
-	for tag := range p.lookup {
-		key := relKey{tag.SM, tag.Rel}
-		if seen[key] {
-			continue
+	var keys []relKey
+	for _, part := range p.parts {
+		part.mu.Lock()
+		for tag := range part.lookup {
+			key := relKey{tag.SM, tag.Rel}
+			if !seen[key] {
+				seen[key] = true
+				keys = append(keys, key)
+			}
 		}
-		seen[key] = true
-		if err := p.flushRelLocked(tag.SM, tag.Rel); err != nil {
+		part.mu.Unlock()
+	}
+	for _, key := range keys {
+		if err := p.FlushRel(key.sm, key.rel); err != nil {
 			return err
 		}
 	}
@@ -398,38 +580,63 @@ func (p *Pool) FlushAll() error {
 
 // DropRel invalidates every buffered page of a relation. With discard, dirty
 // pages are thrown away (used when unlinking temporaries); otherwise they
-// are flushed first. Fails if any page of the relation is pinned.
+// are flushed first. Fails if any page of the relation is caller-pinned;
+// pins held briefly by a racing eviction write-back are waited out. Callers
+// must not access the relation concurrently with dropping it.
 func (p *Pool) DropRel(sm storage.ID, rel storage.RelName, discard bool) error {
-	if !discard {
-		// Flushing reads page contents; exclude mutators.
-		p.gate.enterWrite()
-		defer p.gate.exitWrite()
+	for {
+		retry, err := p.dropRelOnce(sm, rel, discard)
+		if !retry {
+			return err
+		}
+		time.Sleep(50 * time.Microsecond)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for tag, f := range p.lookup {
-		if tag.SM != sm || tag.Rel != rel {
-			continue
-		}
-		if f.pins > 0 {
-			return fmt.Errorf("%w: %s", ErrPinned, tag)
-		}
+}
+
+func (p *Pool) dropRelOnce(sm storage.ID, rel storage.RelName, discard bool) (retry bool, err error) {
+	// Lock order: nbMu, then every partition, matching NewBlock.
+	p.nbMu.Lock()
+	defer p.nbMu.Unlock()
+	for _, part := range p.parts {
+		part.mu.Lock()
 	}
-	for tag, f := range p.lookup {
-		if tag.SM != sm || tag.Rel != rel {
-			continue
+	defer func() {
+		for _, part := range p.parts {
+			part.mu.Unlock()
 		}
-		if f.dirty && !discard {
-			if err := p.writeBackLocked(f); err != nil {
-				return err
+	}()
+	for _, part := range p.parts {
+		for tag, f := range part.lookup {
+			if tag.SM != sm || tag.Rel != rel || f.pins == 0 {
+				continue
 			}
+			if f.evicting {
+				return true, nil // the write-back finishes momentarily
+			}
+			return false, fmt.Errorf("%w: %s", ErrPinned, tag)
 		}
-		if f.lruEl != nil {
-			p.lru.Remove(f.lruEl)
-			f.lruEl = nil
+	}
+	for _, part := range p.parts {
+		for tag, f := range part.lookup {
+			if tag.SM != sm || tag.Rel != rel {
+				continue
+			}
+			if f.dirty.Load() && !discard {
+				if err := p.writeBack(f); err != nil {
+					return false, err
+				}
+			}
+			if f.lruEl != nil {
+				part.lru.Remove(f.lruEl)
+				f.lruEl = nil
+			}
+			delete(part.lookup, tag)
+			p.putFree(f)
 		}
-		delete(p.lookup, tag)
 	}
 	delete(p.nblocks, relKey{sm, rel})
-	return nil
+	p.extMu.Lock()
+	delete(p.ext, relKey{sm, rel})
+	p.extMu.Unlock()
+	return false, nil
 }

@@ -90,8 +90,10 @@ func TestConcurrentWritersDistinctBlocks(t *testing.T) {
 					errs <- err
 					return
 				}
+				f.LockContent()
 				binary.LittleEndian.PutUint64(f.Page()[200:], uint64(i))
 				f.MarkDirty()
+				f.UnlockContent()
 				f.Release()
 			}
 		}(w)

@@ -95,12 +95,15 @@ type LargeObjectMeta struct {
 	StoreOID  OID             `json:"storeOID,omitempty"`
 }
 
-// Catalog is the in-memory catalog with optional file persistence.
+// Catalog is the in-memory catalog with optional file persistence. Lookups
+// (Object, Class, listings) take the lock shared so concurrent readers never
+// queue behind each other; anything that mutates state or saves to disk
+// takes it exclusive.
 type Catalog struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	path string // "" = memory only
 
-	state state
+	state state // guarded by mu
 }
 
 // LargeTypeDef persists a "create large type" declaration. The conversion
@@ -166,13 +169,13 @@ func (c *Catalog) PutLargeType(def LargeTypeDef) error {
 	defer c.mu.Unlock()
 	cp := def
 	c.state.Types[def.Name] = &cp
-	return c.save()
+	return c.saveLocked()
 }
 
 // LargeTypes lists persisted large type definitions sorted by name.
 func (c *Catalog) LargeTypes() []LargeTypeDef {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]LargeTypeDef, 0, len(c.state.Types))
 	for _, d := range c.state.Types {
 		out = append(out, *d)
@@ -181,8 +184,8 @@ func (c *Catalog) LargeTypes() []LargeTypeDef {
 	return out
 }
 
-// save persists the catalog; caller holds c.mu.
-func (c *Catalog) save() error {
+// saveLocked persists the catalog; caller holds c.mu exclusive.
+func (c *Catalog) saveLocked() error {
 	if c.path == "" {
 		return nil
 	}
@@ -203,7 +206,7 @@ func (c *Catalog) AllocOID() (OID, error) {
 	defer c.mu.Unlock()
 	oid := c.state.NextOID
 	c.state.NextOID++
-	return oid, c.save()
+	return oid, c.saveLocked()
 }
 
 // CreateClass registers a class and returns it with a fresh OID and a
@@ -224,13 +227,13 @@ func (c *Catalog) CreateClass(name string, sm storage.ID, cols []Column) (*Class
 		Columns: append([]Column(nil), cols...),
 	}
 	c.state.Classes[name] = cl
-	return cl, c.save()
+	return cl, c.saveLocked()
 }
 
 // Class looks up a class by name.
 func (c *Catalog) Class(name string) (*Class, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	cl, ok := c.state.Classes[name]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoClass, name)
@@ -240,8 +243,8 @@ func (c *Catalog) Class(name string) (*Class, error) {
 
 // Classes lists all classes sorted by name.
 func (c *Catalog) Classes() []*Class {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]*Class, 0, len(c.state.Classes))
 	for _, cl := range c.state.Classes {
 		out = append(out, cl)
@@ -258,7 +261,7 @@ func (c *Catalog) DropClass(name string) error {
 		return fmt.Errorf("%w: %s", ErrNoClass, name)
 	}
 	delete(c.state.Classes, name)
-	return c.save()
+	return c.saveLocked()
 }
 
 // AddIndex records a new index on a class, allocating its relation name.
@@ -282,7 +285,7 @@ func (c *Catalog) AddIndex(className, indexName, expr string) (*IndexDef, error)
 		Rel:  storage.RelName(fmt.Sprintf("index_%d", oid)),
 	}
 	cl.Indexes = append(cl.Indexes, def)
-	return &def, c.save()
+	return &def, c.saveLocked()
 }
 
 // PutObject registers or updates a large object's metadata.
@@ -291,13 +294,13 @@ func (c *Catalog) PutObject(m *LargeObjectMeta) error {
 	defer c.mu.Unlock()
 	cp := *m
 	c.state.Objects[m.OID] = &cp
-	return c.save()
+	return c.saveLocked()
 }
 
 // Object looks up a large object by OID.
 func (c *Catalog) Object(oid OID) (*LargeObjectMeta, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	m, ok := c.state.Objects[oid]
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrNoObject, oid)
@@ -314,14 +317,14 @@ func (c *Catalog) DeleteObject(oid OID) error {
 		return fmt.Errorf("%w: %d", ErrNoObject, oid)
 	}
 	delete(c.state.Objects, oid)
-	return c.save()
+	return c.saveLocked()
 }
 
 // Objects lists large-object metadata sorted by OID. With tempsOnly, only
 // temporaries are returned (used by end-of-query garbage collection).
 func (c *Catalog) Objects(tempsOnly bool) []*LargeObjectMeta {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
 	out := make([]*LargeObjectMeta, 0, len(c.state.Objects))
 	for _, m := range c.state.Objects {
 		if tempsOnly && !m.Temp {

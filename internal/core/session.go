@@ -42,16 +42,25 @@ func (ss *Session) Txn() *txn.Txn { return ss.tx }
 // Store returns the owning store.
 func (ss *Session) Store() *Store { return ss.store }
 
-// OpenObject implements adt.ObjectStore.
+// OpenObject implements adt.ObjectStore. The store open — catalog lookups
+// and the first block reads — runs outside ss.mu, so concurrent opens on one
+// session overlap; the lock covers only the handle-table bookkeeping.
 func (ss *Session) OpenObject(ref adt.ObjectRef) (adt.LargeObject, error) {
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	if ss.done {
+		ss.mu.Unlock()
 		return nil, ErrClosed
 	}
+	ss.mu.Unlock()
 	obj, err := ss.store.Open(ss.tx, ref)
 	if err != nil {
 		return nil, err
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.done {
+		obj.Close()
+		return nil, ErrClosed
 	}
 	ss.open = append(ss.open, obj)
 	return obj, nil
@@ -62,10 +71,11 @@ func (ss *Session) OpenObject(ref adt.ObjectRef) (adt.LargeObject, error) {
 // is empty).
 func (ss *Session) CreateTemp(typeName string) (adt.ObjectRef, adt.LargeObject, error) {
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	if ss.done {
+		ss.mu.Unlock()
 		return adt.ObjectRef{}, nil, ErrClosed
 	}
+	ss.mu.Unlock()
 	opts := CreateOptions{Temp: true}
 	if typeName != "" {
 		opts.TypeName = typeName
@@ -75,6 +85,12 @@ func (ss *Session) CreateTemp(typeName string) (adt.ObjectRef, adt.LargeObject, 
 	ref, obj, err := ss.store.Create(ss.tx, opts)
 	if err != nil {
 		return adt.ObjectRef{}, nil, err
+	}
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if ss.done {
+		obj.Close()
+		return adt.ObjectRef{}, nil, ErrClosed
 	}
 	ss.temps[ref.OID] = true
 	ss.open = append(ss.open, obj)

@@ -119,10 +119,16 @@ type Relation struct {
 	sm   storage.ID
 	name storage.RelName
 
-	mu            sync.Mutex
-	insertTarget  storage.BlockNum // block to try first for inserts
-	hasInsertHint bool
-	freeBlocks    []storage.BlockNum // blocks vacuum found reusable space in
+	// mu is the relation lock: exclusive for structural work (Insert may
+	// extend the relation and maintains the placement hints below; Vacuum
+	// compacts pages), shared for everything else. Tuple reads and
+	// single-tuple mutations coordinate through each frame's content latch
+	// — readers hold it shared, mutators exclusive — so concurrent reads
+	// of different (or the same) pages never contend on relation state.
+	mu            sync.RWMutex
+	insertTarget  storage.BlockNum // guarded by mu; block to try first for inserts
+	hasInsertHint bool             // guarded by mu
+	freeBlocks    []storage.BlockNum // guarded by mu; blocks vacuum found reusable space in
 }
 
 // Create makes a new, empty heap relation on the given storage manager.
@@ -154,19 +160,6 @@ func (r *Relation) Name() storage.RelName { return r.name }
 
 // StorageManager returns the ID of the storage manager holding the relation.
 func (r *Relation) StorageManager() storage.ID { return r.sm }
-
-// lockPages pairs the relation mutex with the buffer pool's page gate: the
-// section may mutate page bytes (tuple headers, hint bits, new tuples), so
-// whole-relation flushes are excluded for its duration.
-func (r *Relation) lockPages() {
-	r.pool.Buf.BeginPageMutation()
-	r.mu.Lock()
-}
-
-func (r *Relation) unlockPages() {
-	r.mu.Unlock()
-	r.pool.Buf.EndPageMutation()
-}
 
 // NBlocks returns the relation's current length in pages.
 func (r *Relation) NBlocks() (storage.BlockNum, error) {
@@ -213,8 +206,8 @@ func (r *Relation) Insert(t *txn.Txn, data []byte) (TID, error) {
 	binary.LittleEndian.PutUint32(item[4:], uint32(txn.InvalidXID))
 	copy(item[TupleHeaderSize:], data)
 
-	r.lockPages()
-	defer r.unlockPages()
+	r.mu.Lock()
+	defer r.mu.Unlock()
 
 	// Try the hinted insert target first, then blocks vacuum reclaimed
 	// space in, then extend.
@@ -242,12 +235,15 @@ func (r *Relation) Insert(t *txn.Txn, data []byte) (TID, error) {
 		return InvalidTID, err
 	}
 	defer f.Release()
+	f.LockContent()
 	f.Page().Init(0)
 	slot, err := f.Page().AddItem(item)
 	if err != nil {
+		f.UnlockContent()
 		return InvalidTID, err
 	}
 	f.MarkDirty()
+	f.UnlockContent()
 	r.insertTarget, r.hasInsertHint = blk, true
 	return TID{Blk: blk, Slot: slot}, nil
 }
@@ -259,6 +255,8 @@ func (r *Relation) tryInsertAt(blk storage.BlockNum, item []byte) (TID, bool, er
 		return InvalidTID, false, err
 	}
 	defer f.Release()
+	f.LockContent()
+	defer f.UnlockContent()
 	p := f.Page()
 	if !p.IsInitialized() {
 		p.Init(0)
@@ -278,18 +276,20 @@ func (r *Relation) tryInsertAt(blk storage.BlockNum, item []byte) (TID, bool, er
 // readers with older snapshots and for time travel. Deleting a tuple that a
 // committed transaction already deleted returns ErrConcurrentDel.
 func (r *Relation) Delete(t *txn.Txn, tid TID) error {
-	r.lockPages()
-	defer r.unlockPages()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: tid.Blk})
 	if err != nil {
 		return err
 	}
 	defer f.Release()
+	f.LockContent()
+	defer f.UnlockContent()
 	item, err := f.Page().Item(tid.Slot)
 	if err != nil {
 		return fmt.Errorf("%w: %s (%v)", ErrNoTuple, tid, err)
 	}
-	if !r.visible(t.Snapshot(), item, f) {
+	if !r.visible(t.Snapshot(), item, f, true) {
 		return fmt.Errorf("%w: %s", ErrNotVisible, tid)
 	}
 	if xmax := tupleXmax(item); xmax != txn.InvalidXID && xmax != t.ID() {
@@ -309,13 +309,15 @@ func (r *Relation) Delete(t *txn.Txn, tid TID) error {
 // is not an overwrite of visible history. Returns false when the tuple does
 // not qualify, in which case the caller should Replace instead.
 func (r *Relation) UpdateOwnInPlace(t *txn.Txn, tid TID, data []byte) (bool, error) {
-	r.lockPages()
-	defer r.unlockPages()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: tid.Blk})
 	if err != nil {
 		return false, err
 	}
 	defer f.Release()
+	f.LockContent()
+	defer f.UnlockContent()
 	item, err := f.Page().Item(tid.Slot)
 	if err != nil {
 		return false, fmt.Errorf("%w: %s (%v)", ErrNoTuple, tid, err)
@@ -343,7 +345,7 @@ func (r *Relation) Replace(t *txn.Txn, tid TID, data []byte) (TID, error) {
 // Fetch returns a copy of the tuple payload at tid if it is visible to t.
 func (r *Relation) Fetch(t *txn.Txn, tid TID) ([]byte, error) {
 	return r.fetch(tid, func(item []byte, f *buffer.Frame) bool {
-		return r.visible(t.Snapshot(), item, f)
+		return r.visible(t.Snapshot(), item, f, false)
 	})
 }
 
@@ -354,16 +356,20 @@ func (r *Relation) FetchAsOf(ts txn.TS, tid TID) ([]byte, error) {
 	})
 }
 
+// fetch is the shared read path: the relation lock is held shared and the
+// frame's content latch shared, so any number of fetches proceed in
+// parallel; visibility checks on this path never write hint bits (only
+// exclusive-latch holders may).
 func (r *Relation) fetch(tid TID, vis func([]byte, *buffer.Frame) bool) ([]byte, error) {
-	// The relation mutex also serialises hint-bit maintenance: visibility
-	// checks may write the tuple's infomask.
-	r.lockPages()
-	defer r.unlockPages()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: tid.Blk})
 	if err != nil {
 		return nil, err
 	}
 	defer f.Release()
+	f.RLockContent()
+	defer f.RUnlockContent()
 	item, err := f.Page().Item(tid.Slot)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s (%v)", ErrNoTuple, tid, err)
@@ -379,7 +385,7 @@ func (r *Relation) fetch(tid TID, vis func([]byte, *buffer.Frame) bool) ([]byte,
 // duration of the call.
 func (r *Relation) Scan(t *txn.Txn, fn func(TID, []byte) (bool, error)) error {
 	return r.scan(func(item []byte, f *buffer.Frame) bool {
-		return r.visible(t.Snapshot(), item, f)
+		return r.visible(t.Snapshot(), item, f, false)
 	}, fn)
 }
 
@@ -400,18 +406,25 @@ func (r *Relation) scan(vis func([]byte, *buffer.Frame) bool, fn func(TID, []byt
 		data []byte
 	}
 	for blk := storage.BlockNum(0); blk < n; blk++ {
-		f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
-		if err != nil {
-			return err
-		}
 		// Collect the page's visible tuples (copying payloads) under the
-		// page lock — visibility may write hint bits, and concurrent
-		// writers may grow the page — then invoke fn unlocked so callbacks
-		// can re-enter the relation freely.
-		var hits []hit
-		r.lockPages()
-		p := f.Page()
-		if p.IsInitialized() {
+		// shared relation lock and shared content latch — concurrent
+		// mutators hold both exclusive somewhere — then invoke fn with no
+		// locks held so callbacks can re-enter the relation freely.
+		hits, err := func() ([]hit, error) {
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
+			if err != nil {
+				return nil, err
+			}
+			defer f.Release()
+			f.RLockContent()
+			defer f.RUnlockContent()
+			p := f.Page()
+			if !p.IsInitialized() {
+				return nil, nil
+			}
+			var hits []hit
 			for s := 0; s < p.NumSlots(); s++ {
 				slot := page.SlotNum(s)
 				if p.ItemIsDead(slot) {
@@ -419,9 +432,7 @@ func (r *Relation) scan(vis func([]byte, *buffer.Frame) bool, fn func(TID, []byt
 				}
 				item, err := p.Item(slot)
 				if err != nil {
-					r.unlockPages()
-					f.Release()
-					return err
+					return nil, err
 				}
 				if vis(item, f) {
 					hits = append(hits, hit{
@@ -430,9 +441,11 @@ func (r *Relation) scan(vis func([]byte, *buffer.Frame) bool, fn func(TID, []byt
 					})
 				}
 			}
+			return hits, nil
+		}()
+		if err != nil {
+			return err
 		}
-		r.unlockPages()
-		f.Release()
 		for _, h := range hits {
 			keep, err := fn(h.tid, h.data)
 			if err != nil {
@@ -446,8 +459,12 @@ func (r *Relation) scan(vis func([]byte, *buffer.Frame) bool, fn func(TID, []byt
 	return nil
 }
 
-// visible implements snapshot visibility with hint-bit maintenance.
-func (r *Relation) visible(snap txn.Snapshot, item []byte, f *buffer.Frame) bool {
+// visible implements snapshot visibility. With hints, decided states are
+// cached as hint bits on the tuple (the caller must hold the frame's
+// exclusive content latch); shared-latch readers pass hints false and
+// resolve statuses through the commit log instead — hint bits are a pure
+// cache, so skipping the write never changes the verdict.
+func (r *Relation) visible(snap txn.Snapshot, item []byte, f *buffer.Frame, hints bool) bool {
 	mgr := r.pool.Mgr
 	mask := tupleMask(item)
 	xmin := tupleXmin(item)
@@ -465,14 +482,18 @@ func (r *Relation) visible(snap txn.Snapshot, item []byte, f *buffer.Frame) bool
 	default:
 		switch mgr.Status(xmin) {
 		case txn.Aborted:
-			setTupleHint(item, hintXminAborted)
-			f.MarkDirty()
+			if hints {
+				setTupleHint(item, hintXminAborted)
+				f.MarkDirty()
+			}
 			return false
 		case txn.InProgress:
 			return false
 		case txn.Committed:
-			setTupleHint(item, hintXminCommitted)
-			f.MarkDirty()
+			if hints {
+				setTupleHint(item, hintXminCommitted)
+				f.MarkDirty()
+			}
 			if !snap.Sees(xmin) {
 				return false
 			}
@@ -496,14 +517,18 @@ func (r *Relation) visible(snap txn.Snapshot, item []byte, f *buffer.Frame) bool
 	}
 	switch mgr.Status(xmax) {
 	case txn.Aborted:
-		setTupleHint(item, hintXmaxAborted)
-		f.MarkDirty()
+		if hints {
+			setTupleHint(item, hintXmaxAborted)
+			f.MarkDirty()
+		}
 		return true
 	case txn.InProgress:
 		return true // delete not yet committed
 	default: // committed
-		setTupleHint(item, hintXmaxCommitted)
-		f.MarkDirty()
+		if hints {
+			setTupleHint(item, hintXmaxCommitted)
+			f.MarkDirty()
+		}
 		return !snap.Sees(xmax)
 	}
 }
@@ -540,39 +565,43 @@ func (r *Relation) VersionStamps(fn func(txn.TS)) error {
 	}
 	mgr := r.pool.Mgr
 	for blk := storage.BlockNum(0); blk < n; blk++ {
-		f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
+		err := func() error {
+			r.mu.RLock()
+			defer r.mu.RUnlock()
+			f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
+			if err != nil {
+				return err
+			}
+			defer f.Release()
+			f.RLockContent()
+			defer f.RUnlockContent()
+			p := f.Page()
+			if !p.IsInitialized() {
+				return nil
+			}
+			for s := 0; s < p.NumSlots(); s++ {
+				slot := page.SlotNum(s)
+				if p.ItemIsDead(slot) {
+					continue
+				}
+				item, err := p.Item(slot)
+				if err != nil {
+					return err
+				}
+				if ts, ok := mgr.CommitTS(tupleXmin(item)); ok && ts != txn.InvalidTS {
+					fn(ts)
+				}
+				if xmax := tupleXmax(item); xmax != txn.InvalidXID {
+					if ts, ok := mgr.CommitTS(xmax); ok && ts != txn.InvalidTS {
+						fn(ts)
+					}
+				}
+			}
+			return nil
+		}()
 		if err != nil {
 			return err
 		}
-		r.lockPages()
-		p := f.Page()
-		if !p.IsInitialized() {
-			r.unlockPages()
-			f.Release()
-			continue
-		}
-		for s := 0; s < p.NumSlots(); s++ {
-			slot := page.SlotNum(s)
-			if p.ItemIsDead(slot) {
-				continue
-			}
-			item, err := p.Item(slot)
-			if err != nil {
-				r.unlockPages()
-				f.Release()
-				return err
-			}
-			if ts, ok := mgr.CommitTS(tupleXmin(item)); ok && ts != txn.InvalidTS {
-				fn(ts)
-			}
-			if xmax := tupleXmax(item); xmax != txn.InvalidXID {
-				if ts, ok := mgr.CommitTS(xmax); ok && ts != txn.InvalidTS {
-					fn(ts)
-				}
-			}
-		}
-		r.unlockPages()
-		f.Release()
 	}
 	return nil
 }
@@ -583,6 +612,8 @@ func (r *Relation) VersionStamps(fn func(txn.TS)) error {
 // default: keep everything for time travel) only aborted debris is removed.
 // Returns the number of tuples reclaimed.
 func (r *Relation) Vacuum(keepHistory bool) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	n, err := r.NBlocks()
 	if err != nil {
 		return 0, err
@@ -590,57 +621,57 @@ func (r *Relation) Vacuum(keepHistory bool) (int, error) {
 	mgr := r.pool.Mgr
 	removed := 0
 	for blk := storage.BlockNum(0); blk < n; blk++ {
-		f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
+		err := func() error {
+			f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
+			if err != nil {
+				return err
+			}
+			defer f.Release()
+			f.LockContent()
+			defer f.UnlockContent()
+			p := f.Page()
+			if !p.IsInitialized() {
+				return nil
+			}
+			changed := false
+			for s := 0; s < p.NumSlots(); s++ {
+				slot := page.SlotNum(s)
+				if p.ItemIsDead(slot) {
+					continue
+				}
+				item, err := p.Item(slot)
+				if err != nil {
+					return err
+				}
+				dead := false
+				if mgr.Status(tupleXmin(item)) == txn.Aborted {
+					dead = true
+				} else if !keepHistory {
+					if xmax := tupleXmax(item); xmax != txn.InvalidXID && mgr.Status(xmax) == txn.Committed {
+						dead = true
+					}
+				}
+				if dead {
+					if err := p.DeleteItem(slot); err != nil {
+						return err
+					}
+					removed++
+					changed = true
+				}
+			}
+			if changed {
+				free := p.Compact()
+				f.MarkDirty()
+				// Remember pages worth refilling (a crude free-space map).
+				if free > page.Size/4 {
+					r.freeBlocks = append(r.freeBlocks, blk)
+				}
+			}
+			return nil
+		}()
 		if err != nil {
 			return removed, err
 		}
-		r.lockPages()
-		p := f.Page()
-		if !p.IsInitialized() {
-			r.unlockPages()
-			f.Release()
-			continue
-		}
-		changed := false
-		for s := 0; s < p.NumSlots(); s++ {
-			slot := page.SlotNum(s)
-			if p.ItemIsDead(slot) {
-				continue
-			}
-			item, err := p.Item(slot)
-			if err != nil {
-				r.unlockPages()
-				f.Release()
-				return removed, err
-			}
-			dead := false
-			if mgr.Status(tupleXmin(item)) == txn.Aborted {
-				dead = true
-			} else if !keepHistory {
-				if xmax := tupleXmax(item); xmax != txn.InvalidXID && mgr.Status(xmax) == txn.Committed {
-					dead = true
-				}
-			}
-			if dead {
-				if err := p.DeleteItem(slot); err != nil {
-					r.unlockPages()
-					f.Release()
-					return removed, err
-				}
-				removed++
-				changed = true
-			}
-		}
-		if changed {
-			free := p.Compact()
-			f.MarkDirty()
-			// Remember pages worth refilling (a crude free-space map).
-			if free > page.Size/4 {
-				r.freeBlocks = append(r.freeBlocks, blk)
-			}
-		}
-		r.unlockPages()
-		f.Release()
 	}
 	return removed, nil
 }

@@ -1,0 +1,67 @@
+package storage
+
+import "time"
+
+// LatencyManager wraps another manager and spends a fixed wall-clock
+// latency on every block read and write, making the wrapped device behave
+// like a real I/O-bound one. It complements DeviceModel: model costs are
+// charged to a *virtual* clock so the paper's figures stay deterministic,
+// while LatencyManager burns *real* time, which is what concurrency
+// benchmarks need — overlapping device waits is exactly the capability a
+// scalable read path provides, and on a small host it is the only honest
+// source of read-throughput scaling. The sleep happens in the calling
+// goroutine with no LatencyManager state shared between calls, so wrapped
+// operations are exactly as concurrent as the inner manager allows.
+type LatencyManager struct {
+	inner    Manager
+	readLat  time.Duration
+	writeLat time.Duration
+}
+
+var _ Manager = (*LatencyManager)(nil)
+
+// NewLatencyManager wraps inner, charging readLat per ReadBlock and
+// writeLat per WriteBlock. Zero durations disable the respective sleep.
+func NewLatencyManager(inner Manager, readLat, writeLat time.Duration) *LatencyManager {
+	return &LatencyManager{inner: inner, readLat: readLat, writeLat: writeLat}
+}
+
+// Name implements Manager.
+func (l *LatencyManager) Name() string { return l.inner.Name() + " (simulated latency)" }
+
+// Create implements Manager.
+func (l *LatencyManager) Create(rel RelName) error { return l.inner.Create(rel) }
+
+// Exists implements Manager.
+func (l *LatencyManager) Exists(rel RelName) bool { return l.inner.Exists(rel) }
+
+// NBlocks implements Manager.
+func (l *LatencyManager) NBlocks(rel RelName) (BlockNum, error) { return l.inner.NBlocks(rel) }
+
+// ReadBlock implements Manager.
+func (l *LatencyManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
+	if l.readLat > 0 {
+		time.Sleep(l.readLat)
+	}
+	return l.inner.ReadBlock(rel, blk, buf)
+}
+
+// WriteBlock implements Manager.
+func (l *LatencyManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
+	if l.writeLat > 0 {
+		time.Sleep(l.writeLat)
+	}
+	return l.inner.WriteBlock(rel, blk, buf)
+}
+
+// Sync implements Manager.
+func (l *LatencyManager) Sync(rel RelName) error { return l.inner.Sync(rel) }
+
+// Unlink implements Manager.
+func (l *LatencyManager) Unlink(rel RelName) error { return l.inner.Unlink(rel) }
+
+// Size implements Manager.
+func (l *LatencyManager) Size(rel RelName) (int64, error) { return l.inner.Size(rel) }
+
+// Close implements Manager.
+func (l *LatencyManager) Close() error { return l.inner.Close() }

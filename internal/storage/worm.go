@@ -225,53 +225,61 @@ func (w *WormManager) chargeDevice(phys int64, sequentialHint bool) {
 	w.cfg.Clock.Advance(cost)
 }
 
-// readPhysical reads physical block phys of rel from the medium, charging
-// device costs. Caller holds w.mu.
-func (w *WormManager) readPhysical(rel RelName, r *wormRel, phys int64, buf []byte) error {
-	if _, err := r.file.ReadAt(buf, phys*page.Size); err != nil && err != io.EOF {
-		return fmt.Errorf("worm: read %s phys %d: %w", rel, phys, err)
-	}
-	w.chargeDevice(phys, phys == w.lastPhys+1)
-	w.lastPhys = phys
-	return nil
-}
-
-// ReadBlock implements Manager.
+// ReadBlock implements Manager. The archived-block read itself runs with no
+// lock held: the medium is write-once, so once the relocation map points a
+// logical block at a physical block, that physical block's contents never
+// change. Concurrent reads of archived blocks therefore overlap at the
+// device; w.mu covers only the map lookup, cache probe, and cost accounting.
 func (w *WormManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
 	if err := checkBuf(buf); err != nil {
 		return err
 	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	r, err := w.load(rel)
 	if err != nil {
+		w.mu.Unlock()
 		return err
 	}
 	if int(blk) >= len(r.mapping) {
+		w.mu.Unlock()
 		return fmt.Errorf("%w: %s block %d", ErrBadBlock, rel, blk)
 	}
 	if w.cache != nil {
 		if data, ok := w.cache.get(rel, blk); ok {
 			copy(buf, data)
 			charge(w.cfg.Clock, w.cfg.CacheModel, w.cacheTrack.sequential(rel, blk))
+			w.mu.Unlock()
 			return nil
 		}
 	}
-	if r.mapping[blk] < 0 {
+	phys := r.mapping[blk]
+	if phys < 0 {
+		w.mu.Unlock()
 		// Allocated but never materialised anywhere: corrupt state.
 		return fmt.Errorf("%w: %s block %d (unarchived)", ErrBadBlock, rel, blk)
 	}
-	if err := w.readPhysical(rel, r, r.mapping[blk], buf); err != nil {
-		return err
+	file := r.file
+	w.chargeDevice(phys, phys == w.lastPhys+1)
+	w.lastPhys = phys
+	w.mu.Unlock()
+
+	if _, err := file.ReadAt(buf, phys*page.Size); err != nil && err != io.EOF {
+		return fmt.Errorf("worm: read %s phys %d: %w", rel, phys, err)
 	}
 	if w.cache != nil {
+		w.mu.Lock()
+		defer w.mu.Unlock()
 		// Staging the block onto the magnetic cache costs a disk transfer —
 		// the "overhead for cache management" §9.3 credits the raw-device
 		// program with avoiding.
 		w.cfg.Clock.Advance(time.Duration(page.Size) * w.cfg.CacheModel.PerByte)
-		if err := w.installCache(rel, blk, buf, false); err != nil {
-			return err
+		if data, ok := w.cache.peek(rel, blk); ok {
+			// A concurrent writer cached a newer version of this block while
+			// we were at the medium; it supersedes the archived copy.
+			copy(buf, data)
+			return nil
 		}
+		return w.installCache(rel, blk, buf, false)
 	}
 	return nil
 }
@@ -459,6 +467,16 @@ func newBlockCache(capacity int) *blockCache {
 		ll:       list.New(),
 		entries:  make(map[cacheKey]*list.Element),
 	}
+}
+
+// peek returns the cached data without touching LRU order or hit/miss
+// counters; used when deciding whether an archived read may install its
+// result without clobbering a newer cached version.
+func (c *blockCache) peek(rel RelName, blk BlockNum) ([]byte, bool) {
+	if el, ok := c.entries[cacheKey{rel, blk}]; ok {
+		return el.Value.(*cacheEntry).data, true
+	}
+	return nil, false
 }
 
 func (c *blockCache) get(rel RelName, blk BlockNum) ([]byte, bool) {

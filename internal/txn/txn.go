@@ -89,9 +89,12 @@ func (s Snapshot) Sees(x XID) bool {
 	return !(i < len(s.Active) && s.Active[i] == x)
 }
 
-// Manager hands out transactions and records their outcomes.
+// Manager hands out transactions and records their outcomes. The commit log
+// is read on every tuple-visibility check, so lookups (Status, CommitTS,
+// Now) take the lock shared; only Begin and transaction completion take it
+// exclusive.
 type Manager struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	nextXID  XID            // guarded by mu
 	nextTS   TS             // guarded by mu
 	status   map[XID]Status // guarded by mu
@@ -141,8 +144,8 @@ func (m *Manager) Status(x XID) Status {
 	if x == BootstrapXID {
 		return Committed
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	st, ok := m.status[x]
 	if !ok {
 		return Aborted
@@ -155,8 +158,8 @@ func (m *Manager) CommitTS(x XID) (TS, bool) {
 	if x == BootstrapXID {
 		return InvalidTS, true // committed before all time
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	ts, ok := m.commitTS[x]
 	return ts, ok
 }
@@ -164,8 +167,8 @@ func (m *Manager) CommitTS(x XID) (TS, bool) {
 // Now returns the timestamp of the most recent commit; reading "as of Now"
 // sees every transaction committed so far and nothing that commits later.
 func (m *Manager) Now() TS {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return m.nextTS - 1
 }
 
@@ -270,7 +273,7 @@ const logMagic = 0x504C4F47 // "PLOG"
 // are not persisted: after a restart they are implicitly aborted, which is
 // exactly the recovery semantics of a no-overwrite store with a forced log.
 func (m *Manager) Save(path string) error {
-	m.mu.Lock()
+	m.mu.RLock()
 	type entry struct {
 		xid XID
 		st  Status
@@ -284,7 +287,7 @@ func (m *Manager) Save(path string) error {
 		entries = append(entries, entry{x, st, m.commitTS[x]})
 	}
 	nextXID, nextTS := m.nextXID, m.nextTS
-	m.mu.Unlock()
+	m.mu.RUnlock()
 
 	sort.Slice(entries, func(i, j int) bool { return entries[i].xid < entries[j].xid })
 	buf := make([]byte, 0, 20+len(entries)*13)
