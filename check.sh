@@ -9,7 +9,12 @@
 #                                  errors, lock guards, no stray panics)
 #   4. go test -race ./...         the full test suite under the race
 #                                  detector — the concurrent read path is
-#                                  expected to stay race-clean
+#                                  expected to stay race-clean. This includes
+#                                  the randomized crash-recovery sweep; CRASH
+#                                  sets its width in seeds (default 25):
+#
+#                                    CRASH=200 ./check.sh
+#
 #   5. BenchmarkConcurrentRead     one-iteration smoke run of the concurrent
 #                                  read benchmark, so scaling regressions
 #                                  break the build, not just the numbers
@@ -20,6 +25,10 @@
 #   RACE=0 ./check.sh
 set -e
 cd "$(dirname "$0")"
+
+# Width of the randomized crash-recovery seed sweep (TestCrashRecovery).
+CRASH="${CRASH:-25}"
+export CRASH
 
 echo "== go build ./..."
 go build ./...

@@ -21,6 +21,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sync"
 	"time"
 
@@ -37,7 +38,7 @@ import (
 //	4..5   entry count
 //	6..7   reserved
 //	8..11  right sibling block (noSibling if none)
-//	12..15 reserved
+//	12..15 write-back checksum (valid when the flags checksum bit is set)
 //	16..   entries
 //
 // Leaf entry:      key uint64, val uint64            (16 bytes)
@@ -49,10 +50,12 @@ import (
 //	4..7   root block
 //	8..11  height (1 = root is a leaf)
 //	12..19 total live entries
+//	20..27 write-back checksum (csMarker + CRC), absent on legacy pages
 const (
 	nodeMagic  = 0xB7EE
 	metaMagic  = 0xB7EEB001
 	flagLeaf   = 1
+	flagCsum   = 2 // node carries a write-back checksum at bytes 12..15
 	nodeHdr    = 16
 	leafEntry  = 16
 	innerEntry = 20
@@ -64,8 +67,66 @@ const (
 	InnerCapacity = (page.Size - nodeHdr) / innerEntry
 )
 
+// nodeChecksummer stamps and verifies write-back checksums over the raw
+// node layout: nodes carry a CRC at bytes 12..15 gated by a flag bit, the
+// metapage carries csMarker + CRC at bytes 20..27. Either way the CRC is
+// computed with its own slot zeroed, and images without the marker (blocks
+// written before checksumming, or pages torn inside the slot) fall back to
+// structural validation. A stamped image whose CRC mismatches is a torn or
+// corrupt block and is rejected before the tree parses it.
+type nodeChecksummer struct{}
+
+const csMarker = 0xB7EEC5C5
+
+func (nodeChecksummer) Stamp(img []byte) {
+	if binary.LittleEndian.Uint32(img[0:]) == metaMagic {
+		binary.LittleEndian.PutUint32(img[20:], csMarker)
+		binary.LittleEndian.PutUint32(img[24:], 0)
+		binary.LittleEndian.PutUint32(img[24:], crc32.ChecksumIEEE(img))
+		return
+	}
+	if binary.LittleEndian.Uint16(img[0:]) != nodeMagic {
+		return // an unformatted page; nowhere safe to stamp
+	}
+	flags := binary.LittleEndian.Uint16(img[2:])
+	binary.LittleEndian.PutUint16(img[2:], flags|flagCsum)
+	binary.LittleEndian.PutUint32(img[12:], 0)
+	binary.LittleEndian.PutUint32(img[12:], crc32.ChecksumIEEE(img))
+}
+
+func (nodeChecksummer) Verify(img []byte) error {
+	if binary.LittleEndian.Uint32(img[0:]) == metaMagic {
+		if binary.LittleEndian.Uint32(img[20:]) != csMarker {
+			return nil
+		}
+		want := binary.LittleEndian.Uint32(img[24:])
+		binary.LittleEndian.PutUint32(img[24:], 0)
+		got := crc32.ChecksumIEEE(img)
+		binary.LittleEndian.PutUint32(img[24:], want)
+		if got != want {
+			return ErrChecksum
+		}
+		return nil
+	}
+	if binary.LittleEndian.Uint16(img[0:]) != nodeMagic {
+		return nil
+	}
+	if binary.LittleEndian.Uint16(img[2:])&flagCsum == 0 {
+		return nil
+	}
+	want := binary.LittleEndian.Uint32(img[12:])
+	binary.LittleEndian.PutUint32(img[12:], 0)
+	got := crc32.ChecksumIEEE(img)
+	binary.LittleEndian.PutUint32(img[12:], want)
+	if got != want {
+		return ErrChecksum
+	}
+	return nil
+}
+
 // Errors returned by the tree.
 var (
+	ErrChecksum = errors.New("btree: node checksum mismatch (torn or corrupt block)")
 	ErrCorrupt  = errors.New("btree: corrupt node")
 	ErrNotFound = errors.New("btree: entry not found")
 )
@@ -105,6 +166,7 @@ func Create(buf *buffer.Pool, sm storage.ID, name storage.RelName, cfg Config) (
 		return nil, err
 	}
 	t := &Tree{buf: buf, sm: sm, name: name, cfg: cfg}
+	buf.SetChecksummer(sm, name, nodeChecksummer{})
 
 	meta, blk, err := buf.NewBlock(sm, name)
 	if err != nil {
@@ -142,6 +204,7 @@ func Open(buf *buffer.Pool, sm storage.ID, name storage.RelName, cfg Config) (*T
 		return nil, fmt.Errorf("%w: %s", storage.ErrNoRelation, name)
 	}
 	t := &Tree{buf: buf, sm: sm, name: name, cfg: cfg}
+	buf.SetChecksummer(sm, name, nodeChecksummer{})
 	f, err := t.getBlock(0)
 	if err != nil {
 		return nil, err

@@ -178,6 +178,9 @@ type Pool struct {
 	extMu sync.Mutex
 	ext   map[relKey]*sync.Mutex // guarded by extMu; per-relation extension locks
 
+	csMu      sync.RWMutex
+	checksums map[relKey]Checksummer // guarded by csMu
+
 	evictHand atomic.Uint64 // rotates the partition eviction scan start
 }
 
@@ -193,13 +196,14 @@ func NewPool(nframes int, sw *storage.Switch, clock *vclock.Clock) *Pool {
 		nparts /= 2
 	}
 	p := &Pool{
-		sw:       sw,
-		clock:    clock,
-		cap:      nframes,
-		partMask: uint64(nparts - 1),
-		parts:    make([]*partition, nparts),
-		nblocks:  make(map[relKey]storage.BlockNum),
-		ext:      make(map[relKey]*sync.Mutex),
+		sw:        sw,
+		clock:     clock,
+		cap:       nframes,
+		partMask:  uint64(nparts - 1),
+		parts:     make([]*partition, nparts),
+		nblocks:   make(map[relKey]storage.BlockNum),
+		ext:       make(map[relKey]*sync.Mutex),
+		checksums: make(map[relKey]Checksummer),
 	}
 	for i := range p.parts {
 		p.parts[i] = &partition{lookup: make(map[Tag]*Frame), lru: list.New()}
@@ -289,6 +293,13 @@ func (p *Pool) Get(tag Tag) (*Frame, error) {
 			return nil, err
 		}
 		readErr := mgr.ReadBlock(tag.Rel, tag.Blk, f.data)
+		if readErr == nil {
+			if cs := p.checksummer(tag.SM, tag.Rel); cs != nil {
+				if err := cs.Verify(f.data); err != nil {
+					readErr = fmt.Errorf("buffer: %s: %w", tag, err)
+				}
+			}
+		}
 
 		part.mu.Lock()
 		if g, ok := part.lookup[tag]; ok {
@@ -302,6 +313,14 @@ func (p *Pool) Get(tag Tag) (*Frame, error) {
 		if readErr != nil {
 			part.mu.Unlock()
 			p.putFree(f)
+			// A checksum mismatch can be a transient torn read racing an
+			// eviction's in-flight device write; once that write completes
+			// a re-read sees the full image. Only a mismatch that persists
+			// is real on-device corruption.
+			if errors.Is(readErr, page.ErrChecksum) && attempt < 4 {
+				time.Sleep(20 * time.Microsecond)
+				continue
+			}
 			// A block inside the relation's virtual length lives either in
 			// the pool or on the device; a failed device read can race an
 			// eviction that was still materialising the block. Retry only
@@ -508,15 +527,57 @@ func (p *Pool) writeBack(f *Frame) error {
 			}
 		}
 	}
+	// Snapshot the page under the shared content latch and stamp the
+	// write-back checksum on the copy, never on the live frame: the frame
+	// may be mutated again the moment the latch drops, while the device
+	// image must match its own stamp so a torn write is detectable when the
+	// block is read back after a crash.
+	img := make([]byte, page.Size)
 	f.latch.RLock()
 	f.dirty.Store(false)
-	err = mgr.WriteBlock(tag.Rel, tag.Blk, f.data)
+	copy(img, f.data)
 	f.latch.RUnlock()
-	if err != nil {
+	if cs := p.checksummer(tag.SM, tag.Rel); cs != nil {
+		cs.Stamp(img)
+	}
+	if err := mgr.WriteBlock(tag.Rel, tag.Blk, img); err != nil {
 		f.dirty.Store(true)
 		return err
 	}
 	return nil
+}
+
+// A Checksummer stamps a device-bound page image with a checksum and
+// verifies an image read back from the device, using whatever header slot
+// the relation's page layout reserves. Access methods register one per
+// relation (SetChecksummer); the pool itself stays ignorant of page
+// layouts. Verify must accept unstamped images — blocks written before the
+// relation had a checksummer — and must return an error for a stamped image
+// whose contents no longer match, which is how a torn block left by a crash
+// is detected instead of being parsed as garbage.
+type Checksummer interface {
+	Stamp(img []byte)
+	Verify(img []byte) error
+}
+
+// SetChecksummer registers the relation's page checksummer; nil disables
+// checksumming. Registration must precede reads for verification to happen,
+// so access methods call this when a relation is created or opened.
+func (p *Pool) SetChecksummer(sm storage.ID, rel storage.RelName, cs Checksummer) {
+	p.csMu.Lock()
+	if cs == nil {
+		delete(p.checksums, relKey{sm, rel})
+	} else {
+		p.checksums[relKey{sm, rel}] = cs
+	}
+	p.csMu.Unlock()
+}
+
+func (p *Pool) checksummer(sm storage.ID, rel storage.RelName) Checksummer {
+	p.csMu.RLock()
+	cs := p.checksums[relKey{sm, rel}]
+	p.csMu.RUnlock()
+	return cs
 }
 
 // FlushRel writes back every dirty page of the relation. Pinned frames are
@@ -555,7 +616,10 @@ func (p *Pool) pinDirty(sm storage.ID, rel storage.RelName) []*Frame {
 	return frames
 }
 
-// FlushAll writes back every dirty page in the pool.
+// FlushAll writes back every dirty page in the pool. Relations are flushed
+// in sorted order so a given workload issues the same device-write sequence
+// every run — the crash-simulation harness depends on that to make a seeded
+// crash land on the same operation each time.
 func (p *Pool) FlushAll() error {
 	seen := make(map[relKey]bool)
 	var keys []relKey
@@ -570,9 +634,47 @@ func (p *Pool) FlushAll() error {
 		}
 		part.mu.Unlock()
 	}
+	sortRelKeys(keys)
 	for _, key := range keys {
 		if err := p.FlushRel(key.sm, key.rel); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+func sortRelKeys(keys []relKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].sm != keys[j].sm {
+			return keys[i].sm < keys[j].sm
+		}
+		return keys[i].rel < keys[j].rel
+	})
+}
+
+// SyncAll forces every relation the pool has ever extended or read to
+// stable storage, in sorted order. FlushAll followed by SyncAll is the data
+// half of a checkpoint: FlushAll moves dirty pages into the storage
+// managers' (possibly volatile) write caches, SyncAll makes them durable.
+// Relations dropped since they were last buffered are skipped.
+func (p *Pool) SyncAll() error {
+	p.nbMu.Lock()
+	keys := make([]relKey, 0, len(p.nblocks))
+	for key := range p.nblocks {
+		keys = append(keys, key)
+	}
+	p.nbMu.Unlock()
+	sortRelKeys(keys)
+	for _, key := range keys {
+		mgr, err := p.sw.Get(key.sm)
+		if err != nil {
+			return err
+		}
+		if !mgr.Exists(key.rel) {
+			continue
+		}
+		if err := mgr.Sync(key.rel); err != nil {
+			return fmt.Errorf("buffer: sync %s: %w", key.rel, err)
 		}
 	}
 	return nil

@@ -144,6 +144,105 @@ func TestWriteFaultAbortsCleanly(t *testing.T) {
 	}
 }
 
+// Each injectable fault kind must surface through the Store API as
+// ErrInjected, and after Heal the very same operation must succeed with the
+// pool state and previously committed data uncorrupted.
+func TestFaultKindsSurfaceThroughStore(t *testing.T) {
+	cases := []struct {
+		name string
+		arm  func(f *storage.FaultManager)
+		// op runs the faulted (and later healed) operation against ref.
+		op func(s *Store, ref adt.ObjectRef) error
+		// gone reports whether a successful retry removes ref.
+		gone bool
+	}{
+		{
+			name: "sync via Flush",
+			arm:  func(f *storage.FaultManager) { f.FailSyncs(true) },
+			op:   func(s *Store, ref adt.ObjectRef) error { return s.Flush(ref) },
+		},
+		{
+			name: "create via Create",
+			arm:  func(f *storage.FaultManager) { f.FailCreates(true) },
+			op: func(s *Store, ref adt.ObjectRef) error {
+				tx := s.mgr().Begin()
+				_, obj, err := s.Create(tx, CreateOptions{Kind: adt.KindFChunk})
+				if err != nil {
+					tx.Abort()
+					return err
+				}
+				obj.Close()
+				tx.Commit()
+				return nil
+			},
+		},
+		{
+			name: "remove via Unlink",
+			arm:  func(f *storage.FaultManager) { f.FailRemoves(true) },
+			op:   func(s *Store, ref adt.ObjectRef) error { return s.Unlink(ref) },
+			gone: true,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s, fault := newFaultyStore(t)
+
+			// Two committed objects: the op's target and an untouched sibling.
+			payload := bytes.Repeat([]byte{0x7E, 0x81}, 10000)
+			commit := func() adt.ObjectRef {
+				tx := s.mgr().Begin()
+				ref, obj, err := s.Create(tx, CreateOptions{Kind: adt.KindFChunk})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := obj.Write(payload); err != nil {
+					t.Fatal(err)
+				}
+				obj.Close()
+				tx.Commit()
+				return ref
+			}
+			target, sibling := commit(), commit()
+
+			tc.arm(fault)
+			if err := tc.op(s, target); !errors.Is(err, storage.ErrInjected) {
+				t.Fatalf("faulted op error = %v, want ErrInjected", err)
+			}
+			fault.Heal()
+			if err := tc.op(s, target); err != nil {
+				t.Fatalf("op after Heal: %v", err)
+			}
+
+			// Pool state survived: the target (unless removed) and the
+			// sibling read back byte-identical through the same pool.
+			check := func(ref adt.ObjectRef) {
+				tx := s.mgr().Begin()
+				defer tx.Abort()
+				obj, err := s.Open(tx, ref)
+				if err != nil {
+					t.Fatalf("open %d after heal: %v", ref.OID, err)
+				}
+				got, err := io.ReadAll(obj)
+				obj.Close()
+				if err != nil || !bytes.Equal(got, payload) {
+					t.Fatalf("object %d after heal: %d bytes, %v", ref.OID, len(got), err)
+				}
+			}
+			if tc.gone {
+				tx := s.mgr().Begin()
+				if _, err := s.Open(tx, target); err == nil {
+					t.Fatal("unlinked object still opens")
+				}
+				tx.Abort()
+			} else {
+				check(target)
+			}
+			check(sibling)
+		})
+	}
+}
+
 func TestOneShotFaultThenRecovery(t *testing.T) {
 	s, fault := newFaultyStore(t)
 	tx := s.mgr().Begin()

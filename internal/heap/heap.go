@@ -103,8 +103,18 @@ func (p *Pool) cached(sm storage.ID, name storage.RelName) *Relation {
 	}
 	r := &Relation{pool: p, sm: sm, name: name}
 	p.rels[key] = r
+	// Heap relations are slotted pages; have the pool stamp and verify the
+	// page-header write-back checksum so a torn block left by a crash is
+	// detected on read instead of parsed as tuples.
+	p.Buf.SetChecksummer(sm, name, slottedChecksummer{})
 	return r
 }
+
+// slottedChecksummer checksums slotted pages via their reserved header slot.
+type slottedChecksummer struct{}
+
+func (slottedChecksummer) Stamp(img []byte)        { page.Page(img).SetChecksum() }
+func (slottedChecksummer) Verify(img []byte) error { return page.Page(img).VerifyChecksum() }
 
 // forget drops a cached relation handle (after Drop).
 func (p *Pool) forget(sm storage.ID, name storage.RelName) {
@@ -126,8 +136,8 @@ type Relation struct {
 	// — readers hold it shared, mutators exclusive — so concurrent reads
 	// of different (or the same) pages never contend on relation state.
 	mu            sync.RWMutex
-	insertTarget  storage.BlockNum // guarded by mu; block to try first for inserts
-	hasInsertHint bool             // guarded by mu
+	insertTarget  storage.BlockNum   // guarded by mu; block to try first for inserts
+	hasInsertHint bool               // guarded by mu
 	freeBlocks    []storage.BlockNum // guarded by mu; blocks vacuum found reusable space in
 }
 

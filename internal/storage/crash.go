@@ -1,0 +1,433 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"postlob/internal/page"
+)
+
+// ErrCrashed is returned by every operation on a CrashManager once its
+// simulated crash has fired: the process that owned the volatile cache is
+// gone, so no further I/O can be issued against it.
+var ErrCrashed = errors.New("storage: simulated crash")
+
+// CrashConfig parameterises a CrashManager.
+type CrashConfig struct {
+	// Seed drives the PRNG used for torn-write offsets. Two managers with
+	// the same seed and the same operation sequence behave identically, so a
+	// failing crash-recovery seed replays the exact same durable image.
+	Seed int64
+	// TearWrites makes a crash tear the in-flight block: a PRNG-chosen
+	// prefix of the new image reaches the durable medium while the rest
+	// keeps its old contents — a power cut in the middle of a sector write.
+	// Off by default, which models atomic block writes (the assumption the
+	// POSTGRES no-overwrite design was built on).
+	TearWrites bool
+}
+
+// TornWrite records the partial block write a crash left behind on the
+// durable medium.
+type TornWrite struct {
+	Rel RelName
+	Blk BlockNum
+	// Offset is how many bytes of the new image reached the medium; the
+	// remainder of the block kept its previous contents (zeros for a block
+	// that was being appended).
+	Offset int
+}
+
+// crashRel is one relation's volatile overlay.
+type crashRel struct {
+	// created marks a relation born after the last sync: it has no durable
+	// footprint at all and vanishes entirely on a crash.
+	created bool
+	// blocks holds unsynced block images. For a created relation every block
+	// lives here; for a durable relation only overwritten or appended blocks
+	// do, and reads fall through to the medium for the rest.
+	blocks map[BlockNum][]byte
+	// length is the visible relation length, always >= the durable length.
+	length BlockNum
+}
+
+// CrashManager models a volatile write cache (an OS page cache, a drive
+// write buffer) in front of a durable medium — the inner Manager. Writes
+// and creates land in the volatile layer and are visible to readers, but
+// only Sync pushes them to the medium. A crash — armed on an operation
+// countdown with CrashAfter, or fired explicitly with Crash — discards all
+// unsynced state, optionally tears the in-flight block, and leaves only the
+// durable image behind, which the test harness re-opens the way a restarted
+// DBMS re-opens its disks.
+//
+// Modelling notes:
+//
+//   - Sync flushes a relation's unsynced blocks to the medium in ascending
+//     order; a crash mid-sync therefore leaves a block-aligned prefix of the
+//     flush durable, plus (with TearWrites) a torn copy of the block that
+//     was in flight.
+//   - Unlink is durable immediately, like a journalled file-system metadata
+//     operation; a crash never resurrects an unlinked relation.
+//   - Close discards the volatile layer but does NOT close the inner
+//     manager: the medium outlives the cache the way a disk outlives the
+//     operating system, and the harness re-wraps it after a crash.
+type CrashManager struct {
+	inner Manager
+
+	mu        sync.Mutex
+	rng       *rand.Rand            // guarded by mu
+	tear      bool                  // immutable after NewCrashManager
+	countdown int                   // guarded by mu; ops until the crash fires; <0 disarmed
+	crashed   bool                  // guarded by mu
+	vols      map[RelName]*crashRel // guarded by mu
+	torn      *TornWrite            // guarded by mu
+	lastRel   RelName               // guarded by mu; most recent unsynced write
+	lastBlk   BlockNum              // guarded by mu
+	haveLast  bool                  // guarded by mu
+}
+
+var _ Manager = (*CrashManager)(nil)
+
+// NewCrashManager wraps inner (the durable medium) with a volatile write
+// cache. No crash is armed initially.
+func NewCrashManager(inner Manager, cfg CrashConfig) *CrashManager {
+	return &CrashManager{
+		inner:     inner,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		tear:      cfg.TearWrites,
+		countdown: -1,
+		vols:      make(map[RelName]*crashRel),
+	}
+}
+
+// CrashAfter arms the crash: the next n mutating operations (creates,
+// writes, per-block sync flushes, device syncs, unlinks) succeed and the
+// one after that dies mid-operation. Reads are not counted — a power cut
+// during a read leaves nothing behind.
+func (c *CrashManager) CrashAfter(n int) {
+	c.mu.Lock()
+	c.countdown = n
+	c.mu.Unlock()
+}
+
+// Crashed reports whether the simulated crash has fired.
+func (c *CrashManager) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Torn returns the torn write the crash left behind, if any.
+func (c *CrashManager) Torn() *TornWrite {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.torn
+}
+
+// Durable returns the durable medium — the state a restarted system finds.
+// Meaningful after Crash; before it, the medium simply lacks unsynced data.
+func (c *CrashManager) Durable() Manager { return c.inner }
+
+// Crash fires the crash at an operation boundary: all unsynced state is
+// discarded and, with TearWrites, the most recent unsynced write is torn as
+// the block that was still sitting half-written in the drive. Returns the
+// durable medium for re-opening. Idempotent.
+func (c *CrashManager) Crash() Manager {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return c.inner
+	}
+	var rel RelName
+	var blk BlockNum
+	var img []byte
+	if c.haveLast {
+		if v, ok := c.vols[c.lastRel]; ok {
+			if b, ok := v.blocks[c.lastBlk]; ok {
+				rel, blk, img = c.lastRel, c.lastBlk, b
+			}
+		}
+	}
+	c.crashLocked(rel, blk, img)
+	return c.inner
+}
+
+// tickLocked consumes one countdown step, reporting whether the crash fires
+// on this operation.
+func (c *CrashManager) tickLocked() bool {
+	if c.countdown < 0 {
+		return false
+	}
+	if c.countdown == 0 {
+		c.countdown = -1
+		return true
+	}
+	c.countdown--
+	return false
+}
+
+// crashLocked discards the volatile layer and optionally tears the
+// in-flight block (rel, blk, img); img == nil means no write was in flight.
+func (c *CrashManager) crashLocked(rel RelName, blk BlockNum, img []byte) {
+	c.crashed = true
+	if c.tear && img != nil {
+		c.tearLocked(rel, blk, img)
+	}
+	c.vols = make(map[RelName]*crashRel)
+	c.haveLast = false
+}
+
+// tearLocked writes a partial image of the in-flight block to the durable
+// medium: a PRNG-chosen prefix of the new bytes over the old contents.
+func (c *CrashManager) tearLocked(rel RelName, blk BlockNum, img []byte) {
+	if !c.inner.Exists(rel) {
+		return // the relation itself never reached the medium
+	}
+	n, err := c.inner.NBlocks(rel)
+	if err != nil || blk > n {
+		return // nowhere for the partial write to land
+	}
+	old := make([]byte, page.Size)
+	if blk < n {
+		if err := c.inner.ReadBlock(rel, blk, old); err != nil {
+			return
+		}
+	}
+	k := 1 + c.rng.Intn(page.Size-1)
+	torn := old
+	copy(torn[:k], img[:k])
+	if err := c.inner.WriteBlock(rel, blk, torn); err != nil {
+		return
+	}
+	c.torn = &TornWrite{Rel: rel, Blk: blk, Offset: k}
+}
+
+// volLocked returns rel's volatile overlay, creating a passthrough overlay
+// over the durable relation on first touch.
+func (c *CrashManager) volLocked(rel RelName) (*crashRel, error) {
+	if v, ok := c.vols[rel]; ok {
+		return v, nil
+	}
+	n, err := c.inner.NBlocks(rel)
+	if err != nil {
+		return nil, err
+	}
+	v := &crashRel{blocks: make(map[BlockNum][]byte), length: n}
+	c.vols[rel] = v
+	return v, nil
+}
+
+// Name implements Manager.
+func (c *CrashManager) Name() string { return c.inner.Name() + " (crash-sim)" }
+
+// Create implements Manager: the relation is born in the volatile layer and
+// reaches the medium at its first Sync.
+func (c *CrashManager) Create(rel RelName) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if c.tickLocked() {
+		c.crashLocked("", 0, nil)
+		return fmt.Errorf("create %s: %w", rel, ErrCrashed)
+	}
+	if _, ok := c.vols[rel]; ok {
+		return fmt.Errorf("%w: %s", ErrRelExists, rel)
+	}
+	if c.inner.Exists(rel) {
+		return fmt.Errorf("%w: %s", ErrRelExists, rel)
+	}
+	c.vols[rel] = &crashRel{created: true, blocks: make(map[BlockNum][]byte)}
+	return nil
+}
+
+// Exists implements Manager.
+func (c *CrashManager) Exists(rel RelName) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return false
+	}
+	if _, ok := c.vols[rel]; ok {
+		return true
+	}
+	return c.inner.Exists(rel)
+}
+
+// NBlocks implements Manager, reporting the visible (volatile) length.
+func (c *CrashManager) NBlocks(rel RelName) (BlockNum, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return 0, ErrCrashed
+	}
+	if v, ok := c.vols[rel]; ok {
+		return v.length, nil
+	}
+	return c.inner.NBlocks(rel)
+}
+
+// ReadBlock implements Manager: volatile blocks win, everything else falls
+// through to the durable medium.
+func (c *CrashManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
+	if err := checkBuf(buf); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if v, ok := c.vols[rel]; ok {
+		if blk >= v.length {
+			return fmt.Errorf("%w: %s block %d of %d", ErrBadBlock, rel, blk, v.length)
+		}
+		if img, ok := v.blocks[blk]; ok {
+			copy(buf, img)
+			return nil
+		}
+		// A visible block absent from the overlay is durable (appends always
+		// enter the overlay, so only pre-existing blocks fall through).
+	}
+	return c.inner.ReadBlock(rel, blk, buf)
+}
+
+// WriteBlock implements Manager: the image lands in the volatile layer
+// only; a crash before the next Sync discards it.
+func (c *CrashManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
+	if err := checkBuf(buf); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if c.tickLocked() {
+		c.crashLocked(rel, blk, buf)
+		return fmt.Errorf("write %s block %d: %w", rel, blk, ErrCrashed)
+	}
+	v, err := c.volLocked(rel)
+	if err != nil {
+		return err
+	}
+	if blk > v.length {
+		return fmt.Errorf("%w: write %s block %d beyond end %d", ErrBadBlock, rel, blk, v.length)
+	}
+	img := make([]byte, page.Size)
+	copy(img, buf)
+	v.blocks[blk] = img
+	if blk == v.length {
+		v.length++
+	}
+	c.lastRel, c.lastBlk, c.haveLast = rel, blk, true
+	return nil
+}
+
+// Sync implements Manager: the relation's unsynced blocks are flushed to
+// the medium in ascending order, then the medium itself is synced. A crash
+// firing mid-flush leaves the blocks already written durable — a partial
+// sync — and tears the one in flight when TearWrites is set.
+func (c *CrashManager) Sync(rel RelName) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	v, ok := c.vols[rel]
+	if !ok {
+		if c.tickLocked() {
+			c.crashLocked("", 0, nil)
+			return fmt.Errorf("sync %s: %w", rel, ErrCrashed)
+		}
+		if !c.inner.Exists(rel) {
+			return fmt.Errorf("%w: %s", ErrNoRelation, rel)
+		}
+		return c.inner.Sync(rel)
+	}
+	if v.created && !c.inner.Exists(rel) {
+		if c.tickLocked() {
+			c.crashLocked("", 0, nil)
+			return fmt.Errorf("sync %s: %w", rel, ErrCrashed)
+		}
+		if err := c.inner.Create(rel); err != nil {
+			return err
+		}
+	}
+	blks := make([]BlockNum, 0, len(v.blocks))
+	for blk := range v.blocks {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	for _, blk := range blks {
+		img := v.blocks[blk]
+		if c.tickLocked() {
+			c.crashLocked(rel, blk, img)
+			return fmt.Errorf("sync %s block %d: %w", rel, blk, ErrCrashed)
+		}
+		if err := c.inner.WriteBlock(rel, blk, img); err != nil {
+			return err
+		}
+		delete(v.blocks, blk) // flushed: survives a crash from here on
+	}
+	if c.tickLocked() {
+		c.crashLocked("", 0, nil)
+		return fmt.Errorf("sync %s: %w", rel, ErrCrashed)
+	}
+	if err := c.inner.Sync(rel); err != nil {
+		return err
+	}
+	delete(c.vols, rel)
+	if c.lastRel == rel {
+		c.haveLast = false
+	}
+	return nil
+}
+
+// Unlink implements Manager. Removal is durable immediately, like a
+// journalled file-system metadata operation.
+func (c *CrashManager) Unlink(rel RelName) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	if c.tickLocked() {
+		c.crashLocked("", 0, nil)
+		return fmt.Errorf("unlink %s: %w", rel, ErrCrashed)
+	}
+	v, hadVol := c.vols[rel]
+	delete(c.vols, rel)
+	if c.lastRel == rel {
+		c.haveLast = false
+	}
+	if c.inner.Exists(rel) {
+		return c.inner.Unlink(rel)
+	}
+	if !hadVol || v == nil {
+		return fmt.Errorf("%w: %s", ErrNoRelation, rel)
+	}
+	return nil
+}
+
+// Size implements Manager.
+func (c *CrashManager) Size(rel RelName) (int64, error) {
+	n, err := c.NBlocks(rel)
+	if err != nil {
+		return 0, err
+	}
+	return int64(n) * page.Size, nil
+}
+
+// Close implements Manager: the volatile layer is discarded, but the
+// durable medium is left open for the harness to re-wrap after a crash.
+func (c *CrashManager) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vols = make(map[RelName]*crashRel)
+	c.haveLast = false
+	return nil
+}

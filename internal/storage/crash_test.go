@@ -1,0 +1,254 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"postlob/internal/page"
+)
+
+func crashPair(t *testing.T, cfg CrashConfig) (*CrashManager, *MemManager) {
+	t.Helper()
+	inner := NewMemManager(DeviceModel{}, nil)
+	return NewCrashManager(inner, cfg), inner
+}
+
+func crashBlock(fill byte) []byte {
+	return bytes.Repeat([]byte{fill}, page.Size)
+}
+
+func mustWrite(t *testing.T, m Manager, rel RelName, blk BlockNum, fill byte) {
+	t.Helper()
+	if err := m.WriteBlock(rel, blk, crashBlock(fill)); err != nil {
+		t.Fatalf("write %s/%d: %v", rel, blk, err)
+	}
+}
+
+func readFill(t *testing.T, m Manager, rel RelName, blk BlockNum) []byte {
+	t.Helper()
+	buf := make([]byte, page.Size)
+	if err := m.ReadBlock(rel, blk, buf); err != nil {
+		t.Fatalf("read %s/%d: %v", rel, blk, err)
+	}
+	return buf
+}
+
+func TestCrashWritesVolatileUntilSync(t *testing.T) {
+	cm, inner := crashPair(t, CrashConfig{Seed: 1})
+	if err := cm.Create("r"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, cm, "r", 0, 0xAA)
+	mustWrite(t, cm, "r", 1, 0xBB)
+
+	// Visible through the cache...
+	if n, _ := cm.NBlocks("r"); n != 2 {
+		t.Fatalf("visible nblocks = %d, want 2", n)
+	}
+	if got := readFill(t, cm, "r", 1); got[0] != 0xBB {
+		t.Fatalf("visible read = %x, want bb", got[0])
+	}
+	// ...but nothing on the medium yet, not even the relation.
+	if inner.Exists("r") {
+		t.Fatal("relation reached the medium before Sync")
+	}
+
+	if err := cm.Sync("r"); err != nil {
+		t.Fatal(err)
+	}
+	if !inner.Exists("r") {
+		t.Fatal("Sync did not create the relation on the medium")
+	}
+	if n, _ := inner.NBlocks("r"); n != 2 {
+		t.Fatalf("durable nblocks = %d, want 2", n)
+	}
+	if got := readFill(t, inner, "r", 0); got[0] != 0xAA {
+		t.Fatalf("durable block 0 = %x, want aa", got[0])
+	}
+}
+
+func TestCrashDiscardsUnsyncedOverwrite(t *testing.T) {
+	cm, inner := crashPair(t, CrashConfig{Seed: 2})
+	if err := cm.Create("r"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, cm, "r", 0, 0x11)
+	if err := cm.Sync("r"); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite and append, unsynced.
+	mustWrite(t, cm, "r", 0, 0x22)
+	mustWrite(t, cm, "r", 1, 0x33)
+	if got := readFill(t, cm, "r", 0); got[0] != 0x22 {
+		t.Fatalf("cache read = %x, want 22", got[0])
+	}
+
+	cm.Crash()
+	if !cm.Crashed() {
+		t.Fatal("Crashed() false after Crash")
+	}
+	if err := cm.ReadBlock("r", 0, make([]byte, page.Size)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash read error = %v, want ErrCrashed", err)
+	}
+
+	// The durable image holds only the synced version.
+	if n, _ := inner.NBlocks("r"); n != 1 {
+		t.Fatalf("durable nblocks = %d, want 1", n)
+	}
+	if got := readFill(t, inner, "r", 0); got[0] != 0x11 {
+		t.Fatalf("durable block 0 = %x, want 11", got[0])
+	}
+}
+
+func TestCrashCountdownFiresMidOperation(t *testing.T) {
+	cm, inner := crashPair(t, CrashConfig{Seed: 3})
+	if err := cm.Create("r"); err != nil { // op 1
+		t.Fatal(err)
+	}
+	cm.CrashAfter(2) // two more mutations succeed, the third dies
+	mustWrite(t, cm, "r", 0, 0x01)
+	mustWrite(t, cm, "r", 1, 0x02)
+	err := cm.WriteBlock("r", 2, crashBlock(0x03))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("countdown write error = %v, want ErrCrashed", err)
+	}
+	if err := cm.Sync("r"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync error = %v, want ErrCrashed", err)
+	}
+	if inner.Exists("r") {
+		t.Fatal("unsynced relation survived the crash")
+	}
+}
+
+func TestCrashMidSyncLeavesPrefix(t *testing.T) {
+	cm, inner := crashPair(t, CrashConfig{Seed: 4})
+	if err := cm.Create("r"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		mustWrite(t, cm, "r", BlockNum(i), byte(0x10+i))
+	}
+	// Sync issues: create + four block flushes + device sync. Let the
+	// create and two block flushes through, then die on the third block.
+	cm.CrashAfter(3)
+	if err := cm.Sync("r"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync error = %v, want ErrCrashed", err)
+	}
+	if n, _ := inner.NBlocks("r"); n != 2 {
+		t.Fatalf("durable prefix = %d blocks, want 2", n)
+	}
+	for i := 0; i < 2; i++ {
+		if got := readFill(t, inner, "r", BlockNum(i)); got[0] != byte(0x10+i) {
+			t.Fatalf("durable block %d = %x, want %x", i, got[0], 0x10+i)
+		}
+	}
+}
+
+func TestCrashTearsInFlightBlock(t *testing.T) {
+	cm, inner := crashPair(t, CrashConfig{Seed: 5, TearWrites: true})
+	if err := cm.Create("r"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, cm, "r", 0, 0xAA)
+	if err := cm.Sync("r"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, cm, "r", 0, 0xBB) // unsynced overwrite, in flight at the crash
+	cm.Crash()
+
+	torn := cm.Torn()
+	if torn == nil {
+		t.Fatal("no torn write recorded")
+	}
+	if torn.Rel != "r" || torn.Blk != 0 {
+		t.Fatalf("torn %s/%d, want r/0", torn.Rel, torn.Blk)
+	}
+	if torn.Offset <= 0 || torn.Offset >= page.Size {
+		t.Fatalf("torn offset %d out of range", torn.Offset)
+	}
+	got := readFill(t, inner, "r", 0)
+	for i := 0; i < torn.Offset; i++ {
+		if got[i] != 0xBB {
+			t.Fatalf("byte %d = %x, want bb (new prefix)", i, got[i])
+		}
+	}
+	for i := torn.Offset; i < page.Size; i++ {
+		if got[i] != 0xAA {
+			t.Fatalf("byte %d = %x, want aa (old suffix)", i, got[i])
+		}
+	}
+}
+
+func TestCrashTearDeterministicAcrossRuns(t *testing.T) {
+	run := func() (int, []byte) {
+		cm, inner := crashPair(t, CrashConfig{Seed: 42, TearWrites: true})
+		if err := cm.Create("r"); err != nil {
+			t.Fatal(err)
+		}
+		mustWrite(t, cm, "r", 0, 0x01)
+		if err := cm.Sync("r"); err != nil {
+			t.Fatal(err)
+		}
+		mustWrite(t, cm, "r", 0, 0x02)
+		cm.Crash()
+		return cm.Torn().Offset, readFill(t, inner, "r", 0)
+	}
+	off1, img1 := run()
+	off2, img2 := run()
+	if off1 != off2 || !bytes.Equal(img1, img2) {
+		t.Fatalf("same seed produced different tears: %d vs %d", off1, off2)
+	}
+}
+
+func TestCrashUnlinkDurableImmediately(t *testing.T) {
+	cm, inner := crashPair(t, CrashConfig{Seed: 6})
+	if err := cm.Create("r"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, cm, "r", 0, 0x01)
+	if err := cm.Sync("r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cm.Unlink("r"); err != nil {
+		t.Fatal(err)
+	}
+	cm.Crash()
+	if inner.Exists("r") {
+		t.Fatal("crash resurrected an unlinked relation")
+	}
+}
+
+func TestCrashAppendRuleAgainstVisibleLength(t *testing.T) {
+	cm, _ := crashPair(t, CrashConfig{Seed: 7})
+	if err := cm.Create("r"); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, cm, "r", 0, 0x01)
+	if err := cm.WriteBlock("r", 2, crashBlock(0x02)); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("hole write error = %v, want ErrBadBlock", err)
+	}
+	if err := cm.ReadBlock("r", 1, make([]byte, page.Size)); !errors.Is(err, ErrBadBlock) {
+		t.Fatalf("past-end read error = %v, want ErrBadBlock", err)
+	}
+}
+
+func TestCrashReadThroughMixesDurableAndVolatile(t *testing.T) {
+	cm, inner := crashPair(t, CrashConfig{Seed: 8})
+	if err := inner.Create("r"); err != nil { // pre-existing durable relation
+		t.Fatal(err)
+	}
+	if err := inner.WriteBlock("r", 0, crashBlock(0x0D)); err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, cm, "r", 1, 0x0E) // volatile append
+	if got := readFill(t, cm, "r", 0); got[0] != 0x0D {
+		t.Fatalf("durable read-through = %x, want 0d", got[0])
+	}
+	if got := readFill(t, cm, "r", 1); got[0] != 0x0E {
+		t.Fatalf("volatile read = %x, want 0e", got[0])
+	}
+	if n, _ := inner.NBlocks("r"); n != 1 {
+		t.Fatalf("durable nblocks = %d, want 1", n)
+	}
+}

@@ -8,6 +8,17 @@ import (
 // ErrInjected is the failure produced by a FaultManager.
 var ErrInjected = errors.New("storage: injected fault")
 
+// faultOp classifies operations for selective failure injection.
+type faultOp int
+
+const (
+	opRead faultOp = iota
+	opWrite
+	opSync
+	opCreate
+	opRemove
+)
+
 // FaultManager wraps another manager and fails operations on command. It
 // exists for failure-injection tests: every layer above the storage switch
 // must surface device errors rather than corrupt state, and must work again
@@ -16,10 +27,13 @@ var ErrInjected = errors.New("storage: injected fault")
 type FaultManager struct {
 	inner Manager
 
-	mu         sync.Mutex
-	failReads  bool
-	failWrites bool
-	countdown  int // fail once the countdown reaches zero; <0 disabled
+	mu          sync.Mutex
+	failReads   bool // guarded by mu
+	failWrites  bool // guarded by mu
+	failSyncs   bool // guarded by mu
+	failCreates bool // guarded by mu
+	failRemoves bool // guarded by mu
+	countdown   int  // guarded by mu; fail once it reaches zero; <0 disabled
 }
 
 var _ Manager = (*FaultManager)(nil)
@@ -36,14 +50,38 @@ func (f *FaultManager) FailReads(on bool) {
 	f.mu.Unlock()
 }
 
-// FailWrites toggles failing all writes.
+// FailWrites toggles failing all writes. Device syncs are write-path
+// operations and fail too (use FailSyncs to fail only the sync).
 func (f *FaultManager) FailWrites(on bool) {
 	f.mu.Lock()
 	f.failWrites = on
 	f.mu.Unlock()
 }
 
-// FailAfter arms a one-shot failure after n successful block operations.
+// FailSyncs toggles failing Sync — a device that accepts writes into its
+// cache but cannot force them to stable storage.
+func (f *FaultManager) FailSyncs(on bool) {
+	f.mu.Lock()
+	f.failSyncs = on
+	f.mu.Unlock()
+}
+
+// FailCreates toggles failing Create — a device out of directory space.
+func (f *FaultManager) FailCreates(on bool) {
+	f.mu.Lock()
+	f.failCreates = on
+	f.mu.Unlock()
+}
+
+// FailRemoves toggles failing Unlink.
+func (f *FaultManager) FailRemoves(on bool) {
+	f.mu.Lock()
+	f.failRemoves = on
+	f.mu.Unlock()
+}
+
+// FailAfter arms a one-shot failure after n successful operations of any
+// kind (reads, writes, syncs, creates, unlinks).
 func (f *FaultManager) FailAfter(n int) {
 	f.mu.Lock()
 	f.countdown = n
@@ -53,12 +91,14 @@ func (f *FaultManager) FailAfter(n int) {
 // Heal clears all injected failures.
 func (f *FaultManager) Heal() {
 	f.mu.Lock()
-	f.failReads, f.failWrites, f.countdown = false, false, -1
+	f.failReads, f.failWrites, f.failSyncs = false, false, false
+	f.failCreates, f.failRemoves = false, false
+	f.countdown = -1
 	f.mu.Unlock()
 }
 
 // shouldFail consumes the countdown and consults the toggles.
-func (f *FaultManager) shouldFail(write bool) bool {
+func (f *FaultManager) shouldFail(op faultOp) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.countdown == 0 {
@@ -68,17 +108,33 @@ func (f *FaultManager) shouldFail(write bool) bool {
 	if f.countdown > 0 {
 		f.countdown--
 	}
-	if write {
+	switch op {
+	case opRead:
+		return f.failReads
+	case opWrite:
 		return f.failWrites
+	case opSync:
+		// Sync has always failed under FailWrites (it is the tail of the
+		// write path); FailSyncs fails it alone.
+		return f.failSyncs || f.failWrites
+	case opCreate:
+		return f.failCreates
+	case opRemove:
+		return f.failRemoves
 	}
-	return f.failReads
+	return false
 }
 
 // Name implements Manager.
 func (f *FaultManager) Name() string { return f.inner.Name() + " (fault-injected)" }
 
 // Create implements Manager.
-func (f *FaultManager) Create(rel RelName) error { return f.inner.Create(rel) }
+func (f *FaultManager) Create(rel RelName) error {
+	if f.shouldFail(opCreate) {
+		return ErrInjected
+	}
+	return f.inner.Create(rel)
+}
 
 // Exists implements Manager.
 func (f *FaultManager) Exists(rel RelName) bool { return f.inner.Exists(rel) }
@@ -88,7 +144,7 @@ func (f *FaultManager) NBlocks(rel RelName) (BlockNum, error) { return f.inner.N
 
 // ReadBlock implements Manager.
 func (f *FaultManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
-	if f.shouldFail(false) {
+	if f.shouldFail(opRead) {
 		return ErrInjected
 	}
 	return f.inner.ReadBlock(rel, blk, buf)
@@ -96,7 +152,7 @@ func (f *FaultManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
 
 // WriteBlock implements Manager.
 func (f *FaultManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
-	if f.shouldFail(true) {
+	if f.shouldFail(opWrite) {
 		return ErrInjected
 	}
 	return f.inner.WriteBlock(rel, blk, buf)
@@ -104,14 +160,19 @@ func (f *FaultManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
 
 // Sync implements Manager.
 func (f *FaultManager) Sync(rel RelName) error {
-	if f.shouldFail(true) {
+	if f.shouldFail(opSync) {
 		return ErrInjected
 	}
 	return f.inner.Sync(rel)
 }
 
 // Unlink implements Manager.
-func (f *FaultManager) Unlink(rel RelName) error { return f.inner.Unlink(rel) }
+func (f *FaultManager) Unlink(rel RelName) error {
+	if f.shouldFail(opRemove) {
+		return ErrInjected
+	}
+	return f.inner.Unlink(rel)
+}
 
 // Size implements Manager.
 func (f *FaultManager) Size(rel RelName) (int64, error) { return f.inner.Size(rel) }

@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"sort"
 	"sync"
@@ -100,6 +101,14 @@ type Manager struct {
 	status   map[XID]Status // guarded by mu
 	commitTS map[XID]TS     // guarded by mu
 	active   map[XID]bool   // guarded by mu
+	logPath  string         // guarded by mu; "" disables durable XID reservation
+	xidBound XID            // guarded by mu; XIDs below this are durably reserved
+
+	// saveMu serialises commit-log file writes (the temp file name is
+	// shared, and renames must not reorder). Acquired after mu; writers
+	// always hold mu — shared or exclusive — across the write, so two
+	// serialised writes always carry identical snapshots.
+	saveMu sync.Mutex
 }
 
 // NewManager returns an empty transaction manager.
@@ -113,10 +122,38 @@ func NewManager() *Manager {
 	}
 }
 
+// SetLogPath names the commit-log file used for durable XID reservation.
+// A manager with a log path never hands out an XID that was not first
+// reserved on disk: recovery from a crash then restarts numbering above
+// every XID a lost transaction might have stamped into synced tuples.
+// Without the reservation a recycled XID would commit and make the lost
+// transaction's stray tuples spring back to life.
+func (m *Manager) SetLogPath(path string) {
+	m.mu.Lock()
+	m.logPath = path
+	m.mu.Unlock()
+}
+
+// xidBatch is how many XIDs one durable reservation covers, so Begin
+// rewrites the log only once per batch rather than on every transaction.
+const xidBatch = 128
+
 // Begin starts a transaction with a fresh snapshot.
 func (m *Manager) Begin() *Txn {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.logPath != "" && m.nextXID >= m.xidBound {
+		bound := m.nextXID + xidBatch
+		buf := m.encodeLocked(bound)
+		m.saveMu.Lock()
+		err := writeLogFile(m.logPath, buf)
+		m.saveMu.Unlock()
+		if err == nil {
+			m.xidBound = bound
+		}
+		// On failure the bound stays put and the next Begin retries; the
+		// commit-time Save will surface persistent log trouble loudly.
+	}
 	id := m.nextXID
 	m.nextXID++
 	m.status[id] = InProgress
@@ -193,9 +230,10 @@ type Txn struct {
 	snap Snapshot
 	done bool // guarded by mu
 
-	mu       sync.Mutex
-	onCommit []func() // guarded by mu
-	onAbort  []func() // guarded by mu
+	mu        sync.Mutex
+	onCommit  []func()       // guarded by mu
+	onAbort   []func()       // guarded by mu
+	onDurable []func() error // guarded by mu
 }
 
 // ID returns the transaction's XID.
@@ -229,7 +267,19 @@ func (t *Txn) OnAbort(fn func()) {
 	t.mu.Unlock()
 }
 
+// OnCommitDurable registers a durability hook: it runs at commit, before the
+// plain OnCommit hooks, and its error is returned from Commit. Force-at-
+// commit checkpointing uses this so a failed flush is reported to the caller
+// instead of being swallowed.
+func (t *Txn) OnCommitDurable(fn func() error) {
+	t.mu.Lock()
+	t.onDurable = append(t.onDurable, fn)
+	t.mu.Unlock()
+}
+
 // Commit marks the transaction committed, assigning its commit timestamp.
+// A non-nil error reports a durability-hook failure: the transaction is
+// committed in memory but may not survive a crash.
 func (t *Txn) Commit() (TS, error) {
 	t.mu.Lock()
 	if t.done {
@@ -238,13 +288,20 @@ func (t *Txn) Commit() (TS, error) {
 	}
 	t.done = true
 	hooks := t.onCommit
-	t.onCommit, t.onAbort = nil, nil
+	durable := t.onDurable
+	t.onCommit, t.onAbort, t.onDurable = nil, nil, nil
 	t.mu.Unlock()
 	ts := t.mgr.finish(t.id, Committed)
+	var firstErr error
+	for _, fn := range durable {
+		if err := fn(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
 	for _, fn := range hooks {
 		fn()
 	}
-	return ts, nil
+	return ts, firstErr
 }
 
 // Abort marks the transaction aborted; its effects become invisible.
@@ -256,7 +313,7 @@ func (t *Txn) Abort() error {
 	}
 	t.done = true
 	hooks := t.onAbort
-	t.onCommit, t.onAbort = nil, nil
+	t.onCommit, t.onAbort, t.onDurable = nil, nil, nil
 	t.mu.Unlock()
 	t.mgr.finish(t.id, Aborted)
 	for _, fn := range hooks {
@@ -267,13 +324,22 @@ func (t *Txn) Abort() error {
 
 // --- commit log persistence -------------------------------------------------
 
-const logMagic = 0x504C4F47 // "PLOG"
+// Log layout, version 2 ("PLG2"): a 24-byte header — magic u32, CRC-32 u32
+// (over everything after itself), durable XID bound u32, next TS u64, entry
+// count u32 — followed by 13-byte entries (XID u32, status u8, TS u64). The
+// CRC plus a strict length check make any truncation or bit flip of the log
+// fail loudly at Load rather than silently mis-reporting transaction
+// outcomes; the file is still replaced atomically (write temp, rename), so a
+// crash during Save leaves the previous complete log in place.
+const (
+	logMagic  = 0x32474C50 // "PLG2"
+	logHdrLen = 24
+	logEntLen = 13
+)
 
-// Save writes the commit log and counters to path. In-progress transactions
-// are not persisted: after a restart they are implicitly aborted, which is
-// exactly the recovery semantics of a no-overwrite store with a forced log.
-func (m *Manager) Save(path string) error {
-	m.mu.RLock()
+// encodeLocked serialises the commit log with the given durable XID bound;
+// caller holds m.mu (shared is enough — nothing is mutated).
+func (m *Manager) encodeLocked(bound XID) []byte {
 	type entry struct {
 		xid XID
 		st  Status
@@ -286,26 +352,24 @@ func (m *Manager) Save(path string) error {
 		}
 		entries = append(entries, entry{x, st, m.commitTS[x]})
 	}
-	nextXID, nextTS := m.nextXID, m.nextTS
-	m.mu.RUnlock()
-
 	sort.Slice(entries, func(i, j int) bool { return entries[i].xid < entries[j].xid })
-	buf := make([]byte, 0, 20+len(entries)*13)
-	var scratch [13]byte
-	binary.LittleEndian.PutUint32(scratch[:4], logMagic)
-	buf = append(buf, scratch[:4]...)
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(nextXID))
-	buf = append(buf, scratch[:4]...)
-	binary.LittleEndian.PutUint64(scratch[:8], uint64(nextTS))
-	buf = append(buf, scratch[:8]...)
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(entries)))
-	buf = append(buf, scratch[:4]...)
+	buf := make([]byte, logHdrLen, logHdrLen+len(entries)*logEntLen)
+	binary.LittleEndian.PutUint32(buf[0:], logMagic)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(bound))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(m.nextTS))
+	binary.LittleEndian.PutUint32(buf[20:], uint32(len(entries)))
+	var scratch [logEntLen]byte
 	for _, e := range entries {
 		binary.LittleEndian.PutUint32(scratch[:4], uint32(e.xid))
 		scratch[4] = byte(e.st)
 		binary.LittleEndian.PutUint64(scratch[5:13], uint64(e.ts))
-		buf = append(buf, scratch[:13]...)
+		buf = append(buf, scratch[:]...)
 	}
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf[8:]))
+	return buf
+}
+
+func writeLogFile(path string, buf []byte) error {
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
 		return fmt.Errorf("txn: save: %w", err)
@@ -313,27 +377,61 @@ func (m *Manager) Save(path string) error {
 	return os.Rename(tmp, path)
 }
 
-// Load restores a commit log previously written by Save.
+// Save writes the commit log and counters to path. In-progress transactions
+// are not persisted: after a restart they are implicitly aborted, which is
+// exactly the recovery semantics of a no-overwrite store with a forced log.
+func (m *Manager) Save(path string) error {
+	// Hold the read lock across the write: concurrent Saves then encode
+	// an identical snapshot (any state change needs mu exclusively), so
+	// saveMu may flush them in either order without the log regressing.
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	bound := m.xidBound
+	if m.nextXID > bound {
+		bound = m.nextXID
+	}
+	buf := m.encodeLocked(bound)
+	m.saveMu.Lock()
+	defer m.saveMu.Unlock()
+	return writeLogFile(path, buf)
+}
+
+// Load restores a commit log previously written by Save. Any mismatch —
+// bad magic, bad checksum, wrong length — returns ErrCorrupt; a corrupt
+// log must never be trusted to answer visibility questions.
 func Load(path string) (*Manager, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("txn: load: %w", err)
 	}
-	if len(data) < 20 || binary.LittleEndian.Uint32(data[0:]) != logMagic {
+	if len(data) < logHdrLen || binary.LittleEndian.Uint32(data[0:]) != logMagic {
 		return nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(data[4:]) != crc32.ChecksumIEEE(data[8:]) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	bound := XID(binary.LittleEndian.Uint32(data[8:]))
+	nextTS := TS(binary.LittleEndian.Uint64(data[12:]))
+	n := int(binary.LittleEndian.Uint32(data[20:]))
+	if n < 0 || len(data) != logHdrLen+logEntLen*n {
+		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
 	}
 	m := NewManager()
-	m.nextXID = XID(binary.LittleEndian.Uint32(data[4:]))
-	m.nextTS = TS(binary.LittleEndian.Uint64(data[8:]))
-	n := int(binary.LittleEndian.Uint32(data[16:]))
-	if len(data) < 20+13*n {
-		return nil, ErrCorrupt
+	if bound > m.nextXID {
+		m.nextXID = bound
+	}
+	m.xidBound = m.nextXID
+	if nextTS > m.nextTS {
+		m.nextTS = nextTS
 	}
 	for i := 0; i < n; i++ {
-		rec := data[20+13*i:]
+		rec := data[logHdrLen+logEntLen*i:]
 		xid := XID(binary.LittleEndian.Uint32(rec))
 		st := Status(rec[4])
 		ts := TS(binary.LittleEndian.Uint64(rec[5:]))
+		if st != Committed && st != Aborted {
+			return nil, fmt.Errorf("%w: bad status %d", ErrCorrupt, st)
+		}
 		m.status[xid] = st
 		if st == Committed {
 			m.commitTS[xid] = ts

@@ -129,8 +129,16 @@ type Options struct {
 	// commit log before returning — the POSTGRES no-write-ahead-log
 	// discipline: committed data survives a crash without a Checkpoint.
 	// Costs a device sync per commit; without it, durability is
-	// checkpoint-grained.
+	// checkpoint-grained. A checkpoint failure at commit is returned from
+	// tx.Commit: the transaction is committed in memory but may not
+	// survive a crash.
 	ForceAtCommit bool
+
+	// WrapStorage, when set, wraps each built-in storage manager as it is
+	// registered. The crash-simulation and fault-injection tests use it to
+	// interpose storage.CrashManager or storage.FaultManager under a real
+	// database; returning mgr unchanged is always safe.
+	WrapStorage func(id storage.ID, mgr storage.Manager) storage.Manager
 }
 
 // DB is an open database.
@@ -155,13 +163,17 @@ func Open(dir string, opts Options) (*DB, error) {
 	if frames <= 0 {
 		frames = 1024
 	}
+	wrap := opts.WrapStorage
+	if wrap == nil {
+		wrap = func(_ storage.ID, mgr storage.Manager) storage.Manager { return mgr }
+	}
 	sw := storage.NewSwitch()
 	disk, err := storage.NewDiskManager(filepath.Join(dir, "data"), opts.DiskModel, opts.Clock)
 	if err != nil {
 		return nil, err
 	}
-	sw.Register(storage.Disk, disk)
-	sw.Register(storage.Mem, storage.NewMemManager(storage.DeviceModel{}, opts.Clock))
+	sw.Register(storage.Disk, wrap(storage.Disk, disk))
+	sw.Register(storage.Mem, wrap(storage.Mem, storage.NewMemManager(storage.DeviceModel{}, opts.Clock)))
 	if opts.WormConfig != nil {
 		cfg := *opts.WormConfig
 		if cfg.Clock == nil {
@@ -171,7 +183,7 @@ func Open(dir string, opts Options) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
-		sw.Register(storage.Worm, worm)
+		sw.Register(storage.Worm, wrap(storage.Worm, worm))
 	}
 
 	logPath := filepath.Join(dir, "pg_log")
@@ -183,6 +195,9 @@ func Open(dir string, opts Options) (*DB, error) {
 	} else {
 		mgr = txn.NewManager()
 	}
+	// Reserve XIDs durably before they are handed out, so a crash can never
+	// lead to a lost transaction's XID being recycled.
+	mgr.SetLogPath(logPath)
 
 	cat, err := catalog.Open(filepath.Join(dir, "catalog.json"))
 	if err != nil {
@@ -253,12 +268,7 @@ func (db *DB) CreateLargeType(t LargeType) error {
 func (db *DB) Begin() *Txn {
 	tx := db.pool.Mgr.Begin()
 	if db.force {
-		tx.OnCommit(func() {
-			// Best effort: a failure here leaves the transaction durable
-			// only to checkpoint granularity, never inconsistent (the
-			// no-overwrite store tolerates partial flushes).
-			db.Checkpoint()
-		})
+		tx.OnCommitDurable(db.Checkpoint)
 	}
 	return tx
 }
@@ -378,24 +388,17 @@ func (db *DB) Vacuum(keepHistory bool) (int, error) {
 	return total, nil
 }
 
-// Checkpoint flushes all dirty pages, syncs devices, and persists the
-// commit log.
+// Checkpoint flushes all dirty pages, syncs every relation the pool has
+// touched — class relations and large-object relations alike — and only
+// then persists the commit log. The ordering is the recovery contract: a
+// transaction is durable exactly when its log record is, and the log is
+// never written ahead of the data it describes.
 func (db *DB) Checkpoint() error {
 	if err := db.pool.Buf.FlushAll(); err != nil {
 		return err
 	}
-	for _, id := range db.sw.IDs() {
-		mgr, err := db.sw.Get(id)
-		if err != nil {
-			return err
-		}
-		for _, cls := range db.cat.Classes() {
-			if cls.SM == id && mgr.Exists(cls.Rel) {
-				if err := mgr.Sync(cls.Rel); err != nil {
-					return err
-				}
-			}
-		}
+	if err := db.pool.Buf.SyncAll(); err != nil {
+		return err
 	}
 	return db.pool.Mgr.Save(filepath.Join(db.dir, "pg_log"))
 }
