@@ -44,6 +44,15 @@ const (
 // clean pages.
 func newConcurrentReadDB(b *testing.B, kind StorageKind) (*DB, ObjectRef) {
 	b.Helper()
+	return newConcurrentReadDBLatency(b, kind, concReadLat)
+}
+
+// newConcurrentReadDBLatency is newConcurrentReadDB with the simulated
+// per-block device read latency as a parameter; zero leaves the in-memory
+// device unwrapped, giving the CPU-bound variant the observability-overhead
+// harness measures against.
+func newConcurrentReadDBLatency(b *testing.B, kind StorageKind, readLat time.Duration) (*DB, ObjectRef) {
+	b.Helper()
 	sm := Mem
 	db, err := Open(b.TempDir(), Options{
 		BufferPoolPages: concPoolPages,
@@ -53,11 +62,13 @@ func newConcurrentReadDB(b *testing.B, kind StorageKind) (*DB, ObjectRef) {
 		b.Fatal(err)
 	}
 	b.Cleanup(func() { db.Close() })
-	mem, err := db.StorageSwitch().Get(storage.Mem)
-	if err != nil {
-		b.Fatal(err)
+	if readLat > 0 {
+		mem, err := db.StorageSwitch().Get(storage.Mem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db.StorageSwitch().Register(storage.Mem, storage.NewLatencyManager(mem, readLat, 0))
 	}
-	db.StorageSwitch().Register(storage.Mem, storage.NewLatencyManager(mem, concReadLat, 0))
 
 	var ref ObjectRef
 	payload := make([]byte, concChunk)

@@ -19,6 +19,14 @@
 #                                  read benchmark, so scaling regressions
 #                                  break the build, not just the numbers
 #
+#   6. (BENCH=1 only)              the observability overhead harness: the
+#                                  concurrent read workload with metrics
+#                                  recording vs obs.Disabled(). Rewrites
+#                                  BENCH_obs_overhead.json and fails when
+#                                  instrumentation costs 5% or more:
+#
+#                                    BENCH=1 ./check.sh
+#
 # The race detector is on by default. Run with RACE=0 to skip it (plain
 # go test ./...) when iterating on something slow:
 #
@@ -39,15 +47,22 @@ go vet ./...
 echo "== lobvet ./..."
 go run ./cmd/lobvet ./...
 
+# BENCH is cleared for the full suite so the (slow) overhead harness runs
+# only as its own step below.
 if [ "${RACE:-1}" = "0" ]; then
 	echo "== go test ./... (race detector skipped: RACE=0)"
-	go test ./...
+	BENCH= go test ./...
 else
 	echo "== go test -race ./..."
-	go test -race ./...
+	BENCH= go test -race ./...
 fi
 
 echo "== BenchmarkConcurrentRead smoke (-benchtime=1x)"
 go test -run '^$' -bench BenchmarkConcurrentRead -benchtime=1x .
+
+if [ "${BENCH:-}" = "1" ]; then
+	echo "== observability overhead harness (BENCH=1)"
+	BENCH=1 go test -run '^TestObsOverheadReport$' -v .
+fi
 
 echo "check.sh: all green"

@@ -18,6 +18,7 @@
 //	history path         commit timestamps at which the file changed
 //	asof ts cat path     print a file as of timestamp ts
 //	asof ts ls path      list a directory as of ts
+//	stats                dump the observability registry (\stats also works)
 //	quit
 package main
 
@@ -72,6 +73,12 @@ func main() {
 		}
 		if args[0] == "quit" || args[0] == "exit" {
 			return
+		}
+		if args[0] == "stats" || args[0] == `\stats` {
+			if err := postlob.ObsSnapshot().Render(os.Stdout); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+			continue
 		}
 		if args[0] == "history" {
 			if len(args) != 2 {

@@ -3,25 +3,35 @@
 // (paper §3). Pair it with the internal/client library or the remoteaccess
 // example.
 //
+// A second HTTP listener exposes observability: GET /metrics renders the
+// process-wide metrics registry (internal/obs) as plain text, and
+// /debug/pprof/ serves the standard Go profiler endpoints.
+//
 // Usage:
 //
-//	lobjserve -db /path/to/dbdir [-addr 127.0.0.1:5439]
+//	lobjserve -db /path/to/dbdir [-addr 127.0.0.1:5439] [-metrics 127.0.0.1:5440]
+//
+// Pass -metrics "" to disable the observability listener.
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 
 	"postlob"
+	"postlob/internal/obs"
 )
 
 func main() {
 	var (
-		dbdir = flag.String("db", "", "database directory (required)")
-		addr  = flag.String("addr", "127.0.0.1:5439", "listen address")
+		dbdir   = flag.String("db", "", "database directory (required)")
+		addr    = flag.String("addr", "127.0.0.1:5439", "listen address")
+		metrics = flag.String("metrics", "127.0.0.1:5440", "HTTP address for /metrics and /debug/pprof (empty disables)")
 	)
 	flag.Parse()
 	if *dbdir == "" {
@@ -39,6 +49,26 @@ func main() {
 	}
 	srv := db.Serve(l)
 	log.Printf("lobjserve: serving %s on %s", *dbdir, l.Addr())
+
+	if *metrics != "" {
+		ml, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.Serve(ml, mux); err != nil {
+				log.Printf("lobjserve: metrics listener: %v", err)
+			}
+		}()
+		log.Printf("lobjserve: metrics on http://%s/metrics", ml.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

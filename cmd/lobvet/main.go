@@ -6,6 +6,7 @@
 //	storageerr    storage write/flush/sync/commit errors are never dropped
 //	lockguard     '// guarded by mu' fields are accessed under the mutex
 //	nopanic       no undocumented panic in internal/* library code
+//	obsregister   obs metrics are registered once at package init, never in loops
 //
 // Usage:
 //
@@ -35,6 +36,7 @@ import (
 	"postlob/internal/analysis/framerelease"
 	"postlob/internal/analysis/lockguard"
 	"postlob/internal/analysis/nopanic"
+	"postlob/internal/analysis/obsregister"
 	"postlob/internal/analysis/storageerr"
 	"postlob/internal/analysis/txncomplete"
 )
@@ -45,6 +47,7 @@ var analyzers = []*analysis.Analyzer{
 	storageerr.Analyzer,
 	lockguard.Analyzer,
 	nopanic.Analyzer,
+	obsregister.Analyzer,
 }
 
 func main() {

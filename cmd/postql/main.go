@@ -10,7 +10,7 @@
 // explicit transaction is open: `begin` opens one, `commit` / `abort` end
 // it, and statements in between share it. Lines beginning with \ are shell
 // commands: \q quits, \classes lists classes, \types lists large types,
-// \objects lists large objects.
+// \objects lists large objects, \stats dumps the observability registry.
 package main
 
 import (
@@ -86,6 +86,11 @@ func main() {
 		case line == `\objects`:
 			for _, m := range db.Catalog().Objects(false) {
 				fmt.Printf("  lobj:%d kind=%v codec=%q temp=%v\n", m.OID, m.Kind, m.Codec, m.Temp)
+			}
+			continue
+		case line == `\stats`:
+			if err := postlob.ObsSnapshot().Render(os.Stdout); err != nil {
+				fmt.Printf("error: %v\n", err)
 			}
 			continue
 		case strings.HasPrefix(line, `\`):

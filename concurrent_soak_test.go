@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"postlob/internal/obs"
 )
 
 func TestConcurrentFacadeSoak(t *testing.T) {
@@ -36,6 +38,11 @@ func TestConcurrentFacadeSoak(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
+
+	// Conservation laws are asserted over the metric deltas this test
+	// produces; tests in a package run sequentially, so nothing else moves
+	// the registry between the two snapshots.
+	before := obs.Snapshot()
 
 	const workers = 6
 	const steps = 120
@@ -191,5 +198,26 @@ func TestConcurrentFacadeSoak(t *testing.T) {
 	case err := <-errs:
 		t.Fatal(err)
 	default:
+	}
+
+	// With the workload quiescent, the registry must obey its conservation
+	// laws: every pool lookup resolved to a hit or a miss, every transaction
+	// that began also committed or aborted, and the f-chunk read path saw
+	// exactly as many bytes in total as it copied chunk by chunk.
+	after := obs.Snapshot()
+	delta := func(name string) int64 { return after.CounterDelta(before, name) }
+	if got, want := delta("pool.hits")+delta("pool.misses"), delta("pool.lookups"); got != want {
+		t.Errorf("pool conservation: hits+misses = %d, lookups = %d", got, want)
+	}
+	if got, want := delta("txn.commits")+delta("txn.aborts"), delta("txn.begins"); got != want {
+		t.Errorf("txn conservation: commits+aborts = %d, begins = %d", got, want)
+	}
+	if got, want := delta("lob.fchunk.read_bytes"), delta("lob.fchunk.chunk_read_bytes"); got != want {
+		t.Errorf("fchunk conservation: read_bytes = %d, chunk_read_bytes = %d", got, want)
+	}
+	for _, name := range []string{"pool.lookups", "txn.begins", "lob.fchunk.read_bytes"} {
+		if delta(name) == 0 {
+			t.Errorf("metric %s did not move during the soak", name)
+		}
 	}
 }

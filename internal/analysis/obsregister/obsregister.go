@@ -1,0 +1,147 @@
+// Package obsregister defines an analyzer that keeps metric registration
+// static. The internal/obs registry panics on duplicate names, so a metric
+// constructed anywhere but package initialisation is a latent crash: the
+// second call to the enclosing function re-registers the name and brings the
+// process down. Registration in a loop is the same bug in one line.
+//
+// The rule: calls to postlob/internal/obs constructors (NewCounter,
+// NewGauge, NewHistogram, NewTimer, NewRing — any obs.New*) may appear only
+//
+//   - in a package-level var initializer, or
+//   - directly in the body of an init function,
+//
+// and never inside a for/range loop or a function literal (a function
+// literal defers the call to run time, which is exactly the failure mode).
+// Test files are exempt: tests may build throwaway instruments.
+package obsregister
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"postlob/internal/analysis"
+)
+
+// obsPath is the import path whose New* constructors register global state.
+const obsPath = "postlob/internal/obs"
+
+// Analyzer reports obs metric registration outside package initialisation.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsregister",
+	Doc:  "obs metrics must be registered once at package init, never in loops or at run time",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if pass.Pkg == nil || pass.Pkg.Path() == obsPath {
+		// The obs package itself constructs instruments internally.
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		filename := pass.Fset.Position(file.Pos()).Filename
+		if strings.HasSuffix(filename, "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				// Package-level var initializers are the blessed home for
+				// registration; only function literals inside them defer the
+				// call past init time.
+				checkTree(pass, d, "package-level var", true)
+			case *ast.FuncDecl:
+				if d.Body == nil {
+					continue
+				}
+				where := "function " + d.Name.Name
+				checkTree(pass, d.Body, where, isInit(d))
+			}
+		}
+	}
+	return nil, nil
+}
+
+// isInit reports whether fn is a package init function (no receiver; the
+// name init at package level).
+func isInit(fn *ast.FuncDecl) bool {
+	return fn.Recv == nil && fn.Name.Name == "init"
+}
+
+// checkTree walks one declaration, flagging obs.New* calls that are inside a
+// loop or a function literal, or whose enclosing context is not package
+// initialisation at all.
+func checkTree(pass *analysis.Pass, root ast.Node, where string, atInit bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name, ok := obsConstructor(pass, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case enclosedBy(stack, isLoop):
+			pass.Reportf(call.Pos(),
+				"obs.%s inside a loop in %s; the registry panics on duplicate names — register metrics once at package init",
+				name, where)
+		case enclosedBy(stack, isFuncLit):
+			pass.Reportf(call.Pos(),
+				"obs.%s inside a function literal in %s; registration is deferred to run time — register metrics once at package init",
+				name, where)
+		case !atInit:
+			pass.Reportf(call.Pos(),
+				"obs.%s in %s; calling it twice panics on the duplicate name — register metrics in a package-level var or init",
+				name, where)
+		}
+		return true
+	})
+}
+
+// obsConstructor reports whether call invokes a New* function from the obs
+// package, returning the function name.
+func obsConstructor(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := analysis.ObjectOf(pass.TypesInfo, sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return "", false
+	}
+	if !strings.HasPrefix(fn.Name(), "New") {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// enclosedBy reports whether any ancestor of the innermost stack node (the
+// call itself) satisfies pred.
+func enclosedBy(stack []ast.Node, pred func(ast.Node) bool) bool {
+	for _, n := range stack[:len(stack)-1] {
+		if pred(n) {
+			return true
+		}
+	}
+	return false
+}
+
+func isLoop(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}
+
+func isFuncLit(n ast.Node) bool {
+	_, ok := n.(*ast.FuncLit)
+	return ok
+}

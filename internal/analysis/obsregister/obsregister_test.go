@@ -1,0 +1,12 @@
+package obsregister_test
+
+import (
+	"testing"
+
+	"postlob/internal/analysis/analysistest"
+	"postlob/internal/analysis/obsregister"
+)
+
+func TestObsRegister(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), obsregister.Analyzer, "postlob/internal/a")
+}

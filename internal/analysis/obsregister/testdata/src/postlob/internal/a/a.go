@@ -1,0 +1,63 @@
+// Fixture for the obsregister analyzer: obs.New* constructors register a
+// global name and panic on duplicates, so they belong in package-level var
+// initializers or init bodies only.
+package a
+
+import "postlob/internal/obs"
+
+// --- accepted usages ---------------------------------------------------------
+
+// Package-level vars are the blessed registration site.
+var requests = obs.NewCounter("a.requests")
+
+// Composite literals in package-level vars are fine too; this is the
+// per-manager metric-struct idiom the real tree uses.
+type metrics struct {
+	reads  *obs.Counter
+	lat    *obs.Timer
+	levels *obs.Gauge
+}
+
+var diskMetrics = metrics{
+	reads:  obs.NewCounter("a.disk.reads"),
+	lat:    obs.NewTimer("a.disk.read_latency"),
+	levels: obs.NewGauge("a.disk.levels"),
+}
+
+var histograms [2]*obs.Histogram
+
+// init is package initialisation; direct calls here run exactly once.
+func init() {
+	histograms[0] = obs.NewHistogram("a.h0")
+	histograms[1] = obs.NewHistogram("a.h1")
+}
+
+// --- violations --------------------------------------------------------------
+
+var names = []string{"a.x", "a.y"}
+
+func init() {
+	for _, n := range names {
+		_ = obs.NewCounter(n) // want `obs\.NewCounter inside a loop`
+	}
+	for i := 0; i < 2; i++ {
+		_ = obs.NewGauge(names[i]) // want `obs\.NewGauge inside a loop`
+	}
+}
+
+// A function literal defers registration to run time even when the literal
+// itself lives in a package-level var.
+var lazy = func() *obs.Ring {
+	return obs.NewRing("a.lazy") // want `obs\.NewRing inside a function literal`
+}
+
+// handle is an ordinary function: a second call re-registers the name.
+func handle() {
+	c := obs.NewCounter("a.handled") // want `obs\.NewCounter in function handle`
+	c.Inc()
+}
+
+// newTimerSet is the tempting helper shape the rule exists to forbid.
+func newTimerSet(prefix string) *obs.Timer {
+	return obs.NewTimer(prefix + ".duration") // want `obs\.NewTimer in function newTimerSet`
+}

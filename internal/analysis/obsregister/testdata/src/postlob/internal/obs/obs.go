@@ -1,0 +1,26 @@
+// Package obs is a fixture stub standing in for postlob/internal/obs: the
+// obsregister analyzer matches calls by import path and New* name, so only
+// the constructor signatures matter here.
+package obs
+
+type Counter struct{}
+
+func (*Counter) Inc() {}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type Ring struct{}
+
+type Timer struct{}
+
+func NewCounter(name string) *Counter { return new(Counter) }
+
+func NewGauge(name string) *Gauge { return new(Gauge) }
+
+func NewHistogram(name string) *Histogram { return new(Histogram) }
+
+func NewRing(name string) *Ring { return new(Ring) }
+
+func NewTimer(name string) *Timer { return new(Timer) }

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"postlob/internal/buffer"
+	"postlob/internal/obs"
 	"postlob/internal/page"
 	"postlob/internal/storage"
 	"postlob/internal/vclock"
@@ -376,7 +377,17 @@ func (t *Tree) getBlock(blk storage.BlockNum) (*buffer.Frame, error) {
 	return t.buf.Get(buffer.Tag{SM: t.sm, Rel: t.name, Blk: blk})
 }
 
+// Tree metrics, summed across all trees; registered once at package init.
+// Every operation that walks the tree (Insert, Delete, Lookup, Range, Floor)
+// reads the root exactly once, so root() is the natural descent counter.
+var (
+	obsDescents = obs.NewCounter("btree.descents")
+	obsSplits   = obs.NewCounter("btree.splits")
+	obsScans    = obs.NewCounter("btree.scans")
+)
+
 func (t *Tree) root() (storage.BlockNum, error) {
+	obsDescents.Inc()
 	f, err := t.getBlock(0)
 	if err != nil {
 		return 0, err
@@ -540,6 +551,7 @@ func (t *Tree) insertInto(blk storage.BlockNum, key, val uint64) (separator, sto
 // returns the first (key,val) of the new node as separator. The caller keeps
 // f pinned.
 func (t *Tree) splitNode(f *buffer.Frame, blk storage.BlockNum) (separator, storage.BlockNum, error) {
+	obsSplits.Inc()
 	p := f.Page()
 	rf, rightBlk, err := t.buf.NewBlock(t.sm, t.name)
 	if err != nil {
@@ -655,6 +667,7 @@ func (t *Tree) Lookup(key uint64) ([]uint64, error) {
 // Range calls fn for every entry with lo <= key <= hi in ascending (key,val)
 // order; fn returns false to stop.
 func (t *Tree) Range(lo, hi uint64, fn func(key, val uint64) (bool, error)) error {
+	obsScans.Inc()
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	blk, err := t.descendToLeaf(lo, 0)
@@ -736,6 +749,7 @@ func (t *Tree) Floor(k uint64) (key, val uint64, ok bool, err error) {
 
 // rangeLockedAll iterates every entry; caller holds t.mu.
 func (t *Tree) rangeLockedAll(fn func(key, val uint64) (bool, error)) error {
+	obsScans.Inc()
 	blk, err := t.descendToLeaf(0, 0)
 	if err != nil {
 		return err

@@ -28,9 +28,24 @@ import (
 	"sync/atomic"
 	"time"
 
+	"postlob/internal/obs"
 	"postlob/internal/page"
 	"postlob/internal/storage"
 	"postlob/internal/vclock"
+)
+
+// Process-wide pool metrics (summed across pools; per-pool numbers come from
+// Stats). Registered once at package init, as the obsregister analyzer
+// requires. Conservation law asserted by the soak and crash harnesses:
+// pool.hits + pool.misses == pool.lookups.
+var (
+	obsLookups    = obs.NewCounter("pool.lookups")
+	obsHits       = obs.NewCounter("pool.hits")
+	obsMisses     = obs.NewCounter("pool.misses")
+	obsEvictions  = obs.NewCounter("pool.evictions")
+	obsWritebacks = obs.NewCounter("pool.writebacks")
+	obsLatchWaits = obs.NewCounter("pool.latch_waits")
+	obsReadLat    = obs.NewTimer("pool.miss_read_latency")
 )
 
 // Errors returned by the pool.
@@ -93,7 +108,13 @@ func (f *Frame) MarkDirty() { f.dirty.Store(true) }
 // that writes page bytes must hold it for the duration of the mutation
 // (ending with MarkDirty), so a concurrent flush never writes a torn page.
 // Do not call back into the pool — including Release — while holding it.
-func (f *Frame) LockContent() { f.latch.Lock() }
+func (f *Frame) LockContent() {
+	if f.latch.TryLock() {
+		return
+	}
+	obsLatchWaits.Inc()
+	f.latch.Lock()
+}
 
 // UnlockContent releases the exclusive content latch.
 func (f *Frame) UnlockContent() { f.latch.Unlock() }
@@ -102,7 +123,13 @@ func (f *Frame) UnlockContent() { f.latch.Unlock() }
 // RUnlockContent. Readers that tolerate in-place hint-bit style updates may
 // skip the latch entirely; readers that require a torn-free view (or that
 // run concurrently with in-place updaters) hold it shared.
-func (f *Frame) RLockContent() { f.latch.RLock() }
+func (f *Frame) RLockContent() {
+	if f.latch.TryRLock() {
+		return
+	}
+	obsLatchWaits.Inc()
+	f.latch.RLock()
+}
 
 // RUnlockContent releases the shared content latch.
 func (f *Frame) RUnlockContent() { f.latch.RUnlock() }
@@ -130,9 +157,13 @@ type partition struct {
 	mu     sync.Mutex
 	lookup map[Tag]*Frame // guarded by mu
 	lru    *list.List     // guarded by mu; unpinned frames, front = most recently used
+	hits   int64          // guarded by mu
+	misses int64          // guarded by mu
 }
 
 // tryPin returns the resident frame for tag with one more pin, or nil.
+// A successful pin is counted as a hit while the partition lock is held,
+// so Stats can take a snapshot that is consistent across partitions.
 func (part *partition) tryPin(tag Tag) *Frame {
 	part.mu.Lock()
 	defer part.mu.Unlock()
@@ -140,6 +171,7 @@ func (part *partition) tryPin(tag Tag) *Frame {
 	if !ok {
 		return nil
 	}
+	part.hits++
 	part.pinLocked(f)
 	return f
 }
@@ -161,9 +193,6 @@ type Pool struct {
 
 	partMask uint64
 	parts    []*partition
-
-	hits   atomic.Int64
-	misses atomic.Int64
 
 	// allocated counts frames ever created, bounded by cap; the pool's
 	// frame budget is global even though the metadata is sharded.
@@ -226,11 +255,24 @@ func (p *Pool) part(tag Tag) *partition {
 // Switch returns the storage switch the pool reads and writes through.
 func (p *Pool) Switch() *storage.Switch { return p.sw }
 
-// Stats returns cache hits and misses since creation. The two counters are
-// read independently, so the snapshot is approximate under concurrency but
-// each counter is exact.
+// Stats returns cache hits and misses since creation. Hit/miss counts live
+// in the partitions, incremented under each partition's mutex; Stats holds
+// every partition lock (in ascending order, consistent with the pool's lock
+// ordering) while summing, so the returned pair is a single atomic snapshot
+// — hits and misses from the same instant, not two independently racing
+// reads.
 func (p *Pool) Stats() (hits, misses int64) {
-	return p.hits.Load(), p.misses.Load()
+	for _, part := range p.parts {
+		part.mu.Lock()
+	}
+	for _, part := range p.parts {
+		hits += part.hits
+		misses += part.misses
+	}
+	for _, part := range p.parts {
+		part.mu.Unlock()
+	}
+	return hits, misses
 }
 
 // Capacity returns the number of frames in the pool.
@@ -269,12 +311,19 @@ func (p *Pool) nblocksLocked(sm storage.ID, rel storage.RelName) (storage.BlockN
 // so concurrent misses overlap their I/O; when two goroutines race to load
 // the same page, one install wins and the other read is discarded.
 func (p *Pool) Get(tag Tag) (*Frame, error) {
+	obsLookups.Inc()
 	part := p.part(tag)
 	if f := part.tryPin(tag); f != nil {
-		p.hits.Add(1)
+		obsHits.Inc()
 		return f, nil
 	}
-	p.misses.Add(1)
+	// Count the miss up front (whatever the outcome of the device read) so
+	// hits + misses == lookups holds even on error paths. The lost-install
+	// race below is still this one miss, not an extra hit.
+	part.mu.Lock()
+	part.misses++
+	part.mu.Unlock()
+	obsMisses.Inc()
 	for attempt := 0; ; attempt++ {
 		n, err := p.NBlocks(tag.SM, tag.Rel)
 		if err != nil {
@@ -292,7 +341,9 @@ func (p *Pool) Get(tag Tag) (*Frame, error) {
 			p.putFree(f)
 			return nil, err
 		}
+		sw := obsReadLat.Start()
 		readErr := mgr.ReadBlock(tag.Rel, tag.Blk, f.data)
+		sw.Stop()
 		if readErr == nil {
 			if cs := p.checksummer(tag.SM, tag.Rel); cs != nil {
 				if err := cs.Verify(f.data); err != nil {
@@ -458,6 +509,7 @@ func (p *Pool) evictFrom(part *partition) (*Frame, error) {
 	if !f.dirty.Load() {
 		delete(part.lookup, f.tag)
 		part.mu.Unlock()
+		obsEvictions.Inc()
 		return f, nil
 	}
 	f.pins = 1
@@ -472,6 +524,7 @@ func (p *Pool) evictFrom(part *partition) (*Frame, error) {
 	if err == nil && f.pins == 0 && !f.dirty.Load() {
 		delete(part.lookup, f.tag)
 		part.mu.Unlock()
+		obsEvictions.Inc()
 		return f, nil
 	}
 	// Redirtied, re-pinned, or the write failed: the frame stays resident.
@@ -544,6 +597,7 @@ func (p *Pool) writeBack(f *Frame) error {
 		f.dirty.Store(true)
 		return err
 	}
+	obsWritebacks.Inc()
 	return nil
 }
 

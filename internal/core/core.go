@@ -286,16 +286,24 @@ func (s *Store) OpenAsOf(ts txn.TS, ref adt.ObjectRef) (Object, error) {
 }
 
 func (s *Store) open(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRef, meta *catalog.LargeObjectMeta) (Object, error) {
+	var (
+		o   Object
+		err error
+	)
 	switch meta.Kind {
 	case adt.KindUFile, adt.KindPFile:
-		return s.openFileObject(ref, meta)
+		o, err = s.openFileObject(ref, meta)
 	case adt.KindFChunk:
-		return s.openFChunk(tx, ts, asOf, ref, meta)
+		o, err = s.openFChunk(tx, ts, asOf, ref, meta)
 	case adt.KindVSegment:
-		return s.openVSegment(tx, ts, asOf, ref, meta)
+		o, err = s.openVSegment(tx, ts, asOf, ref, meta)
 	default:
 		return nil, fmt.Errorf("core: unknown storage kind %v", meta.Kind)
 	}
+	if err == nil {
+		lobMetricsFor(meta.Kind).opens.Inc()
+	}
+	return o, err
 }
 
 // Unlink removes the object and its storage. For u-file objects only the

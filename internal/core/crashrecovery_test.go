@@ -29,6 +29,7 @@ import (
 	"postlob/internal/buffer"
 	"postlob/internal/catalog"
 	"postlob/internal/heap"
+	"postlob/internal/obs"
 	"postlob/internal/storage"
 	"postlob/internal/txn"
 )
@@ -708,13 +709,17 @@ func crashSweepSeeds(t *testing.T, base int64) []int64 {
 // derives a workload, a crash point, and the oracle's expected committed
 // state; the recovered database must match exactly.
 func TestCrashRecovery(t *testing.T) {
-	for _, seed := range crashSweepSeeds(t, 1) {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			t.Parallel()
-			runCrashSeed(t, seed, false)
-		})
-	}
+	before := obs.Snapshot()
+	t.Run("sweep", func(t *testing.T) {
+		for _, seed := range crashSweepSeeds(t, 1) {
+			seed := seed
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				runCrashSeed(t, seed, false)
+			})
+		}
+	})
+	assertObsConservation(t, before)
 }
 
 // TestCrashRecoveryTornWrites repeats the sweep with torn-write simulation:
@@ -733,11 +738,40 @@ func TestCrashRecoveryTornWrites(t *testing.T) {
 		}
 		seeds = seeds[:n]
 	}
-	for _, seed := range seeds {
-		seed := seed
-		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
-			t.Parallel()
-			runCrashSeed(t, seed, true)
-		})
+	before := obs.Snapshot()
+	t.Run("sweep", func(t *testing.T) {
+		for _, seed := range seeds {
+			seed := seed
+			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+				t.Parallel()
+				runCrashSeed(t, seed, true)
+			})
+		}
+	})
+	assertObsConservation(t, before)
+}
+
+// assertObsConservation checks the metrics registry's conservation laws over
+// a whole (now quiescent) sweep. Crashes make the laws asymmetric in one
+// place only: transactions open at the crash boundary never reach Commit or
+// Abort, so begins bounds commits+aborts from above instead of equaling it.
+// Pool and f-chunk accounting must balance exactly even across crashes,
+// because their counters are paired on every exit path.
+func assertObsConservation(t *testing.T, before obs.Snap) {
+	t.Helper()
+	after := obs.Snapshot()
+	delta := func(name string) int64 { return after.CounterDelta(before, name) }
+	if got, want := delta("pool.hits")+delta("pool.misses"), delta("pool.lookups"); got != want {
+		t.Errorf("pool conservation: hits+misses = %d, lookups = %d", got, want)
+	}
+	finished, begins := delta("txn.commits")+delta("txn.aborts"), delta("txn.begins")
+	if finished > begins {
+		t.Errorf("txn conservation: commits+aborts = %d exceeds begins = %d", finished, begins)
+	}
+	if begins == 0 {
+		t.Error("txn.begins did not move during the sweep")
+	}
+	if got, want := delta("lob.fchunk.read_bytes"), delta("lob.fchunk.chunk_read_bytes"); got != want {
+		t.Errorf("fchunk conservation: read_bytes = %d, chunk_read_bytes = %d", got, want)
 	}
 }

@@ -230,6 +230,7 @@ func (o *fchunkObject) Seek(offset int64, whence int) (int64, error) {
 	if o.closed {
 		return 0, ErrClosed
 	}
+	fchunkMetrics.seeks.Inc()
 	var base int64
 	switch whence {
 	case io.SeekStart:
@@ -261,6 +262,7 @@ func (o *fchunkObject) loadChunk(seq int64) error {
 	if err != nil {
 		return err
 	}
+	fchunkChunkLoads.Inc()
 	o.curSeq = seq
 	o.curDirty = false
 	if payload == nil {
@@ -348,6 +350,7 @@ func (o *fchunkObject) Read(p []byte) (int, error) {
 	if o.closed {
 		return 0, ErrClosed
 	}
+	fchunkMetrics.reads.Inc()
 	if o.pos >= o.size {
 		return 0, io.EOF
 	}
@@ -359,6 +362,7 @@ func (o *fchunkObject) Read(p []byte) (int, error) {
 		seq := o.pos / o.chunkSize()
 		within := o.pos % o.chunkSize()
 		if err := o.loadChunk(seq); err != nil {
+			fchunkMetrics.readBytes.Add(int64(total))
 			return total, err
 		}
 		n := o.chunkSize() - within
@@ -374,10 +378,14 @@ func (o *fchunkObject) Read(p []byte) (int, error) {
 		for i := copied; int64(i) < n; i++ {
 			p[i] = 0
 		}
+		// Per-chunk accounting: the sum of these must equal read_bytes (the
+		// per-call total below) — the conservation law the harnesses assert.
+		fchunkChunkReadBytes.Add(n)
 		p = p[n:]
 		o.pos += n
 		total += int(n)
 	}
+	fchunkMetrics.readBytes.Add(int64(total))
 	return total, nil
 }
 
@@ -392,6 +400,12 @@ func (o *fchunkObject) Write(p []byte) (int, error) {
 	if o.tx == nil {
 		return 0, fmt.Errorf("core: f-chunk write requires a transaction")
 	}
+	fchunkMetrics.writes.Inc()
+	defer func(start int64) {
+		// Count what this call actually consumed, including a short write cut
+		// off by a chunk-load error.
+		fchunkMetrics.writeBytes.Add(o.pos - start)
+	}(o.pos)
 	total := 0
 	for len(p) > 0 {
 		seq := o.pos / o.chunkSize()

@@ -19,6 +19,7 @@ type fileObject struct {
 	store  *Store
 	ref    adt.ObjectRef
 	f      *os.File
+	met    *lobMetrics // u-file or p-file instrument set, fixed at open
 	pos    int64
 	last   int64 // end of the previous I/O, for sequentiality modelling
 	closed bool
@@ -31,7 +32,7 @@ func (s *Store) openFileObject(ref adt.ObjectRef, meta *catalog.LargeObjectMeta)
 	if err != nil {
 		return nil, fmt.Errorf("core: open %v (%s): %w", meta.Kind, meta.Path, err)
 	}
-	return &fileObject{store: s, ref: ref, f: f, last: -1}, nil
+	return &fileObject{store: s, ref: ref, f: f, met: lobMetricsFor(meta.Kind), last: -1}, nil
 }
 
 // Ref implements Object.
@@ -43,6 +44,8 @@ func (o *fileObject) Read(p []byte) (int, error) {
 		return 0, ErrClosed
 	}
 	n, err := o.f.ReadAt(p, o.pos)
+	o.met.reads.Inc()
+	o.met.readBytes.Add(int64(n))
 	o.store.chargeFileIO(n, o.pos == o.last)
 	o.pos += int64(n)
 	o.last = o.pos
@@ -58,6 +61,8 @@ func (o *fileObject) Write(p []byte) (int, error) {
 		return 0, ErrClosed
 	}
 	n, err := o.f.WriteAt(p, o.pos)
+	o.met.writes.Inc()
+	o.met.writeBytes.Add(int64(n))
 	o.store.chargeFileIO(n, o.pos == o.last)
 	o.pos += int64(n)
 	o.last = o.pos
@@ -69,6 +74,7 @@ func (o *fileObject) Seek(offset int64, whence int) (int64, error) {
 	if o.closed {
 		return 0, ErrClosed
 	}
+	o.met.seeks.Inc()
 	var base int64
 	switch whence {
 	case io.SeekStart:

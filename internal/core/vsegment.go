@@ -335,6 +335,7 @@ func (o *vsegmentObject) Seek(offset int64, whence int) (int64, error) {
 	if o.closed {
 		return 0, ErrClosed
 	}
+	vsegmentMetrics.seeks.Inc()
 	var base int64
 	switch whence {
 	case io.SeekStart:
@@ -360,12 +361,16 @@ func (o *vsegmentObject) Read(p []byte) (int, error) {
 	if o.closed {
 		return 0, ErrClosed
 	}
+	vsegmentMetrics.reads.Inc()
 	if o.pos >= o.size {
 		return 0, io.EOF
 	}
 	if max := o.size - o.pos; int64(len(p)) > max {
 		p = p[:max]
 	}
+	defer func(start int64) {
+		vsegmentMetrics.readBytes.Add(o.pos - start)
+	}(o.pos)
 	total := 0
 	for len(p) > 0 {
 		rec, ok, err := o.findCover(o.pos)
@@ -422,6 +427,7 @@ func (o *vsegmentObject) Write(p []byte) (int, error) {
 	if o.tx == nil {
 		return 0, fmt.Errorf("core: v-segment write requires a transaction")
 	}
+	vsegmentMetrics.writes.Inc()
 	total := 0
 	for len(p) > 0 {
 		n := len(p)
@@ -429,11 +435,13 @@ func (o *vsegmentObject) Write(p []byte) (int, error) {
 			n = MaxSegmentSize
 		}
 		if err := o.writeSegment(p[:n]); err != nil {
+			vsegmentMetrics.writeBytes.Add(int64(total))
 			return total, err
 		}
 		p = p[n:]
 		total += n
 	}
+	vsegmentMetrics.writeBytes.Add(int64(total))
 	return total, nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"postlob/internal/buffer"
+	"postlob/internal/obs"
 	"postlob/internal/page"
 	"postlob/internal/storage"
 	"postlob/internal/txn"
@@ -205,9 +206,18 @@ func setTupleHint(item []byte, bit uint16) {
 // TupleData returns the payload portion of a raw tuple image.
 func TupleData(item []byte) []byte { return item[TupleHeaderSize:] }
 
+// Relation metrics, summed across all relations; registered once at package
+// init.
+var (
+	obsInserts = obs.NewCounter("heap.inserts")
+	obsFetches = obs.NewCounter("heap.fetches")
+	obsScans   = obs.NewCounter("heap.scans")
+)
+
 // Insert appends a tuple and returns its TID. The tuple becomes visible to
 // other transactions when t commits.
 func (r *Relation) Insert(t *txn.Txn, data []byte) (TID, error) {
+	obsInserts.Inc()
 	if len(data) > MaxTupleSize {
 		return InvalidTID, fmt.Errorf("%w: %d > %d", ErrTupleTooBig, len(data), MaxTupleSize)
 	}
@@ -371,6 +381,7 @@ func (r *Relation) FetchAsOf(ts txn.TS, tid TID) ([]byte, error) {
 // parallel; visibility checks on this path never write hint bits (only
 // exclusive-latch holders may).
 func (r *Relation) fetch(tid TID, vis func([]byte, *buffer.Frame) bool) ([]byte, error) {
+	obsFetches.Inc()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: tid.Blk})
@@ -407,6 +418,7 @@ func (r *Relation) ScanAsOf(ts txn.TS, fn func(TID, []byte) (bool, error)) error
 }
 
 func (r *Relation) scan(vis func([]byte, *buffer.Frame) bool, fn func(TID, []byte) (bool, error)) error {
+	obsScans.Inc()
 	n, err := r.NBlocks()
 	if err != nil {
 		return err

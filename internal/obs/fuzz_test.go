@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzBucketIndex checks the invariants that snapshot consumers and the
+// bucket-bound inverse rely on: every duration maps into range, the mapping
+// is monotonic, and BucketBounds(BucketIndex(d)) contains d.
+func FuzzBucketIndex(f *testing.F) {
+	seeds := []int64{
+		-1 << 62, -1, 0, 1, 2, 3, 512, 1023, 1024,
+		int64(time.Microsecond), int64(time.Millisecond), int64(time.Second),
+		int64(time.Hour), 1<<46 - 1, 1 << 46, 1<<63 - 1,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, ns int64) {
+		d := time.Duration(ns)
+		i := BucketIndex(d)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("BucketIndex(%d) = %d out of [0, %d)", ns, i, NumBuckets)
+		}
+		if ns > 0 {
+			if j := BucketIndex(d - 1); j > i {
+				t.Fatalf("not monotonic: BucketIndex(%d)=%d > BucketIndex(%d)=%d", ns-1, j, ns, i)
+			}
+		}
+		lo, hi := BucketBounds(i)
+		// The last bucket is unbounded above: hi saturates at MaxInt64,
+		// which it also contains.
+		if d < lo || (d >= hi && i != NumBuckets-1) {
+			t.Fatalf("BucketBounds(%d) = [%d, %d) does not contain %d", i, lo, hi, ns)
+		}
+		if i > 0 {
+			prevLo, prevHi := BucketBounds(i - 1)
+			if prevHi != lo {
+				t.Fatalf("gap between bucket %d [%d,%d) and bucket %d [%d,%d)", i-1, prevLo, prevHi, i, lo, hi)
+			}
+		}
+	})
+}

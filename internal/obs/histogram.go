@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// NumBuckets is the fixed number of log-spaced histogram buckets. Bucket 0
+// holds non-positive durations; bucket i (1 ≤ i < NumBuckets-1) holds
+// [2^(i-1), 2^i) nanoseconds; the last bucket is the overflow bucket.
+// 2^(NumBuckets-2) ns ≈ 19.5 hours, far beyond any op this system times.
+const NumBuckets = 48
+
+// histStripes is the number of independently updated copies of the bucket
+// array. Concurrent recorders are spread across stripes by goroutine stack
+// address so they rarely contend on the same cache lines; readers sum all
+// stripes. Must be a power of two.
+const histStripes = 8
+
+// BucketIndex maps a duration to its histogram bucket. It is exported (and
+// fuzzed) because snapshot consumers and the bucket-bound inverse must agree
+// with it exactly.
+func BucketIndex(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	i := bits.Len64(uint64(d)) // d=1 → 1, so bucket i covers [2^(i-1), 2^i)
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// BucketBounds returns the half-open duration range [lo, hi) covered by
+// bucket i. Bucket 0 covers everything ≤ 0; the last bucket is unbounded
+// above (hi saturates at MaxInt64, which the bucket itself also contains).
+func BucketBounds(i int) (lo, hi time.Duration) {
+	switch {
+	case i <= 0:
+		return math.MinInt64, 1
+	case i >= NumBuckets-1:
+		return 1 << (NumBuckets - 2), math.MaxInt64
+	default:
+		return 1 << (i - 1), 1 << i
+	}
+}
+
+// histStripe is one independently updated copy of the histogram state.
+// The struct is padded to a multiple of a cache line by its sheer size
+// (50 words), so adjacent stripes do not false-share.
+type histStripe struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// A Histogram accumulates durations into fixed log-spaced buckets. Recording
+// is lock-free: three atomic adds on a stripe chosen by the caller's stack
+// address.
+type Histogram struct {
+	stripes [histStripes]histStripe
+}
+
+// NewHistogram registers and returns a histogram under name.
+// Panics if name is already registered (a package-init-time bug).
+func NewHistogram(name string) *Histogram {
+	return register(&registry.hists, name, &Histogram{})
+}
+
+// stripeIndex picks a stripe from the address of a caller-stack byte.
+// Distinct goroutines have distinct stacks, so concurrent recorders spread
+// across stripes; the value is stable within one goroutine, which keeps a
+// tight loop on one stripe's warm cache lines. The uintptr conversion is the
+// safe direction (pointer → integer) and the local never escapes.
+func stripeIndex() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b)) >> 9 & (histStripes - 1))
+}
+
+// Observe records one duration. No-op while collection is disabled.
+func (h *Histogram) Observe(d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	s := &h.stripes[stripeIndex()]
+	s.count.Add(1)
+	s.sum.Add(int64(d))
+	s.buckets[BucketIndex(d)].Add(1)
+}
+
+// snapshot sums all stripes. Counts drift forward while it runs; each
+// individual field is still a valid atomic read.
+func (h *Histogram) snapshot() HistSnap {
+	var out HistSnap
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		out.Count += s.count.Load()
+		out.Sum += time.Duration(s.sum.Load())
+		for b := range s.buckets {
+			out.Buckets[b] += s.buckets[b].Load()
+		}
+	}
+	return out
+}
+
+// HistSnap is a point-in-time copy of one histogram.
+type HistSnap struct {
+	Count   uint64
+	Sum     time.Duration
+	Buckets [NumBuckets]uint64
+}
+
+// Mean returns the average observed duration, or 0 if empty.
+func (h HistSnap) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Count)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 ≤ q ≤ 1) using the
+// bucket upper bounds, or 0 if the histogram is empty. Resolution is one
+// power of two.
+func (h HistSnap) Quantile(q float64) time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if rank >= h.Count {
+		rank = h.Count - 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen > rank {
+			_, hi := BucketBounds(i)
+			return hi - 1
+		}
+	}
+	return math.MaxInt64
+}

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+)
+
+// Handler returns an http.Handler that serves the current Snapshot in the
+// plain-text Render format. lobjserve mounts it at /metrics.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := Snapshot().Render(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+}

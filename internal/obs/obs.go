@@ -1,0 +1,151 @@
+// Package obs is the unified observability layer: a dependency-free metrics
+// registry of atomic counters, gauges, lock-striped latency histograms and
+// per-op span timing rings.
+//
+// Design rules:
+//
+//   - Hot paths are allocation-free: recording a counter, gauge, histogram
+//     or span is a handful of atomic operations. No maps, no locks, no
+//     interface boxing on the record path.
+//   - Metric names are registered exactly once, at package init, into a
+//     process-global registry. The lobvet `obsregister` analyzer enforces
+//     that New* constructors only appear in package-level var initializers
+//     or init functions, never in loops, so the registry can never grow
+//     unboundedly at runtime.
+//   - Collection is globally switchable: SetEnabled(false) (or the
+//     Disabled() helper) turns every record operation into a single atomic
+//     flag load, which is what the BENCH_obs_overhead.json harness compares
+//     against to keep instrumentation overhead under its 5% budget.
+//
+// Readers consume metrics through Snapshot (tests, the `\stats` shell
+// command) or Handler (the lobjserve `/metrics` endpoint).
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// enabled gates every record operation. It defaults to on: the registry is
+// cheap enough to leave running in production, and the paper-style
+// measurements depend on it being always-on.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// Enabled reports whether metric collection is currently on.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns metric collection on or off process-wide. Recording into
+// any instrument while disabled is a no-op (a single atomic load).
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Disabled switches collection off and returns a function that restores the
+// previous state. Benchmarks use it to measure instrumentation overhead:
+//
+//	defer obs.Disabled()()
+func Disabled() func() {
+	prev := enabled.Swap(false)
+	return func() { enabled.Store(prev) }
+}
+
+// registry holds every registered instrument. Registration happens only at
+// package init (enforced by the obsregister analyzer), so the mutex is
+// uncontended after program start; Snapshot takes it briefly to iterate.
+var registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	rings    map[string]*Ring
+}
+
+// register files v in the registry under name. Panics on a duplicate name:
+// reaching that is a build-time bug (two packages registering the same
+// metric at init), caught the first time any test imports both offenders;
+// it can never fire mid-request.
+func register[T any](m *map[string]*T, name string, v *T) *T {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if *m == nil {
+		*m = make(map[string]*T)
+	}
+	if _, dup := (*m)[name]; dup {
+		panic("obs: duplicate metric name " + name)
+	}
+	(*m)[name] = v
+	return v
+}
+
+// counterCell is one independently updated copy of a counter, padded out to
+// a full cache line so adjacent cells never false-share. Hot counters sit on
+// every page read; a single shared atomic would bounce its cache line
+// between every reading core.
+type counterCell struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// A Counter is a monotonically increasing int64, striped across padded
+// cells the same way Histogram stripes its buckets: writers pick a cell by
+// goroutine stack address, readers sum all cells. The zero value is usable
+// but unregistered; use NewCounter to create one visible to Snapshot.
+type Counter struct {
+	cells [histStripes]counterCell
+}
+
+// NewCounter registers and returns a counter under name.
+// Panics if name is already registered (a package-init-time bug).
+func NewCounter(name string) *Counter {
+	return register(&registry.counters, name, &Counter{})
+}
+
+// Add increments the counter by n. No-op while collection is disabled.
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.cells[stripeIndex()].v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value: the sum over all cells. Adds racing with
+// Load may or may not be included, the usual counter semantics.
+func (c *Counter) Load() int64 {
+	var sum int64
+	for i := range c.cells {
+		sum += c.cells[i].v.Load()
+	}
+	return sum
+}
+
+// A Gauge is an instantaneous int64 level (e.g. in-flight requests).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// NewGauge registers and returns a gauge under name.
+// Panics if name is already registered (a package-init-time bug).
+func NewGauge(name string) *Gauge {
+	return register(&registry.gauges, name, &Gauge{})
+}
+
+// Add moves the gauge by n (n may be negative). Unlike counters, gauges
+// record even while collection is disabled: a paired Inc/Dec that straddled
+// a SetEnabled transition would otherwise leave the level permanently
+// skewed.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Inc raises the gauge by one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec lowers the gauge by one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Set stores an absolute level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Test instruments are registered once at init, mirroring how production
+// packages must register (the obsregister analyzer enforces the same shape).
+var (
+	tCounter = NewCounter("test.counter")
+	tGauge   = NewGauge("test.gauge")
+	tHist    = NewHistogram("test.hist")
+	tTimer   = NewTimer("test.timer")
+)
+
+func TestCounterGauge(t *testing.T) {
+	before := Snapshot()
+	tCounter.Inc()
+	tCounter.Add(4)
+	tGauge.Inc()
+	tGauge.Inc()
+	tGauge.Dec()
+	after := Snapshot()
+	if d := after.CounterDelta(before, "test.counter"); d != 5 {
+		t.Fatalf("counter delta = %d, want 5", d)
+	}
+	if g := after.Gauge("test.gauge") - before.Gauge("test.gauge"); g != 1 {
+		t.Fatalf("gauge delta = %d, want 1", g)
+	}
+}
+
+func TestDisabled(t *testing.T) {
+	before := tCounter.Load()
+	restore := Disabled()
+	tCounter.Inc()
+	tHist.Observe(time.Millisecond)
+	if Enabled() {
+		t.Fatal("Enabled() = true inside Disabled()")
+	}
+	restore()
+	if !Enabled() {
+		t.Fatal("Enabled() = false after restore")
+	}
+	if got := tCounter.Load(); got != before {
+		t.Fatalf("counter moved while disabled: %d -> %d", before, got)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	NewCounter("test.counter")
+}
+
+func TestConcurrentCounter(t *testing.T) {
+	const workers, perWorker = 8, 1000
+	before := tCounter.Load()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tCounter.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if d := tCounter.Load() - before; d != workers*perWorker {
+		t.Fatalf("lost updates: delta = %d, want %d", d, workers*perWorker)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	before := Snapshot().Hist("test.hist")
+	durs := []time.Duration{0, time.Nanosecond, time.Microsecond, time.Millisecond, time.Second}
+	for _, d := range durs {
+		tHist.Observe(d)
+	}
+	after := Snapshot().Hist("test.hist")
+	if after.Count-before.Count != uint64(len(durs)) {
+		t.Fatalf("count delta = %d, want %d", after.Count-before.Count, len(durs))
+	}
+	var wantSum time.Duration
+	for _, d := range durs {
+		wantSum += d
+	}
+	if after.Sum-before.Sum != wantSum {
+		t.Fatalf("sum delta = %v, want %v", after.Sum-before.Sum, wantSum)
+	}
+	for _, d := range durs {
+		i := BucketIndex(d)
+		if after.Buckets[i] <= before.Buckets[i] {
+			t.Fatalf("bucket %d for %v did not grow", i, d)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 500
+	before := Snapshot().Hist("test.hist")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tHist.Observe(time.Duration(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	after := Snapshot().Hist("test.hist")
+	if d := after.Count - before.Count; d != workers*perWorker {
+		t.Fatalf("lost observations: delta = %d, want %d", d, workers*perWorker)
+	}
+	var total uint64
+	for i := range after.Buckets {
+		total += after.Buckets[i] - before.Buckets[i]
+	}
+	if total != workers*perWorker {
+		t.Fatalf("bucket sum delta = %d, want %d", total, workers*perWorker)
+	}
+}
+
+func TestQuantileAndMean(t *testing.T) {
+	var h HistSnap
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	// 100 observations of ~1ms: p50 and p99 upper bounds must cover 1ms and
+	// stay within one bucket (×2) of it.
+	h.Count = 100
+	h.Sum = 100 * time.Millisecond
+	h.Buckets[BucketIndex(time.Millisecond)] = 100
+	if h.Mean() != time.Millisecond {
+		t.Fatalf("mean = %v, want 1ms", h.Mean())
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < time.Millisecond || p99 >= 2*time.Millisecond {
+		t.Fatalf("p99 = %v, want within [1ms, 2ms)", p99)
+	}
+}
+
+func TestTimerRecordsHistAndRing(t *testing.T) {
+	before := Snapshot()
+	sw := tTimer.Start()
+	time.Sleep(time.Millisecond)
+	sw.Stop()
+	after := Snapshot()
+	if d := after.Hist("test.timer").Count - before.Hist("test.timer").Count; d != 1 {
+		t.Fatalf("hist count delta = %d, want 1", d)
+	}
+	spans := after.Rings["test.timer"]
+	if len(spans) == 0 {
+		t.Fatal("ring recorded no spans")
+	}
+	if last := spans[len(spans)-1]; last.Dur < time.Millisecond {
+		t.Fatalf("span dur = %v, want >= 1ms", last.Dur)
+	}
+	// Zero stopwatch (timer disabled at Start) must be a safe no-op.
+	restore := Disabled()
+	sw2 := tTimer.Start()
+	restore()
+	sw2.Stop()
+}
+
+func TestRingKeepsRecent(t *testing.T) {
+	for i := 0; i < ringSize+10; i++ {
+		tTimer.R.Record(time.Now(), time.Duration(i))
+	}
+	spans := Snapshot().Rings["test.timer"]
+	if len(spans) != ringSize {
+		t.Fatalf("ring holds %d spans, want %d", len(spans), ringSize)
+	}
+}
+
+func TestRenderAndHandler(t *testing.T) {
+	tCounter.Inc()
+	var buf bytes.Buffer
+	if err := Snapshot().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# counters", "test.counter ", "# histograms", "test.hist "} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/metrics status = %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "test.counter") {
+		t.Fatal("/metrics body missing test.counter")
+	}
+}

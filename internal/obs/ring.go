@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ringSize is the number of recent spans kept per ring. Power of two so the
+// cursor wraps with a mask.
+const ringSize = 64
+
+// A Span is one completed timed operation: when it ended (wall clock) and
+// how long it took.
+type Span struct {
+	End time.Time
+	Dur time.Duration
+}
+
+// A Ring is a fixed-size lock-free buffer of the most recent spans for one
+// operation. Writers claim a slot with a single atomic add; the two fields
+// of a slot are stored with separate atomic writes, so a concurrent reader
+// can observe a torn (end, dur) pair — acceptable for a debugging aid, and
+// the price of keeping the record path to three atomic ops.
+type Ring struct {
+	cursor atomic.Uint64
+	ends   [ringSize]atomic.Int64 // unix nanoseconds
+	durs   [ringSize]atomic.Int64 // nanoseconds
+}
+
+// NewRing registers and returns a ring under name.
+// Panics if name is already registered (a package-init-time bug).
+func NewRing(name string) *Ring {
+	return register(&registry.rings, name, &Ring{})
+}
+
+// Record appends one span. No-op while collection is disabled.
+func (r *Ring) Record(end time.Time, d time.Duration) {
+	if !enabled.Load() {
+		return
+	}
+	slot := (r.cursor.Add(1) - 1) & (ringSize - 1)
+	r.ends[slot].Store(end.UnixNano())
+	r.durs[slot].Store(int64(d))
+}
+
+// snapshot returns up to ringSize recent spans, oldest first.
+func (r *Ring) snapshot() []Span {
+	cur := r.cursor.Load()
+	n := cur
+	if n > ringSize {
+		n = ringSize
+	}
+	out := make([]Span, 0, n)
+	for i := cur - n; i < cur; i++ {
+		slot := i & (ringSize - 1)
+		end := r.ends[slot].Load()
+		if end == 0 {
+			continue
+		}
+		out = append(out, Span{
+			End: time.Unix(0, end),
+			Dur: time.Duration(r.durs[slot].Load()),
+		})
+	}
+	return out
+}
+
+// A Timer bundles a latency histogram with a span ring under one name: the
+// histogram gives the distribution, the ring the most recent individual
+// operations.
+type Timer struct {
+	H *Histogram
+	R *Ring
+}
+
+// NewTimer registers a histogram and a ring under name and returns the pair.
+// Panics if name is already registered (a package-init-time bug).
+func NewTimer(name string) *Timer {
+	return &Timer{H: NewHistogram(name), R: NewRing(name)}
+}
+
+// Start begins timing one operation. While collection is disabled it returns
+// the zero Stopwatch without reading the clock, so a disabled timer costs
+// one atomic load at Start and one nil check at Stop.
+func (t *Timer) Start() Stopwatch {
+	if !enabled.Load() {
+		return Stopwatch{}
+	}
+	return Stopwatch{t: t, start: time.Now()}
+}
+
+// A Stopwatch is an in-progress timed operation. The zero value is inert.
+type Stopwatch struct {
+	t     *Timer
+	start time.Time
+}
+
+// Stop records the elapsed time into the timer's histogram and ring.
+// Calling Stop on a zero Stopwatch is a no-op.
+func (s Stopwatch) Stop() {
+	if s.t == nil {
+		return
+	}
+	now := time.Now()
+	d := now.Sub(s.start)
+	s.t.H.Observe(d)
+	s.t.R.Record(now, d)
+}

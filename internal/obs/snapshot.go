@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// A Snap is a point-in-time copy of every registered instrument. Counters
+// and gauges are exact atomic reads; histograms and rings are summed per
+// stripe/slot, so values recorded while the snapshot is being taken may or
+// may not be included (each instrument is still internally consistent for
+// quiescent workloads, which is what the conservation-law tests rely on).
+type Snap struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]HistSnap
+	Rings    map[string][]Span
+}
+
+// Snapshot copies the current value of every registered instrument.
+func Snapshot() Snap {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	s := Snap{
+		Counters: make(map[string]int64, len(registry.counters)),
+		Gauges:   make(map[string]int64, len(registry.gauges)),
+		Hists:    make(map[string]HistSnap, len(registry.hists)),
+		Rings:    make(map[string][]Span, len(registry.rings)),
+	}
+	for name, c := range registry.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range registry.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range registry.hists {
+		s.Hists[name] = h.snapshot()
+	}
+	for name, r := range registry.rings {
+		s.Rings[name] = r.snapshot()
+	}
+	return s
+}
+
+// Counter returns the named counter's value, or 0 if it is not registered.
+func (s Snap) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge returns the named gauge's level, or 0 if it is not registered.
+func (s Snap) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Hist returns the named histogram snapshot (zero if not registered).
+func (s Snap) Hist(name string) HistSnap { return s.Hists[name] }
+
+// CounterDelta returns the change in the named counter since prev.
+func (s Snap) CounterDelta(prev Snap, name string) int64 {
+	return s.Counter(name) - prev.Counter(name)
+}
+
+// Render writes the snapshot as a plain-text exposition: one
+// "name value" line per counter and gauge, one summary line per histogram
+// (count, mean, p50/p99, max), and the most recent spans per ring. This is
+// the format served at /metrics and printed by the \stats shell command.
+func (s Snap) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# counters\n"); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# gauges\n"); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# histograms (count mean p50 p99)\n"); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(s.Hists) {
+		h := s.Hists[name]
+		_, err := fmt.Fprintf(w, "%s count=%d mean=%s p50=%s p99=%s\n",
+			name, h.Count, round(h.Mean()), round(h.Quantile(0.5)), round(h.Quantile(0.99)))
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# recent spans (last per op)\n"); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(s.Rings) {
+		spans := s.Rings[name]
+		if len(spans) == 0 {
+			continue
+		}
+		last := spans[len(spans)-1]
+		_, err := fmt.Fprintf(w, "%s last=%s at=%s window=%d\n",
+			name, round(last.Dur), last.End.Format(time.RFC3339Nano), len(spans))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// round trims a duration to microsecond resolution for display.
+func round(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+// sortedKeys returns map keys in lexical order (value type is irrelevant).
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"postlob/internal/obs"
+	"postlob/internal/wire"
+)
+
+// Wire-server metrics: one latency timer per RPC op (fixed set, registered
+// at package init as the obsregister analyzer requires — the histogram count
+// doubles as the per-op request counter), plus gauges for in-flight requests
+// and open connections.
+var (
+	obsInflight    = obs.NewGauge("server.rpc.inflight")
+	obsConnections = obs.NewGauge("server.connections")
+	obsRPCUnknown  = obs.NewCounter("server.rpc.unknown")
+
+	rpcBegin  = obs.NewTimer("server.rpc.begin")
+	rpcCommit = obs.NewTimer("server.rpc.commit")
+	rpcAbort  = obs.NewTimer("server.rpc.abort")
+	rpcNow    = obs.NewTimer("server.rpc.now")
+	rpcExec   = obs.NewTimer("server.rpc.exec")
+	rpcOpen   = obs.NewTimer("server.rpc.open")
+	rpcRead   = obs.NewTimer("server.rpc.read")
+	rpcRaw    = obs.NewTimer("server.rpc.readraw")
+	rpcWrite  = obs.NewTimer("server.rpc.write")
+	rpcSize   = obs.NewTimer("server.rpc.size")
+	rpcClose  = obs.NewTimer("server.rpc.close")
+)
+
+// rpcTimer maps an op to its timer (nil for an unknown op). A switch over
+// fixed package vars, not a map: the dispatch path stays lock- and
+// allocation-free.
+func rpcTimer(op wire.Op) *obs.Timer {
+	switch op {
+	case wire.OpBegin:
+		return rpcBegin
+	case wire.OpCommit:
+		return rpcCommit
+	case wire.OpAbort:
+		return rpcAbort
+	case wire.OpNow:
+		return rpcNow
+	case wire.OpExec:
+		return rpcExec
+	case wire.OpOpen:
+		return rpcOpen
+	case wire.OpRead:
+		return rpcRead
+	case wire.OpRaw:
+		return rpcRaw
+	case wire.OpWrite:
+		return rpcWrite
+	case wire.OpSize:
+		return rpcSize
+	case wire.OpClose:
+		return rpcClose
+	default:
+		return nil
+	}
+}

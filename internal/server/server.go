@@ -104,7 +104,9 @@ type session struct {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	obsConnections.Inc()
 	defer func() {
+		obsConnections.Dec()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -147,7 +149,23 @@ func fail(format string, args ...any) *wire.Response {
 	return &wire.Response{Err: fmt.Sprintf(format, args...)}
 }
 
+// dispatch times every RPC and tracks the in-flight level, then hands the
+// request to dispatchOp.
 func (sess *session) dispatch(req *wire.Request) *wire.Response {
+	t := rpcTimer(req.Op)
+	if t == nil {
+		obsRPCUnknown.Inc()
+		return sess.dispatchOp(req)
+	}
+	obsInflight.Inc()
+	sw := t.Start()
+	resp := sess.dispatchOp(req)
+	sw.Stop()
+	obsInflight.Dec()
+	return resp
+}
+
+func (sess *session) dispatchOp(req *wire.Request) *wire.Response {
 	switch req.Op {
 	case wire.OpBegin:
 		if sess.tx != nil && !sess.tx.Done() {

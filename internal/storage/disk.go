@@ -125,6 +125,9 @@ func (d *DiskManager) NBlocks(rel RelName) (BlockNum, error) {
 
 // ReadBlock implements Manager.
 func (d *DiskManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
+	diskMetrics.reads.Inc()
+	sw := diskMetrics.readLat.Start()
+	defer sw.Stop()
 	if err := checkBuf(buf); err != nil {
 		return err
 	}
@@ -154,6 +157,9 @@ func (d *DiskManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
 
 // WriteBlock implements Manager.
 func (d *DiskManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
+	diskMetrics.writes.Inc()
+	sw := diskMetrics.writeLat.Start()
+	defer sw.Stop()
 	if err := checkBuf(buf); err != nil {
 		return err
 	}
@@ -179,6 +185,9 @@ func (d *DiskManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
 
 // Sync implements Manager.
 func (d *DiskManager) Sync(rel RelName) error {
+	diskMetrics.syncs.Inc()
+	sw := diskMetrics.syncLat.Start()
+	defer sw.Stop()
 	f, err := d.open(rel)
 	if err != nil {
 		return err

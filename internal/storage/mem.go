@@ -69,6 +69,9 @@ func (m *MemManager) NBlocks(rel RelName) (BlockNum, error) {
 
 // ReadBlock implements Manager.
 func (m *MemManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
+	memMetrics.reads.Inc()
+	sw := memMetrics.readLat.Start()
+	defer sw.Stop()
 	if err := checkBuf(buf); err != nil {
 		return err
 	}
@@ -92,6 +95,9 @@ func (m *MemManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
 
 // WriteBlock implements Manager.
 func (m *MemManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
+	memMetrics.writes.Inc()
+	sw := memMetrics.writeLat.Start()
+	defer sw.Stop()
 	if err := checkBuf(buf); err != nil {
 		return err
 	}
@@ -120,6 +126,9 @@ func (m *MemManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
 // Sync implements Manager. Memory is modelled as non-volatile, so Sync is a
 // no-op.
 func (m *MemManager) Sync(rel RelName) error {
+	memMetrics.syncs.Inc()
+	sw := memMetrics.syncLat.Start()
+	defer sw.Stop()
 	if !m.Exists(rel) {
 		return fmt.Errorf("%w: %s", ErrNoRelation, rel)
 	}

@@ -1,0 +1,40 @@
+package storage
+
+import "postlob/internal/obs"
+
+// smgrMetrics is the per-manager instrument set: read/write/sync op counts
+// and latency timers. One fixed set exists per concrete manager (disk, mem,
+// worm), registered at package init as the obsregister analyzer requires;
+// wrapper managers (latency, crash, fault injection) delegate to an
+// instrumented inner manager, so each device op is counted exactly once.
+type smgrMetrics struct {
+	reads, writes, syncs       *obs.Counter
+	readLat, writeLat, syncLat *obs.Timer
+}
+
+var diskMetrics = smgrMetrics{
+	reads:    obs.NewCounter("smgr.disk.reads"),
+	writes:   obs.NewCounter("smgr.disk.writes"),
+	syncs:    obs.NewCounter("smgr.disk.syncs"),
+	readLat:  obs.NewTimer("smgr.disk.read_latency"),
+	writeLat: obs.NewTimer("smgr.disk.write_latency"),
+	syncLat:  obs.NewTimer("smgr.disk.sync_latency"),
+}
+
+var memMetrics = smgrMetrics{
+	reads:    obs.NewCounter("smgr.mem.reads"),
+	writes:   obs.NewCounter("smgr.mem.writes"),
+	syncs:    obs.NewCounter("smgr.mem.syncs"),
+	readLat:  obs.NewTimer("smgr.mem.read_latency"),
+	writeLat: obs.NewTimer("smgr.mem.write_latency"),
+	syncLat:  obs.NewTimer("smgr.mem.sync_latency"),
+}
+
+var wormMetrics = smgrMetrics{
+	reads:    obs.NewCounter("smgr.worm.reads"),
+	writes:   obs.NewCounter("smgr.worm.writes"),
+	syncs:    obs.NewCounter("smgr.worm.syncs"),
+	readLat:  obs.NewTimer("smgr.worm.read_latency"),
+	writeLat: obs.NewTimer("smgr.worm.write_latency"),
+	syncLat:  obs.NewTimer("smgr.worm.sync_latency"),
+}

@@ -231,6 +231,9 @@ func (w *WormManager) chargeDevice(phys int64, sequentialHint bool) {
 // change. Concurrent reads of archived blocks therefore overlap at the
 // device; w.mu covers only the map lookup, cache probe, and cost accounting.
 func (w *WormManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
+	wormMetrics.reads.Inc()
+	sw := wormMetrics.readLat.Start()
+	defer sw.Stop()
 	if err := checkBuf(buf); err != nil {
 		return err
 	}
@@ -288,6 +291,9 @@ func (w *WormManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
 // pending blocks and migrate to the write-once medium on Sync or eviction.
 // Without a cache, each write burns a fresh physical block immediately.
 func (w *WormManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
+	wormMetrics.writes.Inc()
+	sw := wormMetrics.writeLat.Start()
+	defer sw.Stop()
 	if err := checkBuf(buf); err != nil {
 		return err
 	}
@@ -345,6 +351,9 @@ func (w *WormManager) installCache(rel RelName, blk BlockNum, buf []byte, dirty 
 // Sync implements Manager: flushes the relation's pending cached blocks to
 // the medium and persists its relocation map.
 func (w *WormManager) Sync(rel RelName) error {
+	wormMetrics.syncs.Inc()
+	sw := wormMetrics.syncLat.Start()
+	defer sw.Stop()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.syncLocked(rel)

@@ -15,6 +15,19 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"postlob/internal/obs"
+)
+
+// Transaction metrics, registered once at package init. For a workload that
+// finishes every transaction it starts, begins == commits + aborts — a
+// conservation law the soak and crash harnesses assert (crashed transactions
+// are the deliberate exception: they begin and never finish).
+var (
+	obsBegins  = obs.NewCounter("txn.begins")
+	obsCommits = obs.NewCounter("txn.commits")
+	obsAborts  = obs.NewCounter("txn.aborts")
+	obsTxnDur  = obs.NewTimer("txn.duration")
 )
 
 // XID identifies a transaction.
@@ -163,9 +176,11 @@ func (m *Manager) Begin() *Txn {
 	}
 	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
 	m.active[id] = true
+	obsBegins.Inc()
 	return &Txn{
 		mgr: m,
 		id:  id,
+		sw:  obsTxnDur.Start(),
 		snap: Snapshot{
 			Self:   id,
 			Xmax:   id, // everything from us onward is invisible (except Self)
@@ -228,7 +243,8 @@ type Txn struct {
 	mgr  *Manager
 	id   XID
 	snap Snapshot
-	done bool // guarded by mu
+	sw   obs.Stopwatch // begin-to-finish duration; written at Begin only
+	done bool          // guarded by mu
 
 	mu        sync.Mutex
 	onCommit  []func()       // guarded by mu
@@ -291,6 +307,8 @@ func (t *Txn) Commit() (TS, error) {
 	durable := t.onDurable
 	t.onCommit, t.onAbort, t.onDurable = nil, nil, nil
 	t.mu.Unlock()
+	obsCommits.Inc()
+	t.sw.Stop()
 	ts := t.mgr.finish(t.id, Committed)
 	var firstErr error
 	for _, fn := range durable {
@@ -315,6 +333,8 @@ func (t *Txn) Abort() error {
 	hooks := t.onAbort
 	t.onCommit, t.onAbort, t.onDurable = nil, nil, nil
 	t.mu.Unlock()
+	obsAborts.Inc()
+	t.sw.Stop()
 	t.mgr.finish(t.id, Aborted)
 	for _, fn := range hooks {
 		fn()

@@ -34,6 +34,7 @@ import (
 	"postlob/internal/core"
 	"postlob/internal/heap"
 	"postlob/internal/inversion"
+	"postlob/internal/obs"
 	"postlob/internal/query"
 	"postlob/internal/server"
 	"postlob/internal/storage"
@@ -327,6 +328,21 @@ func (db *DB) Serve(l net.Listener) *server.Server {
 	return srv
 }
 
+// Checkpoint metrics, registered once at package init. System-wide metrics
+// (buffer pool, storage managers, per-implementation traffic, RPC latency)
+// live in internal/obs; see ObsSnapshot.
+var (
+	obsCheckpoints   = obs.NewCounter("db.checkpoints")
+	obsCheckpointDur = obs.NewTimer("db.checkpoint_duration")
+)
+
+// ObsSnapshot returns a point-in-time copy of every metric in the process-
+// wide observability registry (counters, gauges, latency histograms, recent
+// spans). Unlike Stats — which reports this DB's buffer pool — the obs
+// registry aggregates across every open database in the process; it is what
+// the `\stats` shell command and the lobjserve /metrics endpoint render.
+func ObsSnapshot() obs.Snap { return obs.Snapshot() }
+
 // Stats is a snapshot of cache behaviour, for observability and the
 // benchmark analyses.
 type Stats struct {
@@ -394,6 +410,9 @@ func (db *DB) Vacuum(keepHistory bool) (int, error) {
 // transaction is durable exactly when its log record is, and the log is
 // never written ahead of the data it describes.
 func (db *DB) Checkpoint() error {
+	obsCheckpoints.Inc()
+	sw := obsCheckpointDur.Start()
+	defer sw.Stop()
 	if err := db.pool.Buf.FlushAll(); err != nil {
 		return err
 	}
