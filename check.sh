@@ -19,13 +19,23 @@
 #                                  read benchmark, so scaling regressions
 #                                  break the build, not just the numbers
 #
-#   6. (BENCH=1 only)              the observability overhead harness: the
+#   6. FuzzWALDecode smoke         a short native-fuzz run of the WAL record
+#                                  decoder over the checked-in corpus, so a
+#                                  framing regression fails fast
+#
+#   7. (BENCH=1 only)              the observability overhead harness: the
 #                                  concurrent read workload with metrics
 #                                  recording vs obs.Disabled(). Rewrites
 #                                  BENCH_obs_overhead.json and fails when
 #                                  instrumentation costs 5% or more:
 #
 #                                    BENCH=1 ./check.sh
+#
+#   8. (BENCH=1 only)              the commit-latency harness: concurrent
+#                                  committers under write-ahead logging vs
+#                                  force-at-commit on a 200µs-write device.
+#                                  Rewrites BENCH_commit_latency.json and
+#                                  fails unless group commit wins at 8-way
 #
 # The race detector is on by default. Run with RACE=0 to skip it (plain
 # go test ./...) when iterating on something slow:
@@ -60,9 +70,14 @@ fi
 echo "== BenchmarkConcurrentRead smoke (-benchtime=1x)"
 go test -run '^$' -bench BenchmarkConcurrentRead -benchtime=1x .
 
+echo "== FuzzWALDecode smoke (-fuzztime=200x)"
+go test -run '^$' -fuzz '^FuzzWALDecode$' -fuzztime 200x ./internal/wal
+
 if [ "${BENCH:-}" = "1" ]; then
 	echo "== observability overhead harness (BENCH=1)"
 	BENCH=1 go test -run '^TestObsOverheadReport$' -v .
+	echo "== commit latency harness (BENCH=1)"
+	BENCH=1 go test -run '^TestCommitLatencyReport$' -v -timeout 20m .
 fi
 
 echo "check.sh: all green"

@@ -38,9 +38,10 @@ import (
 
 func main() {
 	var (
-		dbdir = flag.String("db", "", "database directory (required)")
-		kind  = flag.String("kind", "f-chunk", "large-object implementation for file contents")
-		codec = flag.String("codec", "", "compression codec: fast, tight, or empty")
+		dbdir  = flag.String("db", "", "database directory (required)")
+		kind   = flag.String("kind", "f-chunk", "large-object implementation for file contents")
+		codec  = flag.String("codec", "", "compression codec: fast, tight, or empty")
+		useWAL = flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
 	)
 	flag.Parse()
 	if *dbdir == "" {
@@ -50,7 +51,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := postlob.Open(*dbdir, postlob.Options{})
+	opts := postlob.Options{}
+	if *useWAL {
+		opts.Durability = postlob.DurabilityWAL
+	}
+	db, err := postlob.Open(*dbdir, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -32,12 +32,17 @@ func main() {
 		dbdir   = flag.String("db", "", "database directory (required)")
 		addr    = flag.String("addr", "127.0.0.1:5439", "listen address")
 		metrics = flag.String("metrics", "127.0.0.1:5440", "HTTP address for /metrics and /debug/pprof (empty disables)")
+		useWAL  = flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
 	)
 	flag.Parse()
 	if *dbdir == "" {
 		log.Fatal("lobjserve: -db is required")
 	}
-	db, err := postlob.Open(*dbdir, postlob.Options{})
+	opts := postlob.Options{}
+	if *useWAL {
+		opts.Durability = postlob.DurabilityWAL
+	}
+	db, err := postlob.Open(*dbdir, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

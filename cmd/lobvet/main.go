@@ -7,6 +7,7 @@
 //	lockguard     '// guarded by mu' fields are accessed under the mutex
 //	nopanic       no undocumented panic in internal/* library code
 //	obsregister   obs metrics are registered once at package init, never in loops
+//	walorder      pool flushes stay in buffer/txn/core; wal.Append* LSNs are never discarded
 //
 // Usage:
 //
@@ -39,6 +40,7 @@ import (
 	"postlob/internal/analysis/obsregister"
 	"postlob/internal/analysis/storageerr"
 	"postlob/internal/analysis/txncomplete"
+	"postlob/internal/analysis/walorder"
 )
 
 var analyzers = []*analysis.Analyzer{
@@ -48,6 +50,7 @@ var analyzers = []*analysis.Analyzer{
 	lockguard.Analyzer,
 	nopanic.Analyzer,
 	obsregister.Analyzer,
+	walorder.Analyzer,
 }
 
 func main() {

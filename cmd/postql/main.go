@@ -27,11 +27,16 @@ import (
 func main() {
 	dbdir := flag.String("db", "", "database directory (required)")
 	cmd := flag.String("c", "", "execute the given statement(s), ';'-separated, then exit")
+	useWAL := flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
 	flag.Parse()
 	if *dbdir == "" {
 		log.Fatal("postql: -db is required")
 	}
-	db, err := postlob.Open(*dbdir, postlob.Options{})
+	opts := postlob.Options{}
+	if *useWAL {
+		opts.Durability = postlob.DurabilityWAL
+	}
+	db, err := postlob.Open(*dbdir, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

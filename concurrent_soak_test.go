@@ -168,9 +168,13 @@ func TestConcurrentFacadeSoak(t *testing.T) {
 		}(w)
 	}
 
-	// Maintenance alongside, until the workers finish.
+	// Maintenance alongside, until the workers finish. Successful Checkpoint
+	// calls are counted so the db.checkpoints conservation law below can
+	// demand an exact match — the counter must move only when a checkpoint
+	// actually completes.
 	stop := make(chan struct{})
 	maintDone := make(chan struct{})
+	var checkpointsOK int64
 	go func() {
 		defer close(maintDone)
 		for {
@@ -183,6 +187,7 @@ func TestConcurrentFacadeSoak(t *testing.T) {
 				errs <- fmt.Errorf("checkpoint: %w", err)
 				return
 			}
+			checkpointsOK++
 			if _, err := db.Vacuum(true); err != nil {
 				errs <- fmt.Errorf("vacuum: %w", err)
 				return
@@ -215,7 +220,10 @@ func TestConcurrentFacadeSoak(t *testing.T) {
 	if got, want := delta("lob.fchunk.read_bytes"), delta("lob.fchunk.chunk_read_bytes"); got != want {
 		t.Errorf("fchunk conservation: read_bytes = %d, chunk_read_bytes = %d", got, want)
 	}
-	for _, name := range []string{"pool.lookups", "txn.begins", "lob.fchunk.read_bytes"} {
+	if got, want := delta("db.checkpoints"), checkpointsOK; got != want {
+		t.Errorf("checkpoint conservation: db.checkpoints = %d, successful Checkpoint calls = %d", got, want)
+	}
+	for _, name := range []string{"pool.lookups", "txn.begins", "lob.fchunk.read_bytes", "db.checkpoints"} {
 		if delta(name) == 0 {
 			t.Errorf("metric %s did not move during the soak", name)
 		}

@@ -257,18 +257,6 @@ func (t *Tree) Size() (int64, error) {
 	return int64(n) * page.Size, nil
 }
 
-// Flush writes the tree's dirty pages out and syncs the device.
-func (t *Tree) Flush() error {
-	if err := t.buf.FlushRel(t.sm, t.name); err != nil {
-		return err
-	}
-	mgr, err := t.buf.Switch().Get(t.sm)
-	if err != nil {
-		return err
-	}
-	return mgr.Sync(t.name)
-}
-
 // Drop discards the tree and its storage.
 func (t *Tree) Drop() error {
 	if err := t.buf.DropRel(t.sm, t.name, true); err != nil {
@@ -278,6 +266,9 @@ func (t *Tree) Drop() error {
 	if err != nil {
 		return err
 	}
+	// Log the unlink so redo recovery does not resurrect the tree from
+	// earlier page images.
+	t.buf.LogUnlink(t.sm, t.name)
 	return mgr.Unlink(t.name)
 }
 

@@ -32,6 +32,7 @@ import (
 	"postlob/internal/page"
 	"postlob/internal/storage"
 	"postlob/internal/vclock"
+	"postlob/internal/wal"
 )
 
 // Process-wide pool metrics (summed across pools; per-pool numbers come from
@@ -91,6 +92,16 @@ type Frame struct {
 	lruEl    *list.Element // guarded by part.mu; non-nil iff unpinned and resident
 	dirty    atomic.Bool
 	latch    sync.RWMutex // content latch; see LockContent
+
+	// WAL bookkeeping, meaningful only when the pool has a log attached.
+	// walDirty records that the page bytes changed since the last image of
+	// this page was appended to the log (the WAL analogue of dirty, cleared
+	// under the shared latch when an image is snapshotted). walLSN is the end
+	// LSN of the newest logged image — the frame's flush ceiling: the page
+	// must not replace its home-location bytes until the log is durable
+	// through it.
+	walDirty atomic.Bool
+	walLSN   atomic.Uint64
 }
 
 // Page returns the frame's page. The slice is valid while the frame is
@@ -102,7 +113,10 @@ func (f *Frame) Tag() Tag { return f.tag }
 
 // MarkDirty records that the page has been modified and must be written back
 // before eviction.
-func (f *Frame) MarkDirty() { f.dirty.Store(true) }
+func (f *Frame) MarkDirty() {
+	f.dirty.Store(true)
+	f.walDirty.Store(true)
+}
 
 // LockContent takes the frame's content latch exclusive. Every code path
 // that writes page bytes must hold it for the duration of the mutation
@@ -210,6 +224,11 @@ type Pool struct {
 	csMu      sync.RWMutex
 	checksums map[relKey]Checksummer // guarded by csMu
 
+	// wal is the attached write-ahead log, nil in force-at-commit and
+	// checkpoint-grained durability modes. Set once by AttachWAL before the
+	// pool is shared between goroutines, read-only afterwards.
+	wal *wal.Log
+
 	evictHand atomic.Uint64 // rotates the partition eviction scan start
 }
 
@@ -254,6 +273,18 @@ func (p *Pool) part(tag Tag) *partition {
 
 // Switch returns the storage switch the pool reads and writes through.
 func (p *Pool) Switch() *storage.Switch { return p.sw }
+
+// AttachWAL couples the pool to a write-ahead log. From then on write-back
+// honors the flush-ceiling rule — a page's newest logged image must be
+// durable in the log before the page replaces its home-location bytes — and
+// pages that reach the device without having been logged (eviction under
+// memory pressure) get an image appended first. Call once, after recovery
+// and before the pool is shared; attaching mid-flight would let earlier
+// unlogged write-backs escape the ceiling.
+func (p *Pool) AttachWAL(l *wal.Log) { p.wal = l }
+
+// WAL returns the attached write-ahead log, or nil.
+func (p *Pool) WAL() *wal.Log { return p.wal }
 
 // Stats returns cache hits and misses since creation. Hit/miss counts live
 // in the partitions, incremented under each partition's mutex; Stats holds
@@ -389,6 +420,8 @@ func (p *Pool) Get(tag Tag) (*Frame, error) {
 		f.evicting = false
 		f.lruEl = nil
 		f.dirty.Store(false)
+		f.walDirty.Store(false)
+		f.walLSN.Store(0)
 		part.lookup[tag] = f
 		part.mu.Unlock()
 		return f, nil
@@ -423,6 +456,8 @@ func (p *Pool) NewBlock(sm storage.ID, rel storage.RelName) (*Frame, storage.Blo
 	f.evicting = false
 	f.lruEl = nil
 	f.dirty.Store(true)
+	f.walDirty.Store(true)
+	f.walLSN.Store(0)
 	part.lookup[tag] = f
 	p.nblocks[relKey{sm, rel}] = n + 1
 	part.mu.Unlock()
@@ -557,6 +592,22 @@ func (p *Pool) extLock(sm storage.ID, rel storage.RelName) *sync.Mutex {
 // written page.
 func (p *Pool) writeBack(f *Frame) error {
 	tag := f.tag
+	// If this page was never logged since it was dirtied, its image is about
+	// to become device-visible — and under a WAL the device write is preceded
+	// by a durable log append, so the image survives a crash. A single page's
+	// image is not enough: the page may reference sibling dirty pages (a
+	// B-tree node naming a heap block, a segment record naming a byte-store
+	// block) that were dirtied by the same operations and are still unlogged.
+	// Replaying the one image without the others would resurrect a mutually
+	// inconsistent page set. Log the entire unlogged dirty set in one batch —
+	// a mini fuzzy checkpoint — so the durable log always describes a
+	// consistent state. Pages re-dirtied after the batch are caught by the
+	// single-image fallback below.
+	if p.wal != nil && f.walDirty.Load() {
+		if _, err := p.LogDirtyPages(0); err != nil {
+			return err
+		}
+	}
 	mgr, err := p.sw.Get(tag.SM)
 	if err != nil {
 		return err
@@ -584,14 +635,44 @@ func (p *Pool) writeBack(f *Frame) error {
 	// write-back checksum on the copy, never on the live frame: the frame
 	// may be mutated again the moment the latch drops, while the device
 	// image must match its own stamp so a torn write is detectable when the
-	// block is read back after a crash.
+	// block is read back after a crash. walDirty is cleared inside the same
+	// latch hold as the copy, so the logged image is exactly the state whose
+	// changes it marks; a mutation after the latch drops re-marks the frame.
 	img := make([]byte, page.Size)
 	f.latch.RLock()
 	f.dirty.Store(false)
+	needLog := false
+	if p.wal != nil {
+		needLog = f.walDirty.Swap(false)
+	}
 	copy(img, f.data)
 	f.latch.RUnlock()
 	if cs := p.checksummer(tag.SM, tag.Rel); cs != nil {
 		cs.Stamp(img)
+	}
+	if p.wal != nil {
+		if needLog {
+			// The page reaches the device without a commit having logged it
+			// (eviction under memory pressure): append its image now. XID 0
+			// marks an image not attributed to any one transaction; replay is
+			// unconditional, so attribution is informational.
+			lsn, err := p.wal.AppendPageImage(tag.SM, tag.Rel, tag.Blk, img, 0)
+			if err != nil {
+				f.dirty.Store(true)
+				f.walDirty.Store(true)
+				return err
+			}
+			f.walLSN.Store(uint64(lsn))
+		}
+		// The flush ceiling: the newest logged image of this page must be
+		// durable before the page replaces its home-location bytes, or a
+		// crash after the home write could leave a state the log cannot redo.
+		if ceiling := wal.LSN(f.walLSN.Load()); ceiling > 0 {
+			if err := p.wal.Flush(ceiling); err != nil {
+				f.dirty.Store(true)
+				return err
+			}
+		}
 	}
 	if err := mgr.WriteBlock(tag.Rel, tag.Blk, img); err != nil {
 		f.dirty.Store(true)
@@ -599,6 +680,89 @@ func (p *Pool) writeBack(f *Frame) error {
 	}
 	obsWritebacks.Inc()
 	return nil
+}
+
+// LogDirtyPages appends a physical image of every page modified since its
+// last logged image, returning the LSN one past the final image appended (0
+// when nothing needed logging). It initiates no flush: the commit path
+// appends the commit record behind these images and waits once — a single
+// group fsync covers both — and the checkpoint path flushes explicitly. A
+// non-zero xid attributes the images to a committing transaction; pages
+// dirtied by other in-flight transactions are captured too, which is
+// harmless under no-overwrite visibility (their tuples stay invisible until
+// their own commit record lands).
+func (p *Pool) LogDirtyPages(xid uint32) (wal.LSN, error) {
+	if p.wal == nil {
+		return 0, nil
+	}
+	var frames []*Frame
+	for _, part := range p.parts {
+		part.mu.Lock()
+		for _, f := range part.lookup {
+			if f.walDirty.Load() {
+				part.pinLocked(f)
+				frames = append(frames, f)
+			}
+		}
+		part.mu.Unlock()
+	}
+	// Deterministic append order, for the same reason FlushAll sorts: a
+	// seeded crash-simulation run must lay down the same log bytes every
+	// time.
+	sort.Slice(frames, func(i, j int) bool {
+		ti, tj := frames[i].tag, frames[j].tag
+		if ti.SM != tj.SM {
+			return ti.SM < tj.SM
+		}
+		if ti.Rel != tj.Rel {
+			return ti.Rel < tj.Rel
+		}
+		return ti.Blk < tj.Blk
+	})
+	var (
+		end      wal.LSN
+		firstErr error
+	)
+	img := make([]byte, page.Size)
+	for _, f := range frames {
+		if firstErr == nil {
+			f.latch.RLock()
+			needLog := f.walDirty.Swap(false)
+			copy(img, f.data)
+			f.latch.RUnlock()
+			if needLog {
+				if cs := p.checksummer(f.tag.SM, f.tag.Rel); cs != nil {
+					cs.Stamp(img)
+				}
+				lsn, err := p.wal.AppendPageImage(f.tag.SM, f.tag.Rel, f.tag.Blk, img, xid)
+				if err != nil {
+					f.walDirty.Store(true)
+					firstErr = err
+				} else {
+					f.walLSN.Store(uint64(lsn))
+					if lsn > end {
+						end = lsn
+					}
+				}
+			}
+		}
+		f.Release()
+	}
+	return end, firstErr
+}
+
+// LogUnlink records a relation drop in the attached log (a no-op without
+// one), so replay never resurrects storage that was deliberately removed
+// after its pages were logged. The record rides with the next group flush —
+// losing it merely leaves an orphaned relation no catalog entry points at.
+func (p *Pool) LogUnlink(sm storage.ID, rel storage.RelName) {
+	if p.wal == nil {
+		return
+	}
+	lsn, err := p.wal.AppendUnlink(sm, rel)
+	if err == nil {
+		p.wal.FlushLazy(lsn)
+	}
 }
 
 // A Checksummer stamps a device-bound page image with a checksum and

@@ -32,6 +32,7 @@ import (
 	"postlob/internal/obs"
 	"postlob/internal/storage"
 	"postlob/internal/txn"
+	"postlob/internal/wal"
 )
 
 // crashStack is a full database stack whose storage managers sit behind
@@ -46,9 +47,17 @@ type crashStack struct {
 	wormCM  *storage.CrashManager
 	mgr     *txn.Manager
 	store   *Store
+	wlog    *wal.Log // non-nil in WAL mode
+	walMode bool
 }
 
-func openCrashStack(t *testing.T, dir string, durable *storage.MemManager, cfg storage.CrashConfig) *crashStack {
+// openCrashStack builds the stack in one of the two durability modes under
+// trial: force-at-commit (walMode false — every commit checkpoints) or
+// write-ahead logging (walMode true — commits group-flush a log that redo
+// recovery replays on the next open). The WAL lives on the same crash-
+// simulated manager as the data, so torn writes land inside the log file
+// too.
+func openCrashStack(t *testing.T, dir string, durable *storage.MemManager, cfg storage.CrashConfig, walMode bool) *crashStack {
 	t.Helper()
 	sw := storage.NewSwitch()
 	diskCM := storage.NewCrashManager(durable, cfg)
@@ -71,6 +80,28 @@ func openCrashStack(t *testing.T, dir string, durable *storage.MemManager, cfg s
 	}
 	mgr.SetLogPath(logPath)
 
+	// Redo recovery runs before anything reads the data: replay the durable
+	// log into the raw managers, persist the recovered commit outcomes, and
+	// truncate the log. Tiny segments (8 blocks) force constant rotation and
+	// checkpoint truncation under the randomized workload.
+	var wlog *wal.Log
+	if walMode {
+		wlog, err = wal.Open(diskCM, wal.Config{SegBlocks: 8})
+		if err != nil {
+			t.Fatalf("open wal: %v", err)
+		}
+		if err := RecoverWAL(sw, mgr, wlog); err != nil {
+			t.Fatalf("wal recovery: %v", err)
+		}
+		if err := mgr.Save(logPath); err != nil {
+			t.Fatalf("save commit log after recovery: %v", err)
+		}
+		if _, err := wlog.Checkpoint(wlog.RedoPoint()); err != nil {
+			t.Fatalf("post-recovery wal checkpoint: %v", err)
+		}
+		t.Cleanup(func() { wlog.Close() })
+	}
+
 	cat, err := catalog.Open(filepath.Join(dir, "catalog.json"))
 	if err != nil {
 		t.Fatalf("open catalog: %v", err)
@@ -87,15 +118,23 @@ func openCrashStack(t *testing.T, dir string, durable *storage.MemManager, cfg s
 		DefaultSM: storage.Mem,
 		ChunkSize: 512,
 	})
-	return &crashStack{dir: dir, logPath: logPath, diskCM: diskCM, wormCM: wormCM, mgr: mgr, store: store}
+	cs := &crashStack{dir: dir, logPath: logPath, diskCM: diskCM, wormCM: wormCM,
+		mgr: mgr, store: store, wlog: wlog, walMode: walMode}
+	if walMode {
+		AttachWAL(pool, wlog)
+	}
+	return cs
 }
 
-// begin starts a force-at-commit transaction: its commit flushes and syncs
+// begin starts a transaction. In force mode its commit flushes and syncs
 // every relation and only then saves the commit log — the POSTGRES no-WAL
-// discipline the harness is putting on trial.
+// discipline; in WAL mode the durability log wired by AttachWAL makes the
+// commit record durable via group commit instead.
 func (cs *crashStack) begin() *txn.Txn {
 	tx := cs.mgr.Begin()
-	tx.OnCommitDurable(cs.checkpoint)
+	if !cs.walMode {
+		tx.OnCommitDurable(cs.checkpoint)
+	}
 	return tx
 }
 
@@ -111,10 +150,14 @@ func (cs *crashStack) checkpoint() error {
 }
 
 // crash powers off the simulated machine: both storage managers lose their
-// volatile write caches at the same instant.
+// volatile write caches at the same instant. The WAL's flusher goroutine is
+// then drained against the dead device — its errors are the crash itself.
 func (cs *crashStack) crash() {
 	cs.diskCM.Crash()
 	cs.wormCM.Crash()
+	if cs.wlog != nil {
+		cs.wlog.Close()
+	}
 }
 
 // Workload script actions.
@@ -657,25 +700,32 @@ func verifyRecovered(t *testing.T, cs *crashStack, objs []*oracleObj, snaps []sn
 }
 
 // runCrashSeed is one full iteration: generate, run, crash, recover, verify.
-func runCrashSeed(t *testing.T, seed int64, tear bool) {
+// Every seed runs in both durability modes; the oracle is identical — a
+// transaction that committed must survive the crash either way.
+func runCrashSeed(t *testing.T, seed int64, tear, walMode bool) {
 	t.Helper()
 	testName := "TestCrashRecovery$"
 	if tear {
 		testName = "TestCrashRecoveryTornWrites"
 	}
+	mode := "force"
+	if walMode {
+		mode = "wal"
+	}
 	defer func() {
 		if t.Failed() {
-			t.Logf("reproduce: CRASHSEED=%d go test -run '%s' ./internal/core", seed, testName)
+			t.Logf("reproduce: CRASHSEED=%d go test -run '%s/sweep/seed=%d/mode=%s' ./internal/core",
+				seed, testName, seed, mode)
 		}
 	}()
 	dir := t.TempDir()
 	durable := storage.NewMemManager(storage.DeviceModel{}, nil)
 	ops, crashAt := generateScript(seed)
-	cs := openCrashStack(t, dir, durable, storage.CrashConfig{Seed: seed, TearWrites: tear})
+	cs := openCrashStack(t, dir, durable, storage.CrashConfig{Seed: seed, TearWrites: tear}, walMode)
 	objs, snaps, maxXID, maxTS := runWorkload(t, cs, ops, crashAt)
 
 	// Reboot: fresh caches and pools over the same durable media and files.
-	rec := openCrashStack(t, dir, durable, storage.CrashConfig{Seed: seed + 7777})
+	rec := openCrashStack(t, dir, durable, storage.CrashConfig{Seed: seed + 7777}, walMode)
 	verifyRecovered(t, rec, objs, snaps, maxXID, maxTS, seed, tear)
 }
 
@@ -715,7 +765,14 @@ func TestCrashRecovery(t *testing.T) {
 			seed := seed
 			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 				t.Parallel()
-				runCrashSeed(t, seed, false)
+				t.Run("mode=force", func(t *testing.T) {
+					t.Parallel()
+					runCrashSeed(t, seed, false, false)
+				})
+				t.Run("mode=wal", func(t *testing.T) {
+					t.Parallel()
+					runCrashSeed(t, seed, false, true)
+				})
 			})
 		}
 	})
@@ -744,7 +801,14 @@ func TestCrashRecoveryTornWrites(t *testing.T) {
 			seed := seed
 			t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 				t.Parallel()
-				runCrashSeed(t, seed, true)
+				t.Run("mode=force", func(t *testing.T) {
+					t.Parallel()
+					runCrashSeed(t, seed, true, false)
+				})
+				t.Run("mode=wal", func(t *testing.T) {
+					t.Parallel()
+					runCrashSeed(t, seed, true, true)
+				})
 			})
 		}
 	})

@@ -123,6 +123,7 @@ func (s *Store) dropOldAfterMigrate(oldSM storage.ID, meta *catalog.LargeObjectM
 		if err != nil {
 			return err
 		}
+		s.pool.Buf.LogUnlink(oldSM, old)
 		if err := mgr.Unlink(old); err != nil {
 			return err
 		}

@@ -698,18 +698,6 @@ func (r *Relation) Vacuum(keepHistory bool) (int, error) {
 	return removed, nil
 }
 
-// Flush writes the relation's dirty pages to its storage manager and syncs.
-func (r *Relation) Flush() error {
-	if err := r.pool.Buf.FlushRel(r.sm, r.name); err != nil {
-		return err
-	}
-	mgr, err := r.pool.Buf.Switch().Get(r.sm)
-	if err != nil {
-		return err
-	}
-	return mgr.Sync(r.name)
-}
-
 // Drop removes the relation: buffered pages are discarded and the underlying
 // storage unlinked.
 func (r *Relation) Drop() error {
@@ -721,5 +709,8 @@ func (r *Relation) Drop() error {
 		return err
 	}
 	r.pool.forget(r.sm, r.name)
+	// Log the unlink before performing it so redo recovery does not
+	// resurrect the relation from earlier page images.
+	r.pool.Buf.LogUnlink(r.sm, r.name)
 	return mgr.Unlink(r.name)
 }

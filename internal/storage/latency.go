@@ -16,6 +16,7 @@ type LatencyManager struct {
 	inner    Manager
 	readLat  time.Duration
 	writeLat time.Duration
+	syncLat  time.Duration
 }
 
 var _ Manager = (*LatencyManager)(nil)
@@ -24,6 +25,15 @@ var _ Manager = (*LatencyManager)(nil)
 // writeLat per WriteBlock. Zero durations disable the respective sleep.
 func NewLatencyManager(inner Manager, readLat, writeLat time.Duration) *LatencyManager {
 	return &LatencyManager{inner: inner, readLat: readLat, writeLat: writeLat}
+}
+
+// NewLatencyManagerWithSync additionally charges syncLat per Sync — the
+// device round trip a durable flush costs regardless of how many buffered
+// writes it retires. Commit-latency benchmarks use this shape (cheap
+// buffered writes, expensive settles): it is the cost profile group commit
+// exists to amortise.
+func NewLatencyManagerWithSync(inner Manager, readLat, writeLat, syncLat time.Duration) *LatencyManager {
+	return &LatencyManager{inner: inner, readLat: readLat, writeLat: writeLat, syncLat: syncLat}
 }
 
 // Name implements Manager.
@@ -55,7 +65,12 @@ func (l *LatencyManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error
 }
 
 // Sync implements Manager.
-func (l *LatencyManager) Sync(rel RelName) error { return l.inner.Sync(rel) }
+func (l *LatencyManager) Sync(rel RelName) error {
+	if l.syncLat > 0 {
+		time.Sleep(l.syncLat)
+	}
+	return l.inner.Sync(rel)
+}
 
 // Unlink implements Manager.
 func (l *LatencyManager) Unlink(rel RelName) error { return l.inner.Unlink(rel) }

@@ -103,6 +103,30 @@ func (s Snapshot) Sees(x XID) bool {
 	return !(i < len(s.Active) && s.Active[i] == x)
 }
 
+// DurabilityLog couples transaction completion to a write-ahead log. The
+// manager calls it at the commit and abort boundaries; postlob's WAL
+// durability mode supplies an implementation backed by internal/wal, while a
+// nil log preserves the paper's force/checkpoint disciplines.
+type DurabilityLog interface {
+	// LogWork captures the transaction's unlogged dirty pages as redo
+	// records. Called before the commit becomes visible, with no manager
+	// lock held; an error aborts the commit.
+	LogWork(x XID) error
+	// LogCommit appends the transaction's commit record and returns its
+	// LSN. Called under the manager's exclusive lock, so log order always
+	// matches visibility order: no transaction that observed x committed
+	// can obtain an earlier commit LSN. An error aborts the commit before
+	// it becomes visible.
+	LogCommit(x XID, ts TS) (lsn uint64, err error)
+	// LogAbort appends an abort record. Purely an optimisation — recovery
+	// treats transactions with no commit record as aborted — so it returns
+	// nothing and must not block on durability.
+	LogAbort(x XID)
+	// WaitDurable blocks until the log is durable through lsn — the group-
+	// commit park. Called with no locks held.
+	WaitDurable(lsn uint64) error
+}
+
 // Manager hands out transactions and records their outcomes. The commit log
 // is read on every tuple-visibility check, so lookups (Status, CommitTS,
 // Now) take the lock shared; only Begin and transaction completion take it
@@ -116,6 +140,7 @@ type Manager struct {
 	active   map[XID]bool   // guarded by mu
 	logPath  string         // guarded by mu; "" disables durable XID reservation
 	xidBound XID            // guarded by mu; XIDs below this are durably reserved
+	dlog     DurabilityLog  // guarded by mu; nil outside WAL mode
 
 	// saveMu serialises commit-log file writes (the temp file name is
 	// shared, and renames must not reorder). Acquired after mu; writers
@@ -145,6 +170,23 @@ func (m *Manager) SetLogPath(path string) {
 	m.mu.Lock()
 	m.logPath = path
 	m.mu.Unlock()
+}
+
+// SetDurabilityLog attaches a write-ahead log to the manager. Call before
+// the manager is shared: from then on Commit appends a commit record and
+// waits for a group flush instead of relying on checkpoints, and Abort
+// appends a lazy abort record.
+func (m *Manager) SetDurabilityLog(d DurabilityLog) {
+	m.mu.Lock()
+	m.dlog = d
+	m.mu.Unlock()
+}
+
+func (m *Manager) durabilityLog() DurabilityLog {
+	m.mu.RLock()
+	d := m.dlog
+	m.mu.RUnlock()
+	return d
 }
 
 // xidBatch is how many XIDs one durable reservation covers, so Begin
@@ -238,6 +280,64 @@ func (m *Manager) finish(x XID, st Status) TS {
 	return ts
 }
 
+// finishCommit makes x committed, appending its commit record (when a
+// durability log is attached) inside the same critical section that makes
+// the commit visible. That pairing is the WAL ordering contract: if T2's
+// snapshot saw T1 committed, T1's commit record precedes T2's in the log,
+// so recovery can never surface T2 without T1. On a log failure the
+// transaction becomes aborted instead and never turns visible.
+func (m *Manager) finishCommit(x XID) (TS, uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := m.nextTS
+	var lsn uint64
+	if m.dlog != nil {
+		var err error
+		if lsn, err = m.dlog.LogCommit(x, ts); err != nil {
+			m.status[x] = Aborted
+			delete(m.active, x)
+			return InvalidTS, 0, err
+		}
+	}
+	m.nextTS++
+	m.status[x] = Committed
+	m.commitTS[x] = ts
+	delete(m.active, x)
+	return ts, lsn, nil
+}
+
+// ApplyRecoveredCommit installs a commit found in the write-ahead log during
+// redo recovery: the transaction becomes committed at ts, and the XID and
+// timestamp counters advance past it so neither is ever reissued.
+func (m *Manager) ApplyRecoveredCommit(x XID, ts TS) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.status[x] = Committed
+	m.commitTS[x] = ts
+	delete(m.active, x)
+	if ts >= m.nextTS {
+		m.nextTS = ts + 1
+	}
+	if x >= m.nextXID {
+		m.nextXID = x + 1
+	}
+}
+
+// ApplyRecoveredAbort installs an abort found in the write-ahead log during
+// redo recovery. Unknown XIDs are implicitly aborted anyway; recording the
+// outcome just keeps Status exact and the XID counter ahead.
+func (m *Manager) ApplyRecoveredAbort(x XID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.status[x] != Committed {
+		m.status[x] = Aborted
+	}
+	delete(m.active, x)
+	if x >= m.nextXID {
+		m.nextXID = x + 1
+	}
+}
+
 // Txn is a live transaction.
 type Txn struct {
 	mgr  *Manager
@@ -294,8 +394,12 @@ func (t *Txn) OnCommitDurable(fn func() error) {
 }
 
 // Commit marks the transaction committed, assigning its commit timestamp.
-// A non-nil error reports a durability-hook failure: the transaction is
-// committed in memory but may not survive a crash.
+// With a durability log attached the transaction's dirty page images and
+// commit record are appended and the call waits for one group flush; a
+// failure before the commit becomes visible turns the transaction into an
+// abort and returns the error. After the commit is visible, a non-nil error
+// reports a durability failure (group flush or OnCommitDurable hook): the
+// transaction is committed in memory but may not survive a crash.
 func (t *Txn) Commit() (TS, error) {
 	t.mu.Lock()
 	if t.done {
@@ -304,13 +408,40 @@ func (t *Txn) Commit() (TS, error) {
 	}
 	t.done = true
 	hooks := t.onCommit
+	abortHooks := t.onAbort
 	durable := t.onDurable
 	t.onCommit, t.onAbort, t.onDurable = nil, nil, nil
 	t.mu.Unlock()
-	obsCommits.Inc()
 	t.sw.Stop()
-	ts := t.mgr.finish(t.id, Committed)
+	dlog := t.mgr.durabilityLog()
+	if dlog != nil {
+		// Log the work first, with no manager lock held: page images may be
+		// large and their append order does not matter, only that they all
+		// precede the commit record.
+		if err := dlog.LogWork(t.id); err != nil {
+			t.mgr.finish(t.id, Aborted)
+			obsAborts.Inc()
+			for _, fn := range abortHooks {
+				fn()
+			}
+			return InvalidTS, err
+		}
+	}
+	ts, lsn, err := t.mgr.finishCommit(t.id)
+	if err != nil {
+		obsAborts.Inc()
+		for _, fn := range abortHooks {
+			fn()
+		}
+		return InvalidTS, err
+	}
+	obsCommits.Inc()
 	var firstErr error
+	if dlog != nil {
+		// The group-commit park: every committer that appended while one
+		// fsync was in flight is satisfied by the next single fsync.
+		firstErr = dlog.WaitDurable(lsn)
+	}
 	for _, fn := range durable {
 		if err := fn(); err != nil && firstErr == nil {
 			firstErr = err
@@ -336,6 +467,9 @@ func (t *Txn) Abort() error {
 	obsAborts.Inc()
 	t.sw.Stop()
 	t.mgr.finish(t.id, Aborted)
+	if dlog := t.mgr.durabilityLog(); dlog != nil {
+		dlog.LogAbort(t.id)
+	}
 	for _, fn := range hooks {
 		fn()
 	}

@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"postlob/internal/page"
+	"postlob/internal/storage"
+)
+
+// Type discriminates write-ahead log records.
+type Type uint8
+
+// Record types. PageImage carries a full physical page — redo is "write these
+// bytes back", which is idempotent and needs no per-page LSN on the device
+// image. Commit/Abort record transaction outcomes so recovery can rebuild the
+// commit log for transactions that finished after the last pg_log save.
+// Checkpoint marks a fuzzy checkpoint and carries its redo point. Unlink
+// records a relation drop so replay never resurrects storage that was
+// deliberately removed.
+const (
+	TypePageImage  Type = 1
+	TypeCommit     Type = 2
+	TypeAbort      Type = 3
+	TypeCheckpoint Type = 4
+	TypeUnlink     Type = 5
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypePageImage:
+		return "page-image"
+	case TypeCommit:
+		return "commit"
+	case TypeAbort:
+		return "abort"
+	case TypeCheckpoint:
+		return "checkpoint"
+	case TypeUnlink:
+		return "unlink"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Record is one decoded log record. Which fields are meaningful depends on
+// Type: page images use XID/SM/Rel/Blk/Image, commits use XID/TS, aborts use
+// XID, checkpoints use Redo, unlinks use SM/Rel.
+type Record struct {
+	Type Type
+	// LSN is the record's start position; End is the position one past its
+	// last byte — the LSN to Flush through for this record to be durable.
+	// Both are filled by the scanner, not the encoder.
+	LSN LSN
+	End LSN
+
+	XID   uint32
+	TS    int64
+	SM    storage.ID
+	Rel   storage.RelName
+	Blk   storage.BlockNum
+	Image []byte
+	Redo  LSN
+}
+
+// Record wire format: an 8-byte header — body length u32, CRC-32 (IEEE) u32
+// over the body — followed by the body: one type byte and the type-specific
+// payload. A zero length terminates the segment (fresh segment bytes are
+// zero, so the scanner needs no explicit end marker). All integers are
+// little-endian.
+const recHdrLen = 8
+
+// maxRelLen bounds encoded relation names; longer names indicate corruption
+// long before they indicate real relations.
+const maxRelLen = 1 << 12
+
+// appendRecord encodes r (header included) onto dst and returns the extended
+// slice. Only the type-specific fields are consulted; LSN/End are assigned by
+// the log at append time.
+func appendRecord(dst []byte, r *Record) ([]byte, error) {
+	if len(r.Rel) > maxRelLen {
+		return dst, fmt.Errorf("wal: relation name %d bytes long", len(r.Rel))
+	}
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header, patched below
+	dst = append(dst, byte(r.Type))
+	switch r.Type {
+	case TypePageImage:
+		if len(r.Image) != page.Size {
+			return dst[:start], fmt.Errorf("wal: page image is %d bytes, want %d", len(r.Image), page.Size)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, r.XID)
+		dst = append(dst, byte(r.SM))
+		dst = binary.LittleEndian.AppendUint32(dst, r.Blk)
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Rel)))
+		dst = append(dst, r.Rel...)
+		dst = append(dst, r.Image...)
+	case TypeCommit:
+		dst = binary.LittleEndian.AppendUint32(dst, r.XID)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.TS))
+	case TypeAbort:
+		dst = binary.LittleEndian.AppendUint32(dst, r.XID)
+	case TypeCheckpoint:
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Redo))
+	case TypeUnlink:
+		dst = append(dst, byte(r.SM))
+		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Rel)))
+		dst = append(dst, r.Rel...)
+	default:
+		return dst[:start], fmt.Errorf("wal: cannot encode record type %v", r.Type)
+	}
+	body := dst[start+recHdrLen:]
+	binary.LittleEndian.PutUint32(dst[start:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(body))
+	return dst, nil
+}
+
+// decodeBody decodes a record body whose CRC has already been verified.
+// Returns an error for malformed payloads — a CRC collision on garbage, or an
+// encoder bug — never panics, whatever the bytes.
+func decodeBody(body []byte) (*Record, error) {
+	if len(body) < 1 {
+		return nil, fmt.Errorf("wal: empty record body")
+	}
+	r := &Record{Type: Type(body[0])}
+	p := body[1:]
+	short := fmt.Errorf("wal: truncated %v record body", r.Type)
+	switch r.Type {
+	case TypePageImage:
+		if len(p) < 11 {
+			return nil, short
+		}
+		r.XID = binary.LittleEndian.Uint32(p)
+		r.SM = storage.ID(p[4])
+		r.Blk = binary.LittleEndian.Uint32(p[5:])
+		relLen := int(binary.LittleEndian.Uint16(p[9:]))
+		p = p[11:]
+		if relLen > maxRelLen || len(p) != relLen+page.Size {
+			return nil, short
+		}
+		r.Rel = storage.RelName(p[:relLen])
+		r.Image = p[relLen:]
+	case TypeCommit:
+		if len(p) != 12 {
+			return nil, short
+		}
+		r.XID = binary.LittleEndian.Uint32(p)
+		r.TS = int64(binary.LittleEndian.Uint64(p[4:]))
+	case TypeAbort:
+		if len(p) != 4 {
+			return nil, short
+		}
+		r.XID = binary.LittleEndian.Uint32(p)
+	case TypeCheckpoint:
+		if len(p) != 8 {
+			return nil, short
+		}
+		r.Redo = LSN(binary.LittleEndian.Uint64(p))
+	case TypeUnlink:
+		if len(p) < 3 {
+			return nil, short
+		}
+		r.SM = storage.ID(p[0])
+		relLen := int(binary.LittleEndian.Uint16(p[1:]))
+		p = p[3:]
+		if relLen > maxRelLen || len(p) != relLen {
+			return nil, short
+		}
+		r.Rel = storage.RelName(p)
+	default:
+		return nil, fmt.Errorf("wal: unknown record type %d", uint8(r.Type))
+	}
+	return r, nil
+}
