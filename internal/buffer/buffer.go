@@ -603,10 +603,13 @@ func (p *Pool) writeBack(f *Frame) error {
 	// a mini fuzzy checkpoint — so the durable log always describes a
 	// consistent state. Pages re-dirtied after the batch are caught by the
 	// single-image fallback below.
+	var batchEnd wal.LSN
 	if p.wal != nil && f.walDirty.Load() {
-		if _, err := p.LogDirtyPages(0); err != nil {
+		end, err := p.LogDirtyPages(0)
+		if err != nil {
 			return err
 		}
+		batchEnd = end
 	}
 	mgr, err := p.sw.Get(tag.SM)
 	if err != nil {
@@ -667,7 +670,16 @@ func (p *Pool) writeBack(f *Frame) error {
 		// The flush ceiling: the newest logged image of this page must be
 		// durable before the page replaces its home-location bytes, or a
 		// crash after the home write could leave a state the log cannot redo.
-		if ceiling := wal.LSN(f.walLSN.Load()); ceiling > 0 {
+		// The ceiling covers the whole pre-logged batch, not just this page's
+		// own image: sibling images later in the batch must be durable too,
+		// or a crash leaves a home-location page referencing siblings whose
+		// logged images were lost — the mutually inconsistent set the batch
+		// exists to prevent.
+		ceiling := wal.LSN(f.walLSN.Load())
+		if batchEnd > ceiling {
+			ceiling = batchEnd
+		}
+		if ceiling > 0 {
 			if err := p.wal.Flush(ceiling); err != nil {
 				f.dirty.Store(true)
 				return err
@@ -916,35 +928,63 @@ func (p *Pool) DropRel(sm storage.ID, rel storage.RelName, discard bool) error {
 func (p *Pool) dropRelOnce(sm storage.ID, rel storage.RelName, discard bool) (retry bool, err error) {
 	// Lock order: nbMu, then every partition, matching NewBlock.
 	p.nbMu.Lock()
-	defer p.nbMu.Unlock()
 	for _, part := range p.parts {
 		part.mu.Lock()
 	}
-	defer func() {
+	unlock := func() {
 		for _, part := range p.parts {
 			part.mu.Unlock()
 		}
-	}()
+		p.nbMu.Unlock()
+	}
 	for _, part := range p.parts {
 		for tag, f := range part.lookup {
 			if tag.SM != sm || tag.Rel != rel || f.pins == 0 {
 				continue
 			}
 			if f.evicting {
+				unlock()
 				return true, nil // the write-back finishes momentarily
 			}
+			unlock()
 			return false, fmt.Errorf("%w: %s", ErrPinned, tag)
+		}
+	}
+	if !discard {
+		// Write-backs must run with no partition lock held: under a WAL,
+		// writeBack pre-logs the unlogged dirty set (LogDirtyPages), which
+		// itself takes every partition lock — calling it from here would
+		// self-deadlock. Pin the relation's dirty frames, drop every lock,
+		// flush them, and retry the drop; by then they are clean (the caller
+		// must not mutate a relation it is dropping) or the flush has failed.
+		var dirty []*Frame
+		for _, part := range p.parts {
+			for tag, f := range part.lookup {
+				if tag.SM == sm && tag.Rel == rel && f.dirty.Load() {
+					part.pinLocked(f)
+					dirty = append(dirty, f)
+				}
+			}
+		}
+		if len(dirty) > 0 {
+			unlock()
+			var firstErr error
+			for _, f := range dirty {
+				if firstErr == nil {
+					firstErr = p.writeBack(f)
+				}
+				f.Release()
+			}
+			if firstErr != nil {
+				return false, firstErr
+			}
+			return true, nil
 		}
 	}
 	for _, part := range p.parts {
 		for tag, f := range part.lookup {
 			if tag.SM != sm || tag.Rel != rel {
 				continue
-			}
-			if f.dirty.Load() && !discard {
-				if err := p.writeBack(f); err != nil {
-					return false, err
-				}
 			}
 			if f.lruEl != nil {
 				part.lru.Remove(f.lruEl)
@@ -958,5 +998,6 @@ func (p *Pool) dropRelOnce(sm storage.ID, rel storage.RelName, discard bool) (re
 	p.extMu.Lock()
 	delete(p.ext, relKey{sm, rel})
 	p.extMu.Unlock()
+	unlock()
 	return false, nil
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"postlob/internal/page"
 	"postlob/internal/storage"
@@ -236,6 +237,61 @@ func homeAndLogEvents(events []string) []string {
 		}
 	}
 	return keep
+}
+
+// TestDropRelFlushesDirtyUnderWAL is a deadlock regression test: dropping a
+// relation with dirty pages used to call writeBack — and through it
+// LogDirtyPages, which takes every partition lock — while dropRelOnce
+// already held every partition lock, hanging forever. The drop must finish,
+// leave the relation's bytes on the device, and have logged its images.
+func TestDropRelFlushesDirtyUnderWAL(t *testing.T) {
+	pool, log, om := newWALPool(t, 16)
+	blk := dirtyBlock(t, pool, "rel_f", 0x77)
+	dirtyBlock(t, pool, "rel_g", 0x88) // a sibling dirty page rides the batch
+
+	done := make(chan error, 1)
+	go func() { done <- pool.DropRel(storage.Mem, "rel_f", false) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("DropRel deadlocked on a dirty relation under WAL")
+	}
+
+	buf := make([]byte, page.Size)
+	if err := om.ReadBlock("rel_f", blk, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0x77 {
+		t.Fatalf("device byte %#x after drop, want 0x77", buf[0])
+	}
+	var sawDropped bool
+	for _, img := range replayImages(t, log, om) {
+		if img.rel == "rel_f" {
+			sawDropped = true
+		}
+	}
+	if !sawDropped {
+		t.Fatal("dropped relation's dirty page never reached the log")
+	}
+}
+
+// TestWriteBackCeilingCoversBatch checks the write-back flush ceiling spans
+// the whole pre-logged batch: when flushing rel_h also logs sibling rel_i's
+// image, the log must be durable through the end of both images — not just
+// rel_h's own — before the home-location write returns.
+func TestWriteBackCeilingCoversBatch(t *testing.T) {
+	pool, log, _ := newWALPool(t, 16)
+	dirtyBlock(t, pool, "rel_h", 0x11)
+	dirtyBlock(t, pool, "rel_i", 0x22) // sorts after rel_h in the batch
+	if err := pool.FlushRel(storage.Mem, "rel_h"); err != nil {
+		t.Fatal(err)
+	}
+	if d, e := log.Durable(), log.End(); d < e {
+		t.Fatalf("durable LSN %d below batch end %d after write-back", d, e)
+	}
 }
 
 // TestFlushCeilingSurvivesReplay ties the ceiling to its purpose: after a

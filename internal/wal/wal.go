@@ -93,14 +93,17 @@ const (
 	segHdrLen  = 16
 )
 
-// Control block slot: magic u32, CRC u32 (over the remaining 16 bytes),
-// sequence u64, first live segment u64. Two slots are written alternately,
-// and only the slot being updated changes between images of the control
-// block, so a torn control write always leaves the other slot intact; the
-// valid slot with the highest sequence wins.
+// Control block slot: magic u32, CRC u32 (over the remaining 24 bytes),
+// sequence u64, first live segment u64, segment size in blocks u64. Two
+// slots are written alternately, and only the slot being updated changes
+// between images of the control block, so a torn control write always
+// leaves the other slot intact; the valid slot with the highest sequence
+// wins. The segment size is persisted because every LSN is segment index
+// times segment size plus offset: reopening a log under a different size
+// would silently reinterpret every position in it.
 const (
 	ctlMagic   = 0x4354574C // "LWTC"
-	ctlSlotLen = 24
+	ctlSlotLen = 32
 	ctlSlots   = 2
 )
 
@@ -151,6 +154,7 @@ type Log struct {
 	hasCkpt    bool      // guarded by mu; a checkpoint record exists in the live log
 	scanEnd    LSN       // guarded by mu; durable tail found by Open's scan (Replay's bound)
 	ioErr      error     // guarded by mu; sticky flush failure
+	closing    bool      // guarded by mu; a Close call owns the shutdown
 	closed     bool      // guarded by mu
 	waiting    []*waiter // guarded by mu
 
@@ -178,6 +182,7 @@ func Open(mgr storage.Manager, cfg Config) (*Log, error) {
 	if cfg.Prefix == "" {
 		cfg.Prefix = "pg_wal"
 	}
+	cfgExplicit := cfg.SegBlocks != 0
 	if cfg.SegBlocks == 0 {
 		cfg.SegBlocks = 256
 	}
@@ -194,7 +199,7 @@ func Open(mgr storage.Manager, cfg Config) (*Log, error) {
 		flusherDone: make(chan struct{}),
 	}
 	l.cond = sync.NewCond(&l.mu)
-	if err := l.recoverStateLocked(); err != nil {
+	if err := l.recoverStateLocked(cfgExplicit); err != nil {
 		return nil, err
 	}
 	go l.flusher()
@@ -203,24 +208,25 @@ func Open(mgr storage.Manager, cfg Config) (*Log, error) {
 
 // --- control block ----------------------------------------------------------
 
-// readCtl returns the oldest live segment from the control block. ok is
-// false when no valid control slot exists — a fresh log, or one that
-// crashed before its first control write became durable.
-func (l *Log) readCtl() (firstSeg, seq uint64, ok bool, err error) {
+// readCtl returns the oldest live segment and the persisted segment size
+// from the control block. ok is false when no valid control slot exists — a
+// fresh log, or one that crashed before its first control write became
+// durable.
+func (l *Log) readCtl() (firstSeg, seq, segBlocks uint64, ok bool, err error) {
 	rel := l.ctlRel()
 	if !l.mgr.Exists(rel) {
-		return 0, 0, false, nil
+		return 0, 0, 0, false, nil
 	}
 	n, err := l.mgr.NBlocks(rel)
 	if err != nil {
-		return 0, 0, false, err
+		return 0, 0, 0, false, err
 	}
 	if n == 0 {
-		return 0, 0, false, nil // created but never durably written
+		return 0, 0, 0, false, nil // created but never durably written
 	}
 	buf := make([]byte, page.Size)
 	if err := l.mgr.ReadBlock(rel, 0, buf); err != nil {
-		return 0, 0, false, fmt.Errorf("wal: read control block: %w", err)
+		return 0, 0, 0, false, fmt.Errorf("wal: read control block: %w", err)
 	}
 	for i := 0; i < ctlSlots; i++ {
 		slot := buf[i*ctlSlotLen : (i+1)*ctlSlotLen]
@@ -234,10 +240,11 @@ func (l *Log) readCtl() (firstSeg, seq uint64, ok bool, err error) {
 		if !ok || s > seq {
 			seq = s
 			firstSeg = binary.LittleEndian.Uint64(slot[16:])
+			segBlocks = binary.LittleEndian.Uint64(slot[24:])
 			ok = true
 		}
 	}
-	return firstSeg, seq, ok, nil
+	return firstSeg, seq, segBlocks, ok, nil
 }
 
 // writeCtlLocked durably records firstSeg as the oldest live segment,
@@ -263,6 +270,7 @@ func (l *Log) writeCtlLocked(firstSeg uint64) error {
 	binary.LittleEndian.PutUint32(slot, ctlMagic)
 	binary.LittleEndian.PutUint64(slot[8:], l.ctlSeq)
 	binary.LittleEndian.PutUint64(slot[16:], firstSeg)
+	binary.LittleEndian.PutUint64(slot[24:], uint64(l.segBlocks))
 	binary.LittleEndian.PutUint32(slot[4:], crc32.ChecksumIEEE(slot[8:ctlSlotLen]))
 	l.ioMu.Lock()
 	defer l.ioMu.Unlock()
@@ -281,13 +289,24 @@ func (l *Log) writeCtlLocked(firstSeg uint64) error {
 
 // recoverStateLocked locates the durable tail: read the control block, scan the
 // live segments validating every record, truncate the torn tail, and
-// position the in-memory append state at the last durable byte.
-func (l *Log) recoverStateLocked() error {
-	firstSeg, seq, haveCtl, err := l.readCtl()
+// position the in-memory append state at the last durable byte. cfgExplicit
+// says whether the caller configured a segment size (as opposed to taking
+// the default): an existing log's persisted size always governs LSN
+// arithmetic, so a mismatching explicit size is rejected and the default is
+// silently superseded.
+func (l *Log) recoverStateLocked(cfgExplicit bool) error {
+	firstSeg, seq, ctlSegBlocks, haveCtl, err := l.readCtl()
 	if err != nil {
 		return err
 	}
 	l.firstSeg, l.ctlSeq = firstSeg, seq
+	if haveCtl && ctlSegBlocks != 0 && ctlSegBlocks != uint64(l.segBlocks) {
+		if cfgExplicit {
+			return fmt.Errorf("wal: log was created with SegBlocks=%d, configured SegBlocks=%d", ctlSegBlocks, l.segBlocks)
+		}
+		l.segBlocks = int(ctlSegBlocks)
+		l.segBytes = ctlSegBlocks * page.Size
+	}
 
 	if !l.mgr.Exists(l.segRel(firstSeg)) {
 		// Empty log. A successor of a missing first segment cannot be crash
@@ -845,13 +864,21 @@ func (l *Log) Checkpoint(redo LSN) (LSN, error) {
 }
 
 // Close drains the flusher and shuts the log down. Parked Flush calls whose
-// LSN the final drain did not cover return ErrClosed.
+// LSN the final drain did not cover return ErrClosed. Close is safe to call
+// concurrently and repeatedly: the first caller owns the shutdown (the
+// closing flag is set under mu, so stop is closed exactly once) and every
+// other caller waits for it to finish and returns the same sticky error.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	if l.closed {
+	if l.closing {
 		l.mu.Unlock()
-		return nil
+		<-l.flusherDone
+		l.mu.Lock()
+		err := l.ioErr
+		l.mu.Unlock()
+		return err
 	}
+	l.closing = true
 	l.mu.Unlock()
 	close(l.stop)
 	<-l.flusherDone

@@ -72,6 +72,67 @@ func TestRecordEncodeErrors(t *testing.T) {
 	}
 }
 
+// TestCloseConcurrent checks racing Close calls: the first owns the
+// shutdown, the rest wait for it, and nobody double-closes the stop channel.
+func TestCloseConcurrent(t *testing.T) {
+	mem := newMem()
+	l, err := Open(mem, Config{SegBlocks: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Close(); err != nil {
+				t.Errorf("Close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Errorf("Close after close: %v", err)
+	}
+}
+
+// TestSegBlocksPersisted checks the segment size is stored in the control
+// block: every LSN is segment*segBytes+offset, so reopening under a
+// different size would silently reinterpret the whole log. An explicit
+// mismatching size is rejected with a configuration error (not ErrCorrupt);
+// the default adopts the stored size and replays cleanly.
+func TestSegBlocksPersisted(t *testing.T) {
+	mem := newMem()
+	l, err := Open(mem, Config{SegBlocks: 2})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	lsn, err := l.AppendCommit(1, 42)
+	if err != nil {
+		t.Fatalf("AppendCommit: %v", err)
+	}
+	if err := l.Flush(lsn); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if _, err := Open(mem, Config{SegBlocks: 4}); err == nil || errors.Is(err, ErrCorrupt) {
+		t.Fatalf("mismatching explicit SegBlocks: err = %v, want a configuration error", err)
+	}
+
+	l2, err := Open(mem, Config{}) // defaulted size adopts the stored one
+	if err != nil {
+		t.Fatalf("reopen with default SegBlocks: %v", err)
+	}
+	defer l2.Close()
+	recs := collect(t, l2)
+	if len(recs) != 1 || recs[0].Type != TypeCommit || recs[0].XID != 1 {
+		t.Fatalf("replay after adopting stored SegBlocks = %+v, want the one commit", recs)
+	}
+}
+
 func TestAppendFlushReplay(t *testing.T) {
 	mem := newMem()
 	l, err := Open(mem, Config{})
