@@ -6,7 +6,14 @@
 #   2. go vet ./...                the standard vet suite
 #   3. go run ./cmd/lobvet ./...   the postlob invariant analyzers
 #                                  (frame release, txn completion, storage
-#                                  errors, lock guards, no stray panics)
+#                                  errors, lock guards, no stray panics),
+#                                  including the interprocedural lockorder
+#                                  and blockinlock passes over the whole
+#                                  module. Lint wall-time is reported so a
+#                                  slow analyzer regression is visible.
+#                                  A one-package `go vet -vettool=lobvet`
+#                                  smoke run keeps the vet-driver protocol
+#                                  path from bitrotting.
 #   4. go test -race ./...         the full test suite under the race
 #                                  detector — the concurrent read path is
 #                                  expected to stay race-clean. This includes
@@ -52,10 +59,18 @@ echo "== go build ./..."
 go build ./...
 
 echo "== go vet ./..."
+lint_start=$(date +%s)
 go vet ./...
 
 echo "== lobvet ./..."
 go run ./cmd/lobvet ./...
+
+echo "== go vet -vettool=lobvet smoke (internal/adt)"
+lobvet_bin="$(mktemp -d)/lobvet"
+go build -o "$lobvet_bin" ./cmd/lobvet
+go vet -vettool="$lobvet_bin" ./internal/adt
+rm -rf "$(dirname "$lobvet_bin")"
+echo "== lint wall-time: $(($(date +%s) - lint_start))s (vet + lobvet + vettool smoke)"
 
 # BENCH is cleared for the full suite so the (slow) overhead harness runs
 # only as its own step below.

@@ -8,6 +8,13 @@
 //	nopanic       no undocumented panic in internal/* library code
 //	obsregister   obs metrics are registered once at package init, never in loops
 //	walorder      pool flushes stay in buffer/txn/core; wal.Append* LSNs are never discarded
+//	lockorder     whole-program lock-acquisition graph obeys the declared hierarchy
+//	blockinlock   no blocking operation is reachable while a buffer latch is held
+//
+// lockorder and blockinlock are interprocedural: they build a call graph
+// with per-function lock summaries (internal/analysis/callgraph) over every
+// package in the run. Diagnostics are printed in deterministic
+// file:line:column order across all packages and analyzers.
 //
 // Usage:
 //
@@ -34,8 +41,10 @@ import (
 	"strings"
 
 	"postlob/internal/analysis"
+	"postlob/internal/analysis/blockinlock"
 	"postlob/internal/analysis/framerelease"
 	"postlob/internal/analysis/lockguard"
+	"postlob/internal/analysis/lockorder"
 	"postlob/internal/analysis/nopanic"
 	"postlob/internal/analysis/obsregister"
 	"postlob/internal/analysis/storageerr"
@@ -51,6 +60,14 @@ var analyzers = []*analysis.Analyzer{
 	nopanic.Analyzer,
 	obsregister.Analyzer,
 	walorder.Analyzer,
+}
+
+// programAnalyzers run once over every loaded package (standalone mode) or
+// over the single package go vet hands us (vettool mode, where the analysis
+// degrades to intra-package interprocedural reasoning).
+var programAnalyzers = []*analysis.ProgramAnalyzer{
+	lockorder.Analyzer,
+	blockinlock.Analyzer,
 }
 
 func main() {
@@ -92,25 +109,28 @@ func main() {
 		for _, a := range analyzers {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range programAnalyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
 		return
 	}
 
-	enabled := enabledAnalyzers(*disable)
+	enabled, enabledProg := enabledAnalyzers(*disable)
 	args := flag.Args()
 
 	// go vet -vettool invokes the tool once per package with a JSON config
 	// file as the sole argument.
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runVetConfig(args[0], enabled))
+		os.Exit(runVetConfig(args[0], enabled, enabledProg))
 	}
 
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
-	os.Exit(runStandalone(args, enabled, *withTests))
+	os.Exit(runStandalone(args, enabled, enabledProg, *withTests))
 }
 
-func enabledAnalyzers(disable string) []*analysis.Analyzer {
+func enabledAnalyzers(disable string) ([]*analysis.Analyzer, []*analysis.ProgramAnalyzer) {
 	skip := make(map[string]bool)
 	for _, name := range strings.Split(disable, ",") {
 		if name != "" {
@@ -123,10 +143,51 @@ func enabledAnalyzers(disable string) []*analysis.Analyzer {
 			out = append(out, a)
 		}
 	}
-	return out
+	var outProg []*analysis.ProgramAnalyzer
+	for _, a := range programAnalyzers {
+		if !skip[a.Name] {
+			outProg = append(outProg, a)
+		}
+	}
+	return out, outProg
 }
 
-func runStandalone(patterns []string, enabled []*analysis.Analyzer, withTests bool) int {
+// diagLine is one rendered diagnostic, sortable by file:line:column, then
+// analyzer, then message, so output is stable across runs and map orders.
+type diagLine struct {
+	file     string
+	line, col int
+	analyzer string
+	msg      string
+}
+
+func sortDiagLines(lines []diagLine) {
+	sort.Slice(lines, func(i, j int) bool {
+		a, b := lines[i], lines[j]
+		if a.file != b.file {
+			return a.file < b.file
+		}
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.col != b.col {
+			return a.col < b.col
+		}
+		if a.analyzer != b.analyzer {
+			return a.analyzer < b.analyzer
+		}
+		return a.msg < b.msg
+	})
+}
+
+func printDiagLines(lines []diagLine) {
+	sortDiagLines(lines)
+	for _, l := range lines {
+		fmt.Fprintf(os.Stderr, "%s:%d:%d: %s: %s\n", l.file, l.line, l.col, l.analyzer, l.msg)
+	}
+}
+
+func runStandalone(patterns []string, enabled []*analysis.Analyzer, enabledProg []*analysis.ProgramAnalyzer, withTests bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lobvet:", err)
@@ -144,6 +205,8 @@ func runStandalone(patterns []string, enabled []*analysis.Analyzer, withTests bo
 	}
 
 	exit := 0
+	var lines []diagLine
+	var loadedPaths []string
 	for _, path := range paths {
 		pkg, extra, err := loader.LoadPackage(path, withTests)
 		if err != nil {
@@ -151,6 +214,7 @@ func runStandalone(patterns []string, enabled []*analysis.Analyzer, withTests bo
 			exit = 1
 			continue
 		}
+		loadedPaths = append(loadedPaths, path)
 		for _, p := range []*analysis.Package{pkg, extra} {
 			if p == nil {
 				continue
@@ -159,29 +223,59 @@ func runStandalone(patterns []string, enabled []*analysis.Analyzer, withTests bo
 				fmt.Fprintf(os.Stderr, "lobvet: %s: type error: %v\n", p.Path, terr)
 				exit = 1
 			}
-			if reportAll(p, enabled) > 0 {
+			lines = append(lines, collectDiags(p, enabled, &exit)...)
+		}
+	}
+	if len(enabledProg) > 0 && len(loadedPaths) > 0 {
+		// The program pass works on the canonical import-graph instance of
+		// each package, so cross-package calls resolve; the instances
+		// LoadPackage returned above may be test-augmented rebuilds with
+		// distinct type identities.
+		var progPkgs []*analysis.Package
+		for _, path := range loadedPaths {
+			pkg, err := loader.ImportPackage(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lobvet: %s: %v\n", path, err)
 				exit = 1
+				continue
+			}
+			progPkgs = append(progPkgs, pkg)
+		}
+		byName, err := analysis.RunProgramAnalyzers(progPkgs, enabledProg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lobvet:", err)
+			exit = 1
+		}
+		fset := loader.Fset
+		for _, a := range enabledProg {
+			for _, d := range byName[a.Name] {
+				pos := fset.Position(d.Pos)
+				lines = append(lines, diagLine{pos.Filename, pos.Line, pos.Column, a.Name, d.Message})
 			}
 		}
+	}
+	printDiagLines(lines)
+	if len(lines) > 0 {
+		exit = 1
 	}
 	return exit
 }
 
-func reportAll(pkg *analysis.Package, enabled []*analysis.Analyzer) int {
-	n := 0
+func collectDiags(pkg *analysis.Package, enabled []*analysis.Analyzer, exit *int) []diagLine {
+	var lines []diagLine
 	for _, a := range enabled {
 		diags, err := analysis.RunAnalyzer(a, pkg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "lobvet: %s: %v\n", pkg.Path, err)
-			n++
+			*exit = 1
 			continue
 		}
 		for _, d := range diags {
-			fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pkg.Fset.Position(d.Pos), a.Name, d.Message)
-			n++
+			pos := pkg.Fset.Position(d.Pos)
+			lines = append(lines, diagLine{pos.Filename, pos.Line, pos.Column, a.Name, d.Message})
 		}
 	}
-	return n
+	return lines
 }
 
 // expandPatterns turns package patterns into module import paths. Supported

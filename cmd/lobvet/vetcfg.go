@@ -39,7 +39,7 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-func runVetConfig(path string, enabled []*analysis.Analyzer) int {
+func runVetConfig(path string, enabled []*analysis.Analyzer, enabledProg []*analysis.ProgramAnalyzer) int {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lobvet:", err)
@@ -119,7 +119,26 @@ func runVetConfig(path string, enabled []*analysis.Analyzer) int {
 		Types: tpkg,
 		Info:  info,
 	}
-	if reportAll(pkg, enabled) > 0 {
+	exit := 0
+	lines := collectDiags(pkg, enabled, &exit)
+	// Program analyzers see only this package under go vet, so the
+	// interprocedural checks degrade to intra-package reasoning; the
+	// standalone ./... run is the authoritative whole-program sweep.
+	if len(enabledProg) > 0 {
+		byName, err := analysis.RunProgramAnalyzersPartial([]*analysis.Package{pkg}, enabledProg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lobvet:", err)
+			exit = 1
+		}
+		for _, a := range enabledProg {
+			for _, d := range byName[a.Name] {
+				pos := fset.Position(d.Pos)
+				lines = append(lines, diagLine{pos.Filename, pos.Line, pos.Column, a.Name, d.Message})
+			}
+		}
+	}
+	printDiagLines(lines)
+	if len(lines) > 0 || exit != 0 {
 		return 2
 	}
 	return 0

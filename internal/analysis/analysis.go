@@ -122,6 +122,99 @@ func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	return kept, nil
 }
 
+// ProgramAnalyzer describes one whole-program static check. Unlike an
+// Analyzer, which sees one package at a time, a ProgramAnalyzer runs once
+// over every loaded package so it can reason interprocedurally (call graphs,
+// lock summaries).
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*ProgramPass) (interface{}, error)
+}
+
+// ProgramPass provides a program analyzer with every loaded package and a
+// report sink. Cache is shared by all program analyzers in one run, so
+// expensive artifacts (the call graph) are built once.
+type ProgramPass struct {
+	Analyzer *ProgramAnalyzer
+	Fset     *token.FileSet
+	Packages []*Package
+	Cache    map[string]interface{}
+	Report   func(Diagnostic)
+	// Partial is set when Packages is not the whole program (go vet hands
+	// the tool one package at a time). Checks that prove a negative over the
+	// whole program — e.g. "this allow annotation suppresses nothing" —
+	// must not fire on partial runs.
+	Partial bool
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunProgramAnalyzers applies each program analyzer to the loaded packages
+// and returns diagnostics keyed by analyzer name, sorted by position, with
+// lobvet:ignore'd lines filtered out.
+func RunProgramAnalyzers(pkgs []*Package, analyzers []*ProgramAnalyzer) (map[string][]Diagnostic, error) {
+	return runProgramAnalyzers(pkgs, analyzers, false)
+}
+
+// RunProgramAnalyzersPartial is RunProgramAnalyzers for a subset of the
+// program (the go vet one-package-at-a-time protocol); whole-program-negative
+// checks are suppressed via ProgramPass.Partial.
+func RunProgramAnalyzersPartial(pkgs []*Package, analyzers []*ProgramAnalyzer) (map[string][]Diagnostic, error) {
+	return runProgramAnalyzers(pkgs, analyzers, true)
+}
+
+func runProgramAnalyzers(pkgs []*Package, analyzers []*ProgramAnalyzer, partial bool) (map[string][]Diagnostic, error) {
+	var fset *token.FileSet
+	ignored := make(map[string]map[int]bool)
+	for _, pkg := range pkgs {
+		if pkg == nil {
+			continue
+		}
+		fset = pkg.Fset
+		for file, lines := range ignoredLines(pkg.Fset, pkg.Files) {
+			m := ignored[file]
+			if m == nil {
+				m = make(map[int]bool)
+				ignored[file] = m
+			}
+			for line := range lines {
+				m[line] = true
+			}
+		}
+	}
+	cache := make(map[string]interface{})
+	out := make(map[string][]Diagnostic, len(analyzers))
+	for _, a := range analyzers {
+		var diags []Diagnostic
+		pass := &ProgramPass{
+			Analyzer: a,
+			Fset:     fset,
+			Packages: pkgs,
+			Cache:    cache,
+			Report:   func(d Diagnostic) { diags = append(diags, d) },
+			Partial:  partial,
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			if m := ignored[pos.Filename]; m != nil && m[pos.Line] {
+				continue
+			}
+			kept = append(kept, d)
+		}
+		sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+		out[a.Name] = kept
+	}
+	return out, nil
+}
+
 // ObjectOf is a nil-safe lookup of the object denoted by an identifier.
 func ObjectOf(info *types.Info, id *ast.Ident) types.Object {
 	if id == nil || info == nil {

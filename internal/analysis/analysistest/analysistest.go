@@ -83,6 +83,52 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	}
 }
 
+// RunProgram loads the fixture packages into one program and applies a
+// whole-program analyzer, comparing its diagnostics against the want
+// comments of every fixture file. Packages are loaded through the import
+// graph so cross-package calls resolve to one canonical instance per path —
+// the same way cmd/lobvet assembles its program pass.
+func RunProgram(t *testing.T, testdata string, a *analysis.ProgramAnalyzer, paths ...string) {
+	t.Helper()
+	loader := analysis.NewOverlayLoader(testdata)
+	var pkgs []*analysis.Package
+	var want []*expectation
+	for _, path := range paths {
+		pkg, err := loader.ImportPackage(path)
+		if err != nil {
+			t.Errorf("loading %s: %v", path, err)
+			return
+		}
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: fixture does not type-check: %v", path, terr)
+		}
+		w, err := collectWants(pkg)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			return
+		}
+		pkgs = append(pkgs, pkg)
+		want = append(want, w...)
+	}
+	byName, err := analysis.RunProgramAnalyzers(pkgs, []*analysis.ProgramAnalyzer{a})
+	if err != nil {
+		t.Errorf("running %s: %v", a.Name, err)
+		return
+	}
+	fset := pkgs[0].Fset
+	for _, d := range byName[a.Name] {
+		pos := fset.Position(d.Pos)
+		if !consume(want, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range want {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
 func consume(want []*expectation, file string, line int, msg string) bool {
 	for _, w := range want {
 		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(msg) {

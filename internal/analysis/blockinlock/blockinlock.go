@@ -1,0 +1,44 @@
+// Package blockinlock flags blocking operations reached — directly or
+// through any call chain — while a buffer latch is held. This is the static
+// signature of the PR-5 dropRelOnce deadlock: a partition lock held across
+// wal.Log.Flush, whose group-commit wait parks on sync.Cond.Wait while the
+// flusher needs the same partition to write the dirty pages back.
+//
+// Latches (buffer.partition.mu, buffer.Frame.latch — the classes marked
+// Latch in lockorder's hierarchy) are short-term: they protect in-memory
+// page state and must be released before anything that can wait on another
+// goroutine or on a device. The blocking set is derived interprocedurally
+// from the callgraph summaries: channel sends/receives and blocking selects,
+// sync.Cond.Wait and sync.WaitGroup.Wait, time.Sleep, os.File.Sync and
+// storage Sync* barriers — which transitively covers wal.Log.Flush and the
+// Append* rotation waits, since those park on the group-commit condvar.
+//
+// Findings are suppressed per line with //lobvet:ignore; there is no allow
+// annotation because, unlike lock ordering, there is no safe direction for
+// blocking under a latch.
+package blockinlock
+
+import (
+	"postlob/internal/analysis"
+	"postlob/internal/analysis/callgraph"
+	"postlob/internal/analysis/lockorder"
+)
+
+// Analyzer is the blockinlock program analyzer.
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "blockinlock",
+	Doc:  "flag blocking operations (chan ops, Cond.Wait, Sleep, syncs, WAL waits) reached while a buffer latch is held",
+	Run:  run,
+}
+
+func run(pass *analysis.ProgramPass) (interface{}, error) {
+	prog := callgraph.Shared(pass)
+	latches := lockorder.LatchClasses()
+	for _, s := range prog.Blocks {
+		if !latches[s.Held] {
+			continue
+		}
+		pass.Reportf(s.Pos, "block-in-lock: %s reached while latch %s is held (%s); latches must be released before any blocking operation", s.Op, s.Held, s.Path)
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package blockinlock_test
+
+import (
+	"testing"
+
+	"postlob/internal/analysis/analysistest"
+	"postlob/internal/analysis/blockinlock"
+)
+
+func TestBlockInLock(t *testing.T) {
+	analysistest.RunProgram(t, analysistest.TestData(), blockinlock.Analyzer, "buffer", "wal")
+}

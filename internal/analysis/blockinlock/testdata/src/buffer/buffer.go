@@ -1,0 +1,84 @@
+// Fixture for the blockinlock analyzer: buffer.partition.mu is a declared
+// latch, buffer.Pool.nbMu is an ordinary mutex. The Bad functions recreate
+// the PR-5 dropRelOnce regression — a WAL flush (which waits on a condition
+// variable) reached while every partition latch is held.
+package buffer
+
+import (
+	"sync"
+	"time"
+
+	"wal"
+)
+
+type partition struct {
+	mu sync.Mutex
+}
+
+type Pool struct {
+	nbMu  sync.Mutex
+	parts []*partition
+	log   *wal.Log
+}
+
+// BadDropRel is the dropRelOnce regression shape: all partition latches
+// held across the transitive condition-variable wait inside wal.Log.Flush.
+func (p *Pool) BadDropRel() {
+	p.nbMu.Lock()
+	for _, part := range p.parts {
+		part.mu.Lock()
+	}
+	p.log.Flush(7) // want `block-in-lock: sync\.Cond\.Wait reached while latch buffer\.partition\.mu is held \(buffer\.Pool\.BadDropRel → wal\.Log\.Flush\)`
+	for _, part := range p.parts {
+		part.mu.Unlock()
+	}
+	p.nbMu.Unlock()
+}
+
+// BadSleep blocks directly under a latch.
+func (p *Pool) BadSleep() {
+	p.parts[0].mu.Lock()
+	time.Sleep(time.Millisecond) // want `block-in-lock: time\.Sleep reached while latch buffer\.partition\.mu is held`
+	p.parts[0].mu.Unlock()
+}
+
+// BadRecv performs a channel receive under a latch.
+func (p *Pool) BadRecv(ch chan int) int {
+	p.parts[0].mu.Lock()
+	v := <-ch // want `block-in-lock: channel receive reached while latch buffer\.partition\.mu is held`
+	p.parts[0].mu.Unlock()
+	return v
+}
+
+// OkFlushOutside releases the latch before the blocking flush.
+func (p *Pool) OkFlushOutside() {
+	p.parts[0].mu.Lock()
+	p.parts[0].mu.Unlock()
+	p.log.Flush(7)
+}
+
+// OkSleepUnderPlainMutex: nbMu is not a latch, so blocking under it is not
+// this analyzer's concern.
+func (p *Pool) OkSleepUnderPlainMutex() {
+	p.nbMu.Lock()
+	time.Sleep(time.Millisecond)
+	p.nbMu.Unlock()
+}
+
+// OkClosureUnlock is the fixed dropRelOnce shape: the latches are released
+// through a bound closure before the flush, which the closure resolution
+// must see — otherwise this is a false positive.
+func (p *Pool) OkClosureUnlock() {
+	p.nbMu.Lock()
+	for _, part := range p.parts {
+		part.mu.Lock()
+	}
+	unlock := func() {
+		for _, part := range p.parts {
+			part.mu.Unlock()
+		}
+		p.nbMu.Unlock()
+	}
+	unlock()
+	p.log.Flush(9)
+}

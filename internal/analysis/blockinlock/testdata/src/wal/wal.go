@@ -1,0 +1,20 @@
+// Fixture stub of the wal package: Flush blocks on a condition variable,
+// which the callgraph summaries must propagate to callers.
+package wal
+
+import "sync"
+
+type Log struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	durable uint64
+}
+
+// Flush blocks until lsn is durable.
+func (l *Log) Flush(lsn uint64) {
+	l.mu.Lock()
+	for l.durable < lsn {
+		l.cond.Wait()
+	}
+	l.mu.Unlock()
+}

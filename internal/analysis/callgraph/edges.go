@@ -1,0 +1,120 @@
+// Final pass: replay the dataflow with the fixpoint summaries and collect
+// the global acquisition edges and blocking sites, deduplicated per
+// (function, edge) with deterministic ordering and rendered witness paths.
+package callgraph
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+type collector struct {
+	p      *Program
+	edges  map[string]*Edge
+	blocks map[string]*BlockSite
+	vias   map[string]*Function
+}
+
+func (c *collector) edge(from, to LockClass, pos token.Pos, fn, via *Function) {
+	key := fn.Name + "|" + string(from) + "|" + string(to)
+	if old, ok := c.edges[key]; ok && old.Pos <= pos {
+		return
+	}
+	c.edges[key] = &Edge{From: from, To: to, Pos: pos, Fn: fn}
+	c.vias["e|"+key] = via
+}
+
+func (c *collector) block(held LockClass, op string, pos token.Pos, fn, via *Function) {
+	key := fn.Name + "|" + string(held) + "|" + op
+	if old, ok := c.blocks[key]; ok && old.Pos <= pos {
+		return
+	}
+	c.blocks[key] = &BlockSite{Held: held, Op: op, Pos: pos, Fn: fn}
+	c.vias["b|"+key] = via
+}
+
+// finalPass fills p.Edges and p.Blocks.
+func (p *Program) finalPass() {
+	c := &collector{
+		p:      p,
+		edges:  make(map[string]*Edge),
+		blocks: make(map[string]*BlockSite),
+		vias:   make(map[string]*Function),
+	}
+	for _, fn := range p.Funcs {
+		p.flow(fn, c)
+	}
+	for key, e := range c.edges {
+		e.Path = p.acquirePath(e.Fn, c.vias["e|"+key], e.To)
+		p.Edges = append(p.Edges, *e)
+	}
+	for key, s := range c.blocks {
+		s.Path = p.blockPath(s.Fn, c.vias["b|"+key], s.Op)
+		p.Blocks = append(p.Blocks, *s)
+	}
+	sort.Slice(p.Edges, func(i, j int) bool {
+		a, b := p.Edges[i], p.Edges[j]
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	sort.Slice(p.Blocks, func(i, j int) bool {
+		a, b := p.Blocks[i], p.Blocks[j]
+		if a.Pos != b.Pos {
+			return a.Pos < b.Pos
+		}
+		if a.Held != b.Held {
+			return a.Held < b.Held
+		}
+		return a.Op < b.Op
+	})
+}
+
+// acquirePath renders the witness chain from fn to the function that
+// directly acquires class.
+func (p *Program) acquirePath(fn, via *Function, class LockClass) string {
+	names := []string{fn.Name}
+	seen := map[*Function]bool{}
+	cur := via
+	// The first hop is appended even when it is fn itself: interface calls
+	// can resolve back to the holder (RTA), and the path should show it.
+	for cur != nil && len(names) < 12 {
+		names = append(names, cur.Name)
+		if seen[cur] {
+			break
+		}
+		seen[cur] = true
+		w, ok := cur.Sum.Acquires[class]
+		if !ok {
+			break
+		}
+		cur = w.Via
+	}
+	return strings.Join(names, " → ")
+}
+
+// blockPath renders the witness chain from fn to the function that directly
+// performs the blocking operation op.
+func (p *Program) blockPath(fn, via *Function, op string) string {
+	names := []string{fn.Name}
+	seen := map[*Function]bool{}
+	cur := via
+	for cur != nil && len(names) < 12 {
+		names = append(names, cur.Name)
+		if seen[cur] {
+			break
+		}
+		seen[cur] = true
+		w, ok := cur.Sum.Blocks[op]
+		if !ok {
+			break
+		}
+		cur = w.Via
+	}
+	return strings.Join(names, " → ")
+}

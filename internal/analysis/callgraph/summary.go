@@ -1,0 +1,561 @@
+// Event extraction and the summary fixpoint. Each function body is reduced
+// to per-CFG-block event lists (acquire, release, call, blocked) once; the
+// fixpoint then replays the held-set dataflow against the current summaries
+// until nothing changes, and a final pass emits acquisition edges and
+// blocking sites with witness paths.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"postlob/internal/analysis"
+	"postlob/internal/analysis/cfg"
+)
+
+// collectEvents builds the per-block event lists for fn.
+func (b *progBuilder) collectEvents(fn *Function) {
+	if fn.body == nil {
+		return
+	}
+	// Classify select communication clauses: a clause of a select with a
+	// default case never blocks (the wal kick pattern); clauses of a
+	// blocking select do.
+	suppress := make(map[ast.Node]bool)
+	selects := make(map[ast.Node]bool)
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		s, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if hasDefault {
+				suppress[cc.Comm] = true
+			} else {
+				selects[cc.Comm] = true
+			}
+		}
+		return true
+	})
+
+	g := cfg.New(fn.body)
+	if g.Unanalyzable {
+		var evs []event
+		b.scan(fn, fn.body, &evs, suppress, selects)
+		fn.linear = evs
+		return
+	}
+	fn.graph = g
+	fn.events = make(map[*cfg.Block][]event)
+	fn.branchTry = make(map[*cfg.Block]*tryBranch)
+	for _, blk := range g.Blocks {
+		var evs []event
+		for _, n := range blk.Nodes {
+			b.scan(fn, n, &evs, suppress, selects)
+		}
+		if len(evs) == 0 {
+			continue
+		}
+		// Branch-sensitive try-locks: when the block's final node is an if
+		// condition that is exactly a TryLock/TryRLock call (possibly
+		// negated), the lock is held only on the success arm.
+		if len(blk.Succs) == 2 {
+			last := &evs[len(evs)-1]
+			if last.kind == evAcquire && last.try {
+				if cls, neg, ok := b.tryCond(fn, blk.Nodes[len(blk.Nodes)-1]); ok && cls == last.class {
+					last.branch = true
+					fn.branchTry[blk] = &tryBranch{class: cls, negated: neg}
+				}
+			}
+		}
+		fn.events[blk] = evs
+	}
+}
+
+// tryCond reports whether node is (a possibly negated) try-lock call and
+// names its class.
+func (b *progBuilder) tryCond(fn *Function, node ast.Node) (cls LockClass, negated, ok bool) {
+	e, isExpr := node.(ast.Expr)
+	if !isExpr {
+		return "", false, false
+	}
+	e = ast.Unparen(e)
+	if u, isNot := e.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+		negated = true
+		e = ast.Unparen(u.X)
+	}
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	callee := analysis.Callee(fn.Pkg.Info, call)
+	if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync" {
+		return "", false, false
+	}
+	if callee.Name() != "TryLock" && callee.Name() != "TryRLock" {
+		return "", false, false
+	}
+	cls = b.lockRecvClass(fn, call, callee)
+	return cls, negated, cls != ""
+}
+
+// scan appends the events of one straight-line CFG node. Nested function
+// literals are skipped: they are call-graph nodes of their own and only
+// contribute when invoked.
+func (b *progBuilder) scan(fn *Function, n ast.Node, out *[]event, suppress, selects map[ast.Node]bool) {
+	if n == nil {
+		return
+	}
+	supChan := suppress[n]
+	inSelect := selects[n]
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			b.callEvents(fn, x.Call, out, modeDefer)
+			b.scanCallParts(fn, x.Call, out, suppress, selects)
+			return false
+		case *ast.GoStmt:
+			b.callEvents(fn, x.Call, out, modeGo)
+			b.scanCallParts(fn, x.Call, out, suppress, selects)
+			return false
+		case *ast.CallExpr:
+			b.callEvents(fn, x, out, modeNormal)
+			return true
+		case *ast.SendStmt:
+			if !supChan {
+				label := "channel send"
+				if inSelect {
+					label = "select (channel send)"
+				}
+				*out = append(*out, event{kind: evBlocked, label: label, pos: x.Arrow})
+			}
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW && !supChan {
+				label := "channel receive"
+				if inSelect {
+					label = "select (channel receive)"
+				}
+				*out = append(*out, event{kind: evBlocked, label: label, pos: x.OpPos})
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// scanCallParts scans the argument and receiver expressions of a go/defer
+// call, which evaluate synchronously at the statement.
+func (b *progBuilder) scanCallParts(fn *Function, call *ast.CallExpr, out *[]event, suppress, selects map[ast.Node]bool) {
+	if se, ok := call.Fun.(*ast.SelectorExpr); ok {
+		b.scan(fn, se.X, out, suppress, selects)
+	}
+	for _, a := range call.Args {
+		b.scan(fn, a, out, suppress, selects)
+	}
+}
+
+// lockRecvClass names the class of the mutex a sync.(RW)Mutex method call
+// operates on, falling back to the receiver's named type for embedded
+// mutexes.
+func (b *progBuilder) lockRecvClass(fn *Function, call *ast.CallExpr, callee *types.Func) LockClass {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if cls := b.classOf(fn, sel.X, 0); cls != "" {
+		return cls
+	}
+	// Embedded mutex: T{sync.Mutex}; name the class after the outer type.
+	if tv, ok := fn.Pkg.Info.Types[sel.X]; ok {
+		if n := namedOf(tv.Type); n != nil && n.Obj().Pkg() != nil && !isMutexName(n.Obj().Name()) {
+			return LockClass(n.Obj().Pkg().Name() + "." + n.Obj().Name())
+		}
+	}
+	return ""
+}
+
+// callEvents classifies one call expression into lock, blocking, and
+// call-edge events.
+func (b *progBuilder) callEvents(fn *Function, call *ast.CallExpr, out *[]event, mode callMode) {
+	emit := func(e event) {
+		e.pos = call.Pos()
+		e.deferred = mode == modeDefer
+		e.goCall = mode == modeGo
+		*out = append(*out, e)
+	}
+	info := fn.Pkg.Info
+	callee := analysis.Callee(info, call)
+	if callee != nil && callee.Pkg() != nil {
+		pkgPath := callee.Pkg().Path()
+		recv := callee.Type().(*types.Signature).Recv()
+		if pkgPath == "sync" && recv != nil {
+			rn := ""
+			if n := namedOf(recv.Type()); n != nil {
+				rn = n.Obj().Name()
+			}
+			switch {
+			case isMutexName(rn):
+				cls := b.lockRecvClass(fn, call, callee)
+				if cls == "" {
+					return
+				}
+				switch callee.Name() {
+				case "Lock", "RLock":
+					emit(event{kind: evAcquire, class: cls})
+				case "TryLock", "TryRLock":
+					emit(event{kind: evAcquire, class: cls, try: true})
+				case "Unlock", "RUnlock":
+					emit(event{kind: evRelease, class: cls})
+				}
+			case rn == "Cond" && callee.Name() == "Wait":
+				emit(event{kind: evBlocked, label: "sync.Cond.Wait"})
+			case rn == "WaitGroup" && callee.Name() == "Wait":
+				emit(event{kind: evBlocked, label: "sync.WaitGroup.Wait"})
+			case rn == "Once" && callee.Name() == "Do" && len(call.Args) == 1:
+				if t := b.resolveValue(fn, call.Args[0]); t != nil {
+					emit(event{kind: evCall, targets: []*Function{t}})
+				}
+			}
+			return
+		}
+		if pkgPath == "time" && recv == nil && callee.Name() == "Sleep" {
+			emit(event{kind: evBlocked, label: "time.Sleep"})
+			return
+		}
+		if pkgPath == "os" && recv != nil && callee.Name() == "Sync" {
+			if n := namedOf(recv.Type()); n != nil && n.Obj().Name() == "File" {
+				emit(event{kind: evBlocked, label: "os.File.Sync"})
+				return
+			}
+		}
+		// Storage syncs are device barriers: designate them blocking even
+		// before resolving the call, so the signal survives interfaces whose
+		// implementations live outside the program.
+		if recv != nil && strings.HasSuffix(pkgPath, "internal/storage") && strings.HasPrefix(callee.Name(), "Sync") {
+			label := "storage sync"
+			if n := namedOf(recv.Type()); n != nil {
+				label = "storage." + n.Obj().Name() + "." + callee.Name()
+			}
+			emit(event{kind: evBlocked, label: label})
+		}
+		if recv != nil && types.IsInterface(recv.Type()) {
+			if targets := b.implsOf(callee); len(targets) > 0 {
+				emit(event{kind: evCall, targets: targets})
+			}
+			return
+		}
+		if target := b.p.byObj[callee]; target != nil {
+			emit(event{kind: evCall, targets: []*Function{target}})
+		}
+		return
+	}
+	// Dynamic call: immediate literal, or a once-bound closure variable.
+	if t := b.resolveValue(fn, call.Fun); t != nil {
+		emit(event{kind: evCall, targets: []*Function{t}})
+	}
+}
+
+// resolveValue resolves a func-valued expression to a call-graph node:
+// a func literal, a once-bound closure variable, or a method/function value.
+func (b *progBuilder) resolveValue(fn *Function, e ast.Expr) *Function {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return b.litFns[e]
+	case *ast.Ident:
+		obj := analysis.ObjectOf(fn.Pkg.Info, e)
+		if lit := b.binding(obj); lit != nil {
+			return b.litFns[lit]
+		}
+		if f, ok := obj.(*types.Func); ok {
+			return b.p.byObj[f]
+		}
+	case *ast.SelectorExpr:
+		if f, ok := fn.Pkg.Info.Uses[e.Sel].(*types.Func); ok {
+			return b.p.byObj[f]
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow and fixpoint
+
+// emitter receives edges and blocking sites during the final pass; nil
+// during fixpoint rounds.
+type emitter interface {
+	edge(from, to LockClass, pos token.Pos, fn, via *Function)
+	block(held LockClass, op string, pos token.Pos, fn, via *Function)
+}
+
+type heldSet map[LockClass]bool
+
+func copyHeld(h heldSet) heldSet {
+	out := make(heldSet, len(h))
+	for k := range h {
+		out[k] = true
+	}
+	return out
+}
+
+// flow runs the may-held dataflow over fn against the current summaries of
+// its callees and returns fn's recomputed summary.
+func (p *Program) flow(fn *Function, em emitter) Summary {
+	sum := Summary{
+		Acquires:    make(map[LockClass]Witness),
+		Blocks:      make(map[string]Witness),
+		NetHeld:     make(map[LockClass]bool),
+		NetReleased: make(map[LockClass]bool),
+	}
+	kills := make(map[LockClass]bool)   // deferred releases, applied at exit
+	tried := make(map[LockClass]bool)   // try-acquired: never an ext release
+	gained := make(map[LockClass]bool)  // acquired here or via a callee
+	record := func(m map[LockClass]Witness, c LockClass, w Witness) {
+		if old, ok := m[c]; !ok || w.Pos < old.Pos {
+			m[c] = w
+		}
+	}
+	recordOp := func(m map[string]Witness, op string, w Witness) {
+		if old, ok := m[op]; !ok || w.Pos < old.Pos {
+			m[op] = w
+		}
+	}
+
+	// held is the may-held set (union at merges): it drives edge and
+	// block-site emission, where over-approximation only adds candidate
+	// diagnostics. must is the must-held set (intersection at merges): it
+	// alone feeds NetHeld, so a lock released on every real path — e.g. by
+	// an unlock loop the CFG thinks might run zero times — is never
+	// propagated to callers as "still held".
+	apply := func(held, must heldSet, evs []event) {
+		for _, e := range evs {
+			switch e.kind {
+			case evAcquire:
+				if e.try || e.branch {
+					tried[e.class] = true
+					gained[e.class] = true
+					continue
+				}
+				if e.deferred || e.goCall {
+					continue
+				}
+				if em != nil {
+					for h := range held {
+						em.edge(h, e.class, e.pos, fn, nil)
+					}
+				}
+				record(sum.Acquires, e.class, Witness{Pos: e.pos})
+				held[e.class] = true
+				must[e.class] = true
+				gained[e.class] = true
+			case evRelease:
+				if e.goCall {
+					continue
+				}
+				if e.deferred {
+					kills[e.class] = true
+					continue
+				}
+				delete(must, e.class)
+				if held[e.class] {
+					delete(held, e.class)
+				} else if !tried[e.class] && !gained[e.class] {
+					sum.NetReleased[e.class] = true
+				}
+			case evBlocked:
+				if e.goCall {
+					continue
+				}
+				if em != nil {
+					for h := range held {
+						em.block(h, e.label, e.pos, fn, nil)
+					}
+				}
+				recordOp(sum.Blocks, e.label, Witness{Pos: e.pos})
+			case evCall:
+				if e.goCall {
+					continue // a spawned goroutine starts with nothing held
+				}
+				for _, t := range e.targets {
+					ts := t.Sum
+					if em != nil {
+						for c := range ts.Acquires {
+							for h := range held {
+								em.edge(h, c, e.pos, fn, t)
+							}
+						}
+						for op := range ts.Blocks {
+							for h := range held {
+								em.block(h, op, e.pos, fn, t)
+							}
+						}
+					}
+					for c := range ts.Acquires {
+						record(sum.Acquires, c, Witness{Pos: e.pos, Via: t})
+					}
+					for op := range ts.Blocks {
+						recordOp(sum.Blocks, op, Witness{Pos: e.pos, Via: t})
+					}
+					if e.deferred {
+						for c := range ts.NetReleased {
+							kills[c] = true
+						}
+						continue
+					}
+					for c := range ts.NetReleased {
+						delete(must, c)
+						if held[c] {
+							delete(held, c)
+						} else if !tried[c] && !gained[c] {
+							sum.NetReleased[c] = true
+						}
+					}
+					for c := range ts.NetHeld {
+						held[c] = true
+						must[c] = true
+						gained[c] = true
+					}
+				}
+			}
+		}
+	}
+
+	var exitMust heldSet
+	if fn.graph == nil {
+		held := make(heldSet)
+		must := make(heldSet)
+		apply(held, must, fn.linear)
+		exitMust = must
+	} else {
+		g := fn.graph
+		heldIn := make(map[*cfg.Block]heldSet, len(g.Blocks))
+		mustIn := make(map[*cfg.Block]heldSet, len(g.Blocks))
+		visited := make(map[*cfg.Block]bool, len(g.Blocks))
+		heldIn[g.Entry] = make(heldSet)
+		mustIn[g.Entry] = make(heldSet)
+		work := []*cfg.Block{g.Entry}
+		for len(work) > 0 {
+			blk := work[len(work)-1]
+			work = work[:len(work)-1]
+			visited[blk] = true
+			held := copyHeld(heldIn[blk])
+			must := copyHeld(mustIn[blk])
+			apply(held, must, fn.events[blk])
+			bt := fn.branchTry[blk]
+			for i, s := range blk.Succs {
+				out, outMust := held, must
+				if bt != nil {
+					out, outMust = copyHeld(held), copyHeld(must)
+					if (i == 0) != bt.negated { // success arm
+						out[bt.class] = true
+						outMust[bt.class] = true
+					}
+				}
+				in := heldIn[s]
+				if in == nil {
+					in = make(heldSet)
+					heldIn[s] = in
+				}
+				changed := false
+				for c := range out {
+					if !in[c] {
+						in[c] = true
+						changed = true
+					}
+				}
+				// Must-held merges by intersection; an unseen successor
+				// starts from this predecessor's set.
+				if inMust, seen := mustIn[s]; !seen {
+					mustIn[s] = copyHeld(outMust)
+					changed = true
+				} else {
+					for c := range inMust {
+						if !outMust[c] {
+							delete(inMust, c)
+							changed = true
+						}
+					}
+				}
+				if changed || !visited[s] {
+					work = append(work, s)
+				}
+			}
+		}
+		exitMust = mustIn[g.Exit]
+	}
+	for c := range exitMust {
+		if !kills[c] {
+			sum.NetHeld[c] = true
+		}
+	}
+	return sum
+}
+
+func sameSummary(a, b Summary) bool {
+	if len(a.Acquires) != len(b.Acquires) || len(a.Blocks) != len(b.Blocks) ||
+		len(a.NetHeld) != len(b.NetHeld) || len(a.NetReleased) != len(b.NetReleased) {
+		return false
+	}
+	for c := range b.Acquires {
+		if _, ok := a.Acquires[c]; !ok {
+			return false
+		}
+	}
+	for op := range b.Blocks {
+		if _, ok := a.Blocks[op]; !ok {
+			return false
+		}
+	}
+	for c := range b.NetHeld {
+		if !a.NetHeld[c] {
+			return false
+		}
+	}
+	for c := range b.NetReleased {
+		if !a.NetReleased[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// fixpoint iterates the summary computation until it stabilizes. Every fact
+// domain is finite and derived from unions, so this converges; the round cap
+// is a backstop against pathological recursion.
+func (p *Program) fixpoint() {
+	for _, fn := range p.Funcs {
+		fn.Sum = Summary{
+			Acquires:    make(map[LockClass]Witness),
+			Blocks:      make(map[string]Witness),
+			NetHeld:     make(map[LockClass]bool),
+			NetReleased: make(map[LockClass]bool),
+		}
+	}
+	for round := 0; round < 64; round++ {
+		changed := false
+		for _, fn := range p.Funcs {
+			ns := p.flow(fn, nil)
+			if !sameSummary(fn.Sum, ns) {
+				changed = true
+			}
+			fn.Sum = ns
+		}
+		if !changed {
+			return
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Synthetic shapes exercising call-graph construction and the lock-summary
+// fixpoint: net-hold/net-release helpers, mutual recursion, try-lock
+// branches, goroutine isolation, interface resolution, and deferred-closure
+// releases. The unit tests assert on the computed summaries directly.
+package synth
+
+import (
+	"sync"
+	"time"
+)
+
+type T struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// Nested acquires b under a: one a->b edge.
+func (t *T) Nested() {
+	t.a.Lock()
+	t.b.Lock()
+	t.b.Unlock()
+	t.a.Unlock()
+}
+
+// HoldA returns with a held.
+func (t *T) HoldA() {
+	t.a.Lock()
+}
+
+// ReleaseA releases a lock its caller holds.
+func (t *T) ReleaseA() {
+	t.a.Unlock()
+}
+
+// CallerHoldRelease gains a through HoldA, locks b under it, and sheds a
+// through ReleaseA: an a->b edge, but nothing net-held.
+func (t *T) CallerHoldRelease() {
+	t.HoldA()
+	t.b.Lock()
+	t.b.Unlock()
+	t.ReleaseA()
+}
+
+// RecA and RecB are mutually recursive; the fixpoint must terminate and
+// propagate a's acquisition into RecB.
+func (t *T) RecA(n int) {
+	t.a.Lock()
+	t.a.Unlock()
+	if n > 0 {
+		t.RecB(n - 1)
+	}
+}
+
+func (t *T) RecB(n int) {
+	t.RecA(n)
+}
+
+// TryBranch holds a only inside the success branch.
+func (t *T) TryBranch() {
+	if t.a.TryLock() {
+		t.b.Lock()
+		t.b.Unlock()
+		t.a.Unlock()
+	}
+	t.b.Lock()
+	t.b.Unlock()
+}
+
+// Spawn blocks only inside a spawned goroutine; the spawner's summary must
+// stay clean.
+func (t *T) Spawn() {
+	t.a.Lock()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	t.a.Unlock()
+}
+
+// Blocker resolves to every implementation in the program.
+type Blocker interface {
+	Wait()
+}
+
+type Sleeper struct{}
+
+func (Sleeper) Wait() {
+	time.Sleep(time.Second)
+}
+
+// UnderLock reaches the implementation's sleep while a is held.
+func (t *T) UnderLock(w Blocker) {
+	t.a.Lock()
+	w.Wait()
+	t.a.Unlock()
+}
+
+// DeferClosureStraight releases through a deferred closure: held across the
+// sleep, but nothing net-held at exit.
+func (t *T) DeferClosureStraight() {
+	t.a.Lock()
+	defer func() { t.a.Unlock() }()
+	time.Sleep(time.Millisecond)
+}
+
+type P struct {
+	mu sync.Mutex
+}
+
+type Pool struct {
+	parts []*P
+}
+
+// LoopUnlock releases in a loop the CFG thinks may run zero times; the
+// must-held exit set — and so NetHeld — must still be empty.
+func (p *Pool) LoopUnlock() {
+	for _, q := range p.parts {
+		q.mu.Lock()
+	}
+	for _, q := range p.parts {
+		q.mu.Unlock()
+	}
+}

@@ -191,6 +191,17 @@ func (l *Loader) importPkg(path string) (*Package, error) {
 	return pkg, nil
 }
 
+// ImportPackage returns the canonical instance of path in the import graph —
+// the one other packages' type information references — loading it (without
+// test files) when nothing has imported it yet. Whole-program analyses must
+// assemble their package set through this method: LoadPackage may rebuild a
+// package (to add test files) without displacing the instance importers
+// already hold, and mixing the two instances silently breaks cross-package
+// object identity, so calls into such a package would not resolve.
+func (l *Loader) ImportPackage(path string) (*Package, error) {
+	return l.importPkg(path)
+}
+
 // LoadPackage loads the package at import path as an analysis target. With
 // includeTests, in-package _test.go files are added to the returned package
 // and any external test package (package foo_test) is returned as extra.

@@ -11,6 +11,22 @@
 // m.cache[k] = v) demands the exclusive Lock — mutating shared state under a
 // shared lock would race the other readers it admits.
 //
+// TryLock and TryRLock hold the mutex only on the success branch, so they
+// satisfy the guard only inside it: the body of "if mu.TryLock() { ... }"
+// (also the "if ok := mu.TryLock(); ok" form), or the remainder of the
+// function after "if !mu.TryLock() { return }" when the failure branch
+// terminates.
+//
+// Unlock and RUnlock end the guarded region: an access after a straight-line
+// unlock with no re-acquisition in between is reported. Two unlock shapes are
+// deliberately NOT treated as ending the region, because they release at
+// function exit rather than at their lexical position: a direct
+// "defer mu.Unlock()", and any unlock inside a function literal (the
+// "unlock := func() { ... mu.Unlock() }; defer unlock()" multi-mutex idiom).
+// Unlocks inside a nested block that ends in a terminating statement
+// (return, break, continue, goto, panic) are also skipped — that block is an
+// early-exit path which never falls through to the statements after it.
+//
 // Three idioms are accepted without a visible Lock:
 //
 //   - functions whose name ends in "Locked", the codebase's convention for
@@ -120,12 +136,65 @@ func fieldAnnotation(field *ast.Field) string {
 	return ""
 }
 
+// posRange is a half-open source region [from, to) where a try-lock holds.
+type posRange struct {
+	from, to token.Pos
+}
+
+// lockEvents collects, for one mutex name inside one function body, the
+// acquire and straight-line release positions plus the regions where a
+// successful TryLock/TryRLock holds the mutex.
+type lockEvents struct {
+	acq    []token.Pos
+	rel    []token.Pos
+	ranges []posRange
+}
+
+// heldAt reports whether the mutex is held at pos: either a try-lock success
+// region covers it, or some acquisition precedes it with no straight-line
+// release in between.
+func (ev *lockEvents) heldAt(at token.Pos) bool {
+	if ev == nil {
+		return false
+	}
+	for _, r := range ev.ranges {
+		if at >= r.from && at < r.to {
+			return true
+		}
+	}
+	for _, a := range ev.acq {
+		if a >= at {
+			continue
+		}
+		released := false
+		for _, r := range ev.rel {
+			if r > a && r < at {
+				released = true
+				break
+			}
+		}
+		if !released {
+			return true
+		}
+	}
+	return false
+}
+
 // checkFunc verifies every guarded-field access in one function body.
 func checkFunc(pass *analysis.Pass, guards map[types.Object]guardedField, body *ast.BlockStmt) {
-	// Pass 1: where are locks taken (exclusive and shared separately), which
-	// objects are local, and which selectors are written rather than read?
-	exclPos := make(map[string][]token.Pos)   // mutex name -> Lock call positions
-	sharedPos := make(map[string][]token.Pos) // mutex name -> RLock call positions
+	// Pass 1: where are locks taken and released (exclusive and shared
+	// separately), which objects are local, and which selectors are written
+	// rather than read?
+	excl := make(map[string]*lockEvents)   // mutex name -> Lock/Unlock events
+	shared := make(map[string]*lockEvents) // mutex name -> RLock/RUnlock events
+	events := func(m map[string]*lockEvents, mu string) *lockEvents {
+		ev := m[mu]
+		if ev == nil {
+			ev = &lockEvents{}
+			m[mu] = ev
+		}
+		return ev
+	}
 	locals := make(map[types.Object]bool)
 	writes := make(map[*ast.SelectorExpr]bool)
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -135,12 +204,20 @@ func checkFunc(pass *analysis.Pass, guards map[types.Object]guardedField, body *
 				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
 					if mu := terminalName(sel.X); mu != "" {
 						if sel.Sel.Name == "Lock" {
-							exclPos[mu] = append(exclPos[mu], x.Pos())
+							events(excl, mu).acq = append(events(excl, mu).acq, x.Pos())
 						} else {
-							sharedPos[mu] = append(sharedPos[mu], x.Pos())
+							events(shared, mu).acq = append(events(shared, mu).acq, x.Pos())
 						}
 					}
 				}
+			}
+		case *ast.IfStmt:
+			if mu, isExcl, region, ok := tryLockRegion(x, body); ok {
+				m := shared
+				if isExcl {
+					m = excl
+				}
+				events(m, mu).ranges = append(events(m, mu).ranges, region)
 			}
 		case *ast.Ident:
 			if obj := pass.TypesInfo.Defs[x]; obj != nil {
@@ -157,15 +234,13 @@ func checkFunc(pass *analysis.Pass, guards map[types.Object]guardedField, body *
 		}
 		return true
 	})
-
-	heldBefore := func(positions []token.Pos, at token.Pos) bool {
-		for _, p := range positions {
-			if p < at {
-				return true
-			}
+	collectReleases(body.List, func(mu string, isExcl bool, pos token.Pos) {
+		m := shared
+		if isExcl {
+			m = excl
 		}
-		return false
-	}
+		events(m, mu).rel = append(events(m, mu).rel, pos)
+	})
 
 	// Pass 2: check accesses. Reads are satisfied by either lock flavour
 	// (sync.RWMutex.RLock or a plain Lock); writes demand the exclusive
@@ -186,19 +261,19 @@ func checkFunc(pass *analysis.Pass, guards map[types.Object]guardedField, body *
 		if rootIsLocal(pass, sel.X, locals) {
 			return true
 		}
-		excl := heldBefore(exclPos[g.mutex], sel.Pos())
-		shared := heldBefore(sharedPos[g.mutex], sel.Pos())
+		exclHeld := excl[g.mutex].heldAt(sel.Pos())
+		sharedHeld := shared[g.mutex].heldAt(sel.Pos())
 		if writes[sel] {
-			if excl {
+			if exclHeld {
 				return true
 			}
-			if shared {
+			if sharedHeld {
 				pass.Reportf(sel.Sel.Pos(),
 					"write to %s (guarded by %s) under %s.RLock; writes require the exclusive %s.Lock",
 					sel.Sel.Name, g.decl, g.mutex, g.mutex)
 				return true
 			}
-		} else if excl || shared {
+		} else if exclHeld || sharedHeld {
 			return true
 		}
 		pass.Reportf(sel.Sel.Pos(),
@@ -206,6 +281,162 @@ func checkFunc(pass *analysis.Pass, guards map[types.Object]guardedField, body *
 			sel.Sel.Name, g.decl, g.mutex, g.mutex)
 		return true
 	})
+}
+
+// tryCall matches a TryLock/TryRLock call, returning the mutex name and
+// whether the flavour is exclusive.
+func tryCall(e ast.Expr) (mu string, excl, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "TryLock":
+		excl = true
+	case "TryRLock":
+	default:
+		return "", false, false
+	}
+	mu = terminalName(sel.X)
+	return mu, excl, mu != ""
+}
+
+// tryLockRegion recognises the try-lock conditional idioms and returns the
+// region where the mutex is held on success:
+//
+//	if mu.TryLock() { ... }            // held inside the body
+//	if ok := mu.TryLock(); ok { ... }  // same
+//	if !mu.TryLock() { return }        // held from the end of the if to the
+//	                                   // end of the function, when the
+//	                                   // failure branch terminates
+func tryLockRegion(ifst *ast.IfStmt, body *ast.BlockStmt) (mu string, excl bool, region posRange, ok bool) {
+	cond := ast.Unparen(ifst.Cond)
+	negated := false
+	if u, isNot := cond.(*ast.UnaryExpr); isNot && u.Op == token.NOT {
+		negated = true
+		cond = ast.Unparen(u.X)
+	}
+	mu, excl, ok = tryCall(cond)
+	if !ok {
+		// if ok := mu.TryLock(); ok { ... }
+		id, isIdent := cond.(*ast.Ident)
+		asn, isAsn := ifst.Init.(*ast.AssignStmt)
+		if !isIdent || !isAsn || len(asn.Lhs) != 1 || len(asn.Rhs) != 1 {
+			return "", false, posRange{}, false
+		}
+		lhs, isLhsIdent := asn.Lhs[0].(*ast.Ident)
+		if !isLhsIdent || lhs.Name != id.Name {
+			return "", false, posRange{}, false
+		}
+		mu, excl, ok = tryCall(asn.Rhs[0])
+		if !ok {
+			return "", false, posRange{}, false
+		}
+	}
+	if !negated {
+		return mu, excl, posRange{from: ifst.Body.Pos(), to: ifst.Body.End()}, true
+	}
+	// Negated form: the success path is the code after the if, provided the
+	// failure body cannot fall through.
+	if len(ifst.Body.List) == 0 || !terminalStmt(ifst.Body.List[len(ifst.Body.List)-1]) {
+		return "", false, posRange{}, false
+	}
+	return mu, excl, posRange{from: ifst.End(), to: body.End()}, true
+}
+
+// collectReleases walks the statement structure of a function body and
+// reports every Unlock/RUnlock that ends the guarded region at its lexical
+// position. Deliberately not walked into: function literals (their unlocks
+// run when the closure runs, typically deferred) and defer/go statements.
+// Unlocks in a nested block whose last statement terminates (the early-exit
+// "if done { mu.Unlock(); cleanup(); return }" shape) are skipped too: that
+// block never falls through, so its unlock cannot affect the code after it.
+func collectReleases(list []ast.Stmt, emit func(mu string, excl bool, pos token.Pos)) {
+	collectReleasesIn(list, false, emit)
+}
+
+func collectReleasesIn(list []ast.Stmt, nested bool, emit func(mu string, excl bool, pos token.Pos)) {
+	exits := nested && len(list) > 0 && terminalStmt(list[len(list)-1])
+	for _, st := range list {
+		switch s := st.(type) {
+		case *ast.ExprStmt:
+			call, ok := s.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			var excl bool
+			switch sel.Sel.Name {
+			case "Unlock":
+				excl = true
+			case "RUnlock":
+			default:
+				continue
+			}
+			if exits {
+				continue
+			}
+			if mu := terminalName(sel.X); mu != "" {
+				emit(mu, excl, call.Pos())
+			}
+		case *ast.BlockStmt:
+			collectReleasesIn(s.List, true, emit)
+		case *ast.IfStmt:
+			collectReleasesIn(s.Body.List, true, emit)
+			if e, ok := s.Else.(*ast.BlockStmt); ok {
+				collectReleasesIn(e.List, true, emit)
+			} else if e, ok := s.Else.(*ast.IfStmt); ok {
+				collectReleasesIn([]ast.Stmt{e}, true, emit)
+			}
+		case *ast.ForStmt:
+			collectReleasesIn(s.Body.List, true, emit)
+		case *ast.RangeStmt:
+			collectReleasesIn(s.Body.List, true, emit)
+		case *ast.SwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					collectReleasesIn(cc.Body, true, emit)
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					collectReleasesIn(cc.Body, true, emit)
+				}
+			}
+		case *ast.SelectStmt:
+			for _, c := range s.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok {
+					collectReleasesIn(cc.Body, true, emit)
+				}
+			}
+		case *ast.LabeledStmt:
+			collectReleasesIn([]ast.Stmt{s.Stmt}, true, emit)
+		}
+	}
+}
+
+// terminalStmt reports whether a statement unconditionally leaves the
+// enclosing block: return, break, continue, goto, or a panic call.
+func terminalStmt(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				return id.Name == "panic"
+			}
+		}
+	}
+	return false
 }
 
 // markWrites records every selector appearing in an assignment target or

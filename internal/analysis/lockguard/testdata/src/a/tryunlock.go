@@ -1,0 +1,138 @@
+// Golden cases for the try-lock and unlock handling: TryLock/TryRLock hold
+// the mutex only on the success branch, a straight-line Unlock ends the
+// guarded region, and unlocks that run at function exit (defer, deferred
+// closures) or on early-exit paths do not.
+package a
+
+func spill(int) {}
+
+// --- TryLock / TryRLock ------------------------------------------------------
+
+// OkTryLock: the success branch holds the mutex.
+func (c *counter) OkTryLock() {
+	if c.mu.TryLock() {
+		c.hits++
+		c.mu.Unlock()
+	}
+}
+
+// OkTryLockOkForm: the "if ok := mu.TryLock(); ok" spelling.
+func (c *counter) OkTryLockOkForm() {
+	if ok := c.mu.TryLock(); ok {
+		c.hits = 1
+		c.mu.Unlock()
+	}
+}
+
+// OkTryLockNegated: when the failure branch returns, the rest of the
+// function runs with the mutex held.
+func (c *counter) OkTryLockNegated() int {
+	if !c.mu.TryLock() {
+		return -1
+	}
+	v := c.hits
+	c.mu.Unlock()
+	return v
+}
+
+// BadTryLockOutside: the mutex is not held after the success branch.
+func (c *counter) BadTryLockOutside() {
+	if c.mu.TryLock() {
+		c.mu.Unlock()
+	}
+	c.hits++ // want `access to hits \(guarded by mu\) without mu\.Lock`
+}
+
+// BadTryLockFailureBranch: the failure branch of a non-terminating try does
+// not hold the mutex.
+func (c *counter) BadTryLockFailureBranch() {
+	if c.mu.TryLock() {
+		c.mu.Unlock()
+	} else {
+		c.hits++ // want `access to hits \(guarded by mu\) without mu\.Lock`
+	}
+}
+
+// OkTryRLockRead: a shared try-lock covers reads in its success branch.
+func (r *registry) OkTryRLockRead(id int) string {
+	if r.mu.TryRLock() {
+		v := r.byID[id]
+		r.mu.RUnlock()
+		return v
+	}
+	return ""
+}
+
+// BadTryRLockWrite: a shared try-lock does not license writes.
+func (r *registry) BadTryRLockWrite() {
+	if r.mu.TryRLock() {
+		r.count++ // want `write to count \(guarded by mu\) under mu\.RLock; writes require the exclusive mu\.Lock`
+		r.mu.RUnlock()
+	}
+}
+
+// --- unlock ends the guarded region ------------------------------------------
+
+// BadUseAfterUnlock: the region ends at the straight-line Unlock.
+func (c *counter) BadUseAfterUnlock() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	c.hits++ // want `access to hits \(guarded by mu\) without mu\.Lock`
+}
+
+// OkRelock: a second acquisition reopens the region.
+func (c *counter) OkRelock() int {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	spill(0)
+	c.mu.Lock()
+	v := c.hits
+	c.mu.Unlock()
+	return v
+}
+
+// --- unlocks that do not end the region at their lexical position ------------
+
+// OkDeferredUnlock: the classic defer runs at function exit.
+func (c *counter) OkDeferredUnlock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// OkDeferredClosureUnlock: so does an unlock inside a deferred closure.
+func (c *counter) OkDeferredClosureUnlock() int {
+	c.mu.Lock()
+	defer func() {
+		c.mu.Unlock()
+	}()
+	c.hits++
+	return c.hits
+}
+
+// OkNamedUnlockClosure: the bound-closure spelling used for multi-mutex
+// unlock sequences.
+func (c *counter) OkNamedUnlockClosure() int {
+	c.mu.Lock()
+	unlock := func() { c.mu.Unlock() }
+	defer unlock()
+	c.hits++
+	return c.hits
+}
+
+// OkEarlyExitUnlock: an unlock on a terminating branch does not end the
+// region on the fallthrough path, even with cleanup between it and the
+// return.
+func (c *counter) OkEarlyExitUnlock(cond bool) int {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		spill(1)
+		return 0
+	}
+	v := c.hits
+	c.mu.Unlock()
+	return v
+}

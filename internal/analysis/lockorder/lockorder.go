@@ -1,0 +1,300 @@
+// Package lockorder checks the global lock-acquisition graph against the
+// declared hierarchy in order.go. It consumes the interprocedural lock
+// summaries from the callgraph package and diagnoses:
+//
+//   - hierarchy violations: acquiring a class from an earlier level while
+//     holding one from a later level,
+//   - same-class re-entrancy: re-acquiring a class already held
+//     (partition→partition, frame→frame), the self-deadlock shape,
+//   - acquisition cycles among classes the hierarchy does not rank,
+//   - stale suppressions: lockorder:allow annotations that no longer
+//     suppress any diagnosed edge.
+//
+// Unavoidable exceptions are suppressed with an annotation:
+//
+//	// lockorder:allow <from>-><to> — <reason>
+//
+// placed inside the function whose edge is being allowed (function scope) or
+// at file top level (package scope, for approximation artifacts such as
+// RTA resolving a storage wrapper's inner manager to the wrapper itself).
+// The reason is mandatory, and an annotation that stops matching a diagnosed
+// edge is itself reported so the exception list can never rot.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"postlob/internal/analysis"
+	"postlob/internal/analysis/callgraph"
+)
+
+// Analyzer is the lockorder program analyzer.
+var Analyzer = &analysis.ProgramAnalyzer{
+	Name: "lockorder",
+	Doc:  "check lock acquisitions against the declared hierarchy (order.go): levels, re-entrancy, cycles",
+	Run:  run,
+}
+
+// AllowDirective introduces a lock-order exception annotation.
+const AllowDirective = "lockorder:allow"
+
+// allowance is one parsed lockorder:allow annotation.
+type allowance struct {
+	From, To callgraph.LockClass
+	Pos      token.Pos
+	Reason   string
+	// Function scope: the edge must originate inside [fnPos, fnEnd] of the
+	// annotated declaration. Package scope (top-level comment): every edge
+	// of pkg matches.
+	fnPos, fnEnd token.Pos
+	pkg          *analysis.Package
+	used         bool
+}
+
+func (a *allowance) matches(fset *token.FileSet, e callgraph.Edge) bool {
+	if a.From != e.From || a.To != e.To {
+		return false
+	}
+	if a.fnPos != token.NoPos {
+		return e.Pos >= a.fnPos && e.Pos <= a.fnEnd
+	}
+	return e.Fn.Pkg == a.pkg
+}
+
+func run(pass *analysis.ProgramPass) (interface{}, error) {
+	prog := callgraph.Shared(pass)
+	allows := collectAllowances(pass)
+	rank := Rank()
+
+	// Pass 1: per-edge hierarchy verdicts.
+	reported := make([]bool, len(prog.Edges))
+	suppressedBy := make([]*allowance, len(prog.Edges))
+	for i, e := range prog.Edges {
+		for _, a := range allows {
+			if a.matches(pass.Fset, e) {
+				suppressedBy[i] = a
+				break
+			}
+		}
+		switch {
+		case e.From == e.To:
+			if suppressedBy[i] != nil {
+				suppressedBy[i].used = true
+				continue
+			}
+			reported[i] = true
+			pass.Reportf(e.Pos, "lock-order: %s acquired while already held (%s); same-class re-entrancy can self-deadlock", e.To, e.Path)
+		default:
+			rFrom, okFrom := rank[e.From]
+			rTo, okTo := rank[e.To]
+			if okFrom && okTo && rTo < rFrom {
+				if suppressedBy[i] != nil {
+					suppressedBy[i].used = true
+					continue
+				}
+				reported[i] = true
+				pass.Reportf(e.Pos, "lock-order: %s (level %d) acquired while holding %s (level %d), against the declared hierarchy (%s)", e.To, rTo, e.From, rFrom, e.Path)
+			}
+		}
+	}
+
+	// Pass 2: cycles among the surviving edges. Self-edges and edges already
+	// reported are excluded; an edge is reported when both endpoints sit in
+	// one strongly connected component.
+	inCycle := cycleEdges(prog.Edges, func(i int) bool {
+		return !reported[i] && suppressedBy[i] == nil && prog.Edges[i].From != prog.Edges[i].To
+	})
+	for i, e := range prog.Edges {
+		if inCycle[i] {
+			pass.Reportf(e.Pos, "lock-order: acquisition cycle: %s -> %s closes a loop in the lock graph (%s)", e.From, e.To, e.Path)
+		}
+	}
+	// A suppressed edge that would have been part of a cycle also counts as
+	// load-bearing: recompute membership with suppressed edges included.
+	inAnyCycle := cycleEdges(prog.Edges, func(i int) bool {
+		return prog.Edges[i].From != prog.Edges[i].To
+	})
+	for i := range prog.Edges {
+		if inAnyCycle[i] && suppressedBy[i] != nil {
+			suppressedBy[i].used = true
+		}
+	}
+
+	for _, a := range allows {
+		if a.Reason == "" {
+			pass.Reportf(a.Pos, "lock-order: lockorder:allow %s->%s is missing a reason (grammar: lockorder:allow <from>-><to> — <reason>)", a.From, a.To)
+			continue
+		}
+		// Staleness is a whole-program negative: only meaningful when every
+		// package was loaded (not under go vet's per-package protocol).
+		if !a.used && !pass.Partial {
+			pass.Reportf(a.Pos, "lock-order: stale lockorder:allow %s->%s: it no longer suppresses any diagnosed edge; delete it", a.From, a.To)
+		}
+	}
+	return nil, nil
+}
+
+// cycleEdges returns, for each edge index passing keep, whether the edge
+// lies inside a strongly connected component of the kept lock graph.
+func cycleEdges(edges []callgraph.Edge, keep func(int) bool) []bool {
+	adj := make(map[callgraph.LockClass][]callgraph.LockClass)
+	for i, e := range edges {
+		if keep(i) {
+			adj[e.From] = append(adj[e.From], e.To)
+		}
+	}
+	comp := sccs(adj)
+	out := make([]bool, len(edges))
+	for i, e := range edges {
+		if !keep(i) {
+			continue
+		}
+		cf, okF := comp[e.From]
+		ct, okT := comp[e.To]
+		out[i] = okF && okT && cf == ct
+	}
+	return out
+}
+
+// sccs assigns a component ID to every node of adj, where nodes in the same
+// non-trivial strongly connected component share an ID. Trivial components
+// (single node, no self-loop) get unique IDs, so an edge is cyclic exactly
+// when its endpoints share a component. Tarjan's algorithm, iterative-free:
+// the lock graph is tiny, so recursion depth is not a concern.
+func sccs(adj map[callgraph.LockClass][]callgraph.LockClass) map[callgraph.LockClass]int {
+	nodes := make([]callgraph.LockClass, 0, len(adj))
+	seen := make(map[callgraph.LockClass]bool)
+	addNode := func(n callgraph.LockClass) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		addNode(from)
+		for _, to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	index := make(map[callgraph.LockClass]int)
+	low := make(map[callgraph.LockClass]int)
+	onStack := make(map[callgraph.LockClass]bool)
+	comp := make(map[callgraph.LockClass]int)
+	var stack []callgraph.LockClass
+	next, compID := 0, 0
+
+	var strong func(v callgraph.LockClass)
+	strong = func(v callgraph.LockClass) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range adj[v] {
+			if _, ok := index[w]; !ok {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = compID
+				if w == v {
+					break
+				}
+			}
+			compID++
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strong(n)
+		}
+	}
+	return comp
+}
+
+// collectAllowances parses every lockorder:allow annotation in the analyzed
+// (non-test) files, resolving each to function or package scope.
+func collectAllowances(pass *analysis.ProgramPass) []*allowance {
+	var out []*allowance
+	for _, pkg := range pass.Packages {
+		if pkg == nil || pkg.Info == nil {
+			continue
+		}
+		for _, file := range pkg.Files {
+			if strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go") {
+				continue
+			}
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					a := parseAllow(c)
+					if a == nil {
+						continue
+					}
+					a.pkg = pkg
+					// Function scope when the comment sits inside a
+					// declaration; package scope otherwise.
+					for _, d := range file.Decls {
+						fd, ok := d.(*ast.FuncDecl)
+						if !ok {
+							continue
+						}
+						start := fd.Pos()
+						if fd.Doc != nil {
+							start = fd.Doc.Pos()
+						}
+						if c.Pos() >= start && c.Pos() <= fd.End() {
+							a.fnPos, a.fnEnd = fd.Pos(), fd.End()
+							break
+						}
+					}
+					out = append(out, a)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// parseAllow parses "lockorder:allow <from>-><to> — <reason>" from one
+// comment, or returns nil.
+func parseAllow(c *ast.Comment) *allowance {
+	// The directive must open the comment ("// lockorder:allow ..."), so
+	// prose that merely mentions the grammar is not an annotation.
+	text := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"), "*/"))
+	if !strings.HasPrefix(text, AllowDirective) {
+		return nil
+	}
+	rest := strings.TrimSpace(text[len(AllowDirective):])
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return &allowance{Pos: c.Pos()}
+	}
+	edge := fields[0]
+	from, to, ok := strings.Cut(edge, "->")
+	if !ok || from == "" || to == "" {
+		return &allowance{Pos: c.Pos()}
+	}
+	reason := strings.TrimSpace(strings.TrimPrefix(rest, edge))
+	reason = strings.TrimLeft(reason, "—-– \t")
+	return &allowance{
+		From:   callgraph.LockClass(from),
+		To:     callgraph.LockClass(to),
+		Reason: strings.TrimSpace(reason),
+		Pos:    c.Pos(),
+	}
+}

@@ -1,0 +1,113 @@
+// Canonical lock hierarchy for postlob. This file is the single declared
+// source of truth the lockorder analyzer checks the code against; DESIGN.md
+// documents the reasoning behind each level.
+//
+// The order is the one the production code actually obeys (verified by the
+// interprocedural sweep): catalog and access-method locks are taken before
+// buffer-pool locks; pool metadata before partition latches; latches before
+// the transaction manager's mutex (heap visibility checks call
+// txn.Manager.Status/CommitTS while holding frame latches); the transaction
+// manager before the WAL (the commit path appends the commit record while
+// holding txn.Manager.mu); and the WAL before storage handles (the flusher
+// writes segments under wal.Log.ioMu).
+//
+// Acquiring a class at a strictly earlier level while holding one from a
+// later level is a hierarchy violation. Classes within one level are
+// unordered relative to each other (but still cycle-checked, and same-class
+// re-entrancy is always diagnosed). Classes not listed here are outside the
+// declared order and participate only in cycle detection.
+package lockorder
+
+import "postlob/internal/analysis/callgraph"
+
+// Class is one lock class in the declared hierarchy.
+type Class struct {
+	Name callgraph.LockClass
+	// Latch marks short-term buffer latches that must never be held across
+	// blocking operations (the blockinlock invariant).
+	Latch bool
+}
+
+// Level is one rank of the hierarchy: classes that may not be mixed with
+// earlier levels once held.
+type Level struct {
+	Doc     string
+	Classes []Class
+}
+
+// Hierarchy is the declared canonical acquisition order, outermost first.
+var Hierarchy = []Level{
+	{Doc: "catalog: name resolution happens before any page access", Classes: []Class{
+		{Name: "catalog.Catalog.mu"},
+	}},
+	{Doc: "access-method handle cache", Classes: []Class{
+		{Name: "heap.Pool.relMu"},
+	}},
+	{Doc: "access-method relation locks (heap and btree are independent)", Classes: []Class{
+		{Name: "heap.Relation.mu"},
+		{Name: "btree.Tree.mu"},
+	}},
+	{Doc: "buffer pool frame-count lock", Classes: []Class{
+		{Name: "buffer.Pool.nbMu"},
+	}},
+	{Doc: "buffer pool partition latches (ascending index when several)", Classes: []Class{
+		{Name: "buffer.partition.mu", Latch: true},
+	}},
+	{Doc: "per-relation extension locks", Classes: []Class{
+		{Name: "buffer.Pool.extLock()"},
+	}},
+	{Doc: "frame content latches", Classes: []Class{
+		{Name: "buffer.Frame.latch", Latch: true},
+	}},
+	{Doc: "transaction manager (visibility checks run under latches)", Classes: []Class{
+		{Name: "txn.Manager.mu"},
+	}},
+	{Doc: "savepoint table, always nested inside txn.Manager.mu", Classes: []Class{
+		{Name: "txn.Manager.saveMu"},
+	}},
+	{Doc: "WAL buffer lock (commit appends run under txn.Manager.mu)", Classes: []Class{
+		{Name: "wal.Log.mu"},
+	}},
+	{Doc: "WAL segment I/O lock, never nested inside wal.Log.mu", Classes: []Class{
+		{Name: "wal.Log.ioMu"},
+	}},
+	{Doc: "buffer pool leaf locks: free list, extension table, checksummers", Classes: []Class{
+		{Name: "buffer.Pool.freeMu"},
+		{Name: "buffer.Pool.extMu"},
+		{Name: "buffer.Pool.csMu"},
+	}},
+	{Doc: "storage manager handles, the innermost layer", Classes: []Class{
+		{Name: "storage.Switch.mu"},
+		{Name: "storage.DiskManager.mu"},
+		{Name: "storage.MemManager.mu"},
+		{Name: "storage.WormManager.mu"},
+		{Name: "storage.CrashManager.mu"},
+		{Name: "storage.FaultManager.mu"},
+		{Name: "storage.tracker.mu"},
+	}},
+}
+
+// Rank maps each declared class to its level index (outermost = 0).
+func Rank() map[callgraph.LockClass]int {
+	out := make(map[callgraph.LockClass]int)
+	for i, lvl := range Hierarchy {
+		for _, c := range lvl.Classes {
+			out[c.Name] = i
+		}
+	}
+	return out
+}
+
+// LatchClasses returns the classes marked as latches, the set blockinlock
+// guards.
+func LatchClasses() map[callgraph.LockClass]bool {
+	out := make(map[callgraph.LockClass]bool)
+	for _, lvl := range Hierarchy {
+		for _, c := range lvl.Classes {
+			if c.Latch {
+				out[c.Name] = true
+			}
+		}
+	}
+	return out
+}

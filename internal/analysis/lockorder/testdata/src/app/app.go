@@ -1,0 +1,37 @@
+// Fixture for the lockorder analyzer's cycle and annotation checks: the
+// app package's mutexes are not in the declared hierarchy, so only the
+// cycle detector ranks them.
+package app
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type S struct {
+	a A
+	b B
+}
+
+// AB and BA together close an A->B->A loop in the lock graph.
+func (s *S) AB() {
+	s.a.mu.Lock()
+	s.b.mu.Lock() // want `lock-order: acquisition cycle: app\.A\.mu -> app\.B\.mu closes a loop in the lock graph`
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+func (s *S) BA() {
+	s.b.mu.Lock()
+	s.a.mu.Lock() // want `lock-order: acquisition cycle: app\.B\.mu -> app\.A\.mu closes a loop in the lock graph`
+	s.a.mu.Unlock()
+	s.b.mu.Unlock()
+}
+
+// A package-scoped allowance for an edge no code creates: reported as
+// stale so the exception list cannot rot.
+// lockorder:allow app.A.mu->app.C.mu — nothing creates this edge anymore // want `lock-order: stale lockorder:allow app\.A\.mu->app\.C\.mu: it no longer suppresses any diagnosed edge; delete it`
+
+// An allowance without a justification is rejected outright.
+/* lockorder:allow app.C.mu->app.D.mu */ // want `lock-order: lockorder:allow app\.C\.mu->app\.D\.mu is missing a reason`

@@ -293,6 +293,7 @@ func (p *Pool) WAL() *wal.Log { return p.wal }
 // — hits and misses from the same instant, not two independently racing
 // reads.
 func (p *Pool) Stats() (hits, misses int64) {
+	// lockorder:allow buffer.partition.mu->buffer.partition.mu — all-partition sweep locks partitions in ascending index order, so concurrent sweeps cannot deadlock
 	for _, part := range p.parts {
 		part.mu.Lock()
 	}
@@ -927,6 +928,7 @@ func (p *Pool) DropRel(sm storage.ID, rel storage.RelName, discard bool) error {
 
 func (p *Pool) dropRelOnce(sm storage.ID, rel storage.RelName, discard bool) (retry bool, err error) {
 	// Lock order: nbMu, then every partition, matching NewBlock.
+	// lockorder:allow buffer.partition.mu->buffer.partition.mu — all-partition sweep locks partitions in ascending index order, so concurrent sweeps cannot deadlock
 	p.nbMu.Lock()
 	for _, part := range p.parts {
 		part.mu.Lock()

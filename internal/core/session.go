@@ -57,12 +57,16 @@ func (ss *Session) OpenObject(ref adt.ObjectRef) (adt.LargeObject, error) {
 		return nil, err
 	}
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	if ss.done {
+		// Close the orphaned handle outside ss.mu: handle close flushes
+		// dirty chunks through the buffer pool and must not run under the
+		// session lock.
+		ss.mu.Unlock()
 		obj.Close()
 		return nil, ErrClosed
 	}
 	ss.open = append(ss.open, obj)
+	ss.mu.Unlock()
 	return obj, nil
 }
 
@@ -87,13 +91,14 @@ func (ss *Session) CreateTemp(typeName string) (adt.ObjectRef, adt.LargeObject, 
 		return adt.ObjectRef{}, nil, err
 	}
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	if ss.done {
+		ss.mu.Unlock()
 		obj.Close()
 		return adt.ObjectRef{}, nil, ErrClosed
 	}
 	ss.temps[ref.OID] = true
 	ss.open = append(ss.open, obj)
+	ss.mu.Unlock()
 	return ref, obj, nil
 }
 
@@ -136,21 +141,29 @@ func (s *Store) Promote(ref adt.ObjectRef) error {
 }
 
 // Close closes every handle opened through the session and unlinks the
-// temporaries that were not kept.
+// temporaries that were not kept. The lock covers only the handoff of the
+// handle table: closing a handle flushes dirty chunks through the buffer
+// pool, so it must not run under ss.mu.
 func (ss *Session) Close() error {
 	ss.mu.Lock()
-	defer ss.mu.Unlock()
 	if ss.done {
+		ss.mu.Unlock()
 		return nil
 	}
 	ss.done = true
+	open := ss.open
+	ss.open = nil
+	temps := ss.temps
+	ss.temps = nil // Keep after Close reads the nil map as "not collectible"
+	ss.mu.Unlock()
+
 	var first error
-	for _, obj := range ss.open {
+	for _, obj := range open {
 		if err := obj.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	for oid, collectible := range ss.temps {
+	for oid, collectible := range temps {
 		if !collectible {
 			continue
 		}

@@ -15,6 +15,15 @@ import (
 // gone, so no further I/O can be issued against it.
 var ErrCrashed = errors.New("storage: simulated crash")
 
+// CrashManager holds c.mu across calls on c.inner so a simulated crash is
+// atomic with respect to in-flight I/O. The analyzer's type-based call
+// resolution maps those interface calls onto every Manager implementation,
+// including CrashManager itself, which reads as same-class re-entrancy.
+// Wrappers never wrap their own type (the stack is crash/fault over
+// disk/mem/worm), so the edge is an approximation artifact:
+//
+// lockorder:allow storage.CrashManager.mu->storage.CrashManager.mu — interface calls through c.inner resolve to the wrapper itself; crash/fault wrappers never wrap another CrashManager
+
 // CrashConfig parameterises a CrashManager.
 type CrashConfig struct {
 	// Seed drives the PRNG used for torn-write offsets. Two managers with
