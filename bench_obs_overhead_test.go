@@ -2,17 +2,18 @@ package postlob
 
 // TestObsOverheadReport is the observability perf-regression harness: it
 // runs the BenchmarkConcurrentRead workloads with the obs registry
-// recording (the default) and again with obs.Disabled(), and fails if
-// instrumentation costs 5% or more of read throughput on any of them. The
-// budget is enforced on the benchmark family as defined — a 200us-per-block
-// simulated device, the latency class the paper's media actually has.
+// recording (the default) and again with obs.Disabled(), and fails any
+// workload whose instrumentation cost exceeds its budget. Workloads over
+// the 200us-per-block simulated device — the latency class the paper's
+// media actually has — carry the tight 5% budget.
 //
-// A zero-device-latency (CPU-bound) variant is measured and reported too,
-// as the unbudgeted worst case: with the device infinitely fast, the clock
-// reads feeding the latency histograms are the dominant cost and the
-// overhead rises to around 10%. That number is the price of *latency
-// measurement itself* on a RAM-speed device, not of the counters, and is
-// recorded so a future change that inflates it shows up in review.
+// A zero-device-latency (CPU-bound) variant is measured under its own,
+// wider budget: with the device infinitely fast, the clock reads feeding
+// the latency histograms are the dominant cost and the overhead has been
+// measured at around 10-13%. That number is the price of *latency
+// measurement itself* on a RAM-speed device, not of the counters, and gets
+// an explicit 18% ceiling so a change that inflates it fails loudly here
+// instead of silently riding along.
 //
 // Enabled/disabled runs are interleaved in pairs (best of 3 each) so slow
 // machine-wide drift hits both sides of the comparison equally.
@@ -36,9 +37,16 @@ import (
 	"postlob/internal/obs"
 )
 
-// obsOverheadBudget is the acceptance bar: instrumentation must stay under
-// 5% of ns/op on every measured workload.
+// obsOverheadBudget is the acceptance bar for the I/O-bound workloads:
+// instrumentation must stay under 5% of ns/op over the 200us simulated
+// device.
 const obsOverheadBudget = 5.0
+
+// obsOverheadCPUBudget is the ceiling for the zero-latency-device variant,
+// where the latency histograms' clock reads dominate. Measured around
+// 10-13% on this harness; 18% leaves noise headroom while still catching a
+// change that makes latency measurement meaningfully more expensive.
+const obsOverheadCPUBudget = 18.0
 
 // obsOverheadReps: each configuration is benchmarked this many times and
 // the fastest run wins, the usual defense against scheduler noise when
@@ -51,14 +59,14 @@ type obsOverheadWorkload struct {
 	random  bool
 	readLat time.Duration
 	gor     int
-	budget  bool // enforce obsOverheadBudget on this workload
+	budget  float64 // per-workload overhead ceiling, in percent
 }
 
 type obsOverheadResult struct {
 	EnabledNsPerOp  int64   `json:"enabled_ns_per_op"`
 	DisabledNsPerOp int64   `json:"disabled_ns_per_op"`
 	OverheadPct     float64 `json:"overhead_pct"`
-	Budgeted        bool    `json:"budgeted"`
+	BudgetPct       float64 `json:"budget_pct"`
 }
 
 func TestObsOverheadReport(t *testing.T) {
@@ -70,10 +78,10 @@ func TestObsOverheadReport(t *testing.T) {
 	}
 
 	workloads := []obsOverheadWorkload{
-		{name: "fchunk/rand", kind: FChunk, random: true, readLat: concReadLat, gor: 4, budget: true},
-		{name: "fchunk/seq", kind: FChunk, random: false, readLat: concReadLat, gor: 4, budget: true},
-		{name: "vsegment/rand", kind: VSegment, random: true, readLat: concReadLat, gor: 4, budget: true},
-		{name: "fchunk/rand/cpu-bound", kind: FChunk, random: true, readLat: 0, gor: 4},
+		{name: "fchunk/rand", kind: FChunk, random: true, readLat: concReadLat, gor: 4, budget: obsOverheadBudget},
+		{name: "fchunk/seq", kind: FChunk, random: false, readLat: concReadLat, gor: 4, budget: obsOverheadBudget},
+		{name: "vsegment/rand", kind: VSegment, random: true, readLat: concReadLat, gor: 4, budget: obsOverheadBudget},
+		{name: "fchunk/rand/cpu-bound", kind: FChunk, random: true, readLat: 0, gor: 4, budget: obsOverheadCPUBudget},
 	}
 
 	results := make(map[string]obsOverheadResult, len(workloads))
@@ -84,13 +92,13 @@ func TestObsOverheadReport(t *testing.T) {
 			EnabledNsPerOp:  enabledNs,
 			DisabledNsPerOp: disabledNs,
 			OverheadPct:     round2(overhead),
-			Budgeted:        w.budget,
+			BudgetPct:       w.budget,
 		}
-		t.Logf("%s: enabled %d ns/op, disabled %d ns/op, overhead %.2f%%",
-			w.name, enabledNs, disabledNs, overhead)
-		if w.budget && overhead >= obsOverheadBudget {
+		t.Logf("%s: enabled %d ns/op, disabled %d ns/op, overhead %.2f%% (budget %.0f%%)",
+			w.name, enabledNs, disabledNs, overhead, w.budget)
+		if overhead >= w.budget {
 			t.Errorf("%s: observability overhead %.2f%% exceeds the %.0f%% budget",
-				w.name, overhead, obsOverheadBudget)
+				w.name, overhead, w.budget)
 		}
 	}
 
@@ -98,11 +106,10 @@ func TestObsOverheadReport(t *testing.T) {
 		Benchmark   string                       `json:"benchmark"`
 		Description string                       `json:"description"`
 		Environment map[string]any               `json:"environment"`
-		BudgetPct   float64                      `json:"budget_pct"`
 		Workloads   map[string]obsOverheadResult `json:"workloads"`
 	}{
 		Benchmark:   "TestObsOverheadReport",
-		Description: "Instrumentation overhead of the internal/obs registry on the concurrent read path (4 goroutines, one op = one 8000-byte chunk read): ns/op with metrics recording vs obs.Disabled(). Budgeted workloads are the BenchmarkConcurrentRead family over its 200us-per-block simulated device and must stay under budget_pct. The unbudgeted cpu-bound row runs against a raw in-memory device, where the clock reads feeding the latency histograms dominate — the worst case latency measurement itself can cost. Enabled/disabled runs interleaved, best of 3 each.",
+		Description: "Instrumentation overhead of the internal/obs registry on the concurrent read path (4 goroutines, one op = one 8000-byte chunk read): ns/op with metrics recording vs obs.Disabled(). Every workload carries an explicit budget_pct and the harness fails if overhead_pct reaches it. The BenchmarkConcurrentRead family over its 200us-per-block simulated device gets the tight 5% budget; the cpu-bound row runs against a raw in-memory device, where the clock reads feeding the latency histograms dominate — the worst case latency measurement itself can cost — and gets a wider 18% ceiling. Enabled/disabled runs interleaved, best of 3 each.",
 		Environment: map[string]any{
 			"cpu_count":   runtime.NumCPU(),
 			"gomaxprocs":  runtime.GOMAXPROCS(0),
@@ -111,7 +118,6 @@ func TestObsOverheadReport(t *testing.T) {
 			"pool_pages":  concPoolPages,
 			"reps":        obsOverheadReps,
 		},
-		BudgetPct: obsOverheadBudget,
 		Workloads: results,
 	}
 	data, err := json.MarshalIndent(report, "", "  ")

@@ -17,8 +17,12 @@
 #   4. go test -race ./...         the full test suite under the race
 #                                  detector — the concurrent read path is
 #                                  expected to stay race-clean. This includes
-#                                  the randomized crash-recovery sweep; CRASH
-#                                  sets its width in seeds (default 25):
+#                                  the concurrent facade soak, which runs
+#                                  with the background I/O engine both on
+#                                  and off (TestConcurrentFacadeSoak
+#                                  subtests), and the randomized
+#                                  crash-recovery sweep; CRASH sets the
+#                                  sweep width in seeds (default 25):
 #
 #                                    CRASH=200 ./check.sh
 #
@@ -26,19 +30,34 @@
 #                                  read benchmark, so scaling regressions
 #                                  break the build, not just the numbers
 #
-#   6. FuzzWALDecode smoke         a short native-fuzz run of the WAL record
+#   6. BenchmarkScanPrefetch       one-iteration smoke run of the
+#                                  sequential scan with the background
+#                                  engine's read-ahead active, so the
+#                                  prefetch path (post, fill, install) is
+#                                  exercised end to end on every run
+#
+#   7. FuzzWALDecode smoke         a short native-fuzz run of the WAL record
 #                                  decoder over the checked-in corpus, so a
 #                                  framing regression fails fast
 #
-#   7. (BENCH=1 only)              the observability overhead harness: the
+#   8. (BENCH=1 only)              the observability overhead harness: the
 #                                  concurrent read workload with metrics
 #                                  recording vs obs.Disabled(). Rewrites
-#                                  BENCH_obs_overhead.json and fails when
-#                                  instrumentation costs 5% or more:
+#                                  BENCH_obs_overhead.json and fails any
+#                                  workload over its budget (5% on the
+#                                  200µs-device family, 18% on the
+#                                  cpu-bound worst case):
 #
 #                                    BENCH=1 ./check.sh
 #
-#   8. (BENCH=1 only)              the commit-latency harness: concurrent
+#   9. (BENCH=1 only)              the async I/O harness: write-heavy
+#                                  foreground p99 and dirty-eviction gates
+#                                  with the background writer on vs off,
+#                                  plus scan-prefetch speedup. Rewrites the
+#                                  write_heavy/* and scan/prefetch rows of
+#                                  BENCH_concurrent_read.json
+#
+#  10. (BENCH=1 only)              the commit-latency harness: concurrent
 #                                  committers under write-ahead logging vs
 #                                  force-at-commit on a 200µs-write device.
 #                                  Rewrites BENCH_commit_latency.json and
@@ -85,12 +104,17 @@ fi
 echo "== BenchmarkConcurrentRead smoke (-benchtime=1x)"
 go test -run '^$' -bench BenchmarkConcurrentRead -benchtime=1x .
 
+echo "== BenchmarkScanPrefetch smoke (-benchtime=1x)"
+go test -run '^$' -bench BenchmarkScanPrefetch -benchtime=1x .
+
 echo "== FuzzWALDecode smoke (-fuzztime=200x)"
 go test -run '^$' -fuzz '^FuzzWALDecode$' -fuzztime 200x ./internal/wal
 
 if [ "${BENCH:-}" = "1" ]; then
 	echo "== observability overhead harness (BENCH=1)"
 	BENCH=1 go test -run '^TestObsOverheadReport$' -v .
+	echo "== async I/O harness (BENCH=1)"
+	BENCH=1 go test -run '^TestAsyncIOReport$' -v -timeout 20m .
 	echo "== commit latency harness (BENCH=1)"
 	BENCH=1 go test -run '^TestCommitLatencyReport$' -v -timeout 20m .
 fi

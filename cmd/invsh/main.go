@@ -42,6 +42,7 @@ func main() {
 		kind   = flag.String("kind", "f-chunk", "large-object implementation for file contents")
 		codec  = flag.String("codec", "", "compression codec: fast, tight, or empty")
 		useWAL = flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
+		bgw    = flag.Bool("bgwriter", true, "run the background I/O engine (writer + scan prefetch)")
 	)
 	flag.Parse()
 	if *dbdir == "" {
@@ -51,7 +52,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := postlob.Options{}
+	opts := postlob.Options{BackgroundWriter: bgw}
 	if *useWAL {
 		opts.Durability = postlob.DurabilityWAL
 	}

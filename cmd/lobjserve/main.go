@@ -33,12 +33,13 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:5439", "listen address")
 		metrics = flag.String("metrics", "127.0.0.1:5440", "HTTP address for /metrics and /debug/pprof (empty disables)")
 		useWAL  = flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
+		bgw     = flag.Bool("bgwriter", true, "run the background I/O engine (writer + scan prefetch)")
 	)
 	flag.Parse()
 	if *dbdir == "" {
 		log.Fatal("lobjserve: -db is required")
 	}
-	opts := postlob.Options{}
+	opts := postlob.Options{BackgroundWriter: bgw}
 	if *useWAL {
 		opts.Durability = postlob.DurabilityWAL
 	}

@@ -28,11 +28,12 @@ func main() {
 	dbdir := flag.String("db", "", "database directory (required)")
 	cmd := flag.String("c", "", "execute the given statement(s), ';'-separated, then exit")
 	useWAL := flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
+	bgw := flag.Bool("bgwriter", true, "run the background I/O engine (writer + scan prefetch)")
 	flag.Parse()
 	if *dbdir == "" {
 		log.Fatal("postql: -db is required")
 	}
-	opts := postlob.Options{}
+	opts := postlob.Options{BackgroundWriter: bgw}
 	if *useWAL {
 		opts.Durability = postlob.DurabilityWAL
 	}

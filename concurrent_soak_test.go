@@ -16,11 +16,26 @@ import (
 	"postlob/internal/obs"
 )
 
+// TestConcurrentFacadeSoak runs the soak twice: with the background I/O
+// engine (the default) and without it — the async write-back and prefetch
+// paths must preserve every conservation law the synchronous discipline
+// established.
 func TestConcurrentFacadeSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	db, err := Open(t.TempDir(), Options{})
+	for _, mode := range []struct {
+		name   string
+		engine bool
+	}{{"engine=on", true}, {"engine=off", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			runFacadeSoak(t, mode.engine)
+		})
+	}
+}
+
+func runFacadeSoak(t *testing.T, engine bool) {
+	db, err := Open(t.TempDir(), Options{BackgroundWriter: &engine})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -71,8 +71,12 @@ func TestWrapStorageCrashRecovery(t *testing.T) {
 	if err := obj2.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Power cut: unsynced writes are gone; no Close, no Checkpoint.
+	// Power cut: unsynced writes are gone; no Close, no Checkpoint. The
+	// process dies with the machine, so the background engine's goroutines
+	// must not outlive the "crash" and keep writing (and noting errors
+	// against the dead device) while the reopened database runs.
 	cm.Crash()
+	db.pool.Buf.StopEngine()
 
 	db2, err := Open(dir, Options{})
 	if err != nil {
@@ -135,6 +139,8 @@ func TestWrapStorageCrashMidCommit(t *testing.T) {
 	if _, err := tx2.Commit(); !errors.Is(err, storage.ErrCrashed) {
 		t.Fatalf("mid-checkpoint commit error = %v, want ErrCrashed", err)
 	}
+	// The crash takes the process's goroutines with it.
+	db.pool.Buf.StopEngine()
 
 	db2, err := Open(dir, Options{})
 	if err != nil {

@@ -30,7 +30,10 @@ func TestForceAtCommitSurvivesCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Crash: no Close, no Checkpoint. (The storage managers hold open file
-	// descriptors, but all committed state is already on disk.)
+	// descriptors, but all committed state is already on disk.) A real crash
+	// kills the background engine too — it must not keep writing into the
+	// directory the reopened database owns.
+	db.pool.Buf.StopEngine()
 
 	db2, err := Open(dir, Options{})
 	if err != nil {
@@ -79,7 +82,8 @@ func TestCheckpointGranularityWithoutForce(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	// ...crash.
+	// ...crash (the engine's goroutines die with the process).
+	db.pool.Buf.StopEngine()
 
 	db2, err := Open(dir, Options{})
 	if err != nil {

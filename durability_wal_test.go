@@ -30,7 +30,10 @@ func TestWALCommitSurvivesCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Crash: no Close, no Checkpoint. The committed pages exist only as WAL
-	// page images; recovery must rebuild them.
+	// page images; recovery must rebuild them. The engine's goroutines die
+	// with the process — a surviving writer would race the reopened database
+	// for the same files.
+	db.pool.Buf.StopEngine()
 
 	db2, err := Open(dir, Options{Durability: DurabilityWAL})
 	if err != nil {
@@ -72,7 +75,8 @@ func TestWALReopenInDefaultMode(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	// Crash without Close or Checkpoint.
+	// Crash without Close or Checkpoint (goroutines die with the process).
+	db.pool.Buf.StopEngine()
 
 	db2, err := Open(dir, Options{})
 	if err != nil {
@@ -123,7 +127,8 @@ func TestWALAbortInvisibleAfterCrash(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	// Crash.
+	// Crash (goroutines die with the process).
+	db.pool.Buf.StopEngine()
 
 	db2, err := Open(dir, Options{Durability: DurabilityWAL})
 	if err != nil {

@@ -65,6 +65,31 @@ func (p *Pool) OkSleepUnderPlainMutex() {
 	p.nbMu.Unlock()
 }
 
+// OkWriterLoop is the background writer's park shape: the select blocks on
+// the ticker and wake channels with no latch held — blocking there is the
+// entire point of a background writer — and each round's latch section is
+// fully released before the loop parks again.
+func (p *Pool) OkWriterLoop(tick <-chan struct{}, wake <-chan struct{}, stop <-chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick:
+		case <-wake:
+		}
+		p.parts[0].mu.Lock()
+		p.parts[0].mu.Unlock()
+	}
+}
+
+// BadWakeUnderLatch parks on the wake channel while a collect round still
+// holds its partition latch.
+func (p *Pool) BadWakeUnderLatch(wake <-chan struct{}) {
+	p.parts[0].mu.Lock()
+	<-wake // want `block-in-lock: channel receive reached while latch buffer\.partition\.mu is held`
+	p.parts[0].mu.Unlock()
+}
+
 // OkClosureUnlock is the fixed dropRelOnce shape: the latches are released
 // through a bound closure before the flush, which the closure resolution
 // must see — otherwise this is a false positive.

@@ -71,10 +71,11 @@ var Hierarchy = []Level{
 	{Doc: "WAL segment I/O lock, never nested inside wal.Log.mu", Classes: []Class{
 		{Name: "wal.Log.ioMu"},
 	}},
-	{Doc: "buffer pool leaf locks: free list, extension table, checksummers", Classes: []Class{
+	{Doc: "buffer pool leaf locks: free list, extension table, checksummers, background-writer error slot", Classes: []Class{
 		{Name: "buffer.Pool.freeMu"},
 		{Name: "buffer.Pool.extMu"},
 		{Name: "buffer.Pool.csMu"},
+		{Name: "buffer.Pool.bgErrMu"},
 	}},
 	{Doc: "storage manager handles, the innermost layer", Classes: []Class{
 		{Name: "storage.Switch.mu"},

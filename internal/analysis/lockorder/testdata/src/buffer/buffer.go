@@ -10,8 +10,9 @@ type partition struct {
 }
 
 type Pool struct {
-	nbMu  sync.Mutex
-	parts []*partition
+	nbMu    sync.Mutex
+	bgErrMu sync.Mutex
+	parts   []*partition
 }
 
 // OkForward locks in hierarchy order: pool level before partition level.
@@ -54,6 +55,25 @@ func (p *Pool) BadViaCallee() {
 func (p *Pool) grow() {
 	p.nbMu.Lock()
 	p.nbMu.Unlock()
+}
+
+// OkBgErrLeaf: the background writer's sticky-error slot is a declared leaf;
+// taking it with nothing else held (noteBgErr after a round's latches are
+// all released, TakeBackgroundError at checkpoint entry) is the sanctioned
+// shape.
+func (p *Pool) OkBgErrLeaf() {
+	p.bgErrMu.Lock()
+	p.bgErrMu.Unlock()
+}
+
+// BadLatchUnderBgErr acquires a partition latch while holding the error
+// slot — backwards: the writer may only note an error once every latch from
+// its round is released.
+func (p *Pool) BadLatchUnderBgErr() {
+	p.bgErrMu.Lock()
+	p.parts[0].mu.Lock() // want `lock-order: buffer\.partition\.mu \(level 4\) acquired while holding buffer\.Pool\.bgErrMu \(level 11\), against the declared hierarchy`
+	p.parts[0].mu.Unlock()
+	p.bgErrMu.Unlock()
 }
 
 // OkAllowedSweep re-acquires the partition class by design; the

@@ -7,6 +7,8 @@ type Pool struct{}
 
 func (p *Pool) FlushAll() error { return nil }
 
+func (p *Pool) FlushAllIncremental(slicePages int) error { return nil }
+
 func (p *Pool) FlushRel() error { return nil }
 
 func (p *Pool) SyncAll() error { return nil }

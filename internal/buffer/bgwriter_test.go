@@ -1,0 +1,418 @@
+package buffer
+
+// Unit tests for the background I/O engine: writer rounds clean cold dirty
+// frames (so foreground evictions find clean victims), gather writes cover
+// contiguous runs, asynchronous write errors surface instead of vanishing,
+// the WAL flush ceiling holds on the background path, and the prefetcher
+// installs pages that turn the next sequential reads into hits without ever
+// forcing a write-back of its own.
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"postlob/internal/page"
+	"postlob/internal/storage"
+)
+
+// dirtyBlocks appends n dirty, released blocks to rel through the pool.
+func dirtyBlocks(t *testing.T, p *Pool, sm storage.ID, rel storage.RelName, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		f, _, err := p.NewBlock(sm, rel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Page()[0] = byte('A' + i%26)
+		f.MarkDirty()
+		f.Release()
+	}
+}
+
+// countDirty walks every partition's lookup table.
+func countDirty(p *Pool) int {
+	n := 0
+	for _, part := range p.parts {
+		part.mu.Lock()
+		for _, f := range part.lookup {
+			if f.dirty.Load() {
+				n++
+			}
+		}
+		part.mu.Unlock()
+	}
+	return n
+}
+
+func TestBgWriterRoundCleansColdDirty(t *testing.T) {
+	// 16 pages: a round pins at most half the pool, and this test wants the
+	// whole 6-frame dirty set cleaned in one round.
+	p, mem := newTestPool(t, 16)
+	p.StartEngine(EngineConfig{BackgroundWriter: true, Manual: true})
+	defer p.StopEngine()
+	if err := mem.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	dirtyBlocks(t, p, storage.Mem, rel, 6)
+	if got := countDirty(p); got != 6 {
+		t.Fatalf("dirty before round = %d, want 6", got)
+	}
+	batches := obsBgBatches.Load()
+	written, err := p.BgWriterRound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != 6 {
+		t.Fatalf("round wrote %d pages, want 6", written)
+	}
+	if got := countDirty(p); got != 0 {
+		t.Fatalf("dirty after round = %d, want 0", got)
+	}
+	// The six blocks are contiguous, so the round coalesced at least one
+	// gather batch.
+	if obsBgBatches.Load() == batches {
+		t.Fatal("contiguous dirty run produced no gather batch")
+	}
+	// The images reached the device.
+	buf := make([]byte, page.Size)
+	for i := 0; i < 6; i++ {
+		if err := mem.ReadBlock(rel, storage.BlockNum(i), buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte('A'+i) {
+			t.Fatalf("device block %d = %q, want %q", i, buf[0], byte('A'+i))
+		}
+	}
+}
+
+func TestBgWriterKeepsForegroundEvictionsClean(t *testing.T) {
+	// 8 pages: each 3-frame burst fits under the round's half-pool pin cap,
+	// so one round per burst keeps every eviction victim clean.
+	p, mem := newTestPool(t, 8)
+	p.StartEngine(EngineConfig{BackgroundWriter: true, Manual: true})
+	defer p.StopEngine()
+	if err := mem.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	dirtyFg := obsEvictDirty.Load()
+	// Fill the pool with dirty pages, run a writer round between bursts the
+	// way the clock tick would, and keep allocating: every eviction should
+	// find a clean victim.
+	for burst := 0; burst < 6; burst++ {
+		dirtyBlocks(t, p, storage.Mem, rel, 3)
+		if _, err := p.BgWriterRound(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := obsEvictDirty.Load() - dirtyFg; got != 0 {
+		t.Fatalf("foreground path hit %d dirty victims; the writer should have kept victims clean", got)
+	}
+}
+
+func TestBgWriterRoundCapsPinsAtHalfPool(t *testing.T) {
+	// A round holds its pins for the whole batch write; over a fully dirty
+	// small pool an uncapped round would pin every frame and starve
+	// foreground allocation ("all frames pinned") until the batch lands.
+	p, mem := newTestPool(t, 4)
+	p.StartEngine(EngineConfig{BackgroundWriter: true, Manual: true})
+	defer p.StopEngine()
+	if err := mem.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	dirtyBlocks(t, p, storage.Mem, rel, 4)
+	written, err := p.BgWriterRound(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written != 2 {
+		t.Fatalf("round over a fully dirty 4-page pool wrote %d, want 2 (half the pool)", written)
+	}
+	if got := countDirty(p); got != 2 {
+		t.Fatalf("dirty after capped round = %d, want 2", got)
+	}
+}
+
+func TestBgWriterErrorSurfacesAndFramesStayDirty(t *testing.T) {
+	sw := storage.NewSwitch()
+	fault := storage.NewFaultManager(storage.NewMemManager(storage.DeviceModel{}, nil))
+	sw.Register(storage.Mem, fault)
+	p := NewPool(8, sw, nil)
+	p.StartEngine(EngineConfig{BackgroundWriter: true, Manual: true})
+	defer p.StopEngine()
+	if err := fault.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	dirtyBlocks(t, p, storage.Mem, rel, 4)
+
+	fault.FailWrites(true)
+	if _, err := p.BgWriterRound(0); err == nil {
+		t.Fatal("round succeeded against a failing device")
+	}
+	if got := countDirty(p); got != 4 {
+		t.Fatalf("dirty after failed round = %d, want 4 (failed frames must stay dirty)", got)
+	}
+	// The async error is sticky until surfaced — this is what the checkpoint
+	// path reads so background failures never vanish.
+	err := p.TakeBackgroundError()
+	if !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("TakeBackgroundError = %v, want injected fault", err)
+	}
+	if p.TakeBackgroundError() != nil {
+		t.Fatal("background error reported twice")
+	}
+
+	// Heal and retry: the same frames drain cleanly.
+	fault.Heal()
+	written, err := p.BgWriterRound(0)
+	if err != nil || written != 4 {
+		t.Fatalf("round after heal wrote %d, %v", written, err)
+	}
+	if got := countDirty(p); got != 0 {
+		t.Fatalf("dirty after heal = %d, want 0", got)
+	}
+}
+
+func TestBgWriterHonorsWALCeiling(t *testing.T) {
+	pool, _, om := newWALPool(t, 8)
+	pool.StartEngine(EngineConfig{BackgroundWriter: true, Manual: true})
+	defer pool.StopEngine()
+	const drel = storage.RelName("t")
+	dirtyBlock(t, pool, drel, 'x')
+	dirtyBlock(t, pool, drel, 'y')
+	if _, err := pool.BgWriterRound(0); err != nil {
+		t.Fatal(err)
+	}
+	// Device ordering: the log segment must be written and synced before the
+	// data relation's home-location write — the flush ceiling, honored off
+	// the foreground path.
+	events := om.snapshot()
+	dataWrite := -1
+	logSync := -1
+	for i, ev := range events {
+		if ev == "write:"+string(drel) && dataWrite == -1 {
+			dataWrite = i
+		}
+		if strings.HasPrefix(ev, "sync:pg_wal") && logSync == -1 {
+			logSync = i
+		}
+	}
+	if dataWrite == -1 {
+		t.Fatal("no data write recorded")
+	}
+	if logSync == -1 || logSync > dataWrite {
+		t.Fatalf("log sync at %d, data write at %d: ceiling violated (events %v)", logSync, dataWrite, events)
+	}
+}
+
+func TestPrefetchInstallsAndTurnsReadsIntoHits(t *testing.T) {
+	p, mem := newTestPool(t, 16)
+	p.StartEngine(EngineConfig{Prefetch: true, Manual: true})
+	defer p.StopEngine()
+	if err := mem.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	// Materialise 10 blocks on the device and purge the pool.
+	dirtyBlocks(t, p, storage.Mem, rel, 10)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropRel(storage.Mem, rel, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Touch block 0 (re-priming the pool's length cache), then prefetch the
+	// rest of the window and drain it.
+	f, err := p.Get(Tag{SM: storage.Mem, Rel: rel, Blk: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+	installed := obsPfInstalled.Load()
+	p.Prefetch(storage.Mem, rel, 1, 8)
+	p.DrainPrefetch()
+	if got := obsPfInstalled.Load() - installed; got != 8 {
+		t.Fatalf("prefetch installed %d pages, want 8", got)
+	}
+
+	hits0, misses0 := p.Stats()
+	for blk := storage.BlockNum(1); blk <= 8; blk++ {
+		g, err := p.Get(Tag{SM: storage.Mem, Rel: rel, Blk: blk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Page()[0] == 0 {
+			t.Fatalf("prefetched block %d has zero page", blk)
+		}
+		g.Release()
+	}
+	hits1, misses1 := p.Stats()
+	if hits1-hits0 != 8 || misses1 != misses0 {
+		t.Fatalf("after prefetch: +%d hits +%d misses, want +8 hits +0 misses",
+			hits1-hits0, misses1-misses0)
+	}
+}
+
+func TestPrefetchContentMatchesDevice(t *testing.T) {
+	p, mem := newTestPool(t, 16)
+	p.StartEngine(EngineConfig{Prefetch: true, Manual: true})
+	defer p.StopEngine()
+	if err := mem.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	dirtyBlocks(t, p, storage.Mem, rel, 6)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.DropRel(storage.Mem, rel, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.NBlocks(storage.Mem, rel); err != nil {
+		t.Fatal(err)
+	}
+	p.Prefetch(storage.Mem, rel, 0, 6)
+	p.DrainPrefetch()
+	want := make([]byte, page.Size)
+	for blk := storage.BlockNum(0); blk < 6; blk++ {
+		if err := mem.ReadBlock(rel, blk, want); err != nil {
+			t.Fatal(err)
+		}
+		f, err := p.Get(Tag{SM: storage.Mem, Rel: rel, Blk: blk})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f.Page(), want) {
+			t.Fatalf("prefetched block %d differs from device image", blk)
+		}
+		f.Release()
+	}
+}
+
+func TestPrefetchNeverForcesWriteback(t *testing.T) {
+	p, mem := newTestPool(t, 4)
+	p.StartEngine(EngineConfig{Prefetch: true, Manual: true})
+	defer p.StopEngine()
+	const other = storage.RelName("other")
+	if err := mem.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Create(other); err != nil {
+		t.Fatal(err)
+	}
+	// Put 8 blocks of "other" on the device, then fill the whole pool with
+	// dirty pages of rel.
+	for i := 0; i < 8; i++ {
+		img := make([]byte, page.Size)
+		img[0] = byte(i + 1)
+		if err := mem.WriteBlock(other, storage.BlockNum(i), img); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := p.NBlocks(storage.Mem, other); err != nil {
+		t.Fatal(err)
+	}
+	dirtyBlocks(t, p, storage.Mem, rel, 4)
+
+	wb := obsWritebacks.Load()
+	installed := obsPfInstalled.Load()
+	p.Prefetch(storage.Mem, other, 0, 8)
+	p.DrainPrefetch()
+	if got := obsWritebacks.Load() - wb; got != 0 {
+		t.Fatalf("prefetch forced %d write-backs; it must only use clean frames", got)
+	}
+	if got := obsPfInstalled.Load() - installed; got != 0 {
+		t.Fatalf("prefetch installed %d pages into an all-dirty pool, want 0", got)
+	}
+	if got := countDirty(p); got != 4 {
+		t.Fatalf("dirty frames = %d, want 4 untouched", got)
+	}
+}
+
+func TestPrefetchDiscardsWindowForDroppedRelation(t *testing.T) {
+	p, mem := newTestPool(t, 8)
+	p.StartEngine(EngineConfig{Prefetch: true, Manual: true})
+	defer p.StopEngine()
+	if err := mem.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	dirtyBlocks(t, p, storage.Mem, rel, 4)
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	p.Prefetch(storage.Mem, rel, 0, 4)
+	// The relation is dropped (and unlinked) while the window is queued; the
+	// drain must not resurrect ghost pages.
+	if err := p.DropRel(storage.Mem, rel, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Unlink(rel); err != nil {
+		t.Fatal(err)
+	}
+	installed := obsPfInstalled.Load()
+	p.DrainPrefetch()
+	if got := obsPfInstalled.Load() - installed; got != 0 {
+		t.Fatalf("prefetch installed %d ghost pages after DropRel", got)
+	}
+}
+
+func TestEngineAsyncStartStop(t *testing.T) {
+	p, mem := newTestPool(t, 8)
+	if err := mem.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	pages := obsBgPages.Load()
+	p.StartEngine(EngineConfig{
+		BackgroundWriter: true,
+		Prefetch:         true,
+		Interval:         time.Millisecond,
+	})
+	dirtyBlocks(t, p, storage.Mem, rel, 6)
+	deadline := time.Now().Add(5 * time.Second)
+	for countDirty(p) > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	p.StopEngine()
+	if got := countDirty(p); got != 0 {
+		t.Fatalf("async writer left %d dirty frames after 5s", got)
+	}
+	if obsBgPages.Load() == pages {
+		t.Fatal("async writer reported no pages written")
+	}
+	// Stop is idempotent and a second engine can be attached.
+	p.StopEngine()
+	p.StartEngine(EngineConfig{BackgroundWriter: true, Manual: true})
+	p.StopEngine()
+}
+
+func TestFlushAllIncrementalEquivalentToCheckpointData(t *testing.T) {
+	p, mem := newTestPool(t, 32)
+	if err := mem.Create(rel); err != nil {
+		t.Fatal(err)
+	}
+	const other = storage.RelName("other")
+	if err := mem.Create(other); err != nil {
+		t.Fatal(err)
+	}
+	dirtyBlocks(t, p, storage.Mem, rel, 10)
+	dirtyBlocks(t, p, storage.Mem, other, 7)
+	// Tiny slices force several yield boundaries.
+	if err := p.FlushAllIncremental(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := countDirty(p); got != 0 {
+		t.Fatalf("dirty after incremental checkpoint = %d, want 0", got)
+	}
+	buf := make([]byte, page.Size)
+	for i := 0; i < 10; i++ {
+		if err := mem.ReadBlock(rel, storage.BlockNum(i), buf); err != nil {
+			t.Fatalf("device missing %s block %d after incremental flush: %v", rel, i, err)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if err := mem.ReadBlock(other, storage.BlockNum(i), buf); err != nil {
+			t.Fatalf("device missing %s block %d after incremental flush: %v", other, i, err)
+		}
+	}
+}

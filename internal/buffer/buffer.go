@@ -230,6 +230,15 @@ type Pool struct {
 	wal *wal.Log
 
 	evictHand atomic.Uint64 // rotates the partition eviction scan start
+
+	// Background I/O engine state (see bgwriter.go). eng is nil until
+	// StartEngine; bgHand rotates the writer's partition scan independently
+	// of the eviction hand.
+	eng    atomic.Pointer[engine]
+	bgHand atomic.Uint64
+
+	bgErrMu sync.Mutex
+	bgErr   error // guarded by bgErrMu; first unsurfaced async write-back error
 }
 
 // NewPool creates a pool of nframes pages over the given switch. clock may
@@ -481,6 +490,10 @@ func (p *Pool) allocFrame() (*Frame, error) {
 			return &Frame{pool: p, data: make(page.Page, page.Size)}, nil
 		}
 	}
+	// The free list is dry and the pool is at capacity — the low-watermark
+	// wakeup: nudge the background writer so the victim about to be chosen
+	// (and the next ones) are clean.
+	p.kickBgWriter()
 	return p.evict()
 }
 
@@ -507,6 +520,17 @@ func (p *Pool) putFree(f *Frame) {
 // writing its page back first when dirty. The scan starts at a rotating
 // partition so replacement pressure spreads across stripes.
 func (p *Pool) evict() (*Frame, error) {
+	if e := p.eng.Load(); e != nil && e.cfg.BackgroundWriter {
+		// Pool-wide clean-first pass: with a background writer attached, a
+		// foreground dirty write-back is only acceptable when no partition
+		// holds any clean unpinned frame at all. Misses install clean pages
+		// and the writer cleans dirty ones, so under steady load this pass
+		// nearly always succeeds and the foreground path never stalls on
+		// write-back.
+		if f := p.evictCleanOnly(); f != nil {
+			return f, nil
+		}
+	}
 	const rounds = 4
 	for r := 0; r < rounds; r++ {
 		start := p.evictHand.Add(1)
@@ -532,7 +556,17 @@ func (p *Pool) evict() (*Frame, error) {
 // removed immediately; a dirty one stays resident — privately pinned and
 // flagged evicting — while its page goes out with no partition lock held,
 // then is reclaimed only if still clean and otherwise unpinned.
+//
+// With a background writer attached the victim search prefers the coldest
+// CLEAN frame over the strictly coldest one: writing a dirty page back is
+// the writer's job, and trading a little recency for a stall-free foreground
+// eviction is exactly the engine's bargain. Without an engine the historical
+// strict-LRU choice stands.
 func (p *Pool) evictFrom(part *partition) (*Frame, error) {
+	preferClean := false
+	if e := p.eng.Load(); e != nil && e.cfg.BackgroundWriter {
+		preferClean = true
+	}
 	part.mu.Lock()
 	el := part.lru.Back()
 	if el == nil {
@@ -540,6 +574,14 @@ func (p *Pool) evictFrom(part *partition) (*Frame, error) {
 		return nil, nil
 	}
 	f := el.Value.(*Frame)
+	if preferClean && f.dirty.Load() {
+		for cand := el.Prev(); cand != nil; cand = cand.Prev() {
+			if cf := cand.Value.(*Frame); !cf.dirty.Load() {
+				el, f = cand, cf
+				break
+			}
+		}
+	}
 	part.lru.Remove(el)
 	f.lruEl = nil
 	if !f.dirty.Load() {
@@ -551,6 +593,14 @@ func (p *Pool) evictFrom(part *partition) (*Frame, error) {
 	f.pins = 1
 	f.evicting = true
 	part.mu.Unlock()
+
+	// A dirty victim on the foreground path is exactly the stall the
+	// background writer exists to prevent: the caller now eats write-back
+	// (and under a WAL, batch pre-log plus a log flush) before its own I/O
+	// can start. Count it — the write-heavy bench gates on this staying ~0
+	// with the writer enabled — and nudge the writer.
+	obsEvictDirty.Inc()
+	p.kickBgWriter()
 
 	err := p.writeBack(f)
 

@@ -31,6 +31,13 @@ func (o *orderMgr) WriteBlock(rel storage.RelName, blk storage.BlockNum, buf []b
 	return o.Manager.WriteBlock(rel, blk, buf)
 }
 
+func (o *orderMgr) WriteBlocks(rel storage.RelName, blk storage.BlockNum, bufs [][]byte) error {
+	o.mu.Lock()
+	o.events = append(o.events, "write:"+string(rel))
+	o.mu.Unlock()
+	return o.Manager.WriteBlocks(rel, blk, bufs)
+}
+
 func (o *orderMgr) Sync(rel storage.RelName) error {
 	o.mu.Lock()
 	o.events = append(o.events, "sync:"+string(rel))

@@ -123,6 +123,10 @@ func openCrashStack(t *testing.T, dir string, durable *storage.MemManager, cfg s
 	if walMode {
 		AttachWAL(pool, wlog)
 	}
+	// The background I/O engine runs in manual mode: no goroutines, so the
+	// sweep stays bit-for-bit reproducible from CRASHSEED — the workload loop
+	// drives writer rounds and prefetch drains at script-derived boundaries.
+	pool.Buf.StartEngine(buffer.EngineConfig{BackgroundWriter: true, Prefetch: true, Manual: true})
 	return cs
 }
 
@@ -423,6 +427,16 @@ func runWorkload(t *testing.T, cs *crashStack, ops []scriptOp, crashAt int) ([]*
 	for i, op := range ops {
 		if i == crashAt {
 			break
+		}
+		// Deterministic engine cadence: every third op boundary runs one
+		// background-writer round and drains any queued prefetch windows, so
+		// async write-back and read-ahead are exercised under every crash
+		// point without losing seed reproducibility.
+		if i%3 == 2 {
+			if _, err := cs.store.Pool().Buf.BgWriterRound(8); err != nil {
+				t.Fatalf("op %d: background writer round: %v", i, err)
+			}
+			cs.store.Pool().Buf.DrainPrefetch()
 		}
 		switch op.action {
 		case aBegin:

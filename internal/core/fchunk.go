@@ -8,9 +8,11 @@ import (
 
 	"postlob/internal/adt"
 	"postlob/internal/btree"
+	"postlob/internal/buffer"
 	"postlob/internal/catalog"
 	"postlob/internal/compress"
 	"postlob/internal/heap"
+	"postlob/internal/storage"
 	"postlob/internal/txn"
 )
 
@@ -82,6 +84,11 @@ type fchunkObject struct {
 	curTID   heap.TID
 	curHas   bool // a stored tuple exists for curSeq
 	curDirty bool
+
+	// pfNext is the sequential read-ahead frontier: the first heap block not
+	// yet covered by a posted prefetch window. Zero until a sequential run is
+	// detected (block 0 never needs read-ahead — it precedes any chunk).
+	pfNext storage.BlockNum
 
 	closed bool
 }
@@ -255,6 +262,7 @@ func (o *fchunkObject) loadChunk(seq int64) error {
 	if o.curSeq == seq {
 		return nil
 	}
+	prev := o.curSeq
 	if err := o.flushChunk(); err != nil {
 		return err
 	}
@@ -284,6 +292,28 @@ func (o *fchunkObject) loadChunk(seq int64) error {
 	o.curData = decoded
 	o.curTID = tid
 	o.curHas = true
+	if prev >= 0 && seq == prev+1 {
+		// Sequential chunk reads are perfectly predictable: chunk tuples are
+		// appended in block order, so the next chunks live at ascending heap
+		// blocks. Keep a read-ahead frontier (pfNext) ahead of the scan and
+		// advance it a whole window at a time — posting fresh,
+		// non-overlapping windows lets the prefetcher issue one batched
+		// device read per window, instead of chasing the reader block by
+		// block with windows that are already mostly resident.
+		const w = buffer.DefaultPrefetchWindow
+		next := tid.Blk + 1
+		switch {
+		case o.pfNext == 0 || next > o.pfNext || next+2*w < o.pfNext:
+			// Frontier unset, overtaken, or far ahead of a scan that
+			// restarted behind it: open a fresh window at the reader.
+			o.rel.Prefetch(next, w)
+			o.pfNext = next + w
+		case next+w >= o.pfNext:
+			// The reader is within a window of the frontier: extend it.
+			o.rel.Prefetch(o.pfNext, w)
+			o.pfNext += w
+		}
+	}
 	return nil
 }
 

@@ -177,6 +177,13 @@ func (r *Relation) NBlocks() (storage.BlockNum, error) {
 	return r.pool.Buf.NBlocks(r.sm, r.name)
 }
 
+// Prefetch posts an advisory read-ahead window to the buffer pool's
+// background engine (a no-op without one): the caller expects to read up to
+// n blocks starting at blk soon. Never blocks.
+func (r *Relation) Prefetch(blk storage.BlockNum, n int) {
+	r.pool.Buf.Prefetch(r.sm, r.name, blk, n)
+}
+
 // Size returns the relation's footprint in bytes.
 func (r *Relation) Size() (int64, error) {
 	n, err := r.NBlocks()
@@ -427,7 +434,15 @@ func (r *Relation) scan(vis func([]byte, *buffer.Frame) bool, fn func(TID, []byt
 		tid  TID
 		data []byte
 	}
+	// Physical-order scans are perfectly predictable: keep a read-ahead
+	// window posted to the pool's prefetcher (a no-op without an engine) so
+	// the next Get finds its block resident. Windows overlap on purpose —
+	// resident blocks are skipped — and the post itself never blocks.
+	const readAhead = buffer.DefaultPrefetchWindow
 	for blk := storage.BlockNum(0); blk < n; blk++ {
+		if blk%(readAhead/2) == 0 && blk+1 < n {
+			r.pool.Buf.Prefetch(r.sm, r.name, blk+1, readAhead)
+		}
 		// Collect the page's visible tuples (copying payloads) under the
 		// shared relation lock and shared content latch — concurrent
 		// mutators hold both exclusive somewhere — then invoke fn with no

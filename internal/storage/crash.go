@@ -304,6 +304,19 @@ func (c *CrashManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
 	return c.inner.ReadBlock(rel, blk, buf)
 }
 
+// ReadBlocks implements Manager as a per-block loop: every block must
+// observe the crashed flag and the volatile overlay individually.
+func (c *CrashManager) ReadBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	return readBlocksSeq(c, rel, blk, bufs)
+}
+
+// WriteBlocks implements Manager as a per-block loop, so the armed countdown
+// ticks once per block and a simulated crash can fire *inside* the batch —
+// batched I/O must not shrink the space of crash points the sweep explores.
+func (c *CrashManager) WriteBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	return writeBlocksSeq(c, rel, blk, bufs)
+}
+
 // WriteBlock implements Manager: the image lands in the volatile layer
 // only; a crash before the next Sync discards it.
 func (c *CrashManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {

@@ -155,6 +155,49 @@ func (d *DiskManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
 	return nil
 }
 
+// ReadBlocks implements Manager with one coalesced positional read: the
+// blocks are adjacent in the relation file, so a single ReadAt over a
+// staging buffer replaces len(bufs) system calls, then the pages scatter
+// out to the callers' buffers.
+func (d *DiskManager) ReadBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	if len(bufs) == 1 {
+		return d.ReadBlock(rel, blk, bufs[0])
+	}
+	diskMetrics.reads.Add(int64(len(bufs)))
+	diskMetrics.batchReads.Inc()
+	sw := diskMetrics.readLat.Start()
+	defer sw.Stop()
+	if err := checkBufs(bufs); err != nil {
+		return err
+	}
+	f, err := d.open(rel)
+	if err != nil {
+		return err
+	}
+	stage := make([]byte, len(bufs)*page.Size)
+	n, err := f.ReadAt(stage, int64(blk)*page.Size)
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("disk: read %s blocks %d..%d: %w", rel, blk, int(blk)+len(bufs)-1, err)
+	}
+	if n != len(stage) {
+		return fmt.Errorf("%w: %s block %d (short batch read %d of %d bytes)",
+			ErrBadBlock, rel, blk+BlockNum(n/page.Size), n, len(stage))
+	}
+	for i, buf := range bufs {
+		copy(buf, stage[i*page.Size:(i+1)*page.Size])
+	}
+	if !d.model.IsZero() {
+		for i := range bufs {
+			b := blk + BlockNum(i)
+			charge(d.clock, d.model, d.track.sequential(rel, b))
+		}
+	}
+	return nil
+}
+
 // WriteBlock implements Manager.
 func (d *DiskManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
 	diskMetrics.writes.Inc()
@@ -179,6 +222,51 @@ func (d *DiskManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
 	}
 	if !d.model.IsZero() {
 		charge(d.clock, d.model, d.track.sequential(rel, blk))
+	}
+	return nil
+}
+
+// WriteBlocks implements Manager with one coalesced positional write: the
+// pages gather into a staging buffer and a single WriteAt lands them all.
+// Appending batches are allowed under the same contract as WriteBlock —
+// the batch may start at the append position and extends contiguously.
+func (d *DiskManager) WriteBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	if len(bufs) == 1 {
+		return d.WriteBlock(rel, blk, bufs[0])
+	}
+	diskMetrics.writes.Add(int64(len(bufs)))
+	diskMetrics.batchWrites.Inc()
+	sw := diskMetrics.writeLat.Start()
+	defer sw.Stop()
+	if err := checkBufs(bufs); err != nil {
+		return err
+	}
+	f, err := d.open(rel)
+	if err != nil {
+		return err
+	}
+	n, err := d.NBlocks(rel)
+	if err != nil {
+		return err
+	}
+	if blk > n {
+		return fmt.Errorf("%w: write %s block %d beyond end %d", ErrBadBlock, rel, blk, n)
+	}
+	stage := make([]byte, len(bufs)*page.Size)
+	for i, buf := range bufs {
+		copy(stage[i*page.Size:], buf)
+	}
+	if _, err := f.WriteAt(stage, int64(blk)*page.Size); err != nil {
+		return fmt.Errorf("disk: write %s blocks %d..%d: %w", rel, blk, int(blk)+len(bufs)-1, err)
+	}
+	if !d.model.IsZero() {
+		for i := range bufs {
+			b := blk + BlockNum(i)
+			charge(d.clock, d.model, d.track.sequential(rel, b))
+		}
 	}
 	return nil
 }

@@ -150,6 +150,19 @@ func (f *FaultManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
 	return f.inner.ReadBlock(rel, blk, buf)
 }
 
+// ReadBlocks implements Manager as a per-block loop so the FailAfter
+// countdown counts blocks, not batches, and an injected fault can land
+// midway through a batch.
+func (f *FaultManager) ReadBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	return readBlocksSeq(f, rel, blk, bufs)
+}
+
+// WriteBlocks implements Manager as a per-block loop, for the same
+// mid-batch injection reason as ReadBlocks.
+func (f *FaultManager) WriteBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	return writeBlocksSeq(f, rel, blk, bufs)
+}
+
 // WriteBlock implements Manager.
 func (f *FaultManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
 	if f.shouldFail(opWrite) {

@@ -64,6 +64,26 @@ func (l *LatencyManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error
 	return l.inner.WriteBlock(rel, blk, buf)
 }
 
+// ReadBlocks implements Manager: one positioning latency covers the whole
+// batch — the device pays a single seek-plus-transfer for adjacent blocks,
+// which is exactly the win vectored I/O exists to expose — and the inner
+// manager performs the actual scatter read.
+func (l *LatencyManager) ReadBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	if l.readLat > 0 && len(bufs) > 0 {
+		time.Sleep(l.readLat)
+	}
+	return l.inner.ReadBlocks(rel, blk, bufs)
+}
+
+// WriteBlocks implements Manager: one positioning latency per batch, like
+// ReadBlocks.
+func (l *LatencyManager) WriteBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	if l.writeLat > 0 && len(bufs) > 0 {
+		time.Sleep(l.writeLat)
+	}
+	return l.inner.WriteBlocks(rel, blk, bufs)
+}
+
 // Sync implements Manager.
 func (l *LatencyManager) Sync(rel RelName) error {
 	if l.syncLat > 0 {

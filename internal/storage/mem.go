@@ -93,6 +93,39 @@ func (m *MemManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
 	return nil
 }
 
+// ReadBlocks implements Manager: the whole batch is copied out under one
+// shared lock hold instead of len(bufs) acquisitions.
+func (m *MemManager) ReadBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	memMetrics.reads.Add(int64(len(bufs)))
+	memMetrics.batchReads.Inc()
+	sw := memMetrics.readLat.Start()
+	defer sw.Stop()
+	if err := checkBufs(bufs); err != nil {
+		return err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	blocks, ok := m.rels[rel]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRelation, rel)
+	}
+	if int(blk)+len(bufs) > len(blocks) {
+		return fmt.Errorf("%w: %s blocks %d..%d of %d", ErrBadBlock, rel, blk, int(blk)+len(bufs)-1, len(blocks))
+	}
+	for i, buf := range bufs {
+		copy(buf, blocks[int(blk)+i])
+	}
+	if !m.model.IsZero() {
+		for i := range bufs {
+			charge(m.clock, m.model, m.track.sequential(rel, blk+BlockNum(i)))
+		}
+	}
+	return nil
+}
+
 // WriteBlock implements Manager.
 func (m *MemManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
 	memMetrics.writes.Inc()
@@ -119,6 +152,48 @@ func (m *MemManager) WriteBlock(rel RelName, blk BlockNum, buf []byte) error {
 	}
 	if !m.model.IsZero() {
 		charge(m.clock, m.model, m.track.sequential(rel, blk))
+	}
+	return nil
+}
+
+// WriteBlocks implements Manager: the whole batch lands under one exclusive
+// lock hold, with the same per-block overwrite/append semantics as
+// WriteBlock.
+func (m *MemManager) WriteBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	if len(bufs) == 0 {
+		return nil
+	}
+	memMetrics.writes.Add(int64(len(bufs)))
+	memMetrics.batchWrites.Inc()
+	sw := memMetrics.writeLat.Start()
+	defer sw.Stop()
+	if err := checkBufs(bufs); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blocks, ok := m.rels[rel]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoRelation, rel)
+	}
+	for i, buf := range bufs {
+		b := int(blk) + i
+		switch {
+		case b < len(blocks):
+			copy(blocks[b], buf)
+		case b == len(blocks):
+			img := make([]byte, page.Size)
+			copy(img, buf)
+			blocks = append(blocks, img)
+		default:
+			return fmt.Errorf("%w: write %s block %d beyond end %d", ErrBadBlock, rel, b, len(blocks))
+		}
+	}
+	m.rels[rel] = blocks
+	if !m.model.IsZero() {
+		for i := range bufs {
+			charge(m.clock, m.model, m.track.sequential(rel, blk+BlockNum(i)))
+		}
 	}
 	return nil
 }

@@ -9,25 +9,30 @@ import "postlob/internal/obs"
 // instrumented inner manager, so each device op is counted exactly once.
 type smgrMetrics struct {
 	reads, writes, syncs       *obs.Counter
+	batchReads, batchWrites    *obs.Counter // coalesced ReadBlocks/WriteBlocks ops (blocks counted in reads/writes)
 	readLat, writeLat, syncLat *obs.Timer
 }
 
 var diskMetrics = smgrMetrics{
-	reads:    obs.NewCounter("smgr.disk.reads"),
-	writes:   obs.NewCounter("smgr.disk.writes"),
-	syncs:    obs.NewCounter("smgr.disk.syncs"),
-	readLat:  obs.NewTimer("smgr.disk.read_latency"),
-	writeLat: obs.NewTimer("smgr.disk.write_latency"),
-	syncLat:  obs.NewTimer("smgr.disk.sync_latency"),
+	reads:       obs.NewCounter("smgr.disk.reads"),
+	writes:      obs.NewCounter("smgr.disk.writes"),
+	syncs:       obs.NewCounter("smgr.disk.syncs"),
+	batchReads:  obs.NewCounter("smgr.disk.batch_reads"),
+	batchWrites: obs.NewCounter("smgr.disk.batch_writes"),
+	readLat:     obs.NewTimer("smgr.disk.read_latency"),
+	writeLat:    obs.NewTimer("smgr.disk.write_latency"),
+	syncLat:     obs.NewTimer("smgr.disk.sync_latency"),
 }
 
 var memMetrics = smgrMetrics{
-	reads:    obs.NewCounter("smgr.mem.reads"),
-	writes:   obs.NewCounter("smgr.mem.writes"),
-	syncs:    obs.NewCounter("smgr.mem.syncs"),
-	readLat:  obs.NewTimer("smgr.mem.read_latency"),
-	writeLat: obs.NewTimer("smgr.mem.write_latency"),
-	syncLat:  obs.NewTimer("smgr.mem.sync_latency"),
+	reads:       obs.NewCounter("smgr.mem.reads"),
+	writes:      obs.NewCounter("smgr.mem.writes"),
+	syncs:       obs.NewCounter("smgr.mem.syncs"),
+	batchReads:  obs.NewCounter("smgr.mem.batch_reads"),
+	batchWrites: obs.NewCounter("smgr.mem.batch_writes"),
+	readLat:     obs.NewTimer("smgr.mem.read_latency"),
+	writeLat:    obs.NewTimer("smgr.mem.write_latency"),
+	syncLat:     obs.NewTimer("smgr.mem.sync_latency"),
 }
 
 var wormMetrics = smgrMetrics{

@@ -85,9 +85,19 @@ type Manager interface {
 	NBlocks(rel RelName) (BlockNum, error)
 	// ReadBlock fills buf (which must be page.Size long) with block blk.
 	ReadBlock(rel RelName, blk BlockNum, buf []byte) error
+	// ReadBlocks is the scatter read: it fills bufs[i] (each page.Size long)
+	// with block blk+i. Semantically equivalent to len(bufs) ReadBlock calls;
+	// managers backed by positional media coalesce the adjacent blocks into
+	// one device transfer, which is what makes prefetch windows cheap.
+	ReadBlocks(rel RelName, blk BlockNum, bufs [][]byte) error
 	// WriteBlock stores buf as block blk. blk may be at most NBlocks (the
 	// append position); writing past the end is an error.
 	WriteBlock(rel RelName, blk BlockNum, buf []byte) error
+	// WriteBlocks is the gather write: it stores bufs[i] as block blk+i.
+	// Like WriteBlock the batch may extend the relation contiguously — blk
+	// may be at most NBlocks, and each buffer lands on the append position
+	// the previous one created.
+	WriteBlocks(rel RelName, blk BlockNum, bufs [][]byte) error
 	// Sync forces the relation's blocks to stable storage.
 	Sync(rel RelName) error
 	// Unlink removes the relation and its storage.
@@ -211,6 +221,37 @@ func (s *Switch) Close() error {
 func checkBuf(buf []byte) error {
 	if len(buf) != page.Size {
 		return fmt.Errorf("%w: %d bytes", ErrShortBuffer, len(buf))
+	}
+	return nil
+}
+
+func checkBufs(bufs [][]byte) error {
+	for _, buf := range bufs {
+		if err := checkBuf(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readBlocksSeq implements ReadBlocks as a per-block loop, for managers with
+// no coalescing win and for wrappers that must observe every block
+// individually (fault countdowns, crash ticks).
+func readBlocksSeq(m Manager, rel RelName, blk BlockNum, bufs [][]byte) error {
+	for i, buf := range bufs {
+		if err := m.ReadBlock(rel, blk+BlockNum(i), buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeBlocksSeq is the gather-write counterpart of readBlocksSeq.
+func writeBlocksSeq(m Manager, rel RelName, blk BlockNum, bufs [][]byte) error {
+	for i, buf := range bufs {
+		if err := m.WriteBlock(rel, blk+BlockNum(i), buf); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -287,6 +287,22 @@ func (w *WormManager) ReadBlock(rel RelName, blk BlockNum, buf []byte) error {
 	return nil
 }
 
+// ReadBlocks implements Manager as a per-block loop. The jukebox has no
+// scatter/gather: logical adjacency says nothing about physical adjacency
+// behind the relocation map, so each block is charged on its own under the
+// platter cost model (physically sequential archived blocks still stream at
+// transfer cost).
+func (w *WormManager) ReadBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	return readBlocksSeq(w, rel, blk, bufs)
+}
+
+// WriteBlocks implements Manager as a per-block loop, for the same
+// relocation-map reason as ReadBlocks: every write burns its own physical
+// block (or cache slot).
+func (w *WormManager) WriteBlocks(rel RelName, blk BlockNum, bufs [][]byte) error {
+	return writeBlocksSeq(w, rel, blk, bufs)
+}
+
 // WriteBlock implements Manager. With a cache, writes land in the cache as
 // pending blocks and migrate to the write-once medium on Sync or eviction.
 // Without a cache, each write burns a fresh physical block immediately.

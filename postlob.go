@@ -165,6 +165,18 @@ type Options struct {
 	// interpose storage.CrashManager or storage.FaultManager under a real
 	// database; returning mgr unchanged is always safe.
 	WrapStorage func(id storage.ID, mgr storage.Manager) storage.Manager
+
+	// BackgroundWriter controls the buffer pool's background I/O engine: a
+	// writer goroutine that cleans cold dirty frames ahead of demand (so
+	// foreground evictions almost never write back) and a prefetcher that
+	// services sequential-scan read-ahead windows with batched device reads.
+	// nil means enabled — the default. Point at false to fall back to the
+	// do-the-I/O-in-the-caller discipline; deterministic harnesses (crash
+	// sweeps) want that, everything else wants the engine.
+	BackgroundWriter *bool
+	// PrefetchWindow caps the sequential read-ahead window in pages
+	// (default 16). Consulted only while the engine is running.
+	PrefetchWindow int
 }
 
 // DB is an open database.
@@ -297,6 +309,15 @@ func Open(dir string, opts Options) (*DB, error) {
 	}
 	if wlog != nil {
 		db.waldur = core.AttachWAL(pool, wlog)
+	}
+	// The engine starts after AttachWAL so its write-backs honor the flush
+	// ceiling from the first round, and before any workload runs.
+	if opts.BackgroundWriter == nil || *opts.BackgroundWriter {
+		pool.Buf.StartEngine(buffer.EngineConfig{
+			BackgroundWriter: true,
+			Prefetch:         true,
+			PrefetchWindow:   opts.PrefetchWindow,
+		})
 	}
 	// Reload persisted large type definitions into the registry.
 	for _, def := range cat.LargeTypes() {
@@ -516,6 +537,9 @@ func (db *DB) Checkpoint() error {
 
 // Close checkpoints and shuts the database down.
 func (db *DB) Close() error {
+	// Quiesce the background engine first: the closing checkpoint must see a
+	// stable dirty set, and it surfaces any sticky async write-back error.
+	db.pool.Buf.StopEngine()
 	if err := db.Checkpoint(); err != nil {
 		return err
 	}

@@ -18,12 +18,30 @@ func TestStatsCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer db.Close()
+	var ref ObjectRef
 	if err := db.RunInTxn(func(tx *Txn) error {
-		_, obj, err := db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk})
+		r, obj, err := db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk})
 		if err != nil {
 			return err
 		}
+		ref = r
 		obj.Write(bytes.Repeat([]byte{1}, 500_000))
+		return obj.Close()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Read the object's first chunk back: 500 KB through a 16-page pool
+	// guarantees its page was evicted, so this is a deterministic buffer
+	// miss (a write-only workload's miss count depends on which metadata
+	// pages the background writer happened to keep resident).
+	if err := db.RunInTxn(func(tx *Txn) error {
+		obj, err := db.LargeObjects().Open(tx, ref)
+		if err != nil {
+			return err
+		}
+		if _, err := obj.Read(make([]byte, 100)); err != nil {
+			return err
+		}
 		return obj.Close()
 	}); err != nil {
 		t.Fatal(err)
