@@ -1,0 +1,266 @@
+package postlob
+
+// TestMixedRWReport measures what the MVCC read path buys: snapshot readers
+// against a version store being churned by concurrent writers, versus the
+// same readers alone. Readers take no relation lock and no write latch —
+// they traverse to the newest visible version under shared frame latches —
+// so writer traffic must not collapse reader throughput. An online vacuum
+// daemon reclaims superseded versions underneath the mixed phase, keeping
+// version chains short.
+//
+// The report only runs when BENCH=1 is set:
+//
+//	BENCH=1 go test -run TestMixedRWReport -v .
+//	BENCH=1 ./check.sh
+//
+// Results are written to BENCH_mixed_rw.json at the repo root. The
+// acceptance bar: with writers running, reader throughput must stay at or
+// above mixedRWRatioBar times the readers-alone rate at every measured
+// concurrency.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const (
+	// mixedRWRatioBar: mixed reader throughput over readers-alone, the gate.
+	mixedRWRatioBar = 0.7
+	// mixedRWObjBytes sizes each object (two f-chunks, read in full).
+	mixedRWObjBytes = 16000
+	// mixedRWPhase is the measured wall-clock window per phase.
+	mixedRWPhase = 1200 * time.Millisecond
+	// mixedRWWriters is the writer pool behind the offered update load.
+	mixedRWWriters = 4
+	// mixedRWWriteEvery paces each writer: one full-object overwrite
+	// transaction per tick, a fixed offered load (~400 updates/sec total)
+	// rather than an unbounded CPU race — the gate asks whether readers
+	// keep their throughput under a real update stream, not how the
+	// scheduler splits cores between spinning loops.
+	mixedRWWriteEvery = 10 * time.Millisecond
+	// mixedRWVacuumEvery is the online vacuum cadence during the mixed
+	// phase, frequent enough to keep version chains short.
+	mixedRWVacuumEvery = 25 * time.Millisecond
+)
+
+// newMixedRWDB opens a database and seeds one committed f-chunk object per
+// reader, filled with uniform generation words (the same oracle the SI soak
+// uses, so the benchmark doubles as a correctness check).
+func newMixedRWDB(tb testing.TB, readers int) (*DB, []ObjectRef) {
+	tb.Helper()
+	db, err := Open(tb.TempDir(), Options{BufferPoolPages: 4096})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() {
+		if err := db.Close(); err != nil {
+			tb.Errorf("close: %v", err)
+		}
+	})
+	refs := make([]ObjectRef, readers)
+	tx := db.Begin()
+	for i := range refs {
+		ref, h, err := db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := h.Write(mixedRWContent(i, 0)); err != nil {
+			tb.Fatal(err)
+		}
+		if err := h.Close(); err != nil {
+			tb.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	if _, err := tx.Commit(); err != nil {
+		tb.Fatal(err)
+	}
+	return db, refs
+}
+
+func mixedRWContent(obj int, gen uint32) []byte {
+	buf := make([]byte, mixedRWObjBytes)
+	word := uint64(obj)<<32 | uint64(gen)
+	for i := 0; i+8 <= len(buf); i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], word)
+	}
+	return buf
+}
+
+// runMixedRW runs `readers` snapshot-reader goroutines for one measured
+// window, with `writers` overwriter goroutines alongside (0 for the
+// readers-alone baseline), and returns reads/sec and writes/sec.
+func runMixedRW(t *testing.T, readers, writers int) (readsPerSec, writesPerSec float64) {
+	t.Helper()
+	db, refs := newMixedRWDB(t, readers)
+	if writers > 0 {
+		if err := db.StartVacuum(VacuumOptions{Interval: mixedRWVacuumEvery, ReclaimHistory: true}); err != nil {
+			t.Fatal(err)
+		}
+		defer func() {
+			if err := db.StopVacuum(); err != nil {
+				t.Fatal(err)
+			}
+		}()
+	}
+
+	var (
+		stop   atomic.Bool
+		reads  atomic.Int64
+		writes atomic.Int64
+		wg     sync.WaitGroup
+		errs   = make(chan error, readers+writers)
+	)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// Each reader sweeps every object round-robin starting at its
+			// own, so all frames stay hot and contention is spread.
+			for i := r; !stop.Load(); i++ {
+				w := i % len(refs)
+				tx := db.Begin()
+				h, err := db.LargeObjects().Open(tx, refs[w])
+				var data []byte
+				if err == nil {
+					data, err = io.ReadAll(h)
+					h.Close()
+				}
+				tx.Abort()
+				if err != nil {
+					errs <- fmt.Errorf("reader %d: %w", r, err)
+					return
+				}
+				if len(data) != mixedRWObjBytes {
+					errs <- fmt.Errorf("reader %d: read %d bytes", r, len(data))
+					return
+				}
+				// Cheap torn-read check: first and last word must agree.
+				if binary.LittleEndian.Uint64(data) != binary.LittleEndian.Uint64(data[len(data)-8:]) {
+					errs <- fmt.Errorf("reader %d: torn read of object %d", r, w)
+					return
+				}
+				reads.Add(1)
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tick := time.NewTicker(mixedRWWriteEvery)
+			defer tick.Stop()
+			obj := w % len(refs)
+			for gen := uint32(2); !stop.Load(); gen += 2 {
+				<-tick.C
+				tx := db.Begin()
+				h, err := db.LargeObjects().Open(tx, refs[obj])
+				if err == nil {
+					if _, err = h.Write(mixedRWContent(obj, gen)); err == nil {
+						err = h.Close()
+					} else {
+						h.Close()
+					}
+				}
+				if err == nil {
+					_, err = tx.Commit()
+				} else {
+					tx.Abort()
+				}
+				if err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				writes.Add(1)
+			}
+		}(w)
+	}
+
+	time.Sleep(mixedRWPhase)
+	stop.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	secs := mixedRWPhase.Seconds()
+	return float64(reads.Load()) / secs, float64(writes.Load()) / secs
+}
+
+type mixedRWResult struct {
+	Readers            int     `json:"readers"`
+	Writers            int     `json:"writers"`
+	ReadersAlonePerSec float64 `json:"readers_alone_reads_per_sec"`
+	MixedReadsPerSec   float64 `json:"mixed_reads_per_sec"`
+	MixedWritesPerSec  float64 `json:"mixed_writes_per_sec"`
+	// Ratio is mixed over alone — the "writers don't degrade readers" gate.
+	Ratio float64 `json:"mixed_over_alone_ratio"`
+}
+
+func TestMixedRWReport(t *testing.T) {
+	if os.Getenv("BENCH") == "" {
+		t.Skip("set BENCH=1 to run the mixed read/write harness")
+	}
+
+	results := make(map[string]mixedRWResult)
+	for _, g := range []int{8, 64} {
+		writers := mixedRWWriters
+		alone, _ := runMixedRW(t, g, 0)
+		mixedReads, mixedWrites := runMixedRW(t, g, writers)
+		ratio := mixedReads / alone
+		results[fmt.Sprintf("goroutines=%d", g)] = mixedRWResult{
+			Readers:            g,
+			Writers:            writers,
+			ReadersAlonePerSec: round2(alone),
+			MixedReadsPerSec:   round2(mixedReads),
+			MixedWritesPerSec:  round2(mixedWrites),
+			Ratio:              round2(ratio),
+		}
+		t.Logf("goroutines=%d: alone %.0f reads/s, mixed %.0f reads/s + %.0f writes/s (+%d writers), ratio %.2f",
+			g, alone, mixedReads, mixedWrites, writers, ratio)
+		if ratio < mixedRWRatioBar {
+			t.Errorf("goroutines=%d: mixed reader throughput %.2fx of alone, below the %.2fx bar",
+				g, ratio, mixedRWRatioBar)
+		}
+	}
+
+	report := struct {
+		Benchmark   string                   `json:"benchmark"`
+		Description string                   `json:"description"`
+		Environment map[string]any           `json:"environment"`
+		RatioBar    float64                  `json:"ratio_bar"`
+		Workloads   map[string]mixedRWResult `json:"workloads"`
+	}{
+		Benchmark:   "TestMixedRWReport",
+		Description: "Snapshot-reader throughput under a fixed offered update load versus readers alone, over per-reader 16000-byte f-chunk objects. The mixed phase adds a paced writer pool (one full-object overwrite transaction per writer per write_interval) and an online vacuum daemon reclaiming superseded versions underneath. Readers take no relation lock and no write latch — the MVCC read path walks to the newest visible version under shared frame latches — so the build fails if mixed reader throughput drops below ratio_bar times the readers-alone rate at any measured concurrency.",
+		Environment: map[string]any{
+			"cpu_count":       runtime.NumCPU(),
+			"gomaxprocs":      runtime.GOMAXPROCS(0),
+			"go_version":      runtime.Version(),
+			"object_bytes":    mixedRWObjBytes,
+			"phase_duration":  mixedRWPhase.String(),
+			"write_interval":  mixedRWWriteEvery.String(),
+			"vacuum_interval": mixedRWVacuumEvery.String(),
+			"pool_pages":      4096,
+		},
+		RatioBar:  mixedRWRatioBar,
+		Workloads: results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_mixed_rw.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_mixed_rw.json")
+}

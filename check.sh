@@ -40,6 +40,17 @@
 #                                  decoder over the checked-in corpus, so a
 #                                  framing regression fails fast
 #
+#   7b. FuzzVersionMetaDecode      same treatment for the on-page tuple
+#                                  version header (xmin/xmax stamps, hint
+#                                  bits, version-chain back link)
+#
+#   7c. (MVCC=1 only)              the widened MVCC gate: the snapshot-
+#                                  isolation soak at 24 writers plus a
+#                                  100-seed crash-recovery sweep, both under
+#                                  the race detector:
+#
+#                                    MVCC=1 ./check.sh
+#
 #   8. (BENCH=1 only)              the observability overhead harness: the
 #                                  concurrent read workload with metrics
 #                                  recording vs obs.Disabled(). Rewrites
@@ -110,6 +121,16 @@ go test -run '^$' -bench BenchmarkScanPrefetch -benchtime=1x .
 echo "== FuzzWALDecode smoke (-fuzztime=200x)"
 go test -run '^$' -fuzz '^FuzzWALDecode$' -fuzztime 200x ./internal/wal
 
+echo "== FuzzVersionMetaDecode smoke (-fuzztime=200x)"
+go test -run '^$' -fuzz '^FuzzVersionMetaDecode$' -fuzztime 200x ./internal/heap
+
+if [ "${MVCC:-}" = "1" ]; then
+	echo "== widened snapshot-isolation soak (MVCC=1, 24 writers, -race)"
+	MVCCWRITERS=24 go test -race -run '^TestSnapshotIsolationSoak$' -count=1 -v .
+	echo "== widened crash-recovery sweep (MVCC=1, 100 seeds, -race)"
+	CRASH=100 go test -race -run '^TestCrashRecovery$' -count=1 ./internal/core
+fi
+
 if [ "${BENCH:-}" = "1" ]; then
 	echo "== observability overhead harness (BENCH=1)"
 	BENCH=1 go test -run '^TestObsOverheadReport$' -v .
@@ -117,6 +138,8 @@ if [ "${BENCH:-}" = "1" ]; then
 	BENCH=1 go test -run '^TestAsyncIOReport$' -v -timeout 20m .
 	echo "== commit latency harness (BENCH=1)"
 	BENCH=1 go test -run '^TestCommitLatencyReport$' -v -timeout 20m .
+	echo "== mixed read/write harness (BENCH=1)"
+	BENCH=1 go test -run '^TestMixedRWReport$' -v -timeout 20m .
 fi
 
 echo "check.sh: all green"

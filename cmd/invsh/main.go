@@ -38,11 +38,12 @@ import (
 
 func main() {
 	var (
-		dbdir  = flag.String("db", "", "database directory (required)")
-		kind   = flag.String("kind", "f-chunk", "large-object implementation for file contents")
-		codec  = flag.String("codec", "", "compression codec: fast, tight, or empty")
-		useWAL = flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
-		bgw    = flag.Bool("bgwriter", true, "run the background I/O engine (writer + scan prefetch)")
+		dbdir   = flag.String("db", "", "database directory (required)")
+		kind    = flag.String("kind", "f-chunk", "large-object implementation for file contents")
+		codec   = flag.String("codec", "", "compression codec: fast, tight, or empty")
+		useWAL  = flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
+		bgw     = flag.Bool("bgwriter", true, "run the background I/O engine (writer + scan prefetch)")
+		autovac = flag.Bool("autovacuum", false, "run the online vacuum daemon (reclaims dead versions; keeps committed history)")
 	)
 	flag.Parse()
 	if *dbdir == "" {
@@ -55,6 +56,9 @@ func main() {
 	opts := postlob.Options{BackgroundWriter: bgw}
 	if *useWAL {
 		opts.Durability = postlob.DurabilityWAL
+	}
+	if *autovac {
+		opts.AutoVacuum = &postlob.VacuumOptions{}
 	}
 	db, err := postlob.Open(*dbdir, opts)
 	if err != nil {

@@ -34,6 +34,7 @@ func main() {
 		metrics = flag.String("metrics", "127.0.0.1:5440", "HTTP address for /metrics and /debug/pprof (empty disables)")
 		useWAL  = flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
 		bgw     = flag.Bool("bgwriter", true, "run the background I/O engine (writer + scan prefetch)")
+		autovac = flag.Bool("autovacuum", false, "run the online vacuum daemon (reclaims dead versions; keeps committed history)")
 	)
 	flag.Parse()
 	if *dbdir == "" {
@@ -42,6 +43,9 @@ func main() {
 	opts := postlob.Options{BackgroundWriter: bgw}
 	if *useWAL {
 		opts.Durability = postlob.DurabilityWAL
+	}
+	if *autovac {
+		opts.AutoVacuum = &postlob.VacuumOptions{}
 	}
 	db, err := postlob.Open(*dbdir, opts)
 	if err != nil {

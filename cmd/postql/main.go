@@ -29,6 +29,7 @@ func main() {
 	cmd := flag.String("c", "", "execute the given statement(s), ';'-separated, then exit")
 	useWAL := flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
 	bgw := flag.Bool("bgwriter", true, "run the background I/O engine (writer + scan prefetch)")
+	autovac := flag.Bool("autovacuum", false, "run the online vacuum daemon (reclaims dead versions; keeps committed history)")
 	flag.Parse()
 	if *dbdir == "" {
 		log.Fatal("postql: -db is required")
@@ -36,6 +37,9 @@ func main() {
 	opts := postlob.Options{BackgroundWriter: bgw}
 	if *useWAL {
 		opts.Durability = postlob.DurabilityWAL
+	}
+	if *autovac {
+		opts.AutoVacuum = &postlob.VacuumOptions{}
 	}
 	db, err := postlob.Open(*dbdir, opts)
 	if err != nil {

@@ -40,8 +40,11 @@ var Hierarchy = []Level{
 	{Doc: "catalog: name resolution happens before any page access", Classes: []Class{
 		{Name: "catalog.Catalog.mu"},
 	}},
-	{Doc: "access-method handle cache", Classes: []Class{
+	{Doc: "access-method handle caches: every opener of a relation must " +
+		"share one handle, so the handle's own lock excludes readers from " +
+		"structural changes", Classes: []Class{
 		{Name: "heap.Pool.relMu"},
+		{Name: "btree.Cache.mu"},
 	}},
 	{Doc: "access-method relation locks (heap and btree are independent)", Classes: []Class{
 		{Name: "heap.Relation.mu"},
@@ -76,6 +79,14 @@ var Hierarchy = []Level{
 		{Name: "buffer.Pool.extMu"},
 		{Name: "buffer.Pool.csMu"},
 		{Name: "buffer.Pool.bgErrMu"},
+	}},
+	{Doc: "heap insert-placement hints and vacuum daemon state, all leaves: " +
+		"placeMu is taken under the relation lock but never across a pool call " +
+		"or frame latch; the vacuum daemon locks guard lifecycle state and are " +
+		"never held across a vacuum round or a goroutine join", Classes: []Class{
+		{Name: "heap.Relation.placeMu"},
+		{Name: "core.Vacuum.mu"},
+		{Name: "postlob.DB.vacMu"},
 	}},
 	{Doc: "storage manager handles, the innermost layer", Classes: []Class{
 		{Name: "storage.Switch.mu"},

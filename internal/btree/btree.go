@@ -148,6 +148,10 @@ type Tree struct {
 	name storage.RelName
 	cfg  Config
 
+	// cache is the handle cache that installed this tree, nil for handles
+	// opened directly. Written once at install, before the handle is shared.
+	cache *Cache
+
 	// mu is held shared by read-only descents and scans — node pages only
 	// change under the exclusive side, so readers never see a node
 	// mid-modification — and exclusive by Insert/Delete. Writers
@@ -269,7 +273,11 @@ func (t *Tree) Drop() error {
 	// Log the unlink so redo recovery does not resurrect the tree from
 	// earlier page images.
 	t.buf.LogUnlink(t.sm, t.name)
-	return mgr.Unlink(t.name)
+	err = mgr.Unlink(t.name)
+	if t.cache != nil {
+		t.cache.forget(t.sm, t.name)
+	}
+	return err
 }
 
 // --- node accessors ---------------------------------------------------------
@@ -617,6 +625,32 @@ func (t *Tree) descendToLeaf(key, val uint64) (storage.BlockNum, error) {
 func (t *Tree) Delete(key, val uint64) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	return t.deleteLocked(key, val)
+}
+
+// DeleteIf removes the entry (key, val) only if stale() reports true. The
+// callback runs under the tree's writer lock, so the check and the delete
+// are one atomic unit with respect to every Insert on this tree. Index
+// pruning needs that atomicity: a value encoding a heap TID can be recycled
+// — the dead tuple's slot reused for a fresh version of the same key, and
+// the identical (key, val) pair re-inserted. A prune decision made from a
+// pre-recycle observation must re-verify before deleting, or a delayed
+// delete removes the live record's only index entry. stale must not touch
+// this tree (the lock is not reentrant).
+func (t *Tree) DeleteIf(key, val uint64, stale func() (bool, error)) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ok, err := stale()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return nil
+	}
+	return t.deleteLocked(key, val)
+}
+
+func (t *Tree) deleteLocked(key, val uint64) error {
 	blk, err := t.descendToLeaf(key, val)
 	if err != nil {
 		return err

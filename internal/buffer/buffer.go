@@ -148,6 +148,12 @@ func (f *Frame) RLockContent() {
 // RUnlockContent releases the shared content latch.
 func (f *Frame) RUnlockContent() { f.latch.RUnlock() }
 
+// TryRLockContent takes the shared content latch only if it is immediately
+// available, reporting whether it was taken. Callers that want their waits
+// attributed to a specific counter (heap's snapshot-read path) try first and
+// fall back to RLockContent.
+func (f *Frame) TryRLockContent() bool { return f.latch.TryRLock() }
+
 // Release drops one pin. When the last pin is released the frame becomes a
 // candidate for replacement. Release panics on a pin-count underflow: a
 // frame released more often than it was obtained is always a caller bug,

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"postlob/internal/adt"
+	"postlob/internal/btree"
 	"postlob/internal/catalog"
 	"postlob/internal/compress"
 	"postlob/internal/heap"
@@ -70,9 +71,10 @@ type Object interface {
 
 // Store manages large objects: creation, opening, deletion, temporaries.
 type Store struct {
-	pool *heap.Pool
-	cat  *catalog.Catalog
-	reg  *adt.Registry
+	pool   *heap.Pool
+	cat    *catalog.Catalog
+	reg    *adt.Registry
+	btrees *btree.Cache
 
 	// FilesDir is where p-files are allocated by NewFilename.
 	filesDir string
@@ -117,6 +119,7 @@ func NewStore(pool *heap.Pool, cat *catalog.Catalog, reg *adt.Registry, cfg Conf
 		pool:      pool,
 		cat:       cat,
 		reg:       reg,
+		btrees:    btree.NewCache(pool.Buf),
 		filesDir:  cfg.FilesDir,
 		clock:     cfg.Clock,
 		cpu:       cfg.CPU,
@@ -133,6 +136,12 @@ func (s *Store) Catalog() *catalog.Catalog { return s.cat }
 // operates on, so sibling subsystems (the Inversion file system, the query
 // executor) share its caches and visibility machinery.
 func (s *Store) Pool() *heap.Pool { return s.pool }
+
+// Btrees returns the shared B-tree handle cache. Every opener of an index
+// relation must go through it: Tree.mu is the tree's only reader/writer
+// exclusion, so private handles on one relation would race read descents
+// against structural changes.
+func (s *Store) Btrees() *btree.Cache { return s.btrees }
 
 // Registry returns the store's type registry.
 func (s *Store) Registry() *adt.Registry { return s.reg }
@@ -256,7 +265,7 @@ func (s *Store) Create(tx *txn.Txn, opts CreateOptions) (adt.ObjectRef, Object, 
 		return adt.ObjectRef{}, nil, err
 	}
 	ref := adt.ObjectRef{OID: uint64(oid), TypeName: typeName}
-	obj, err := s.open(tx, txn.InvalidTS, false, ref, meta)
+	obj, err := s.open(tx, liveSnap(tx), ref, meta)
 	if err != nil {
 		return adt.ObjectRef{}, nil, err
 	}
@@ -269,7 +278,7 @@ func (s *Store) Open(tx *txn.Txn, ref adt.ObjectRef) (Object, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.open(tx, txn.InvalidTS, false, ref, meta)
+	return s.open(tx, liveSnap(tx), ref, meta)
 }
 
 // OpenAsOf opens a read-only view of the object as it stood at timestamp
@@ -282,10 +291,23 @@ func (s *Store) OpenAsOf(ts txn.TS, ref adt.ObjectRef) (Object, error) {
 	if meta.Kind == adt.KindUFile || meta.Kind == adt.KindPFile {
 		return nil, fmt.Errorf("%w: %v", ErrNoTravel, meta.Kind)
 	}
-	return s.open(nil, ts, true, ref, meta)
+	return s.open(nil, txn.SnapshotAt(ts), ref, meta)
 }
 
-func (s *Store) open(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRef, meta *catalog.LargeObjectMeta) (Object, error) {
+// liveSnap returns tx's visibility snapshot, or a zero live snapshot for
+// file-kind opens that take no transaction.
+func liveSnap(tx *txn.Txn) txn.Snapshot {
+	if tx == nil {
+		return txn.Snapshot{}
+	}
+	return tx.Snapshot()
+}
+
+// open hands the object the one visibility input every read takes: a
+// snapshot. A live handle carries the transaction's snapshot; a time-travel
+// handle carries a historical one. The object layer no longer distinguishes
+// the two — which snapshot it was given IS the mode.
+func (s *Store) open(tx *txn.Txn, snap txn.Snapshot, ref adt.ObjectRef, meta *catalog.LargeObjectMeta) (Object, error) {
 	var (
 		o   Object
 		err error
@@ -294,9 +316,9 @@ func (s *Store) open(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRef, meta 
 	case adt.KindUFile, adt.KindPFile:
 		o, err = s.openFileObject(ref, meta)
 	case adt.KindFChunk:
-		o, err = s.openFChunk(tx, ts, asOf, ref, meta)
+		o, err = s.openFChunk(tx, snap, ref, meta)
 	case adt.KindVSegment:
-		o, err = s.openVSegment(tx, ts, asOf, ref, meta)
+		o, err = s.openVSegment(tx, snap, ref, meta)
 	default:
 		return nil, fmt.Errorf("core: unknown storage kind %v", meta.Kind)
 	}

@@ -176,6 +176,7 @@ const (
 	aUnlink
 	aArchive
 	aAsOf
+	aVacuum
 )
 
 // scriptOp is one fully concrete workload step; the generator resolves all
@@ -348,6 +349,13 @@ func generateScript(seed int64) ([]scriptOp, int) {
 		if snapCount > 0 && rng.Float64() < 0.25 {
 			ops = append(ops, scriptOp{action: aAsOf, snapIx: rng.Intn(snapCount)})
 		}
+		// Online vacuum rides along under the crash sweep: a history-keeping
+		// round between transactions, so every recorded snapshot must stay
+		// readable even though aborted debris gets reclaimed under it — and a
+		// crash landing mid-epoch after a vacuum must still recover exactly.
+		if rng.Float64() < 0.15 {
+			ops = append(ops, scriptOp{action: aVacuum})
+		}
 	}
 	return ops, rng.Intn(len(ops) + 1)
 }
@@ -379,10 +387,13 @@ func applyWrite(state []byte, off int, data []byte) []byte {
 }
 
 // snapshot records the oracle's committed bytes for every durable chunked
-// object at one commit timestamp — a time-travel target.
+// object at one commit timestamp — a time-travel target. nObjs is how many
+// objects existed at capture: any chunked object created later has no
+// version visible as of ts, and recovery must keep it that way.
 type snapshot struct {
-	ts   txn.TS
-	data map[int][]byte
+	ts    txn.TS
+	nObjs int
+	data  map[int][]byte
 }
 
 // runWorkload executes ops against the real stack and the oracle in
@@ -399,6 +410,9 @@ func runWorkload(t *testing.T, cs *crashStack, ops []scriptOp, crashAt int) ([]*
 		maxXID  txn.XID
 		maxTS   txn.TS
 	)
+	// Manual online vacuum, driven by aVacuum ops: history is kept, so the
+	// recorded time-travel snapshots must survive every round.
+	vac := cs.store.StartVacuum(VacuumOptions{Manual: true})
 	handle := func(i int) Object {
 		if h := handles[i]; h != nil {
 			return h
@@ -521,7 +535,7 @@ func runWorkload(t *testing.T, cs *crashStack, ops []scriptOp, crashAt int) ([]*
 				}
 			}
 			if op.snap {
-				sn := snapshot{ts: ts, data: map[int][]byte{}}
+				sn := snapshot{ts: ts, nObjs: len(objs), data: map[int][]byte{}}
 				for j, o := range objs {
 					if !isFileKind(o.kind) && o.durable && !o.unlinked {
 						sn.data[j] = append([]byte{}, o.committed...)
@@ -553,6 +567,10 @@ func runWorkload(t *testing.T, cs *crashStack, ops []scriptOp, crashAt int) ([]*
 			o.onWorm = true
 		case aAsOf:
 			verifySnapshot(t, cs, objs, snaps[op.snapIx], false, "live")
+		case aVacuum:
+			if _, err := vac.Round(); err != nil {
+				t.Fatalf("op %d vacuum round: %v", i, err)
+			}
 		}
 	}
 	cs.crash()
@@ -592,6 +610,27 @@ func verifySnapshot(t *testing.T, cs *crashStack, objs []*oracleObj, sn snapshot
 		if !bytes.Equal(got, sn.data[j]) {
 			t.Errorf("%s: as-of ts %d obj %d: history rewritten (%d bytes, want %d)",
 				when, sn.ts, j, len(got), len(sn.data[j]))
+		}
+	}
+	// Absent set: chunked objects created after the snapshot had no version
+	// visible at its timestamp, and neither crash recovery nor vacuum may
+	// resurrect one. A loud open/read failure is the common shape (not even
+	// the metadata record is visible as of ts); reading zero bytes is the
+	// other acceptable outcome.
+	for j := sn.nObjs; j < len(objs); j++ {
+		o := objs[j]
+		if isFileKind(o.kind) || o.unlinked {
+			continue // files ignore time travel; unlink drops the storage
+		}
+		h, err := cs.store.OpenAsOf(sn.ts, o.ref)
+		if err != nil {
+			continue
+		}
+		got, err := io.ReadAll(h)
+		h.Close()
+		if err == nil && len(got) > 0 {
+			t.Errorf("%s: as-of ts %d obj %d: resurrected %d bytes from before the object existed",
+				when, sn.ts, j, len(got))
 		}
 	}
 }

@@ -69,8 +69,7 @@ type fchunkObject struct {
 	idx   *btree.Tree
 
 	tx   *txn.Txn
-	ts   txn.TS
-	asOf bool
+	snap txn.Snapshot
 
 	pos  int64
 	size int64
@@ -105,7 +104,7 @@ func (s *Store) createFChunkStorage(tx *txn.Txn, meta *catalog.LargeObjectMeta) 
 	if err != nil {
 		return err
 	}
-	idx, err := btree.Create(s.pool.Buf, meta.SM, meta.IdxRel, s.btreeConfig())
+	idx, err := s.btrees.Create(meta.SM, meta.IdxRel, s.btreeConfig())
 	if err != nil {
 		return err
 	}
@@ -124,7 +123,7 @@ func (s *Store) dropFChunkStorage(meta *catalog.LargeObjectMeta) error {
 	if err := rel.Drop(); err != nil {
 		return err
 	}
-	idx, err := btree.Open(s.pool.Buf, meta.SM, meta.IdxRel, s.btreeConfig())
+	idx, err := s.btrees.Open(meta.SM, meta.IdxRel, s.btreeConfig())
 	if err != nil {
 		return err
 	}
@@ -138,12 +137,12 @@ func (s *Store) btreeConfig() btree.Config {
 	return btree.Config{Clock: s.clock, SearchCPU: s.cpu.Cost(200)}
 }
 
-func (s *Store) openFChunk(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRef, meta *catalog.LargeObjectMeta) (Object, error) {
+func (s *Store) openFChunk(tx *txn.Txn, snap txn.Snapshot, ref adt.ObjectRef, meta *catalog.LargeObjectMeta) (Object, error) {
 	rel, err := heap.Open(s.pool, meta.SM, meta.DataRel)
 	if err != nil {
 		return nil, err
 	}
-	idx, err := btree.Open(s.pool.Buf, meta.SM, meta.IdxRel, s.btreeConfig())
+	idx, err := s.btrees.Open(meta.SM, meta.IdxRel, s.btreeConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +150,7 @@ func (s *Store) openFChunk(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRef,
 	o := &fchunkObject{
 		store: s, ref: ref, meta: meta, codec: codec,
 		rel: rel, idx: idx,
-		tx: tx, ts: ts, asOf: asOf,
+		tx: tx, snap: snap,
 		curSeq: -1,
 	}
 	payload, tid, err := o.lookupVisible(metaSeq)
@@ -168,12 +167,10 @@ func (s *Store) openFChunk(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRef,
 
 func (o *fchunkObject) chunkSize() int64 { return int64(o.meta.ChunkSize) }
 
-// fetch applies the handle's visibility mode.
+// fetch reads the tuple under the handle's snapshot. Live and historical
+// handles are the same code path: time travel is merely an older snapshot.
 func (o *fchunkObject) fetch(tid heap.TID) ([]byte, error) {
-	if o.asOf {
-		return o.rel.FetchAsOf(o.ts, tid)
-	}
-	return o.rel.Fetch(o.tx, tid)
+	return o.rel.FetchSnap(o.snap, tid)
 }
 
 // lookupVisible finds the visible tuple indexed under key. Superseded
@@ -210,11 +207,28 @@ func (o *fchunkObject) lookupVisible(key uint64) ([]byte, heap.TID, error) {
 // pruneStale removes an index entry whose target tuple no longer exists
 // (vacuumed, slot tombstoned or recycled). Physical cleanup, not
 // transactional; skipped on historical handles.
+//
+// The staleness decision is re-checked under the tree's writer lock
+// (DeleteIf): between observing the dead slot and deleting the entry, a
+// writer may recycle that very slot for a fresh version of this key and
+// re-insert the identical (key, val) pair. Two pruners acting on the
+// pre-recycle observation would then delete both the stale entry and its
+// fresh duplicate, leaving the live version unreachable.
 func (o *fchunkObject) pruneStale(key, val uint64) {
-	if o.asOf {
+	if o.snap.Historical() {
 		return
 	}
-	_ = o.idx.Delete(key, val) // best effort; a concurrent pruner may win
+	tid := heap.DecodeTID(val)
+	_ = o.idx.DeleteIf(key, val, func() (bool, error) {
+		payload, err := o.rel.FetchAny(tid)
+		if errors.Is(err, heap.ErrNoTuple) {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		return !payloadMatches(key, payload), nil
+	}) // best effort; a concurrent pruner may win
 }
 
 func isNotVisible(err error) bool {
@@ -424,7 +438,7 @@ func (o *fchunkObject) Write(p []byte) (int, error) {
 	if o.closed {
 		return 0, ErrClosed
 	}
-	if o.asOf {
+	if o.snap.Historical() {
 		return 0, ErrReadOnly
 	}
 	if o.tx == nil {
@@ -469,7 +483,7 @@ func (o *fchunkObject) Truncate(n int64) error {
 	if o.closed {
 		return ErrClosed
 	}
-	if o.asOf {
+	if o.snap.Historical() {
 		return ErrReadOnly
 	}
 	if n < 0 {
@@ -527,7 +541,7 @@ func (o *fchunkObject) Close() error {
 	if o.closed {
 		return nil
 	}
-	if !o.asOf {
+	if !o.snap.Historical() {
 		if err := o.flushChunk(); err != nil {
 			return err
 		}

@@ -54,7 +54,7 @@ func (s *Store) ReadRaw(tx *txn.Txn, ref adt.ObjectRef, off, n int64) ([]RawExte
 }
 
 func (s *Store) readRawFChunk(tx *txn.Txn, ref adt.ObjectRef, meta *catalog.LargeObjectMeta, off, n int64) ([]RawExtent, error) {
-	obj, err := s.openFChunk(tx, txn.InvalidTS, false, ref, meta)
+	obj, err := s.openFChunk(tx, liveSnap(tx), ref, meta)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +101,7 @@ func (s *Store) readRawFChunk(tx *txn.Txn, ref adt.ObjectRef, meta *catalog.Larg
 }
 
 func (s *Store) readRawVSegment(tx *txn.Txn, ref adt.ObjectRef, meta *catalog.LargeObjectMeta, off, n int64) ([]RawExtent, error) {
-	obj, err := s.openVSegment(tx, txn.InvalidTS, false, ref, meta)
+	obj, err := s.openVSegment(tx, liveSnap(tx), ref, meta)
 	if err != nil {
 		return nil, err
 	}

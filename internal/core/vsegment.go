@@ -93,8 +93,7 @@ type vsegmentObject struct {
 	bytes  Object // underlying f-chunk byte store
 
 	tx   *txn.Txn
-	ts   txn.TS
-	asOf bool
+	snap txn.Snapshot
 
 	pos  int64
 	size int64
@@ -119,7 +118,7 @@ func (s *Store) createVSegmentStorage(tx *txn.Txn, meta *catalog.LargeObjectMeta
 	if err != nil {
 		return err
 	}
-	segIdx, err := btree.Create(s.pool.Buf, meta.SM, meta.SegIdxRel, s.btreeConfig())
+	segIdx, err := s.btrees.Create(meta.SM, meta.SegIdxRel, s.btreeConfig())
 	if err != nil {
 		return err
 	}
@@ -138,19 +137,19 @@ func (s *Store) dropVSegmentStorage(meta *catalog.LargeObjectMeta) error {
 	if err := segRel.Drop(); err != nil {
 		return err
 	}
-	segIdx, err := btree.Open(s.pool.Buf, meta.SM, meta.SegIdxRel, s.btreeConfig())
+	segIdx, err := s.btrees.Open(meta.SM, meta.SegIdxRel, s.btreeConfig())
 	if err != nil {
 		return err
 	}
 	return segIdx.Drop()
 }
 
-func (s *Store) openVSegment(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRef, meta *catalog.LargeObjectMeta) (Object, error) {
+func (s *Store) openVSegment(tx *txn.Txn, snap txn.Snapshot, ref adt.ObjectRef, meta *catalog.LargeObjectMeta) (Object, error) {
 	segRel, err := heap.Open(s.pool, meta.SM, meta.SegRel)
 	if err != nil {
 		return nil, err
 	}
-	segIdx, err := btree.Open(s.pool.Buf, meta.SM, meta.SegIdxRel, s.btreeConfig())
+	segIdx, err := s.btrees.Open(meta.SM, meta.SegIdxRel, s.btreeConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +157,7 @@ func (s *Store) openVSegment(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRe
 	if err != nil {
 		return nil, err
 	}
-	inner, err := s.open(tx, ts, asOf, adt.ObjectRef{OID: uint64(meta.StoreOID)}, storeMeta)
+	inner, err := s.open(tx, snap, adt.ObjectRef{OID: uint64(meta.StoreOID)}, storeMeta)
 	if err != nil {
 		return nil, err
 	}
@@ -166,7 +165,7 @@ func (s *Store) openVSegment(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRe
 	o := &vsegmentObject{
 		store: s, ref: ref, meta: meta, codec: codec,
 		segRel: segRel, segIdx: segIdx, bytes: inner,
-		tx: tx, ts: ts, asOf: asOf,
+		tx: tx, snap: snap,
 		cachePtr: -1,
 	}
 	payload, tid, err := o.lookupVisible(segMetaKey)
@@ -181,11 +180,10 @@ func (s *Store) openVSegment(tx *txn.Txn, ts txn.TS, asOf bool, ref adt.ObjectRe
 	return o, nil
 }
 
+// fetch reads the segment record under the handle's snapshot; live and
+// historical handles share the path.
 func (o *vsegmentObject) fetch(tid heap.TID) ([]byte, error) {
-	if o.asOf {
-		return o.segRel.FetchAsOf(o.ts, tid)
-	}
-	return o.segRel.Fetch(o.tx, tid)
+	return o.segRel.FetchSnap(o.snap, tid)
 }
 
 // segPayloadMatches guards against heap slots vacuum recycled under stale
@@ -224,11 +222,25 @@ func (o *vsegmentObject) lookupVisible(key uint64) ([]byte, heap.TID, error) {
 	return nil, heap.InvalidTID, nil
 }
 
+// pruneStale removes a segment-index entry whose target tuple no longer
+// exists. As in fchunk, the staleness check re-runs under the tree's writer
+// lock so a delayed prune cannot delete an entry that a writer has just
+// re-validated by recycling the dead slot for a fresh record of this key.
 func (o *vsegmentObject) pruneStale(key, val uint64) {
-	if o.asOf {
+	if o.snap.Historical() {
 		return
 	}
-	_ = o.segIdx.Delete(key, val)
+	tid := heap.DecodeTID(val)
+	_ = o.segIdx.DeleteIf(key, val, func() (bool, error) {
+		payload, err := o.segRel.FetchAny(tid)
+		if errors.Is(err, heap.ErrNoTuple) {
+			return true, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		return !segPayloadMatches(key, payload), nil
+	})
 }
 
 // visibleSegments calls fn for every visible segment record whose logStart
@@ -421,7 +433,7 @@ func (o *vsegmentObject) Write(p []byte) (int, error) {
 	if o.closed {
 		return 0, ErrClosed
 	}
-	if o.asOf {
+	if o.snap.Historical() {
 		return 0, ErrReadOnly
 	}
 	if o.tx == nil {
@@ -543,7 +555,7 @@ func (o *vsegmentObject) Truncate(n int64) error {
 	if o.closed {
 		return ErrClosed
 	}
-	if o.asOf {
+	if o.snap.Historical() {
 		return ErrReadOnly
 	}
 	if n < 0 {
@@ -627,7 +639,7 @@ func (o *vsegmentObject) Close() error {
 	if o.closed {
 		return nil
 	}
-	if !o.asOf {
+	if !o.snap.Historical() {
 		if err := o.flushSize(); err != nil {
 			return err
 		}

@@ -104,7 +104,16 @@ func (d *WALDurability) Checkpoint(saveLog func() error) error {
 			return err
 		}
 	}
-	if _, err := d.log.Checkpoint(redo); err != nil {
+	// The checkpoint record carries the manager's version metadata — XID and
+	// timestamp counters plus the snapshot horizon — so recovery restores
+	// version numbering even if the pg_log file write above was lost.
+	nextXID, nowTS := d.pool.Mgr.Counters()
+	meta := wal.CheckpointMeta{
+		NextXID: uint32(nextXID),
+		NowTS:   int64(nowTS),
+		Oldest:  uint32(d.pool.Mgr.GlobalXmin()),
+	}
+	if _, err := d.log.CheckpointWithMeta(redo, meta); err != nil {
 		return err
 	}
 	return nil
@@ -179,6 +188,11 @@ func RecoverWAL(sw *storage.Switch, mgr *txn.Manager, log *wal.Log) error {
 			mgr.ApplyRecoveredCommit(txn.XID(r.XID), txn.TS(r.TS))
 		case wal.TypeAbort:
 			mgr.ApplyRecoveredAbort(txn.XID(r.XID))
+		case wal.TypeCheckpoint:
+			// Version metadata: push the manager's counters past everything
+			// the checkpointed epoch had issued. Legacy records decode as
+			// zeros, which advance nothing.
+			mgr.ApplyRecoveredCounters(txn.XID(r.XID), txn.TS(r.TS))
 		}
 		return nil
 	})

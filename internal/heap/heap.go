@@ -22,13 +22,17 @@ import (
 	"postlob/internal/txn"
 )
 
-// TupleHeaderSize is the fixed per-tuple overhead:
+// TupleHeaderSize is the fixed per-tuple overhead — the on-page version
+// metadata every tuple carries:
 //
 //	0..3   xmin  — inserting transaction
 //	4..7   xmax  — deleting transaction (InvalidXID if live)
 //	8..9   infomask hint bits
 //	10..11 reserved
-const TupleHeaderSize = 12
+//	12..19 previous version's TID (EncodeTID form; EncodeTID(InvalidTID)
+//	       for a tuple that did not supersede another) — the back link of
+//	       the version chain a Replace grows
+const TupleHeaderSize = 20
 
 // Infomask hint bits cache commit-log lookups on the tuple itself.
 const (
@@ -130,16 +134,23 @@ type Relation struct {
 	sm   storage.ID
 	name storage.RelName
 
-	// mu is the relation lock: exclusive for structural work (Insert may
-	// extend the relation and maintains the placement hints below; Vacuum
-	// compacts pages), shared for everything else. Tuple reads and
-	// single-tuple mutations coordinate through each frame's content latch
-	// — readers hold it shared, mutators exclusive — so concurrent reads
-	// of different (or the same) pages never contend on relation state.
-	mu            sync.RWMutex
-	insertTarget  storage.BlockNum   // guarded by mu; block to try first for inserts
-	hasInsertHint bool               // guarded by mu
-	freeBlocks    []storage.BlockNum // guarded by mu; blocks vacuum found reusable space in
+	// mu is the relation lock: exclusive only for Vacuum's structural
+	// compaction; shared for tuple mutations (Insert, Delete), which
+	// coordinate with each other through each frame's content latch plus
+	// the placement mutex below. Snapshot reads take no relation lock at
+	// all — a reader's only synchronisation is the shared content latch of
+	// the single page it inspects, so readers never queue behind writers
+	// on relation state.
+	mu sync.RWMutex
+
+	// placeMu guards the insert placement hints. It is a leaf lock: never
+	// held across a buffer-pool call, only around hint reads and updates,
+	// so concurrent inserters contend for nanoseconds while the page-level
+	// work proceeds in parallel under per-frame latches.
+	placeMu       sync.Mutex
+	insertTarget  storage.BlockNum   // guarded by placeMu; block to try first for inserts
+	hasInsertHint bool               // guarded by placeMu
+	freeBlocks    []storage.BlockNum // guarded by placeMu; blocks vacuum found reusable space in
 }
 
 // Create makes a new, empty heap relation on the given storage manager.
@@ -199,6 +210,67 @@ func tupleXmin(item []byte) txn.XID { return txn.XID(binary.LittleEndian.Uint32(
 func tupleXmax(item []byte) txn.XID { return txn.XID(binary.LittleEndian.Uint32(item[4:])) }
 func tupleMask(item []byte) uint16  { return binary.LittleEndian.Uint16(item[8:]) }
 
+// VersionMeta is the decoded per-tuple version metadata: the xmin/xmax
+// visibility stamps, the hint-bit mask caching their commit-log verdicts,
+// and the version chain's back link to the tuple this one superseded.
+type VersionMeta struct {
+	Xmin  txn.XID
+	Xmax  txn.XID
+	Hints uint16
+	Prev  TID
+}
+
+// ErrShortTuple reports an item too small to carry a version header.
+var ErrShortTuple = errors.New("heap: item shorter than tuple header")
+
+// DecodeVersionMeta decodes the version metadata from a raw tuple image
+// (header plus payload, as stored on a slotted page).
+func DecodeVersionMeta(item []byte) (VersionMeta, error) {
+	if len(item) < TupleHeaderSize {
+		return VersionMeta{}, fmt.Errorf("%w: %d < %d", ErrShortTuple, len(item), TupleHeaderSize)
+	}
+	m := VersionMeta{
+		Xmin:  tupleXmin(item),
+		Xmax:  tupleXmax(item),
+		Hints: tupleMask(item),
+		Prev:  DecodeTID(binary.LittleEndian.Uint64(item[12:])),
+	}
+	if m.Hints&^(hintXminCommitted|hintXminAborted|hintXmaxCommitted|hintXmaxAborted) != 0 {
+		return VersionMeta{}, fmt.Errorf("heap: unknown hint bits %#x", m.Hints)
+	}
+	return m, nil
+}
+
+// AppendEncode appends the 20-byte on-page encoding of m to dst. The
+// reserved bytes are written as zero; DecodeVersionMeta(AppendEncode(m))
+// round-trips exactly.
+func (m VersionMeta) AppendEncode(dst []byte) []byte {
+	var hdr [TupleHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(m.Xmin))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.Xmax))
+	binary.LittleEndian.PutUint16(hdr[8:], m.Hints)
+	binary.LittleEndian.PutUint64(hdr[12:], EncodeTID(m.Prev))
+	return append(dst, hdr[:]...)
+}
+
+// TupleMeta returns the version metadata of the tuple stored at tid,
+// regardless of visibility — the raw chain link, for vacuum diagnostics and
+// test oracles.
+func (r *Relation) TupleMeta(tid TID) (VersionMeta, error) {
+	f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: tid.Blk})
+	if err != nil {
+		return VersionMeta{}, err
+	}
+	defer f.Release()
+	rlatch(f)
+	defer f.RUnlockContent()
+	item, err := f.Page().Item(tid.Slot)
+	if err != nil {
+		return VersionMeta{}, fmt.Errorf("%w: %s (%v)", ErrNoTuple, tid, err)
+	}
+	return DecodeVersionMeta(item)
+}
+
 func setTupleXmax(item []byte, x txn.XID) {
 	binary.LittleEndian.PutUint32(item[4:], uint32(x))
 	// Clear stale xmax hints; the new xmax is undecided.
@@ -214,48 +286,93 @@ func setTupleHint(item []byte, bit uint16) {
 func TupleData(item []byte) []byte { return item[TupleHeaderSize:] }
 
 // Relation metrics, summed across all relations; registered once at package
-// init.
+// init. The three versions.* metrics obey a conservation law the soak
+// harness asserts: every version ever created is either still live or was
+// reclaimed by vacuum — created == live + reclaimed — for workloads that do
+// not drop whole relations (a drop discards live versions uncounted).
 var (
 	obsInserts = obs.NewCounter("heap.inserts")
 	obsFetches = obs.NewCounter("heap.fetches")
 	obsScans   = obs.NewCounter("heap.scans")
+
+	obsVersionsCreated   = obs.NewCounter("versions.created")
+	obsVersionsReclaimed = obs.NewCounter("versions.reclaimed")
+	obsVersionsLive      = obs.NewGauge("versions.live")
+
+	// obsReadLatchWaits counts snapshot reads that found a page's content
+	// latch held exclusively and had to wait. On disjoint working sets this
+	// stays exactly zero — the readers-never-block-on-writers property the
+	// SI soak asserts.
+	obsReadLatchWaits = obs.NewCounter("heap.read_latch_waits")
 )
+
+// rlatch takes f's content latch shared, counting the acquisitions that
+// could not proceed immediately. The snapshot read path uses this instead of
+// RLockContent so "did any reader ever wait?" is observable.
+func rlatch(f *buffer.Frame) {
+	if f.TryRLockContent() {
+		return
+	}
+	obsReadLatchWaits.Inc()
+	f.RLockContent()
+}
 
 // Insert appends a tuple and returns its TID. The tuple becomes visible to
 // other transactions when t commits.
 func (r *Relation) Insert(t *txn.Txn, data []byte) (TID, error) {
+	return r.insert(t, data, InvalidTID)
+}
+
+// insert writes a new tuple version whose chain back link is prev. Inserters
+// hold the relation lock shared — Vacuum's compaction is the only exclusive
+// holder — and serialise page placement through placeMu plus per-frame
+// latches, so concurrent writers to different pages proceed in parallel.
+func (r *Relation) insert(t *txn.Txn, data []byte, prev TID) (TID, error) {
 	obsInserts.Inc()
 	if len(data) > MaxTupleSize {
 		return InvalidTID, fmt.Errorf("%w: %d > %d", ErrTupleTooBig, len(data), MaxTupleSize)
 	}
-	item := make([]byte, TupleHeaderSize+len(data))
-	binary.LittleEndian.PutUint32(item[0:], uint32(t.ID()))
-	binary.LittleEndian.PutUint32(item[4:], uint32(txn.InvalidXID))
-	copy(item[TupleHeaderSize:], data)
+	item := VersionMeta{Xmin: t.ID(), Xmax: txn.InvalidXID, Prev: prev}.
+		AppendEncode(make([]byte, 0, TupleHeaderSize+len(data)))
+	item = append(item, data...)
 
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 
 	// Try the hinted insert target first, then blocks vacuum reclaimed
 	// space in, then extend.
-	if r.hasInsertHint {
-		if tid, ok, err := r.tryInsertAt(r.insertTarget, item); err != nil {
+	r.placeMu.Lock()
+	target, has := r.insertTarget, r.hasInsertHint
+	r.placeMu.Unlock()
+	if has {
+		if tid, ok, err := r.tryInsertAt(target, item); err != nil {
 			return InvalidTID, err
 		} else if ok {
-			return tid, nil
+			return r.noteInsert(target, tid), nil
 		}
 	}
-	for len(r.freeBlocks) > 0 {
+	for {
+		r.placeMu.Lock()
+		if len(r.freeBlocks) == 0 {
+			r.placeMu.Unlock()
+			break
+		}
 		blk := r.freeBlocks[len(r.freeBlocks)-1]
+		r.placeMu.Unlock()
 		tid, ok, err := r.tryInsertAt(blk, item)
 		if err != nil {
 			return InvalidTID, err
 		}
 		if ok {
-			r.insertTarget, r.hasInsertHint = blk, true
-			return tid, nil
+			return r.noteInsert(blk, tid), nil
 		}
-		r.freeBlocks = r.freeBlocks[:len(r.freeBlocks)-1]
+		// The block filled up (possibly under a concurrent inserter); pop it
+		// if it is still the list's tail — another inserter may already have.
+		r.placeMu.Lock()
+		if n := len(r.freeBlocks); n > 0 && r.freeBlocks[n-1] == blk {
+			r.freeBlocks = r.freeBlocks[:n-1]
+		}
+		r.placeMu.Unlock()
 	}
 	f, blk, err := r.pool.Buf.NewBlock(r.sm, r.name)
 	if err != nil {
@@ -263,16 +380,29 @@ func (r *Relation) Insert(t *txn.Txn, data []byte) (TID, error) {
 	}
 	defer f.Release()
 	f.LockContent()
-	f.Page().Init(0)
-	slot, err := f.Page().AddItem(item)
+	p := f.Page()
+	if !p.IsInitialized() {
+		p.Init(0)
+	}
+	slot, err := p.AddItem(item)
 	if err != nil {
 		f.UnlockContent()
 		return InvalidTID, err
 	}
 	f.MarkDirty()
 	f.UnlockContent()
+	return r.noteInsert(blk, TID{Blk: blk, Slot: slot}), nil
+}
+
+// noteInsert records a successful placement: the block becomes the next
+// insert target and the version counters advance.
+func (r *Relation) noteInsert(blk storage.BlockNum, tid TID) TID {
+	r.placeMu.Lock()
 	r.insertTarget, r.hasInsertHint = blk, true
-	return TID{Blk: blk, Slot: slot}, nil
+	r.placeMu.Unlock()
+	obsVersionsCreated.Inc()
+	obsVersionsLive.Inc()
+	return tid
 }
 
 // tryInsertAt attempts to place item on an existing block.
@@ -361,42 +491,55 @@ func (r *Relation) UpdateOwnInPlace(t *txn.Txn, tid TID, data []byte) (bool, err
 }
 
 // Replace is the no-overwrite update: delete the old version, insert the
-// new, and return the new TID.
+// new — chained back to the old TID — and return the new TID.
 func (r *Relation) Replace(t *txn.Txn, tid TID, data []byte) (TID, error) {
 	if err := r.Delete(t, tid); err != nil {
 		return InvalidTID, err
 	}
-	return r.Insert(t, data)
+	return r.insert(t, data, tid)
 }
 
 // Fetch returns a copy of the tuple payload at tid if it is visible to t.
 func (r *Relation) Fetch(t *txn.Txn, tid TID) ([]byte, error) {
-	return r.fetch(tid, func(item []byte, f *buffer.Frame) bool {
-		return r.visible(t.Snapshot(), item, f, false)
-	})
+	return r.FetchSnap(t.Snapshot(), tid)
+}
+
+// FetchAny returns the payload physically stored at tid regardless of
+// visibility, or ErrNoTuple if the slot is dead or vacant. Index pruning
+// uses it to ask "does the entry's target still exist at all" — an
+// in-progress writer's version must count as existing even though no
+// snapshot sees it yet.
+func (r *Relation) FetchAny(tid TID) ([]byte, error) {
+	return r.fetch(tid, func([]byte, *buffer.Frame) bool { return true })
 }
 
 // FetchAsOf returns the tuple payload at tid as it stood at timestamp ts.
 func (r *Relation) FetchAsOf(ts txn.TS, tid TID) ([]byte, error) {
+	return r.FetchSnap(txn.SnapshotAt(ts), tid)
+}
+
+// FetchSnap returns a copy of the tuple payload at tid if the snapshot sees
+// it. Live and historical snapshots take the same path: time travel is just
+// a fetch under an older snapshot.
+func (r *Relation) FetchSnap(snap txn.Snapshot, tid TID) ([]byte, error) {
 	return r.fetch(tid, func(item []byte, f *buffer.Frame) bool {
-		return r.visibleAsOf(ts, item)
+		return r.visibleSnap(snap, item, f, false)
 	})
 }
 
-// fetch is the shared read path: the relation lock is held shared and the
-// frame's content latch shared, so any number of fetches proceed in
-// parallel; visibility checks on this path never write hint bits (only
-// exclusive-latch holders may).
+// fetch is the lock-free read path: no relation lock at all, only the
+// frame's shared content latch, so readers synchronise with nothing but a
+// mutator of the very page they inspect. Visibility checks on this path
+// never write hint bits (only exclusive-latch holders may) and resolve
+// transaction outcomes through the manager's lock-free table.
 func (r *Relation) fetch(tid TID, vis func([]byte, *buffer.Frame) bool) ([]byte, error) {
 	obsFetches.Inc()
-	r.mu.RLock()
-	defer r.mu.RUnlock()
 	f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: tid.Blk})
 	if err != nil {
 		return nil, err
 	}
 	defer f.Release()
-	f.RLockContent()
+	rlatch(f)
 	defer f.RUnlockContent()
 	item, err := f.Page().Item(tid.Slot)
 	if err != nil {
@@ -412,15 +555,18 @@ func (r *Relation) fetch(tid TID, vis func([]byte, *buffer.Frame) bool) ([]byte,
 // false to stop early. The payload slice passed to fn is only valid for the
 // duration of the call.
 func (r *Relation) Scan(t *txn.Txn, fn func(TID, []byte) (bool, error)) error {
-	return r.scan(func(item []byte, f *buffer.Frame) bool {
-		return r.visible(t.Snapshot(), item, f, false)
-	}, fn)
+	return r.ScanSnap(t.Snapshot(), fn)
 }
 
 // ScanAsOf calls fn for every tuple visible at timestamp ts.
 func (r *Relation) ScanAsOf(ts txn.TS, fn func(TID, []byte) (bool, error)) error {
+	return r.ScanSnap(txn.SnapshotAt(ts), fn)
+}
+
+// ScanSnap calls fn for every tuple the snapshot sees, in physical order.
+func (r *Relation) ScanSnap(snap txn.Snapshot, fn func(TID, []byte) (bool, error)) error {
 	return r.scan(func(item []byte, f *buffer.Frame) bool {
-		return r.visibleAsOf(ts, item)
+		return r.visibleSnap(snap, item, f, false)
 	}, fn)
 }
 
@@ -444,18 +590,16 @@ func (r *Relation) scan(vis func([]byte, *buffer.Frame) bool, fn func(TID, []byt
 			r.pool.Buf.Prefetch(r.sm, r.name, blk+1, readAhead)
 		}
 		// Collect the page's visible tuples (copying payloads) under the
-		// shared relation lock and shared content latch — concurrent
-		// mutators hold both exclusive somewhere — then invoke fn with no
-		// locks held so callbacks can re-enter the relation freely.
+		// page's shared content latch — the only lock a snapshot reader
+		// takes — then invoke fn with no locks held so callbacks can
+		// re-enter the relation freely.
 		hits, err := func() ([]hit, error) {
-			r.mu.RLock()
-			defer r.mu.RUnlock()
 			f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
 			if err != nil {
 				return nil, err
 			}
 			defer f.Release()
-			f.RLockContent()
+			rlatch(f)
 			defer f.RUnlockContent()
 			p := f.Page()
 			if !p.IsInitialized() {
@@ -494,6 +638,18 @@ func (r *Relation) scan(vis func([]byte, *buffer.Frame) bool, fn func(TID, []byt
 		}
 	}
 	return nil
+}
+
+// visibleSnap is the one visibility rule: a historical snapshot resolves
+// stamps through commit timestamps, a live snapshot through its in-progress
+// set. Everything that reads tuples — fetches, scans, deletes, time travel —
+// funnels through here, so "as of" reads are not a separate code path, just
+// an older snapshot.
+func (r *Relation) visibleSnap(snap txn.Snapshot, item []byte, f *buffer.Frame, hints bool) bool {
+	if snap.Historical() {
+		return r.visibleAsOf(snap.AsOf, item)
+	}
+	return r.visible(snap, item, f, hints)
 }
 
 // visible implements snapshot visibility. With hints, decided states are
@@ -603,14 +759,12 @@ func (r *Relation) VersionStamps(fn func(txn.TS)) error {
 	mgr := r.pool.Mgr
 	for blk := storage.BlockNum(0); blk < n; blk++ {
 		err := func() error {
-			r.mu.RLock()
-			defer r.mu.RUnlock()
 			f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
 			if err != nil {
 				return err
 			}
 			defer f.Release()
-			f.RLockContent()
+			rlatch(f)
 			defer f.RUnlockContent()
 			p := f.Page()
 			if !p.IsInitialized() {
@@ -644,11 +798,21 @@ func (r *Relation) VersionStamps(fn func(txn.TS)) error {
 }
 
 // Vacuum physically removes tuple versions that no current or future reader
-// can see: tuples whose inserter aborted, and — when keepHistory is false —
-// tuples whose deleter committed. With keepHistory true (the POSTGRES
-// default: keep everything for time travel) only aborted debris is removed.
-// Returns the number of tuples reclaimed.
+// can see, bounded by the live snapshot horizon: it delegates to VacuumBelow
+// with the transaction manager's current global xmin, so versions an old
+// open snapshot can still reach are never reclaimed out from under it.
 func (r *Relation) Vacuum(keepHistory bool) (int, error) {
+	return r.VacuumBelow(r.pool.Mgr.GlobalXmin(), keepHistory)
+}
+
+// VacuumBelow physically removes tuple versions that no snapshot at or above
+// the horizon can see: tuples whose inserter aborted (invisible to everyone,
+// always reclaimable), and — when keepHistory is false — tuples whose
+// deleter committed below the horizon, so every live snapshot already
+// observes the delete. With keepHistory true (the POSTGRES default: keep
+// everything for time travel) only aborted debris is removed. Returns the
+// number of tuples reclaimed.
+func (r *Relation) VacuumBelow(horizon txn.XID, keepHistory bool) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n, err := r.NBlocks()
@@ -657,6 +821,7 @@ func (r *Relation) Vacuum(keepHistory bool) (int, error) {
 	}
 	mgr := r.pool.Mgr
 	removed := 0
+	var reusable []storage.BlockNum
 	for blk := storage.BlockNum(0); blk < n; blk++ {
 		err := func() error {
 			f, err := r.pool.Buf.Get(buffer.Tag{SM: r.sm, Rel: r.name, Blk: blk})
@@ -684,7 +849,8 @@ func (r *Relation) Vacuum(keepHistory bool) (int, error) {
 				if mgr.Status(tupleXmin(item)) == txn.Aborted {
 					dead = true
 				} else if !keepHistory {
-					if xmax := tupleXmax(item); xmax != txn.InvalidXID && mgr.Status(xmax) == txn.Committed {
+					if xmax := tupleXmax(item); xmax != txn.InvalidXID && xmax < horizon &&
+						mgr.Status(xmax) == txn.Committed {
 						dead = true
 					}
 				}
@@ -701,7 +867,7 @@ func (r *Relation) Vacuum(keepHistory bool) (int, error) {
 				f.MarkDirty()
 				// Remember pages worth refilling (a crude free-space map).
 				if free > page.Size/4 {
-					r.freeBlocks = append(r.freeBlocks, blk)
+					reusable = append(reusable, blk)
 				}
 			}
 			return nil
@@ -709,6 +875,24 @@ func (r *Relation) Vacuum(keepHistory bool) (int, error) {
 		if err != nil {
 			return removed, err
 		}
+	}
+	if removed > 0 {
+		obsVersionsReclaimed.Add(int64(removed))
+		obsVersionsLive.Add(-int64(removed))
+	}
+	if len(reusable) > 0 {
+		// Merge outside the frame latches; placeMu is a leaf lock.
+		r.placeMu.Lock()
+		have := make(map[storage.BlockNum]bool, len(r.freeBlocks))
+		for _, b := range r.freeBlocks {
+			have[b] = true
+		}
+		for _, b := range reusable {
+			if !have[b] {
+				r.freeBlocks = append(r.freeBlocks, b)
+			}
+		}
+		r.placeMu.Unlock()
 	}
 	return removed, nil
 }

@@ -127,10 +127,10 @@ func Init(tx *txn.Txn, store *core.Store, opts Options) (*FS, error) {
 	}
 
 	open := heap.Open
-	mk := btree.Open
+	mk := store.Btrees().Open
 	if fresh {
 		open = heap.Create
-		mk = btree.Create
+		mk = store.Btrees().Create
 	}
 	if fs.dir, err = open(fs.pool, opts.SM, dirClass.Rel); err != nil {
 		return nil, err
@@ -142,13 +142,13 @@ func Init(tx *txn.Txn, store *core.Store, opts Options) (*FS, error) {
 		return nil, err
 	}
 	cfg := btree.Config{}
-	if fs.dirIdx, err = mk(fs.pool.Buf, opts.SM, relDirIdx, cfg); err != nil {
+	if fs.dirIdx, err = mk(opts.SM, relDirIdx, cfg); err != nil {
 		return nil, err
 	}
-	if fs.storIdx, err = mk(fs.pool.Buf, opts.SM, relStorIdx, cfg); err != nil {
+	if fs.storIdx, err = mk(opts.SM, relStorIdx, cfg); err != nil {
 		return nil, err
 	}
-	if fs.statIdx, err = mk(fs.pool.Buf, opts.SM, relStatIdx, cfg); err != nil {
+	if fs.statIdx, err = mk(opts.SM, relStatIdx, cfg); err != nil {
 		return nil, err
 	}
 	if fresh {

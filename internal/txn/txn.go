@@ -5,6 +5,11 @@
 // possible — a historical query "as of T" sees exactly the tuples whose
 // inserting transaction committed at or before T and whose deleting
 // transaction (if any) committed after T.
+//
+// Visibility lookups (Status, CommitTS, Now) are lock-free: outcomes live in
+// a paged table of atomic words, so a snapshot reader walking version chains
+// never touches the manager's mutex. Only Begin and transaction completion
+// take the lock.
 package txn
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"postlob/internal/obs"
 )
@@ -80,18 +86,38 @@ var (
 	ErrInClosed = errors.New("txn: manager closed")
 )
 
-// Snapshot captures the set of transactions visible to a transaction when it
-// starts: everything committed before Xmax that was not still running.
+// Snapshot captures what a reader is allowed to see. A live snapshot (from
+// Txn.Snapshot) observes everything committed before Xmax that was not still
+// running; a historical snapshot (from SnapshotAt) observes exactly the
+// transactions committed at or before AsOf. The two kinds flow through the
+// same read path — time travel is just visibility with an older snapshot.
 type Snapshot struct {
-	// Self is the observing transaction.
+	// Self is the observing transaction (live snapshots only).
 	Self XID
 	// Xmax: transactions with ID >= Xmax had not started.
 	Xmax XID
 	// Active lists transactions that were in progress, sorted ascending.
 	Active []XID
+	// AsOf is the read timestamp of a historical snapshot; meaningful only
+	// when Historical reports true.
+	AsOf TS
+
+	historical bool
 }
 
-// Sees reports whether the snapshot observes the effects of x.
+// SnapshotAt returns a historical snapshot observing exactly the
+// transactions committed at or before ts.
+func SnapshotAt(ts TS) Snapshot {
+	return Snapshot{AsOf: ts, historical: true}
+}
+
+// Historical reports whether the snapshot reads as of a fixed commit
+// timestamp rather than a live transaction's view.
+func (s Snapshot) Historical() bool { return s.historical }
+
+// Sees reports whether a live snapshot observes the effects of x. For
+// historical snapshots visibility is decided by commit timestamps instead
+// (see heap's visibility check); Sees is meaningful only for live snapshots.
 func (s Snapshot) Sees(x XID) bool {
 	if x == s.Self || x == BootstrapXID {
 		return true
@@ -101,6 +127,19 @@ func (s Snapshot) Sees(x XID) bool {
 	}
 	i := sort.Search(len(s.Active), func(i int) bool { return s.Active[i] >= x })
 	return !(i < len(s.Active) && s.Active[i] == x)
+}
+
+// Xmin returns the snapshot's horizon: the smallest XID whose outcome the
+// snapshot might still care about. Every transaction below it is either
+// visible or permanently invisible to this snapshot.
+func (s Snapshot) Xmin() XID {
+	if s.historical {
+		return InvalidXID // a historical snapshot pins all committed history
+	}
+	if len(s.Active) > 0 {
+		return s.Active[0]
+	}
+	return s.Self
 }
 
 // DurabilityLog couples transaction completion to a write-ahead log. The
@@ -127,20 +166,98 @@ type DurabilityLog interface {
 	WaitDurable(lsn uint64) error
 }
 
-// Manager hands out transactions and records their outcomes. The commit log
-// is read on every tuple-visibility check, so lookups (Status, CommitTS,
-// Now) take the lock shared; only Begin and transaction completion take it
-// exclusive.
+// --- lock-free outcome table -------------------------------------------------
+
+// Transaction outcomes are packed into one atomic word per XID so visibility
+// checks never block behind Begin or a committing transaction:
+//
+//	bits 0..1  outcome (0 unknown, 1 committed, 2 aborted, 3 in progress)
+//	bits 2..63 commit timestamp, when committed
+//
+// "Unknown" doubles as "crashed before logging anything", which recovery
+// treats as aborted. Words are only written under the manager's exclusive
+// lock — the atomic store is the commit's linearisation point — and read
+// with plain atomic loads anywhere.
+const (
+	stUnknown    = 0
+	stCommitted  = 1
+	stAborted    = 2
+	stInProgress = 3
+
+	statusPageBits = 10
+	statusPageSize = 1 << statusPageBits
+)
+
+type statusPage [statusPageSize]atomic.Uint64
+
+// statusTable is a grow-only paged array indexed by XID. The page directory
+// is replaced copy-on-write under the manager's lock; readers load it
+// atomically, so growth never invalidates a concurrent lookup.
+type statusTable struct {
+	dir atomic.Pointer[[]*statusPage]
+}
+
+func packCommitted(ts TS) uint64 { return stCommitted | uint64(ts)<<2 }
+
+func (t *statusTable) load(x XID) uint64 {
+	dir := t.dir.Load()
+	if dir == nil {
+		return stUnknown
+	}
+	pi := int(x >> statusPageBits)
+	if pi >= len(*dir) {
+		return stUnknown
+	}
+	return (*dir)[pi][int(x)&(statusPageSize-1)].Load()
+}
+
+// growLocked ensures the page holding x exists; caller holds m.mu exclusive.
+func (t *statusTable) growLocked(x XID) {
+	want := int(x>>statusPageBits) + 1
+	old := t.dir.Load()
+	n := 0
+	if old != nil {
+		n = len(*old)
+	}
+	if want <= n {
+		return
+	}
+	next := make([]*statusPage, want)
+	if old != nil {
+		copy(next, *old)
+	}
+	for i := n; i < want; i++ {
+		next[i] = new(statusPage)
+	}
+	t.dir.Store(&next)
+}
+
+// setLocked records x's outcome; caller holds m.mu exclusive and has grown
+// the table past x.
+func (t *statusTable) setLocked(x XID, word uint64) {
+	dir := t.dir.Load()
+	(*dir)[int(x>>statusPageBits)][int(x)&(statusPageSize-1)].Store(word)
+}
+
+// Manager hands out transactions and records their outcomes. The outcome
+// table is read on every tuple-visibility check, so lookups (Status,
+// CommitTS, Now) are lock-free; Begin and transaction completion take the
+// lock exclusive.
 type Manager struct {
 	mu       sync.RWMutex
-	nextXID  XID            // guarded by mu
-	nextTS   TS             // guarded by mu
-	status   map[XID]Status // guarded by mu
-	commitTS map[XID]TS     // guarded by mu
-	active   map[XID]bool   // guarded by mu
-	logPath  string         // guarded by mu; "" disables durable XID reservation
-	xidBound XID            // guarded by mu; XIDs below this are durably reserved
-	dlog     DurabilityLog  // guarded by mu; nil outside WAL mode
+	nextXID  XID           // guarded by mu
+	active   map[XID]bool  // guarded by mu
+	snapXmin map[XID]XID   // guarded by mu; each live txn's snapshot horizon
+	logPath  string        // guarded by mu; "" disables durable XID reservation
+	xidBound XID           // guarded by mu; XIDs below this are durably reserved
+	dlog     DurabilityLog // guarded by mu; nil outside WAL mode
+
+	// nextTS is the next commit timestamp. Written only under mu; read
+	// atomically by Now with no lock.
+	nextTS atomic.Int64
+
+	// table holds every transaction's packed outcome word, lock-free to read.
+	table statusTable
 
 	// saveMu serialises commit-log file writes (the temp file name is
 	// shared, and renames must not reorder). Acquired after mu; writers
@@ -151,13 +268,13 @@ type Manager struct {
 
 // NewManager returns an empty transaction manager.
 func NewManager() *Manager {
-	return &Manager{
+	m := &Manager{
 		nextXID:  firstUserXID,
-		nextTS:   1,
-		status:   make(map[XID]Status),
-		commitTS: make(map[XID]TS),
 		active:   make(map[XID]bool),
+		snapXmin: make(map[XID]XID),
 	}
+	m.nextTS.Store(1)
+	return m
 }
 
 // SetLogPath names the commit-log file used for durable XID reservation.
@@ -211,72 +328,104 @@ func (m *Manager) Begin() *Txn {
 	}
 	id := m.nextXID
 	m.nextXID++
-	m.status[id] = InProgress
+	m.table.growLocked(id)
+	m.table.setLocked(id, stInProgress)
 	active := make([]XID, 0, len(m.active))
 	for x := range m.active {
 		active = append(active, x)
 	}
 	sort.Slice(active, func(i, j int) bool { return active[i] < active[j] })
 	m.active[id] = true
+	snap := Snapshot{
+		Self:   id,
+		Xmax:   id, // everything from us onward is invisible (except Self)
+		Active: active,
+	}
+	m.snapXmin[id] = snap.Xmin()
 	obsBegins.Inc()
 	return &Txn{
-		mgr: m,
-		id:  id,
-		sw:  obsTxnDur.Start(),
-		snap: Snapshot{
-			Self:   id,
-			Xmax:   id, // everything from us onward is invisible (except Self)
-			Active: active,
-		},
+		mgr:  m,
+		id:   id,
+		sw:   obsTxnDur.Start(),
+		snap: snap,
 	}
+}
+
+// GlobalXmin returns the oldest XID any live snapshot might still need to
+// resolve: the minimum of every active transaction's snapshot horizon, or
+// the next XID to be issued when nothing is running. A dead tuple version
+// whose deleter committed below this horizon is invisible to every current
+// and future snapshot, so vacuum may reclaim it.
+func (m *Manager) GlobalXmin() XID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h := m.nextXID
+	for _, x := range m.snapXmin {
+		if x < h {
+			h = x
+		}
+	}
+	return h
+}
+
+// Counters returns the next XID to be issued and the timestamp of the most
+// recent commit — the version metadata a WAL checkpoint records so recovery
+// can restart numbering past everything the lost epoch might have stamped.
+func (m *Manager) Counters() (next XID, now TS) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.nextXID, TS(m.nextTS.Load() - 1)
 }
 
 // Status returns the commit-log state of x. The bootstrap transaction is
 // always committed; unknown IDs are reported aborted (a crashed transaction
-// never reached the log).
+// never reached the log). Lock-free.
 func (m *Manager) Status(x XID) Status {
 	if x == BootstrapXID {
 		return Committed
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	st, ok := m.status[x]
-	if !ok {
+	switch m.table.load(x) & 3 {
+	case stCommitted:
+		return Committed
+	case stInProgress:
+		return InProgress
+	default: // stAborted or stUnknown
 		return Aborted
 	}
-	return st
 }
 
-// CommitTS returns the commit timestamp of x, if committed.
+// CommitTS returns the commit timestamp of x, if committed. Lock-free.
 func (m *Manager) CommitTS(x XID) (TS, bool) {
 	if x == BootstrapXID {
 		return InvalidTS, true // committed before all time
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	ts, ok := m.commitTS[x]
-	return ts, ok
+	w := m.table.load(x)
+	if w&3 != stCommitted {
+		return InvalidTS, false
+	}
+	return TS(w >> 2), true
 }
 
 // Now returns the timestamp of the most recent commit; reading "as of Now"
 // sees every transaction committed so far and nothing that commits later.
+// Lock-free.
 func (m *Manager) Now() TS {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.nextTS - 1
+	return TS(m.nextTS.Load() - 1)
 }
 
 func (m *Manager) finish(x XID, st Status) TS {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.status[x] = st
 	delete(m.active, x)
+	delete(m.snapXmin, x)
+	m.table.growLocked(x)
 	if st != Committed {
+		m.table.setLocked(x, stAborted)
 		return InvalidTS
 	}
-	ts := m.nextTS
-	m.nextTS++
-	m.commitTS[x] = ts
+	ts := TS(m.nextTS.Load())
+	m.table.setLocked(x, packCommitted(ts))
+	m.nextTS.Store(int64(ts) + 1)
 	return ts
 }
 
@@ -286,23 +435,30 @@ func (m *Manager) finish(x XID, st Status) TS {
 // snapshot saw T1 committed, T1's commit record precedes T2's in the log,
 // so recovery can never surface T2 without T1. On a log failure the
 // transaction becomes aborted instead and never turns visible.
+//
+// The atomic outcome store is the commit's linearisation point; the
+// timestamp counter advances only afterwards, so a reader that obtained
+// ts from Now is guaranteed to resolve every commit at or before ts.
 func (m *Manager) finishCommit(x XID) (TS, uint64, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	ts := m.nextTS
+	ts := TS(m.nextTS.Load())
 	var lsn uint64
 	if m.dlog != nil {
 		var err error
 		if lsn, err = m.dlog.LogCommit(x, ts); err != nil {
-			m.status[x] = Aborted
+			m.table.growLocked(x)
+			m.table.setLocked(x, stAborted)
 			delete(m.active, x)
+			delete(m.snapXmin, x)
 			return InvalidTS, 0, err
 		}
 	}
-	m.nextTS++
-	m.status[x] = Committed
-	m.commitTS[x] = ts
+	m.table.growLocked(x)
+	m.table.setLocked(x, packCommitted(ts))
+	m.nextTS.Store(int64(ts) + 1)
 	delete(m.active, x)
+	delete(m.snapXmin, x)
 	return ts, lsn, nil
 }
 
@@ -312,11 +468,12 @@ func (m *Manager) finishCommit(x XID) (TS, uint64, error) {
 func (m *Manager) ApplyRecoveredCommit(x XID, ts TS) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.status[x] = Committed
-	m.commitTS[x] = ts
+	m.table.growLocked(x)
+	m.table.setLocked(x, packCommitted(ts))
 	delete(m.active, x)
-	if ts >= m.nextTS {
-		m.nextTS = ts + 1
+	delete(m.snapXmin, x)
+	if int64(ts) >= m.nextTS.Load() {
+		m.nextTS.Store(int64(ts) + 1)
 	}
 	if x >= m.nextXID {
 		m.nextXID = x + 1
@@ -329,12 +486,29 @@ func (m *Manager) ApplyRecoveredCommit(x XID, ts TS) {
 func (m *Manager) ApplyRecoveredAbort(x XID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.status[x] != Committed {
-		m.status[x] = Aborted
+	m.table.growLocked(x)
+	if m.table.load(x)&3 != stCommitted {
+		m.table.setLocked(x, stAborted)
 	}
 	delete(m.active, x)
+	delete(m.snapXmin, x)
 	if x >= m.nextXID {
 		m.nextXID = x + 1
+	}
+}
+
+// ApplyRecoveredCounters advances the XID and timestamp counters to at least
+// the values a WAL checkpoint recorded. Redo recovery calls this when it
+// replays a checkpoint record, so version numbering stays monotonic even if
+// the commit-log file lagged the write-ahead log at the crash.
+func (m *Manager) ApplyRecoveredCounters(next XID, now TS) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if next > m.nextXID {
+		m.nextXID = next
+	}
+	if int64(now)+1 > m.nextTS.Load() {
+		m.nextTS.Store(int64(now) + 1)
 	}
 }
 
@@ -492,25 +666,30 @@ const (
 )
 
 // encodeLocked serialises the commit log with the given durable XID bound;
-// caller holds m.mu (shared is enough — nothing is mutated).
+// caller holds m.mu (shared is enough — nothing is mutated). Every decided
+// transaction below nextXID is written; in-progress and unknown XIDs are
+// omitted (after a restart they are implicitly aborted, which is exactly the
+// recovery semantics of a no-overwrite store with a forced log).
 func (m *Manager) encodeLocked(bound XID) []byte {
 	type entry struct {
 		xid XID
 		st  Status
 		ts  TS
 	}
-	entries := make([]entry, 0, len(m.status))
-	for x, st := range m.status {
-		if st == InProgress {
-			continue
+	var entries []entry
+	for x := firstUserXID; x < m.nextXID; x++ {
+		w := m.table.load(x)
+		switch w & 3 {
+		case stCommitted:
+			entries = append(entries, entry{x, Committed, TS(w >> 2)})
+		case stAborted:
+			entries = append(entries, entry{x, Aborted, InvalidTS})
 		}
-		entries = append(entries, entry{x, st, m.commitTS[x]})
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].xid < entries[j].xid })
 	buf := make([]byte, logHdrLen, logHdrLen+len(entries)*logEntLen)
 	binary.LittleEndian.PutUint32(buf[0:], logMagic)
 	binary.LittleEndian.PutUint32(buf[8:], uint32(bound))
-	binary.LittleEndian.PutUint64(buf[12:], uint64(m.nextTS))
+	binary.LittleEndian.PutUint64(buf[12:], uint64(m.nextTS.Load()))
 	binary.LittleEndian.PutUint32(buf[20:], uint32(len(entries)))
 	var scratch [logEntLen]byte
 	for _, e := range entries {
@@ -575,9 +754,10 @@ func Load(path string) (*Manager, error) {
 		m.nextXID = bound
 	}
 	m.xidBound = m.nextXID
-	if nextTS > m.nextTS {
-		m.nextTS = nextTS
+	if int64(nextTS) > m.nextTS.Load() {
+		m.nextTS.Store(int64(nextTS))
 	}
+	m.table.growLocked(m.nextXID)
 	for i := 0; i < n; i++ {
 		rec := data[logHdrLen+logEntLen*i:]
 		xid := XID(binary.LittleEndian.Uint32(rec))
@@ -586,9 +766,11 @@ func Load(path string) (*Manager, error) {
 		if st != Committed && st != Aborted {
 			return nil, fmt.Errorf("%w: bad status %d", ErrCorrupt, st)
 		}
-		m.status[xid] = st
+		m.table.growLocked(xid)
 		if st == Committed {
-			m.commitTS[xid] = ts
+			m.table.setLocked(xid, packCommitted(ts))
+		} else {
+			m.table.setLocked(xid, stAborted)
 		}
 	}
 	return m, nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 )
 
@@ -212,4 +213,137 @@ func TestRunInTxn(t *testing.T) {
 
 func writeFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
+}
+
+func TestSnapshotAtIsHistorical(t *testing.T) {
+	s := SnapshotAt(7)
+	if !s.Historical() {
+		t.Fatal("SnapshotAt snapshot not historical")
+	}
+	if s.AsOf != 7 {
+		t.Fatalf("AsOf = %d, want 7", s.AsOf)
+	}
+	m := NewManager()
+	if live := m.Begin().Snapshot(); live.Historical() {
+		t.Fatal("live snapshot reported historical")
+	}
+}
+
+func TestGlobalXminTracksOldestSnapshot(t *testing.T) {
+	m := NewManager()
+	old := m.Begin() // pins the horizon at its own XID
+	if got := m.GlobalXmin(); got != old.ID() {
+		t.Fatalf("GlobalXmin = %d, want %d", got, old.ID())
+	}
+	// Later transactions carry old in their snapshot, so the horizon
+	// stays pinned even as they come and go.
+	mid := m.Begin()
+	if got := m.GlobalXmin(); got != old.ID() {
+		t.Fatalf("GlobalXmin with two live txns = %d, want %d", got, old.ID())
+	}
+	if _, err := mid.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.GlobalXmin(); got != old.ID() {
+		t.Fatalf("GlobalXmin after mid commit = %d, want %d", got, old.ID())
+	}
+	if _, err := old.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing running: the horizon jumps to the next XID to be issued.
+	next, _ := m.Counters()
+	if got := m.GlobalXmin(); got != next {
+		t.Fatalf("idle GlobalXmin = %d, want nextXID %d", got, next)
+	}
+}
+
+func TestSnapshotXmin(t *testing.T) {
+	m := NewManager()
+	a := m.Begin()
+	b := m.Begin()
+	if got := b.Snapshot().Xmin(); got != a.ID() {
+		t.Fatalf("Xmin with a active = %d, want %d", got, a.ID())
+	}
+	a.Abort()
+	c := m.Begin()
+	// b is still active, so c's horizon is b, not itself.
+	if got := c.Snapshot().Xmin(); got != b.ID() {
+		t.Fatalf("Xmin = %d, want %d", got, b.ID())
+	}
+	if got := SnapshotAt(5).Xmin(); got != InvalidXID {
+		t.Fatalf("historical Xmin = %d, want InvalidXID", got)
+	}
+	b.Abort()
+	c.Abort()
+}
+
+func TestApplyRecoveredCountersMonotonic(t *testing.T) {
+	m := NewManager()
+	m.ApplyRecoveredCounters(500, 90)
+	next, now := m.Counters()
+	if next != 500 || now != 90 {
+		t.Fatalf("counters = (%d, %d), want (500, 90)", next, now)
+	}
+	// Lower values never regress the counters.
+	m.ApplyRecoveredCounters(10, 2)
+	next, now = m.Counters()
+	if next != 500 || now != 90 {
+		t.Fatalf("counters after stale apply = (%d, %d)", next, now)
+	}
+	if tx := m.Begin(); tx.ID() != 500 {
+		t.Fatalf("first XID after recovery = %d, want 500", tx.ID())
+	}
+}
+
+// TestLockFreeStatusUnderChurn hammers the lock-free outcome table from
+// reader goroutines while transactions begin and finish; the race detector
+// and the invariant "committed implies a timestamp" guard the packing.
+func TestLockFreeStatusUnderChurn(t *testing.T) {
+	m := NewManager()
+	const txns = 2000
+	done := make(chan XID, txns)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last XID = firstUserXID
+			for {
+				select {
+				case <-stop:
+					return
+				case x := <-done:
+					if x > last {
+						last = x
+					}
+				default:
+				}
+				if st := m.Status(last); st == Committed {
+					if _, ok := m.CommitTS(last); !ok {
+						t.Error("committed txn has no commit timestamp")
+						return
+					}
+				}
+				_ = m.Now()
+			}
+		}()
+	}
+	for i := 0; i < txns; i++ {
+		tx := m.Begin()
+		if i%3 == 0 {
+			tx.Abort()
+		} else {
+			tx.Commit()
+			select {
+			case done <- tx.ID():
+			default:
+			}
+		}
+	}
+	close(stop)
+	readers.Wait()
+	if now := m.Now(); now <= 0 {
+		t.Fatalf("Now = %d after %d commits", now, txns)
+	}
 }

@@ -26,6 +26,7 @@ func fuzzSeedRecords() []*Record {
 		{Type: TypeCommit, XID: 9, TS: 42},
 		{Type: TypeAbort, XID: 11},
 		{Type: TypeCheckpoint, Redo: 123456},
+		{Type: TypeCheckpoint, Redo: 99, XID: 1000, TS: 512, Oldest: 970},
 		{Type: TypeUnlink, SM: storage.Disk, Rel: "lob_idx_9"},
 	}
 }
@@ -56,7 +57,7 @@ func FuzzWALDecode(f *testing.F) {
 			}
 			if r2.Type != r.Type || r2.XID != r.XID || r2.TS != r.TS ||
 				r2.SM != r.SM || r2.Rel != r.Rel || r2.Blk != r.Blk ||
-				r2.Redo != r.Redo || !bytes.Equal(r2.Image, r.Image) {
+				r2.Redo != r.Redo || r2.Oldest != r.Oldest || !bytes.Equal(r2.Image, r.Image) {
 				t.Fatalf("round trip changed the record: %+v != %+v", r2, r)
 			}
 		}

@@ -46,7 +46,11 @@ func (t Type) String() string {
 
 // Record is one decoded log record. Which fields are meaningful depends on
 // Type: page images use XID/SM/Rel/Blk/Image, commits use XID/TS, aborts use
-// XID, checkpoints use Redo, unlinks use SM/Rel.
+// XID, unlinks use SM/Rel. Checkpoints use Redo plus the version metadata
+// triple (XID = next XID to issue, TS = latest commit timestamp, Oldest =
+// global xmin horizon at the checkpoint), so redo recovery can restart
+// version numbering past everything the lost epoch might have stamped even
+// when the commit-log file lagged the write-ahead log.
 type Record struct {
 	Type Type
 	// LSN is the record's start position; End is the position one past its
@@ -55,13 +59,14 @@ type Record struct {
 	LSN LSN
 	End LSN
 
-	XID   uint32
-	TS    int64
-	SM    storage.ID
-	Rel   storage.RelName
-	Blk   storage.BlockNum
-	Image []byte
-	Redo  LSN
+	XID    uint32
+	TS     int64
+	SM     storage.ID
+	Rel    storage.RelName
+	Blk    storage.BlockNum
+	Image  []byte
+	Redo   LSN
+	Oldest uint32
 }
 
 // Record wire format: an 8-byte header — body length u32, CRC-32 (IEEE) u32
@@ -103,6 +108,9 @@ func appendRecord(dst []byte, r *Record) ([]byte, error) {
 		dst = binary.LittleEndian.AppendUint32(dst, r.XID)
 	case TypeCheckpoint:
 		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.Redo))
+		dst = binary.LittleEndian.AppendUint32(dst, r.XID)
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(r.TS))
+		dst = binary.LittleEndian.AppendUint32(dst, r.Oldest)
 	case TypeUnlink:
 		dst = append(dst, byte(r.SM))
 		dst = binary.LittleEndian.AppendUint16(dst, uint16(len(r.Rel)))
@@ -153,10 +161,17 @@ func decodeBody(body []byte) (*Record, error) {
 		}
 		r.XID = binary.LittleEndian.Uint32(p)
 	case TypeCheckpoint:
-		if len(p) != 8 {
+		// 8-byte bodies are the legacy format without version metadata;
+		// their counters decode as zero (a no-op at recovery).
+		if len(p) != 8 && len(p) != 24 {
 			return nil, short
 		}
 		r.Redo = LSN(binary.LittleEndian.Uint64(p))
+		if len(p) == 24 {
+			r.XID = binary.LittleEndian.Uint32(p[8:])
+			r.TS = int64(binary.LittleEndian.Uint64(p[12:]))
+			r.Oldest = binary.LittleEndian.Uint32(p[20:])
+		}
 	case TypeUnlink:
 		if len(p) < 3 {
 			return nil, short

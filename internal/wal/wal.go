@@ -809,13 +809,35 @@ func (l *Log) wakeLocked() {
 // lies at or above it and stays in the log.
 func (l *Log) RedoPoint() LSN { return l.End() }
 
+// CheckpointMeta is the version metadata a checkpoint records alongside its
+// redo point: the transaction manager's counters and snapshot horizon at the
+// moment of the checkpoint. Recovery replays it into the manager so XIDs and
+// commit timestamps stay monotonic across a crash even when the commit-log
+// file lagged the write-ahead log.
+type CheckpointMeta struct {
+	NextXID uint32 // next XID the manager would issue
+	NowTS   int64  // latest commit timestamp assigned
+	Oldest  uint32 // global xmin horizon (oldest snapshot any reader holds)
+}
+
 // Checkpoint appends a checkpoint record carrying redo — the caller's redo
 // point, captured with RedoPoint before it began flushing data pages —
 // makes it durable, and drops every segment wholly below the redo point.
 // Callers serialise checkpoints themselves (concurrent calls are safe but
 // may interleave truncations pointlessly). Returns the record's end LSN.
 func (l *Log) Checkpoint(redo LSN) (LSN, error) {
-	lsn, err := l.append(&Record{Type: TypeCheckpoint, Redo: redo})
+	return l.CheckpointWithMeta(redo, CheckpointMeta{})
+}
+
+// CheckpointWithMeta is Checkpoint carrying the version-metadata triple.
+func (l *Log) CheckpointWithMeta(redo LSN, meta CheckpointMeta) (LSN, error) {
+	lsn, err := l.append(&Record{
+		Type:   TypeCheckpoint,
+		Redo:   redo,
+		XID:    meta.NextXID,
+		TS:     meta.NowTS,
+		Oldest: meta.Oldest,
+	})
 	if err != nil {
 		return 0, err
 	}

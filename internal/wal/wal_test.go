@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -43,6 +44,7 @@ func TestRecordRoundTrip(t *testing.T) {
 		{Type: TypeCommit, XID: 10, TS: 1 << 60},
 		{Type: TypeAbort, XID: 11},
 		{Type: TypeCheckpoint, Redo: 123456789},
+		{Type: TypeCheckpoint, Redo: 55, XID: 4096, TS: 777, Oldest: 4000},
 		{Type: TypeUnlink, SM: storage.Worm, Rel: "pg_lob_old"},
 		{Type: TypeUnlink, SM: storage.Mem, Rel: ""},
 	}
@@ -57,9 +59,25 @@ func TestRecordRoundTrip(t *testing.T) {
 		}
 		if got.Type != want.Type || got.XID != want.XID || got.TS != want.TS ||
 			got.SM != want.SM || got.Rel != want.Rel || got.Blk != want.Blk ||
-			got.Redo != want.Redo || !bytes.Equal(got.Image, want.Image) {
+			got.Redo != want.Redo || got.Oldest != want.Oldest || !bytes.Equal(got.Image, want.Image) {
 			t.Errorf("%v: round trip mismatch: got %+v want %+v", want.Type, got, want)
 		}
+	}
+}
+
+// TestCheckpointLegacyBodyDecodes pins backward compatibility: an 8-byte
+// checkpoint body (written before checkpoints carried version metadata)
+// still decodes, with the counters reading zero.
+func TestCheckpointLegacyBodyDecodes(t *testing.T) {
+	legacy := make([]byte, 9)
+	legacy[0] = byte(TypeCheckpoint)
+	binary.LittleEndian.PutUint64(legacy[1:], 4242)
+	got, err := decodeBody(legacy)
+	if err != nil {
+		t.Fatalf("legacy checkpoint body: %v", err)
+	}
+	if got.Redo != 4242 || got.XID != 0 || got.TS != 0 || got.Oldest != 0 {
+		t.Fatalf("legacy checkpoint decoded as %+v", got)
 	}
 }
 

@@ -1,0 +1,306 @@
+package postlob
+
+// Snapshot-isolation soak: seeded writer goroutines churn per-writer large
+// objects — odd generations are written and aborted, even generations
+// committed — while concurrent snapshot readers assert the SI contract on
+// every read: never a torn object (all words uniform), never uncommitted or
+// aborted data (generation always even), repeatable reads inside one
+// snapshot, and monotonically non-decreasing generations across snapshots.
+// An online vacuum daemon reclaims history underneath the whole time; a
+// final cold phase asserts the reader path really is latch-wait-free, and
+// the version conservation law must balance once the soak quiesces.
+//
+// The workload is derived from MVCCSEED (default 1) and sized by
+// MVCCWRITERS (default 8, the check.sh MVCC=1 knob widens it); failures log
+// the reproducer line.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"postlob/internal/obs"
+)
+
+const (
+	soakObjWords = 2500 // 8-byte generation words per object
+	soakObjBytes = soakObjWords * 8
+)
+
+// soakEnvInt reads a positive integer knob from the environment.
+func soakEnvInt(name string, def, max int) int {
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return def
+	}
+	if n > max {
+		return max
+	}
+	return n
+}
+
+func TestSnapshotIsolationSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	seed := int64(soakEnvInt("MVCCSEED", 1, 1<<30))
+	writers := soakEnvInt("MVCCWRITERS", 8, 64)
+	t.Cleanup(func() {
+		if t.Failed() {
+			t.Logf("reproduce with: MVCCSEED=%d MVCCWRITERS=%d go test -race -run 'TestSnapshotIsolationSoak'", seed, writers)
+		}
+	})
+	for _, mode := range []struct {
+		name string
+		dur  Durability
+	}{{"mode=checkpoint", DurabilityCheckpoint}, {"mode=wal", DurabilityWAL}} {
+		t.Run(mode.name, func(t *testing.T) {
+			runSISoak(t, seed, writers, mode.dur)
+		})
+	}
+}
+
+// soakContent builds the canonical image of (writer, gen): soakObjWords
+// identical little-endian words writer<<32|gen. Uniformity is the torn-read
+// oracle, the word's low half is the commit oracle (committed gens are
+// even), and the high half pins the object's identity.
+func soakContent(writer int, gen uint32) []byte {
+	buf := make([]byte, soakObjBytes)
+	word := uint64(writer)<<32 | uint64(gen)
+	for i := 0; i < soakObjBytes; i += 8 {
+		binary.LittleEndian.PutUint64(buf[i:], word)
+	}
+	return buf
+}
+
+// soakCheckRead validates one snapshot read of writer w's object and
+// returns the generation it observed.
+func soakCheckRead(w int, data []byte) (uint32, error) {
+	if len(data) != soakObjBytes {
+		return 0, fmt.Errorf("object %d: read %d bytes, want %d", w, len(data), soakObjBytes)
+	}
+	first := binary.LittleEndian.Uint64(data)
+	for i := 8; i < len(data); i += 8 {
+		if got := binary.LittleEndian.Uint64(data[i:]); got != first {
+			return 0, fmt.Errorf("object %d: torn read, word[0]=%#x word[%d]=%#x", w, first, i/8, got)
+		}
+	}
+	if int(first>>32) != w {
+		return 0, fmt.Errorf("object %d: read object %d's words (%#x)", w, first>>32, first)
+	}
+	gen := uint32(first)
+	if gen%2 != 0 {
+		return 0, fmt.Errorf("object %d: observed uncommitted/aborted generation %d", w, gen)
+	}
+	return gen, nil
+}
+
+func runSISoak(t *testing.T, seed int64, writers int, dur Durability) {
+	db, err := Open(t.TempDir(), Options{Durability: dur})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	// One object per writer (disjoint working sets), seeded at gen 0.
+	refs := make([]ObjectRef, writers)
+	for w := 0; w < writers; w++ {
+		w := w
+		if err := db.RunInTxn(func(tx *Txn) error {
+			var obj Object
+			var err error
+			refs[w], obj, err = db.LargeObjects().Create(tx, CreateOptions{Kind: FChunk})
+			if err != nil {
+				return err
+			}
+			if _, err := obj.Write(soakContent(w, 0)); err != nil {
+				return err
+			}
+			return obj.Close()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// History is reclaimed live, underneath the readers: SI correctness
+	// under vacuum is exactly the property at stake.
+	if err := db.StartVacuum(VacuumOptions{Interval: 2 * time.Millisecond, ReclaimHistory: true}); err != nil {
+		t.Fatal(err)
+	}
+
+	before := obs.Snapshot()
+	steps := 240 / writers
+	if steps < 20 {
+		steps = 20
+	}
+	steps += steps % 2 // even: every writer's final write is committed
+
+	var (
+		wg          sync.WaitGroup
+		writersDone atomic.Bool
+		errs        = make(chan error, writers+8)
+	)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			for gen := uint32(1); gen <= uint32(steps); gen++ {
+				tx := db.Begin()
+				obj, err := db.LargeObjects().Open(tx, refs[w])
+				if err == nil {
+					// Split the overwrite at a random word boundary: two
+					// Write calls inside one transaction must still commit
+					// (or abort) atomically.
+					content := soakContent(w, gen)
+					cut := 8 * (1 + rng.Intn(soakObjWords-1))
+					if _, err = obj.Write(content[:cut]); err == nil {
+						_, err = obj.Write(content[cut:])
+					}
+					if cerr := obj.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					tx.Abort()
+					errs <- fmt.Errorf("writer %d gen %d: %w", w, gen, err)
+					return
+				}
+				if gen%2 == 1 {
+					tx.Abort() // odd generations must never be seen
+				} else if _, err := tx.Commit(); err != nil {
+					errs <- fmt.Errorf("writer %d gen %d commit: %w", w, gen, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	readers := 4
+	var rwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rwg.Add(1)
+		go func(r int) {
+			defer rwg.Done()
+			rng := rand.New(rand.NewSource(seed + 104729 + int64(r)))
+			lastGen := make([]uint32, writers)
+			for !writersDone.Load() {
+				w := rng.Intn(writers)
+				tx := db.Begin()
+				obj, err := db.LargeObjects().Open(tx, refs[w])
+				var gen uint32
+				var data []byte
+				if err == nil {
+					data, err = io.ReadAll(obj)
+					obj.Close()
+				}
+				if err == nil {
+					gen, err = soakCheckRead(w, data)
+				}
+				if err == nil && gen < lastGen[w] {
+					err = fmt.Errorf("reader %d object %d: generation went backwards %d -> %d", r, w, lastGen[w], gen)
+				}
+				if err == nil {
+					// Repeatable read: the same snapshot sees the same
+					// generation no matter how the world moved on.
+					obj2, oerr := db.LargeObjects().Open(tx, refs[w])
+					if oerr == nil {
+						data2, rerr := io.ReadAll(obj2)
+						obj2.Close()
+						if rerr != nil {
+							err = rerr
+						} else if g2, cerr := soakCheckRead(w, data2); cerr != nil {
+							err = cerr
+						} else if g2 != gen {
+							err = fmt.Errorf("reader %d object %d: snapshot not repeatable, %d then %d", r, w, gen, g2)
+						}
+					} else {
+						err = oerr
+					}
+				}
+				tx.Abort()
+				if err != nil {
+					errs <- err
+					return
+				}
+				lastGen[w] = gen
+			}
+		}(r)
+	}
+
+	wg.Wait()
+	writersDone.Store(true)
+	rwg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Cold phase: no writers, no vacuum — the snapshot-read path must take
+	// every frame latch without a single wait.
+	if err := db.StopVacuum(); err != nil {
+		t.Fatalf("vacuum daemon error: %v", err)
+	}
+	cold := obs.Snapshot()
+	var cwg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for w := 0; w < writers; w++ {
+				tx := db.Begin()
+				obj, err := db.LargeObjects().Open(tx, refs[w])
+				if err == nil {
+					var data []byte
+					if data, err = io.ReadAll(obj); err == nil {
+						_, err = soakCheckRead(w, data)
+					}
+					obj.Close()
+				}
+				tx.Abort()
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	cwg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	after := obs.Snapshot()
+	if d := after.CounterDelta(cold, "heap.read_latch_waits"); d != 0 {
+		t.Errorf("cold snapshot readers waited on %d frame latches; the read path must be wait-free", d)
+	}
+
+	// Quiescent conservation laws over the whole soak.
+	delta := func(name string) int64 { return after.CounterDelta(before, name) }
+	if got, want := delta("txn.commits")+delta("txn.aborts"), delta("txn.begins"); got != want {
+		t.Errorf("txn conservation: commits+aborts = %d, begins = %d", got, want)
+	}
+	created := delta("versions.created")
+	reclaimed := delta("versions.reclaimed")
+	liveDelta := after.Gauge("versions.live") - before.Gauge("versions.live")
+	if created != liveDelta+reclaimed {
+		t.Errorf("version conservation: created=%d live+=%d reclaimed=%d", created, liveDelta, reclaimed)
+	}
+	if created == 0 || delta("vacuum.rounds") == 0 {
+		t.Errorf("soak did not move its core metrics: versions.created=%d vacuum.rounds=%d",
+			created, delta("vacuum.rounds"))
+	}
+}

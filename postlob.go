@@ -25,6 +25,7 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"postlob/internal/adt"
@@ -166,6 +167,14 @@ type Options struct {
 	// database; returning mgr unchanged is always safe.
 	WrapStorage func(id storage.ID, mgr storage.Manager) storage.Manager
 
+	// AutoVacuum, when non-nil, starts the online vacuum daemon with the
+	// given options: a background goroutine that periodically reclaims
+	// versions no live snapshot can see (aborted debris always; superseded
+	// committed versions too when ReclaimHistory is set). nil means off —
+	// manual DB.Vacuum and the POSTGRES time-travel default. The daemon can
+	// also be started and stopped at runtime via StartVacuum/StopVacuum.
+	AutoVacuum *VacuumOptions
+
 	// BackgroundWriter controls the buffer pool's background I/O engine: a
 	// writer goroutine that cleans cold dirty frames ahead of demand (so
 	// foreground evictions almost never write back) and a prefetcher that
@@ -192,7 +201,13 @@ type DB struct {
 	mode   Durability
 	wlog   *wal.Log
 	waldur *core.WALDurability
+
+	vacMu sync.Mutex // guards vac across StartVacuum/StopVacuum/Close
+	vac   *core.Vacuum
 }
+
+// VacuumOptions configures the online vacuum daemon; see core.VacuumOptions.
+type VacuumOptions = core.VacuumOptions
 
 // Open opens (or creates) a database rooted at dir.
 func Open(dir string, opts Options) (*DB, error) {
@@ -330,6 +345,9 @@ func Open(dir string, opts Options) (*DB, error) {
 		}); err != nil {
 			return nil, err
 		}
+	}
+	if opts.AutoVacuum != nil {
+		db.vac = store.StartVacuum(*opts.AutoVacuum)
 	}
 	// Crash recovery for temporaries left by dead sessions (§5).
 	if _, err := store.GCOrphanTemps(); err != nil {
@@ -508,6 +526,39 @@ func (db *DB) Vacuum(keepHistory bool) (int, error) {
 	return total, nil
 }
 
+// StartVacuum starts the online vacuum daemon at runtime. Returns an error
+// if one is already running.
+func (db *DB) StartVacuum(opts VacuumOptions) error {
+	db.vacMu.Lock()
+	defer db.vacMu.Unlock()
+	if db.vac != nil {
+		return fmt.Errorf("postlob: vacuum daemon already running")
+	}
+	db.vac = db.store.StartVacuum(opts)
+	return nil
+}
+
+// StopVacuum halts the online vacuum daemon, if one is running, and returns
+// the first error any of its background rounds hit. A no-op otherwise.
+func (db *DB) StopVacuum() error {
+	db.vacMu.Lock()
+	v := db.vac
+	db.vac = nil
+	db.vacMu.Unlock()
+	if v == nil {
+		return nil
+	}
+	return v.Stop()
+}
+
+// VacuumDaemon returns the running vacuum daemon, or nil. Manual-mode tests
+// use it to drive rounds deterministically.
+func (db *DB) VacuumDaemon() *core.Vacuum {
+	db.vacMu.Lock()
+	defer db.vacMu.Unlock()
+	return db.vac
+}
+
 // Checkpoint flushes all dirty pages, syncs every relation the pool has
 // touched — class relations and large-object relations alike — and only
 // then persists the commit log. The ordering is the recovery contract: a
@@ -537,8 +588,11 @@ func (db *DB) Checkpoint() error {
 
 // Close checkpoints and shuts the database down.
 func (db *DB) Close() error {
-	// Quiesce the background engine first: the closing checkpoint must see a
-	// stable dirty set, and it surfaces any sticky async write-back error.
+	// Quiesce the daemons first: the closing checkpoint must see a stable
+	// dirty set, and StopEngine surfaces any sticky async write-back error.
+	if err := db.StopVacuum(); err != nil {
+		return err
+	}
 	db.pool.Buf.StopEngine()
 	if err := db.Checkpoint(); err != nil {
 		return err
