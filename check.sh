@@ -44,7 +44,20 @@
 #                                  version header (xmin/xmax stamps, hint
 #                                  bits, version-chain back link)
 #
-#   7c. (MVCC=1 only)              the widened MVCC gate: the snapshot-
+#   7c. FuzzReplFrameDecode        same treatment for the replication wire
+#                                  envelope (CRC-framed gob frames), so a
+#                                  torn or bit-flipped frame always fails
+#                                  loudly instead of being applied
+#
+#   7d. (REPL=1 only)              the widened replication gate: the
+#                                  replica-vs-oracle crash sweep at 100
+#                                  seeds under the race detector, crashing
+#                                  primary and replica alike. REPLSEED=<n>
+#                                  reproduces one seed from a failure:
+#
+#                                    REPL=1 ./check.sh
+#
+#   7e. (MVCC=1 only)              the widened MVCC gate: the snapshot-
 #                                  isolation soak at 24 writers plus a
 #                                  100-seed crash-recovery sweep, both under
 #                                  the race detector:
@@ -73,6 +86,15 @@
 #                                  force-at-commit on a 200µs-write device.
 #                                  Rewrites BENCH_commit_latency.json and
 #                                  fails unless group commit wins at 8-way
+#
+#  11. (BENCH=1 only)              the replication scale-out harness:
+#                                  aggregate snapshot-read throughput at
+#                                  0/1/2 WAL-shipped read replicas over
+#                                  per-node latency-wrapped devices.
+#                                  Rewrites BENCH_replication.json and
+#                                  fails unless 2 replicas reach 1.7x the
+#                                  primary-alone rate with zero reads
+#                                  proxied to the primary
 #
 # The race detector is on by default. Run with RACE=0 to skip it (plain
 # go test ./...) when iterating on something slow:
@@ -124,6 +146,14 @@ go test -run '^$' -fuzz '^FuzzWALDecode$' -fuzztime 200x ./internal/wal
 echo "== FuzzVersionMetaDecode smoke (-fuzztime=200x)"
 go test -run '^$' -fuzz '^FuzzVersionMetaDecode$' -fuzztime 200x ./internal/heap
 
+echo "== FuzzReplFrameDecode smoke (-fuzztime=200x)"
+go test -run '^$' -fuzz '^FuzzReplFrameDecode$' -fuzztime 200x ./internal/repl
+
+if [ "${REPL:-}" = "1" ]; then
+	echo "== widened replication crash sweep (REPL=1, 100 seeds, -race)"
+	REPLCRASH=100 go test -race -run '^TestReplicationCrashSweep$' -count=1 -timeout 30m .
+fi
+
 if [ "${MVCC:-}" = "1" ]; then
 	echo "== widened snapshot-isolation soak (MVCC=1, 24 writers, -race)"
 	MVCCWRITERS=24 go test -race -run '^TestSnapshotIsolationSoak$' -count=1 -v .
@@ -140,6 +170,8 @@ if [ "${BENCH:-}" = "1" ]; then
 	BENCH=1 go test -run '^TestCommitLatencyReport$' -v -timeout 20m .
 	echo "== mixed read/write harness (BENCH=1)"
 	BENCH=1 go test -run '^TestMixedRWReport$' -v -timeout 20m .
+	echo "== replication scale-out harness (BENCH=1)"
+	BENCH=1 go test -run '^TestReplicationReport$' -v -timeout 20m .
 fi
 
 echo "check.sh: all green"

@@ -35,16 +35,24 @@ func main() {
 		useWAL  = flag.Bool("wal", false, "open with write-ahead logging (group commit, redo recovery)")
 		bgw     = flag.Bool("bgwriter", true, "run the background I/O engine (writer + scan prefetch)")
 		autovac = flag.Bool("autovacuum", false, "run the online vacuum daemon (reclaims dead versions; keeps committed history)")
+		repto   = flag.String("replicate", "", "listen address for WAL-shipping replicas (implies -wal)")
+		repof   = flag.String("replica-of", "", "open as a read-only streaming replica of the primary at this address")
+		repname = flag.String("replica-name", "", "replica identity in the primary's slots (default: db dir name)")
 	)
 	flag.Parse()
 	if *dbdir == "" {
 		log.Fatal("lobjserve: -db is required")
 	}
-	opts := postlob.Options{BackgroundWriter: bgw}
+	opts := postlob.Options{
+		BackgroundWriter: bgw,
+		ReplicateTo:      *repto,
+		ReplicaOf:        *repof,
+		ReplicaName:      *repname,
+	}
 	if *useWAL {
 		opts.Durability = postlob.DurabilityWAL
 	}
-	if *autovac {
+	if *autovac && *repof == "" {
 		opts.AutoVacuum = &postlob.VacuumOptions{}
 	}
 	db, err := postlob.Open(*dbdir, opts)
@@ -52,6 +60,12 @@ func main() {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	if a := db.ReplicationAddr(); a != nil {
+		log.Printf("lobjserve: shipping WAL to replicas on %s", a)
+	}
+	if db.IsReplica() {
+		log.Printf("lobjserve: read-only replica of %s", *repof)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {

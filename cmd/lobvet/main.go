@@ -155,10 +155,10 @@ func enabledAnalyzers(disable string) ([]*analysis.Analyzer, []*analysis.Program
 // diagLine is one rendered diagnostic, sortable by file:line:column, then
 // analyzer, then message, so output is stable across runs and map orders.
 type diagLine struct {
-	file     string
+	file      string
 	line, col int
-	analyzer string
-	msg      string
+	analyzer  string
+	msg       string
 }
 
 func sortDiagLines(lines []diagLine) {

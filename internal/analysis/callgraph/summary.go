@@ -321,9 +321,9 @@ func (p *Program) flow(fn *Function, em emitter) Summary {
 		NetHeld:     make(map[LockClass]bool),
 		NetReleased: make(map[LockClass]bool),
 	}
-	kills := make(map[LockClass]bool)   // deferred releases, applied at exit
-	tried := make(map[LockClass]bool)   // try-acquired: never an ext release
-	gained := make(map[LockClass]bool)  // acquired here or via a callee
+	kills := make(map[LockClass]bool)  // deferred releases, applied at exit
+	tried := make(map[LockClass]bool)  // try-acquired: never an ext release
+	gained := make(map[LockClass]bool) // acquired here or via a callee
 	record := func(m map[LockClass]Witness, c LockClass, w Witness) {
 		if old, ok := m[c]; !ok || w.Pos < old.Pos {
 			m[c] = w

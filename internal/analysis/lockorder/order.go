@@ -37,6 +37,11 @@ type Level struct {
 
 // Hierarchy is the declared canonical acquisition order, outermost first.
 var Hierarchy = []Level{
+	{Doc: "replica checkpoint serialisation: a replica checkpoint flushes " +
+		"the buffer pool and syncs storage beneath it, so chkMu sits above " +
+		"every pool and storage class", Classes: []Class{
+		{Name: "repl.Receiver.chkMu"},
+	}},
 	{Doc: "catalog: name resolution happens before any page access", Classes: []Class{
 		{Name: "catalog.Catalog.mu"},
 	}},
@@ -74,11 +79,21 @@ var Hierarchy = []Level{
 	{Doc: "WAL segment I/O lock, never nested inside wal.Log.mu", Classes: []Class{
 		{Name: "wal.Log.ioMu"},
 	}},
-	{Doc: "buffer pool leaf locks: free list, extension table, checksummers, background-writer error slot", Classes: []Class{
+	{Doc: "buffer pool leaf locks: free list, extension table, checksummers, " +
+		"background-writer error slot, and the write-back drain gate (wbMu is " +
+		"taken bare by write-backs signing in/out and by checkpoint syncs " +
+		"draining them; Cond.Wait releases it while blocked)", Classes: []Class{
 		{Name: "buffer.Pool.freeMu"},
 		{Name: "buffer.Pool.extMu"},
 		{Name: "buffer.Pool.csMu"},
 		{Name: "buffer.Pool.bgErrMu"},
+		{Name: "buffer.Pool.wbMu"},
+	}},
+	{Doc: "replication session state: the sender's connection table and the " +
+		"receiver's current-connection slot are touched bare — never while " +
+		"holding, and never while acquiring, any pool or WAL class", Classes: []Class{
+		{Name: "repl.Sender.mu"},
+		{Name: "repl.Receiver.mu"},
 	}},
 	{Doc: "heap insert-placement hints and vacuum daemon state, all leaves: " +
 		"placeMu is taken under the relation lock but never across a pool call " +

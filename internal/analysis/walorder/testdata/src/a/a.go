@@ -20,6 +20,10 @@ func flushes(p *buffer.Pool) error {
 	return p.SyncAll() // SyncAll is not a flush; no diagnostic
 }
 
+func redo(p *buffer.Pool) error {
+	return p.ApplyRedoImage("rel", 0, nil) // want `buffer\.Pool\.ApplyRedoImage called from a`
+}
+
 func appends(l *wal.Log) error {
 	l.AppendCommit(1, 2) // want `result of wal\.AppendCommit discarded`
 

@@ -12,3 +12,5 @@ func (p *Pool) FlushAllIncremental(slicePages int) error { return nil }
 func (p *Pool) FlushRel() error { return nil }
 
 func (p *Pool) SyncAll() error { return nil }
+
+func (p *Pool) ApplyRedoImage(rel string, blk int, img []byte) error { return nil }

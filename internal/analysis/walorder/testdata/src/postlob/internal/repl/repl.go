@@ -1,0 +1,14 @@
+// Package repl is a fixture proving replication replay may apply physical
+// redo images and flush the pool: ApplyRedoImage and FlushAll calls from
+// postlob/internal/repl produce no diagnostics.
+package repl
+
+import "postlob/internal/buffer"
+
+func replay(p *buffer.Pool) error {
+	return p.ApplyRedoImage("rel", 7, nil) // allowed: replication replay owns the pool
+}
+
+func checkpoint(p *buffer.Pool) error {
+	return p.FlushAll() // allowed: the replica checkpoint lives here
+}

@@ -6,7 +6,9 @@
 // the WAL flush ceiling — the
 // machinery that makes a page's newest log record durable before the page
 // itself. Only the packages that implement that machinery may call them:
-// postlob/internal/buffer, postlob/internal/txn, and postlob/internal/core.
+// postlob/internal/buffer, postlob/internal/txn, postlob/internal/core, and
+// postlob/internal/repl (the replica's checkpoint lives in the receiver; a
+// replica pool has no WAL attached, so the ceiling is vacuously honored).
 // A flush call anywhere else (a shell, the facade, an example) bypasses the
 // checkpoint path and silently weakens the recovery contract.
 //
@@ -16,6 +18,13 @@
 // go/defer statement, or assignment to the blank identifier) means the
 // append can never be waited on: the record exists but nothing orders the
 // matching data write after it.
+//
+// Rule 3: buffer.Pool.ApplyRedoImage overwrites a page with a logged image,
+// bypassing the WAL append that every ordinary mutation carries — it is
+// physical redo, sound only where replay owns the pool: crash recovery and
+// replication. Only postlob/internal/buffer, postlob/internal/core, and
+// postlob/internal/repl may call it; anywhere else it is a page write the
+// log will never describe, silently un-replayable.
 //
 // Test files are exempt, as elsewhere in lobvet: tests may exercise flushes
 // and appends directly.
@@ -35,11 +44,22 @@ const (
 )
 
 // flushPkgs are the packages allowed to call Pool.FlushRel / Pool.FlushAll:
-// the pool itself, the transaction manager, and core's checkpoint machinery.
+// the pool itself, the transaction manager, core's checkpoint machinery, and
+// the replication receiver (the replica-side checkpoint).
 var flushPkgs = map[string]bool{
 	"postlob/internal/buffer": true,
 	"postlob/internal/txn":    true,
 	"postlob/internal/core":   true,
+	"postlob/internal/repl":   true,
+}
+
+// redoPkgs are the packages allowed to call Pool.ApplyRedoImage: the pool
+// itself, core's crash recovery, and replication replay. Everywhere else it
+// is a page write the WAL never describes.
+var redoPkgs = map[string]bool{
+	"postlob/internal/buffer": true,
+	"postlob/internal/core":   true,
+	"postlob/internal/repl":   true,
 }
 
 // Analyzer reports flush calls outside the checkpoint layers and discarded
@@ -89,6 +109,11 @@ func checkFile(pass *analysis.Pass, file *ast.File) {
 				pass.Reportf(call.Pos(),
 					"buffer.Pool.%s called from %s; page flushes must go through buffer, txn, or core so the WAL flush ceiling is honored",
 					fn.Name(), pass.Pkg.Path())
+			}
+			if fn.Name() == "ApplyRedoImage" && !redoPkgs[pass.Pkg.Path()] {
+				pass.Reportf(call.Pos(),
+					"buffer.Pool.ApplyRedoImage called from %s; physical redo belongs to crash recovery (core) and replication replay (repl) only — elsewhere it is a page write the WAL never describes",
+					pass.Pkg.Path())
 			}
 		case walPath:
 			if strings.HasPrefix(fn.Name(), "Append") {

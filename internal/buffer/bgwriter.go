@@ -84,8 +84,8 @@ type EngineConfig struct {
 type engine struct {
 	p    *Pool
 	cfg  EngineConfig
-	wake chan struct{}     // demand nudges from the foreground path, capacity 1
-	pf   chan prefetchReq  // pending prefetch windows
+	wake chan struct{}    // demand nudges from the foreground path, capacity 1
+	pf   chan prefetchReq // pending prefetch windows
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
@@ -435,6 +435,11 @@ func (p *Pool) writeBackBatch(frames []*Frame) (int, error) {
 // rule per frame.
 func (p *Pool) writeRun(run []*Frame) (int, error) {
 	tag0 := run[0].tag
+	// Drain-gate sign-in, as in writeBack: the dirty bits cleared below must
+	// not let a concurrent checkpoint sync the relation (and durably advance
+	// the redo point) before these pages' device writes land.
+	p.wbBegin(relKey{tag0.SM, tag0.Rel})
+	defer p.wbEnd(relKey{tag0.SM, tag0.Rel})
 	mgr, err := p.sw.Get(tag0.SM)
 	if err != nil {
 		return 0, err
@@ -786,6 +791,11 @@ func (p *Pool) FlushAllIncremental(slicePages int) error {
 		if !mgr.Exists(key.rel) {
 			continue
 		}
+		// Drain in-flight write-backs before the per-relation sync, exactly
+		// as SyncAll does: a page mid-write-back is invisible to pinDirty
+		// but not yet on the device, and the checkpoint record this flush
+		// precedes will skip its logged image on replay.
+		p.wbWaitRel(key)
 		if err := mgr.Sync(key.rel); err != nil {
 			return fmt.Errorf("buffer: sync %s: %w", key.rel, err)
 		}

@@ -245,6 +245,17 @@ type Pool struct {
 
 	bgErrMu sync.Mutex
 	bgErr   error // guarded by bgErrMu; first unsurfaced async write-back error
+
+	// The write-back drain gate. A device write-back signs in (wbBegin)
+	// before it clears a frame's dirty bit and signs out (wbEnd) after its
+	// device write returns. In between, the page's newest image is invisible
+	// to pinDirty and not yet guaranteed on the device — so a checkpoint
+	// that syncs the relation must first drain it (wbWaitRel), or it could
+	// durably advance the redo point past an image that never reached the
+	// synced medium, and a crash would lose the page with nothing to replay.
+	wbMu       sync.Mutex
+	wbCond     *sync.Cond     // signalled as in-flight write-backs retire
+	wbInFlight map[relKey]int // guarded by wbMu
 }
 
 // NewPool creates a pool of nframes pages over the given switch. clock may
@@ -267,11 +278,47 @@ func NewPool(nframes int, sw *storage.Switch, clock *vclock.Clock) *Pool {
 		nblocks:   make(map[relKey]storage.BlockNum),
 		ext:       make(map[relKey]*sync.Mutex),
 		checksums: make(map[relKey]Checksummer),
+
+		wbInFlight: make(map[relKey]int),
 	}
+	p.wbCond = sync.NewCond(&p.wbMu)
 	for i := range p.parts {
 		p.parts[i] = &partition{lookup: make(map[Tag]*Frame), lru: list.New()}
 	}
 	return p
+}
+
+// wbBegin signs a device write-back of rel's pages into the drain gate.
+// Must precede the dirty-bit clear; pair with wbEnd on every path.
+func (p *Pool) wbBegin(key relKey) {
+	p.wbMu.Lock()
+	p.wbInFlight[key]++
+	p.wbMu.Unlock()
+}
+
+// wbEnd retires a write-back begun with wbBegin and wakes drain waiters.
+func (p *Pool) wbEnd(key relKey) {
+	p.wbMu.Lock()
+	if p.wbInFlight[key]--; p.wbInFlight[key] <= 0 {
+		delete(p.wbInFlight, key)
+	}
+	p.wbCond.Broadcast()
+	p.wbMu.Unlock()
+}
+
+// wbWaitRel blocks until no write-back of rel's pages is in flight. A
+// checkpoint calls it immediately before syncing the relation: any frame
+// whose dirty bit a write-back cleared before the checkpoint's own flush
+// pass is then guaranteed to have reached the (possibly volatile) device,
+// where the sync that follows makes it durable. Write-backs that begin
+// after the wait was satisfied carry images logged after the checkpoint's
+// redo point, which replay covers.
+func (p *Pool) wbWaitRel(key relKey) {
+	p.wbMu.Lock()
+	for p.wbInFlight[key] > 0 {
+		p.wbCond.Wait()
+	}
+	p.wbMu.Unlock()
 }
 
 // part hashes a tag to its partition (FNV-1a over rel, SM, and block).
@@ -481,6 +528,91 @@ func (p *Pool) NewBlock(sm storage.ID, rel storage.RelName) (*Frame, storage.Blo
 	return f, n, nil
 }
 
+// ApplyRedoImage installs a physical redo page image: replication replay's
+// page write (and the only legal non-recovery writer of a replica's pool —
+// lobvet's walorder analyzer enforces the caller set). The image lands in
+// the pool as a dirty frame, so replica reads see it immediately and the
+// next flush carries it to the device; relation length stays coherent
+// because extension goes through NewBlock. Blocks below blk that the
+// stream has not yet imaged materialise as zero pages, exactly like
+// recovery's hole handling.
+func (p *Pool) ApplyRedoImage(sm storage.ID, rel storage.RelName, blk storage.BlockNum, img []byte) error {
+	if len(img) != page.Size {
+		return fmt.Errorf("buffer: redo image is %d bytes, want %d", len(img), page.Size)
+	}
+	mgr, err := p.sw.Get(sm)
+	if err != nil {
+		return err
+	}
+	if !mgr.Exists(rel) {
+		if err := mgr.Create(rel); err != nil {
+			return err
+		}
+	}
+	for {
+		n, err := p.NBlocks(sm, rel)
+		if err != nil {
+			return err
+		}
+		if blk < n {
+			break
+		}
+		f, bn, err := p.NewBlock(sm, rel)
+		if err != nil {
+			return err
+		}
+		if bn == blk {
+			f.LockContent()
+			copy(f.data, img)
+			f.UnlockContent()
+			f.Release()
+			return nil
+		}
+		f.Release() // a hole: stays zero until its own image arrives
+	}
+	// An existing block is overwritten without reading the device: redo is
+	// "these bytes, whatever was there" — the home location may hold a torn
+	// page the image is about to repair, so a read-verify pass would reject
+	// exactly the pages replay exists to fix.
+	tag := Tag{SM: sm, Rel: rel, Blk: blk}
+	part := p.part(tag)
+	for {
+		if f := part.tryPin(tag); f != nil {
+			f.LockContent()
+			copy(f.data, img)
+			f.MarkDirty()
+			f.UnlockContent()
+			f.Release()
+			return nil
+		}
+		f, err := p.allocFrame()
+		if err != nil {
+			return err
+		}
+		copy(f.data, img)
+		part.mu.Lock()
+		if _, ok := part.lookup[tag]; ok {
+			// Lost an install race with a concurrent reader; retry the
+			// resident path so the overwrite lands in the surviving frame.
+			part.mu.Unlock()
+			p.putFree(f)
+			continue
+		}
+		f.tag = tag
+		f.part = part
+		f.pins = 1
+		f.evicting = false
+		f.lruEl = nil
+		f.dirty.Store(true)
+		f.walDirty.Store(true)
+		f.walLSN.Store(0)
+		part.lookup[tag] = f
+		part.mu.Unlock()
+		f.Release()
+		return nil
+	}
+}
+
 // allocFrame produces an unreferenced frame: from the free list, by growing
 // toward the pool's frame budget, or by evicting.
 func (p *Pool) allocFrame() (*Frame, error) {
@@ -649,6 +781,12 @@ func (p *Pool) extLock(sm storage.ID, rel storage.RelName) *sync.Mutex {
 // written page.
 func (p *Pool) writeBack(f *Frame) error {
 	tag := f.tag
+	// Sign into the drain gate before the dirty bit is cleared below: a
+	// concurrent checkpoint must not sync this relation (and advance its
+	// redo point) while this page is neither pinDirty-visible nor on the
+	// device yet.
+	p.wbBegin(relKey{tag.SM, tag.Rel})
+	defer p.wbEnd(relKey{tag.SM, tag.Rel})
 	// If this page was never logged since it was dirtied, its image is about
 	// to become device-visible — and under a WAL the device write is preceded
 	// by a durable log append, so the image survives a crash. A single page's
@@ -698,6 +836,14 @@ func (p *Pool) writeBack(f *Frame) error {
 	// block is read back after a crash. walDirty is cleared inside the same
 	// latch hold as the copy, so the logged image is exactly the state whose
 	// changes it marks; a mutation after the latch drops re-marks the frame.
+	// The image append happens under the same content-latch hold as the
+	// copy. Two latch-sharing appenders (a commit's LogDirtyPages and this
+	// write-back) can only interleave with byte-identical images, and any
+	// mutator's exclusive hold strictly orders its change after both their
+	// appends — so the log's last image of a page is always its newest
+	// state. Appending after the latch drops would let a mutate-and-log win
+	// the race and land the older image later in the log, where replay
+	// (crash recovery and replicas alike) would resurrect it.
 	img := make([]byte, page.Size)
 	f.latch.RLock()
 	f.dirty.Store(false)
@@ -706,24 +852,31 @@ func (p *Pool) writeBack(f *Frame) error {
 		needLog = f.walDirty.Swap(false)
 	}
 	copy(img, f.data)
-	f.latch.RUnlock()
 	if cs := p.checksummer(tag.SM, tag.Rel); cs != nil {
 		cs.Stamp(img)
 	}
-	if p.wal != nil {
-		if needLog {
-			// The page reaches the device without a commit having logged it
-			// (eviction under memory pressure): append its image now. XID 0
-			// marks an image not attributed to any one transaction; replay is
-			// unconditional, so attribution is informational.
-			lsn, err := p.wal.AppendPageImage(tag.SM, tag.Rel, tag.Blk, img, 0)
-			if err != nil {
-				f.dirty.Store(true)
-				f.walDirty.Store(true)
-				return err
-			}
-			f.walLSN.Store(uint64(lsn))
+	if needLog {
+		// The page reaches the device without a commit having logged it
+		// (eviction under memory pressure): append its image now. XID 0
+		// marks an image not attributed to any one transaction; replay is
+		// unconditional, so attribution is informational.
+		//
+		// The append runs under the shared content latch on purpose: latch
+		// order is then log order, so a mutator's newer image can never land
+		// earlier in the log than this one. The append can park on segment
+		// rotation, but only on the WAL flusher, which takes no frame
+		// latches — no cycle, just a bounded stall on a full segment.
+		lsn, err := p.wal.AppendPageImage(tag.SM, tag.Rel, tag.Blk, img, 0) //lobvet:ignore — append-under-latch is the stale-image-ordering fix; flusher never takes latches
+		if err != nil {
+			f.dirty.Store(true)
+			f.walDirty.Store(true)
+			f.latch.RUnlock()
+			return err
 		}
+		f.walLSN.Store(uint64(lsn))
+	}
+	f.latch.RUnlock()
+	if p.wal != nil {
 		// The flush ceiling: the newest logged image of this page must be
 		// durable before the page replaces its home-location bytes, or a
 		// crash after the home write could leave a state the log cannot redo.
@@ -795,15 +948,19 @@ func (p *Pool) LogDirtyPages(xid uint32) (wal.LSN, error) {
 	img := make([]byte, page.Size)
 	for _, f := range frames {
 		if firstErr == nil {
+			// Copy and append under one latch hold (see flushFrame): a
+			// mutator's exclusive latch then orders its newer image strictly
+			// after this one in the log, so replay never lands a stale image
+			// last. The append may park on segment rotation, but only on the
+			// WAL flusher, which takes no frame latches.
 			f.latch.RLock()
 			needLog := f.walDirty.Swap(false)
-			copy(img, f.data)
-			f.latch.RUnlock()
 			if needLog {
+				copy(img, f.data)
 				if cs := p.checksummer(f.tag.SM, f.tag.Rel); cs != nil {
 					cs.Stamp(img)
 				}
-				lsn, err := p.wal.AppendPageImage(f.tag.SM, f.tag.Rel, f.tag.Blk, img, xid)
+				lsn, err := p.wal.AppendPageImage(f.tag.SM, f.tag.Rel, f.tag.Blk, img, xid) //lobvet:ignore — append-under-latch is the stale-image-ordering fix; flusher never takes latches
 				if err != nil {
 					f.walDirty.Store(true)
 					firstErr = err
@@ -814,6 +971,7 @@ func (p *Pool) LogDirtyPages(xid uint32) (wal.LSN, error) {
 					}
 				}
 			}
+			f.latch.RUnlock()
 		}
 		f.Release()
 	}
@@ -960,6 +1118,10 @@ func (p *Pool) SyncAll() error {
 		if !mgr.Exists(key.rel) {
 			continue
 		}
+		// Drain in-flight write-backs first: a page mid-write-back is
+		// already invisible to dirty scans but not yet on the device, and
+		// this sync must cover it.
+		p.wbWaitRel(key)
 		if err := mgr.Sync(key.rel); err != nil {
 			return fmt.Errorf("buffer: sync %s: %w", key.rel, err)
 		}

@@ -118,6 +118,9 @@ type LargeTypeDef struct {
 }
 
 type state struct {
+	// Version counts mutations; replication ships the catalog when it
+	// changes, and a replica adopts the primary's version wholesale.
+	Version uint64                   `json:"version,omitempty"`
 	NextOID OID                      `json:"nextOID"`
 	Classes map[string]*Class        `json:"classes"`
 	Objects map[OID]*LargeObjectMeta `json:"objects"`
@@ -184,8 +187,17 @@ func (c *Catalog) LargeTypes() []LargeTypeDef {
 	return out
 }
 
-// saveLocked persists the catalog; caller holds c.mu exclusive.
+// saveLocked persists the catalog; caller holds c.mu exclusive. Every save
+// is a mutation, so the version counter advances first — memory-only
+// catalogs version too, which the replication sender relies on.
 func (c *Catalog) saveLocked() error {
+	c.state.Version++
+	return c.writeLocked()
+}
+
+// writeLocked persists the current state verbatim; caller holds c.mu
+// exclusive.
+func (c *Catalog) writeLocked() error {
 	if c.path == "" {
 		return nil
 	}
@@ -198,6 +210,53 @@ func (c *Catalog) saveLocked() error {
 		return fmt.Errorf("catalog: %w", err)
 	}
 	return os.Rename(tmp, c.path)
+}
+
+// Version returns the catalog's mutation counter.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.state.Version
+}
+
+// Export returns the catalog state as its persisted JSON document plus the
+// version it carries — the unit replication ships.
+func (c *Catalog) Export() ([]byte, uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	data, err := json.MarshalIndent(&c.state, "", " ")
+	if err != nil {
+		return nil, 0, fmt.Errorf("catalog: %w", err)
+	}
+	return data, c.state.Version, nil
+}
+
+// ImportState replaces the catalog wholesale with an exported document and
+// persists it, keeping the exporter's version (no bump: a replica's catalog
+// version mirrors the primary's). Imports of an older or equal version are
+// ignored, so a reconnect replaying an earlier snapshot cannot roll the
+// catalog back.
+func (c *Catalog) ImportState(data []byte) error {
+	var st state
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if st.Classes == nil {
+		st.Classes = make(map[string]*Class)
+	}
+	if st.Objects == nil {
+		st.Objects = make(map[OID]*LargeObjectMeta)
+	}
+	if st.Types == nil {
+		st.Types = make(map[string]*LargeTypeDef)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st.Version <= c.state.Version && c.state.Version != 0 {
+		return nil
+	}
+	c.state = st
+	return c.writeLocked()
 }
 
 // AllocOID hands out a fresh OID.

@@ -36,6 +36,17 @@ type RawExtent struct {
 // any extent (sparse regions) read as zeros; the caller assembles the range
 // by decoding each extent into place over a zero buffer.
 func (s *Store) ReadRaw(tx *txn.Txn, ref adt.ObjectRef, off, n int64) ([]RawExtent, error) {
+	return s.readRaw(tx, liveSnap(tx), ref, off, n)
+}
+
+// ReadRawAsOf is ReadRaw against a historical snapshot: no transaction, no
+// XID allocation. Replicas serve remote raw reads through this path — an
+// as-of handle has no transaction to hang visibility on.
+func (s *Store) ReadRawAsOf(ts txn.TS, ref adt.ObjectRef, off, n int64) ([]RawExtent, error) {
+	return s.readRaw(nil, txn.SnapshotAt(ts), ref, off, n)
+}
+
+func (s *Store) readRaw(tx *txn.Txn, snap txn.Snapshot, ref adt.ObjectRef, off, n int64) ([]RawExtent, error) {
 	if off < 0 || n < 0 {
 		return nil, ErrBadSeek
 	}
@@ -45,16 +56,16 @@ func (s *Store) ReadRaw(tx *txn.Txn, ref adt.ObjectRef, off, n int64) ([]RawExte
 	}
 	switch meta.Kind {
 	case adt.KindFChunk:
-		return s.readRawFChunk(tx, ref, meta, off, n)
+		return s.readRawFChunk(tx, snap, ref, meta, off, n)
 	case adt.KindVSegment:
-		return s.readRawVSegment(tx, ref, meta, off, n)
+		return s.readRawVSegment(tx, snap, ref, meta, off, n)
 	default:
 		return nil, fmt.Errorf("core: ReadRaw unsupported for %v objects", meta.Kind)
 	}
 }
 
-func (s *Store) readRawFChunk(tx *txn.Txn, ref adt.ObjectRef, meta *catalog.LargeObjectMeta, off, n int64) ([]RawExtent, error) {
-	obj, err := s.openFChunk(tx, liveSnap(tx), ref, meta)
+func (s *Store) readRawFChunk(tx *txn.Txn, snap txn.Snapshot, ref adt.ObjectRef, meta *catalog.LargeObjectMeta, off, n int64) ([]RawExtent, error) {
+	obj, err := s.openFChunk(tx, snap, ref, meta)
 	if err != nil {
 		return nil, err
 	}
@@ -100,8 +111,8 @@ func (s *Store) readRawFChunk(tx *txn.Txn, ref adt.ObjectRef, meta *catalog.Larg
 	return out, nil
 }
 
-func (s *Store) readRawVSegment(tx *txn.Txn, ref adt.ObjectRef, meta *catalog.LargeObjectMeta, off, n int64) ([]RawExtent, error) {
-	obj, err := s.openVSegment(tx, liveSnap(tx), ref, meta)
+func (s *Store) readRawVSegment(tx *txn.Txn, snap txn.Snapshot, ref adt.ObjectRef, meta *catalog.LargeObjectMeta, off, n int64) ([]RawExtent, error) {
+	obj, err := s.openVSegment(tx, snap, ref, meta)
 	if err != nil {
 		return nil, err
 	}

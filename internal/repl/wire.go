@@ -1,0 +1,243 @@
+package repl
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"postlob/internal/page"
+)
+
+// The replication wire protocol is a single message shape — Frame — carried
+// in a CRC envelope: a fixed 8-byte header (payload length u32, CRC-32 IEEE
+// over the payload u32, both little-endian) followed by the gob-encoded
+// frame. gob alone detects some malformed streams but carries no checksum;
+// the envelope makes torn and bit-flipped frames fail loudly at the CRC
+// before any field is interpreted, which is the property FuzzReplFrameDecode
+// locks in. Each frame is a self-contained gob stream (type definitions are
+// resent per frame), so a receiver can resynchronise per envelope and the
+// decoder state cannot be poisoned by a corrupt predecessor.
+
+// Proto is the protocol version sent in Hello/HelloAck. A mismatch refuses
+// the connection — physical replication ships raw WAL record encodings, so
+// both sides must agree on that format exactly.
+const Proto = 1
+
+// Kind discriminates replication frames.
+type Kind uint8
+
+const (
+	// KindHello opens a connection: replica → primary identity plus the
+	// durable LSN it can resume from (0 = fresh, needs a base backup).
+	KindHello Kind = 1
+	// KindHelloAck answers: stream from your LSN, or take a base backup.
+	KindHelloAck Kind = 2
+	// KindRecords carries CRC-framed WAL records starting at Start.
+	KindRecords Kind = 3
+	// KindCatalog carries a versioned catalog export. Always shipped before
+	// any records frame whose commits it covers.
+	KindCatalog Kind = 4
+	// KindTxnState carries the transaction manager's encoded commit log,
+	// the first unit of a base backup.
+	KindTxnState Kind = 5
+	// KindBaseBlocks carries a run of full page images of one relation,
+	// Pages[i] being block Blk+i.
+	KindBaseBlocks Kind = 6
+	// KindBaseDone ends a base backup; streaming starts at the base LSN.
+	KindBaseDone Kind = 7
+	// KindStatus flows replica → primary: durable and applied progress,
+	// which advances the primary's replication slot.
+	KindStatus Kind = 8
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindHelloAck:
+		return "hello-ack"
+	case KindRecords:
+		return "records"
+	case KindCatalog:
+		return "catalog"
+	case KindTxnState:
+		return "txn-state"
+	case KindBaseBlocks:
+		return "base-blocks"
+	case KindBaseDone:
+		return "base-done"
+	case KindStatus:
+		return "status"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Frame is one replication protocol message. Which fields are meaningful
+// depends on Kind; gob encodes the zero-valued rest at negligible cost.
+type Frame struct {
+	Kind Kind
+
+	// Hello: replica identity and resume position.
+	Proto      int
+	Name       string
+	Durable    uint64 // replica's persisted applied LSN
+	CatVersion uint64 // replica's catalog version
+
+	// HelloAck: connection disposition.
+	Mode     string // "stream" or "base"
+	Base     uint64 // base-backup LSN — streaming starts here
+	End      uint64 // primary durable LSN at connect: the ready gate
+	SegBytes uint64 // WAL segment size, for position normalisation
+	ErrMsg   string // non-empty refuses the connection
+
+	// Records.
+	Start uint64 // LSN of Recs[0]
+	Recs  []byte // concatenated CRC-framed WAL records
+
+	// Catalog.
+	Catalog []byte
+	Version uint64
+
+	// TxnState.
+	Txn []byte
+
+	// BaseBlocks.
+	SM    uint8
+	Rel   string
+	Blk   uint32
+	Pages [][]byte
+
+	// Status (also reuses Durable above for the persisted LSN).
+	Applied uint64
+}
+
+const (
+	frameHdrLen = 8
+	// maxFramePayload bounds a frame before allocation. The largest
+	// legitimate frames are base-block runs and records chunks, both well
+	// under one WAL segment plus framing; 64 MiB leaves generous slack.
+	maxFramePayload = 64 << 20
+	// maxBasePages bounds one base-blocks run.
+	maxBasePages = 4096
+	maxRelLen    = 1 << 12
+)
+
+// ErrFrame reports a frame that failed envelope or structural validation.
+// The receiver treats it as a torn connection: drop, reconnect, resync.
+var ErrFrame = fmt.Errorf("repl: bad frame")
+
+// validate applies structural bounds after a successful decode, so a frame
+// that passes its CRC but carries nonsense (a forged or buggy peer) is still
+// rejected before any of it is applied.
+func (f *Frame) validate() error {
+	switch f.Kind {
+	case KindHello, KindHelloAck, KindBaseDone, KindStatus:
+	case KindRecords:
+		if len(f.Recs) == 0 {
+			return fmt.Errorf("%w: empty records frame", ErrFrame)
+		}
+	case KindCatalog:
+		if len(f.Catalog) == 0 {
+			return fmt.Errorf("%w: empty catalog frame", ErrFrame)
+		}
+	case KindTxnState:
+		if len(f.Txn) == 0 {
+			return fmt.Errorf("%w: empty txn-state frame", ErrFrame)
+		}
+	case KindBaseBlocks:
+		if len(f.Rel) == 0 || len(f.Rel) > maxRelLen {
+			return fmt.Errorf("%w: base-blocks relation name %d bytes", ErrFrame, len(f.Rel))
+		}
+		if len(f.Pages) == 0 || len(f.Pages) > maxBasePages {
+			return fmt.Errorf("%w: base-blocks run of %d pages", ErrFrame, len(f.Pages))
+		}
+		for i, p := range f.Pages {
+			if len(p) != page.Size {
+				return fmt.Errorf("%w: base page %d is %d bytes, want %d", ErrFrame, i, len(p), page.Size)
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown kind %d", ErrFrame, uint8(f.Kind))
+	}
+	return nil
+}
+
+// EncodeFrame wraps f in the CRC envelope and returns the wire bytes.
+func EncodeFrame(f *Frame) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(make([]byte, frameHdrLen)) // header, patched below
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("repl: encode %v frame: %w", f.Kind, err)
+	}
+	b := buf.Bytes()
+	payload := b[frameHdrLen:]
+	if len(payload) > maxFramePayload {
+		return nil, fmt.Errorf("repl: %v frame payload %d bytes exceeds limit", f.Kind, len(payload))
+	}
+	binary.LittleEndian.PutUint32(b, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[4:], crc32.ChecksumIEEE(payload))
+	return b, nil
+}
+
+// DecodeFrame parses one enveloped frame from the front of data, returning
+// the frame and the bytes consumed. Torn, truncated, or bit-flipped input
+// fails the CRC (or the structural validation behind it) — it never yields a
+// frame that silently misapplies.
+func DecodeFrame(data []byte) (*Frame, int, error) {
+	if len(data) < frameHdrLen {
+		return nil, 0, fmt.Errorf("%w: %d bytes hold no envelope header", ErrFrame, len(data))
+	}
+	n := binary.LittleEndian.Uint32(data)
+	if n == 0 || n > maxFramePayload {
+		return nil, 0, fmt.Errorf("%w: payload length %d", ErrFrame, n)
+	}
+	if uint64(frameHdrLen)+uint64(n) > uint64(len(data)) {
+		return nil, 0, fmt.Errorf("%w: payload truncated (%d of %d bytes)", ErrFrame, len(data)-frameHdrLen, n)
+	}
+	payload := data[frameHdrLen : frameHdrLen+n]
+	if binary.LittleEndian.Uint32(data[4:]) != crc32.ChecksumIEEE(payload) {
+		return nil, 0, fmt.Errorf("%w: payload fails its CRC", ErrFrame)
+	}
+	f := new(Frame)
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(f); err != nil {
+		return nil, 0, fmt.Errorf("%w: %v", ErrFrame, err)
+	}
+	if err := f.validate(); err != nil {
+		return nil, 0, err
+	}
+	return f, frameHdrLen + int(n), nil
+}
+
+// writeFrame sends one enveloped frame on w.
+func writeFrame(w io.Writer, f *Frame) error {
+	b, err := EncodeFrame(f)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// readFrame reads one enveloped frame from r. An envelope violation is
+// returned as ErrFrame; transport errors pass through.
+func readFrame(r io.Reader) (*Frame, error) {
+	hdr := make([]byte, frameHdrLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr)
+	if n == 0 || n > maxFramePayload {
+		return nil, fmt.Errorf("%w: payload length %d", ErrFrame, n)
+	}
+	buf := make([]byte, frameHdrLen+int(n))
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[frameHdrLen:]); err != nil {
+		return nil, err
+	}
+	f, _, err := DecodeFrame(buf)
+	return f, err
+}

@@ -15,18 +15,21 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"postlob/internal/adt"
 	"postlob/internal/core"
 	"postlob/internal/query"
+	"postlob/internal/repl"
 	"postlob/internal/txn"
 	"postlob/internal/wire"
 )
 
 // Server accepts connections and serves the protocol.
 type Server struct {
-	store  *core.Store
-	engine *query.Engine
+	store    *core.Store
+	engine   *query.Engine
+	readOnly atomic.Bool
 
 	mu       sync.Mutex
 	listener net.Listener      // guarded by mu
@@ -34,6 +37,13 @@ type Server struct {
 	conns    map[net.Conn]bool // guarded by mu
 	wg       sync.WaitGroup
 }
+
+// SetReadOnly puts the server in replica mode: operations that would start
+// or perform local writes — begin, exec, write — are refused, while
+// snapshot reads (now + open-as-of, read, size, close) pass through. The
+// rejection happens at the edge so a replica client gets a clear error
+// rather than a failed transaction deeper in.
+func (s *Server) SetReadOnly() { s.readOnly.Store(true) }
 
 // New creates a server over a store; queries run through a dedicated
 // engine sharing the store's catalog and registry.
@@ -99,6 +109,7 @@ type session struct {
 	srv     *Server
 	tx      *txn.Txn
 	handles map[int]core.Object
+	asOf    map[int]txn.TS  // handles opened as-of: id → snapshot timestamp
 	results []*query.Result // kept open until end of txn (temp lifetimes)
 	nextID  int
 }
@@ -112,7 +123,7 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	sess := &session{srv: s, handles: make(map[int]core.Object), nextID: 1}
+	sess := &session{srv: s, handles: make(map[int]core.Object), asOf: make(map[int]txn.TS), nextID: 1}
 	defer sess.cleanup()
 
 	dec := gob.NewDecoder(conn)
@@ -135,6 +146,7 @@ func (sess *session) cleanup() {
 		obj.Close()
 	}
 	sess.handles = map[int]core.Object{}
+	sess.asOf = map[int]txn.TS{}
 	for _, res := range sess.results {
 		res.Close()
 	}
@@ -166,6 +178,12 @@ func (sess *session) dispatch(req *wire.Request) *wire.Response {
 }
 
 func (sess *session) dispatchOp(req *wire.Request) *wire.Response {
+	if sess.srv.readOnly.Load() {
+		switch req.Op {
+		case wire.OpBegin, wire.OpExec, wire.OpWrite:
+			return fail("replica is read-only: %q refused (read via as-of opens)", req.Op)
+		}
+	}
 	switch req.Op {
 	case wire.OpBegin:
 		if sess.tx != nil && !sess.tx.Done() {
@@ -214,6 +232,7 @@ func (sess *session) closeHandles() {
 	for id, obj := range sess.handles {
 		obj.Close()
 		delete(sess.handles, id)
+		delete(sess.asOf, id)
 	}
 }
 
@@ -252,6 +271,12 @@ func (sess *session) open(req *wire.Request) *wire.Response {
 	var err error
 	if req.AsOf != txn.InvalidTS {
 		obj, err = sess.srv.store.OpenAsOf(req.AsOf, req.Ref)
+		if err == nil && sess.srv.readOnly.Load() {
+			// A replica served this snapshot open from its own pool — the
+			// scale-out benchmark gates on these (and on proxied_reads
+			// staying zero).
+			repl.CountReplicaRead()
+		}
 	} else {
 		tx, errResp := sess.needTx()
 		if errResp != nil {
@@ -265,6 +290,9 @@ func (sess *session) open(req *wire.Request) *wire.Response {
 	id := sess.nextID
 	sess.nextID++
 	sess.handles[id] = obj
+	if req.AsOf != txn.InvalidTS {
+		sess.asOf[id] = req.AsOf
+	}
 	return &wire.Response{Handle: id}
 }
 
@@ -282,6 +310,7 @@ func (sess *session) objectOp(req *wire.Request) *wire.Response {
 		return &wire.Response{Size: n}
 	case wire.OpClose:
 		delete(sess.handles, req.Handle)
+		delete(sess.asOf, req.Handle)
 		if err := obj.Close(); err != nil {
 			return fail("close: %v", err)
 		}
@@ -306,11 +335,19 @@ func (sess *session) objectOp(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{N: int64(n)}
 	case wire.OpRaw:
-		tx, errResp := sess.needTx()
-		if errResp != nil {
-			return errResp
+		var extents []core.RawExtent
+		var err error
+		if ts, ok := sess.asOf[req.Handle]; ok {
+			// As-of handles carry their own snapshot; no transaction needed,
+			// which is how replicas serve raw reads.
+			extents, err = sess.srv.store.ReadRawAsOf(ts, refOf(obj, req), req.Offset, req.N)
+		} else {
+			tx, errResp := sess.needTx()
+			if errResp != nil {
+				return errResp
+			}
+			extents, err = sess.srv.store.ReadRaw(tx, refOf(obj, req), req.Offset, req.N)
 		}
-		extents, err := sess.srv.store.ReadRaw(tx, refOf(obj, req), req.Offset, req.N)
 		if err != nil {
 			return fail("readraw: %v", err)
 		}

@@ -729,25 +729,55 @@ func (m *Manager) Save(path string) error {
 	return writeLogFile(path, buf)
 }
 
-// Load restores a commit log previously written by Save. Any mismatch —
-// bad magic, bad checksum, wrong length — returns ErrCorrupt; a corrupt
-// log must never be trusted to answer visibility questions.
+// logEntry is one decoded commit-log entry.
+type logEntry struct {
+	xid XID
+	st  Status
+	ts  TS
+}
+
+// decodeLog validates and parses an encoded commit log (the Save /
+// EncodeState format). Any mismatch — bad magic, bad checksum, wrong
+// length — returns ErrCorrupt; a corrupt log must never be trusted to
+// answer visibility questions.
+func decodeLog(data []byte) (bound XID, nextTS TS, ents []logEntry, err error) {
+	if len(data) < logHdrLen || binary.LittleEndian.Uint32(data[0:]) != logMagic {
+		return 0, 0, nil, ErrCorrupt
+	}
+	if binary.LittleEndian.Uint32(data[4:]) != crc32.ChecksumIEEE(data[8:]) {
+		return 0, 0, nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	bound = XID(binary.LittleEndian.Uint32(data[8:]))
+	nextTS = TS(binary.LittleEndian.Uint64(data[12:]))
+	n := int(binary.LittleEndian.Uint32(data[20:]))
+	if n < 0 || len(data) != logHdrLen+logEntLen*n {
+		return 0, 0, nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	}
+	ents = make([]logEntry, 0, n)
+	for i := 0; i < n; i++ {
+		rec := data[logHdrLen+logEntLen*i:]
+		e := logEntry{
+			xid: XID(binary.LittleEndian.Uint32(rec)),
+			st:  Status(rec[4]),
+			ts:  TS(binary.LittleEndian.Uint64(rec[5:])),
+		}
+		if e.st != Committed && e.st != Aborted {
+			return 0, 0, nil, fmt.Errorf("%w: bad status %d", ErrCorrupt, e.st)
+		}
+		ents = append(ents, e)
+	}
+	return bound, nextTS, ents, nil
+}
+
+// Load restores a commit log previously written by Save.
 func Load(path string) (*Manager, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("txn: load: %w", err)
 	}
-	if len(data) < logHdrLen || binary.LittleEndian.Uint32(data[0:]) != logMagic {
-		return nil, ErrCorrupt
-	}
-	if binary.LittleEndian.Uint32(data[4:]) != crc32.ChecksumIEEE(data[8:]) {
-		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
-	}
-	bound := XID(binary.LittleEndian.Uint32(data[8:]))
-	nextTS := TS(binary.LittleEndian.Uint64(data[12:]))
-	n := int(binary.LittleEndian.Uint32(data[20:]))
-	if n < 0 || len(data) != logHdrLen+logEntLen*n {
-		return nil, fmt.Errorf("%w: truncated", ErrCorrupt)
+	bound, nextTS, ents, err := decodeLog(data)
+	if err != nil {
+		return nil, err
 	}
 	m := NewManager()
 	if bound > m.nextXID {
@@ -758,22 +788,66 @@ func Load(path string) (*Manager, error) {
 		m.nextTS.Store(int64(nextTS))
 	}
 	m.table.growLocked(m.nextXID)
-	for i := 0; i < n; i++ {
-		rec := data[logHdrLen+logEntLen*i:]
-		xid := XID(binary.LittleEndian.Uint32(rec))
-		st := Status(rec[4])
-		ts := TS(binary.LittleEndian.Uint64(rec[5:]))
-		if st != Committed && st != Aborted {
-			return nil, fmt.Errorf("%w: bad status %d", ErrCorrupt, st)
-		}
-		m.table.growLocked(xid)
-		if st == Committed {
-			m.table.setLocked(xid, packCommitted(ts))
+	for _, e := range ents {
+		m.table.growLocked(e.xid)
+		if e.st == Committed {
+			m.table.setLocked(e.xid, packCommitted(e.ts))
 		} else {
-			m.table.setLocked(xid, stAborted)
+			m.table.setLocked(e.xid, stAborted)
 		}
 	}
 	return m, nil
+}
+
+// EncodeState snapshots the manager's decided outcomes and counters in the
+// commit-log wire format — what Save writes, without touching the disk. The
+// replication base backup ships it so a fresh replica learns every outcome
+// whose write-ahead records have already been truncated.
+func (m *Manager) EncodeState() []byte {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	bound := m.xidBound
+	if m.nextXID > bound {
+		bound = m.nextXID
+	}
+	return m.encodeLocked(bound)
+}
+
+// ApplyState merges a snapshot produced by EncodeState (or read from a
+// pg_log file) into this manager: decided outcomes are installed — a
+// commit always wins over a locally-unknown or aborted state, matching
+// ApplyRecoveredCommit — and the XID and timestamp counters advance to at
+// least the snapshot's. Outcomes this manager already knows and the
+// snapshot does not are kept; on a replica both sides descend from the
+// same primary history, so the merge is a union, never a conflict.
+func (m *Manager) ApplyState(data []byte) error {
+	bound, nextTS, ents, err := decodeLog(data)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range ents {
+		m.table.growLocked(e.xid)
+		if e.st == Committed {
+			m.table.setLocked(e.xid, packCommitted(e.ts))
+		} else if m.table.load(e.xid)&3 != stCommitted {
+			m.table.setLocked(e.xid, stAborted)
+		}
+		if e.xid >= m.nextXID {
+			m.nextXID = e.xid + 1
+		}
+	}
+	if bound > m.nextXID {
+		m.nextXID = bound
+	}
+	if bound > m.xidBound {
+		m.xidBound = bound
+	}
+	if int64(nextTS) > m.nextTS.Load() {
+		m.nextTS.Store(int64(nextTS))
+	}
+	return nil
 }
 
 // RunInTxn executes fn inside a fresh transaction, committing on success and

@@ -158,6 +158,12 @@ type Log struct {
 	closed     bool      // guarded by mu
 	waiting    []*waiter // guarded by mu
 
+	// slots holds each registered replication slot's restart LSN; checkpoint
+	// truncation never drops a segment at or above the minimum (ship.go).
+	slots map[string]LSN // guarded by mu
+	// notify is the durable-advance watcher list (ship.go).
+	notify []chan<- struct{} // guarded by mu
+
 	// ioMu serialises device I/O on the segment and control relations.
 	ioMu sync.Mutex
 
@@ -799,6 +805,7 @@ func (l *Log) wakeLocked() {
 			obsGroupSize.Observe(time.Duration(served))
 		}
 	}
+	l.notifyLocked()
 	l.cond.Broadcast()
 }
 
@@ -849,7 +856,12 @@ func (l *Log) CheckpointWithMeta(redo LSN, meta CheckpointMeta) (LSN, error) {
 	l.lastRedo = redo
 	l.hasCkpt = true
 	first := l.firstSeg
-	keep := uint64(redo) / l.segBytes
+	// A registered replication slot holds back truncation: segments a
+	// connected replica may still re-request stay on disk even when the
+	// redo point has moved past them. Released slots (dead replicas) stop
+	// pinning immediately.
+	bound := l.slotHoldbackLocked(redo)
+	keep := uint64(bound) / l.segBytes
 	if keep > l.seg {
 		keep = l.seg
 	}
@@ -907,6 +919,7 @@ func (l *Log) Close() error {
 	l.mu.Lock()
 	l.closed = true
 	err := l.ioErr
+	l.notifyLocked() // durable watchers re-check and see the close
 	l.cond.Broadcast()
 	l.mu.Unlock()
 	return err

@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"postlob/internal/adt"
@@ -37,6 +38,7 @@ import (
 	"postlob/internal/inversion"
 	"postlob/internal/obs"
 	"postlob/internal/query"
+	"postlob/internal/repl"
 	"postlob/internal/server"
 	"postlob/internal/storage"
 	"postlob/internal/txn"
@@ -175,6 +177,27 @@ type Options struct {
 	// also be started and stopped at runtime via StartVacuum/StopVacuum.
 	AutoVacuum *VacuumOptions
 
+	// ReplicateTo, when non-empty, makes this database a replication
+	// primary: it listens on the address for replica connections and
+	// streams the durable write-ahead log to each (WAL shipping). Implies
+	// DurabilityWAL — only a logged database has bytes to ship. Use ":0"
+	// to pick a free port; ReplicationAddr reports the bound address.
+	ReplicateTo string
+	// ReplicaOf, when non-empty, opens the database as a read-only
+	// streaming replica of the primary at that address: a receiver
+	// continuously replays the shipped log into the local pool, reads are
+	// served from local pages through time-travel snapshots, and writes
+	// are refused (Begin panics, the wire server rejects mutating ops).
+	// Promote ends replication and makes the database writable.
+	ReplicaOf string
+	// ReplicaName identifies this replica in the primary's replication
+	// slots and diagnostics (default: the base name of dir).
+	ReplicaName string
+	// ReplCheckpointEvery overrides the replica's checkpoint interval in
+	// applied WAL bytes (default 4 MiB). A testing knob: small values
+	// exercise the crash-resume path hard.
+	ReplCheckpointEvery uint64
+
 	// BackgroundWriter controls the buffer pool's background I/O engine: a
 	// writer goroutine that cleans cold dirty frames ahead of demand (so
 	// foreground evictions almost never write back) and a prefetcher that
@@ -204,6 +227,11 @@ type DB struct {
 
 	vacMu sync.Mutex // guards vac across StartVacuum/StopVacuum/Close
 	vac   *core.Vacuum
+
+	replica atomic.Bool // read-only streaming replica (until Promote)
+	recv    *repl.Receiver
+	sender  *repl.Sender
+	replLn  net.Listener
 }
 
 // VacuumOptions configures the online vacuum daemon; see core.VacuumOptions.
@@ -257,6 +285,20 @@ func Open(dir string, opts Options) (*DB, error) {
 	mode := opts.Durability
 	if mode == DurabilityCheckpoint && opts.ForceAtCommit {
 		mode = DurabilityForce
+	}
+	if opts.ReplicaOf != "" && opts.ReplicateTo != "" {
+		return nil, fmt.Errorf("postlob: a database cannot be both a replica and a replication primary")
+	}
+	if opts.ReplicaOf != "" {
+		// A replica has no write-ahead log of its own: its durability is the
+		// replicated stream plus checkpoint-grained persistence of what it
+		// has applied (pg_repl_ctl).
+		mode = DurabilityCheckpoint
+	}
+	if opts.ReplicateTo != "" {
+		// Replication ships the WAL; a primary without one has nothing to
+		// stream.
+		mode = DurabilityWAL
 	}
 	// Redo recovery must run before the catalog or buffer pool read
 	// anything. The log is opened whenever one exists on disk — even if
@@ -346,12 +388,46 @@ func Open(dir string, opts Options) (*DB, error) {
 			return nil, err
 		}
 	}
+	if opts.ReplicaOf != "" {
+		// Replica: replay is the only writer, so no vacuum daemon and no
+		// orphan-temp GC (both mutate state the stream owns). Reads are
+		// served through time-travel snapshots against the replayed pages.
+		db.replica.Store(true)
+		name := opts.ReplicaName
+		if name == "" {
+			name = filepath.Base(dir)
+		}
+		recv, err := repl.StartReceiver(repl.ReceiverConfig{
+			Primary:         opts.ReplicaOf,
+			Name:            name,
+			Dir:             dir,
+			Pool:            pool.Buf,
+			Mgr:             mgr,
+			Cat:             cat,
+			CheckpointEvery: opts.ReplCheckpointEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		db.recv = recv
+		return db, nil
+	}
 	if opts.AutoVacuum != nil {
 		db.vac = store.StartVacuum(*opts.AutoVacuum)
 	}
 	// Crash recovery for temporaries left by dead sessions (§5).
 	if _, err := store.GCOrphanTemps(); err != nil {
 		return nil, err
+	}
+	if opts.ReplicateTo != "" {
+		ln, err := net.Listen("tcp", opts.ReplicateTo)
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("postlob: replication listener: %w", err)
+		}
+		db.sender = repl.NewSender(wlog, pool.Buf, mgr, cat)
+		db.replLn = ln
+		go db.sender.Serve(ln)
 	}
 	return db, nil
 }
@@ -375,7 +451,14 @@ func (db *DB) CreateLargeType(t LargeType) error {
 // pages and the commit log to stable storage before control returns; under
 // DurabilityWAL the transaction manager's durability log (wired at Open)
 // makes the commit record durable instead.
+//
+// Panics if the database is a read-only replica: local transactions would
+// allocate XIDs that collide with the primary's replayed stream. Use
+// time-travel reads (Now + OpenAsOf) on a replica, or Promote it first.
 func (db *DB) Begin() *Txn {
+	if db.replica.Load() {
+		panic("postlob: Begin on a read-only replica (Promote it, or read via OpenAsOf)")
+	}
 	tx := db.pool.Mgr.Begin()
 	if db.mode == DurabilityForce {
 		tx.OnCommitDurable(db.Checkpoint)
@@ -433,6 +516,9 @@ func (db *DB) Inversion(opts FSOptions) (*FS, error) {
 // just-in-time conversion).
 func (db *DB) Serve(l net.Listener) *server.Server {
 	srv := server.New(db.store)
+	if db.replica.Load() {
+		srv.SetReadOnly()
+	}
 	go srv.Serve(l)
 	return srv
 }
@@ -472,6 +558,13 @@ type Stats struct {
 	WALDurableLSN uint64
 	WALEndLSN     uint64
 	WALSegments   uint64
+	// ReplAppliedLSN / ReplDurableLSN are a replica's stream positions:
+	// what it has applied in memory and what it has persisted (both zero
+	// on a non-replica). On an idle primary, WALEndLSN minus a connected
+	// replica's ReplAppliedLSN converges to zero — the lag conservation
+	// law the replication tests assert.
+	ReplAppliedLSN uint64
+	ReplDurableLSN uint64
 }
 
 // Stats returns current cache and clock counters.
@@ -483,6 +576,10 @@ func (db *DB) Stats() Stats {
 		s.WALDurableLSN = uint64(info.Durable)
 		s.WALEndLSN = uint64(info.End)
 		s.WALSegments = info.Seg - info.FirstSeg + 1
+	}
+	if db.recv != nil {
+		s.ReplAppliedLSN = db.recv.Applied()
+		s.ReplDurableLSN = db.recv.Durable()
 	}
 	if mgr, err := db.sw.Get(storage.Worm); err == nil {
 		if w, ok := mgr.(*storage.WormManager); ok {
@@ -569,6 +666,11 @@ func (db *DB) VacuumDaemon() *core.Vacuum {
 func (db *DB) Checkpoint() error {
 	sw := obsCheckpointDur.Start()
 	defer sw.Stop()
+	if db.recv != nil {
+		// Replica: a checkpoint persists the applied stream position after
+		// flushing the replayed pages — the receiver owns that ordering.
+		return db.recv.Checkpoint()
+	}
 	saveLog := func() error { return db.pool.Mgr.Save(filepath.Join(db.dir, "pg_log")) }
 	if db.waldur != nil {
 		if err := db.waldur.Checkpoint(saveLog); err != nil {
@@ -588,13 +690,28 @@ func (db *DB) Checkpoint() error {
 
 // Close checkpoints and shuts the database down.
 func (db *DB) Close() error {
+	// Stop streaming to replicas before the log closes underneath the
+	// sender; replicas see a dropped connection and reconnect elsewhere in
+	// time (or to this database's next incarnation).
+	if db.sender != nil {
+		db.sender.Close()
+	}
+	if db.replLn != nil {
+		db.replLn.Close()
+	}
 	// Quiesce the daemons first: the closing checkpoint must see a stable
 	// dirty set, and StopEngine surfaces any sticky async write-back error.
 	if err := db.StopVacuum(); err != nil {
 		return err
 	}
 	db.pool.Buf.StopEngine()
-	if err := db.Checkpoint(); err != nil {
+	if db.recv != nil {
+		// Replica: stop the stream; Stop's closing checkpoint persists the
+		// applied position, replacing the primary-style checkpoint below.
+		if err := db.recv.Stop(); err != nil {
+			return err
+		}
+	} else if err := db.Checkpoint(); err != nil {
 		return err
 	}
 	if db.wlog != nil {
@@ -604,3 +721,73 @@ func (db *DB) Close() error {
 	}
 	return db.sw.Close()
 }
+
+// ReplicationAddr returns the address the replication listener is bound to
+// (nil unless this database was opened with ReplicateTo). Tests open the
+// primary with ReplicateTo ":0" and point replicas here.
+func (db *DB) ReplicationAddr() net.Addr {
+	if db.replLn == nil {
+		return nil
+	}
+	return db.replLn.Addr()
+}
+
+// IsReplica reports whether this database is (still) a read-only replica.
+func (db *DB) IsReplica() bool { return db.replica.Load() }
+
+// WaitReplicaReady blocks until the replica has applied everything the
+// primary had durable when it connected — the point after which reads see a
+// complete, torn-page-free state — or the timeout. An error on a
+// non-replica.
+func (db *DB) WaitReplicaReady(d time.Duration) error {
+	if db.recv == nil {
+		return fmt.Errorf("postlob: not a replica")
+	}
+	return db.recv.WaitReady(d)
+}
+
+// Promote ends replication and turns the replica into a standalone writable
+// database: the receiver stops (persisting everything applied), the stale
+// replication control file is removed so a later mis-configured reopen
+// cannot resume a dead timeline, and a fresh write-ahead log is attached so
+// the promoted database runs with the same durability discipline as the
+// primary it replaces. The transaction counters were advanced by every
+// replayed commit, so new transactions allocate fresh XIDs past the
+// primary's history.
+func (db *DB) Promote() error {
+	if !db.replica.Load() {
+		return fmt.Errorf("postlob: Promote on a non-replica")
+	}
+	if err := db.recv.Stop(); err != nil {
+		return err
+	}
+	db.recv = nil
+	if err := os.Remove(filepath.Join(db.dir, ctlFileName)); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	diskMgr, err := db.sw.Get(storage.Disk)
+	if err != nil {
+		return err
+	}
+	// The log is brand new — there is nothing to recover — but attaching it
+	// re-establishes the primary durability contract from the receiver's
+	// final checkpoint onward.
+	wlog, err := wal.Open(diskMgr, wal.Config{})
+	if err != nil {
+		return err
+	}
+	db.wlog = wlog
+	db.waldur = core.AttachWAL(db.pool, wlog)
+	db.mode = DurabilityWAL
+	db.replica.Store(false)
+	// Run the orphan-temp sweep the replica open skipped: the promoted
+	// database now owns its temporaries.
+	if _, err := db.store.GCOrphanTemps(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ctlFileName mirrors internal/repl's control file name for Promote's
+// cleanup; the receiver owns the format.
+const ctlFileName = "pg_repl_ctl"
