@@ -49,6 +49,14 @@
 #                                  torn or bit-flipped frame always fails
 #                                  loudly instead of being applied
 #
+#   7c2. FuzzChunkFrameDecode      same treatment for the v2 edge protocol's
+#                                  chunk frame decoder (length/CRC/kind
+#                                  checks): torn or bit-flipped frames must
+#                                  error, never misparse
+#
+#   7c3. FuzzRangeParse            same treatment for the HTTP gateway's
+#                                  Range-header parser
+#
 #   7d. (REPL=1 only)              the widened replication gate: the
 #                                  replica-vs-oracle crash sweep at 100
 #                                  seeds under the race detector, crashing
@@ -63,6 +71,15 @@
 #                                  the race detector:
 #
 #                                    MVCC=1 ./check.sh
+#
+#   7f. (EDGE=1 only)              the widened network-edge gate: the mixed
+#                                  TCP-v2 + HTTP soak (primary + read-only
+#                                  replica) at 16 clients under the race
+#                                  detector, asserting the byte conservation
+#                                  law and the O(chunk-window) server
+#                                  buffering bound:
+#
+#                                    EDGE=1 ./check.sh
 #
 #   8. (BENCH=1 only)              the observability overhead harness: the
 #                                  concurrent read workload with metrics
@@ -87,7 +104,14 @@
 #                                  Rewrites BENCH_commit_latency.json and
 #                                  fails unless group commit wins at 8-way
 #
-#  11. (BENCH=1 only)              the replication scale-out harness:
+#  11. (BENCH=1 only)              the edge throughput harness: streaming
+#                                  v2 vs whole-buffer v1 reads at 1/8/64
+#                                  clients. Rewrites
+#                                  BENCH_edge_throughput.json and fails
+#                                  unless streaming wins 2x at 8 clients
+#                                  with bounded p99
+#
+#  12. (BENCH=1 only)              the replication scale-out harness:
 #                                  aggregate snapshot-read throughput at
 #                                  0/1/2 WAL-shipped read replicas over
 #                                  per-node latency-wrapped devices.
@@ -149,6 +173,12 @@ go test -run '^$' -fuzz '^FuzzVersionMetaDecode$' -fuzztime 200x ./internal/heap
 echo "== FuzzReplFrameDecode smoke (-fuzztime=200x)"
 go test -run '^$' -fuzz '^FuzzReplFrameDecode$' -fuzztime 200x ./internal/repl
 
+echo "== FuzzChunkFrameDecode smoke (-fuzztime=200x)"
+go test -run '^$' -fuzz '^FuzzChunkFrameDecode$' -fuzztime 200x ./internal/gateway
+
+echo "== FuzzRangeParse smoke (-fuzztime=200x)"
+go test -run '^$' -fuzz '^FuzzRangeParse$' -fuzztime 200x ./internal/gateway
+
 if [ "${REPL:-}" = "1" ]; then
 	echo "== widened replication crash sweep (REPL=1, 100 seeds, -race)"
 	REPLCRASH=100 go test -race -run '^TestReplicationCrashSweep$' -count=1 -timeout 30m .
@@ -161,6 +191,11 @@ if [ "${MVCC:-}" = "1" ]; then
 	CRASH=100 go test -race -run '^TestCrashRecovery$' -count=1 ./internal/core
 fi
 
+if [ "${EDGE:-}" = "1" ]; then
+	echo "== widened network-edge soak (EDGE=1, 16 clients, -race)"
+	EDGECLIENTS=16 go test -race -run '^TestEdgeSoak$' -count=1 -v -timeout 30m .
+fi
+
 if [ "${BENCH:-}" = "1" ]; then
 	echo "== observability overhead harness (BENCH=1)"
 	BENCH=1 go test -run '^TestObsOverheadReport$' -v .
@@ -170,6 +205,8 @@ if [ "${BENCH:-}" = "1" ]; then
 	BENCH=1 go test -run '^TestCommitLatencyReport$' -v -timeout 20m .
 	echo "== mixed read/write harness (BENCH=1)"
 	BENCH=1 go test -run '^TestMixedRWReport$' -v -timeout 20m .
+	echo "== edge throughput harness (BENCH=1)"
+	BENCH=1 go test -run '^TestEdgeThroughputReport$' -v -timeout 20m .
 	echo "== replication scale-out harness (BENCH=1)"
 	BENCH=1 go test -run '^TestReplicationReport$' -v -timeout 20m .
 fi

@@ -3,6 +3,17 @@
 // (paper §3). Pair it with the internal/client library or the remoteaccess
 // example.
 //
+// Two optional edge listeners expose the streaming gateway: -stream speaks
+// the chunked, pipelined v2 wire protocol (internal/client DialStream), and
+// -http serves the S3-style object API over the Inversion file system —
+//
+//	curl http://host:8080/bucket/key                  # GET whole object
+//	curl -r 100-199 http://host:8080/bucket/key       # Range read
+//	curl -T file http://host:8080/bucket/key          # PUT
+//
+// On a replica both edges come up read-only: GETs and snapshot stream
+// reads are served from local pages, mutations refused.
+//
 // A second HTTP listener exposes observability: GET /metrics renders the
 // process-wide metrics registry (internal/obs) as plain text, and
 // /debug/pprof/ serves the standard Go profiler endpoints.
@@ -10,8 +21,10 @@
 // Usage:
 //
 //	lobjserve -db /path/to/dbdir [-addr 127.0.0.1:5439] [-metrics 127.0.0.1:5440]
+//	          [-stream 127.0.0.1:5441] [-http 127.0.0.1:8080]
 //
-// Pass -metrics "" to disable the observability listener.
+// Pass -metrics "" to disable the observability listener; -stream and
+// -http default to off.
 package main
 
 import (
@@ -38,6 +51,8 @@ func main() {
 		repto   = flag.String("replicate", "", "listen address for WAL-shipping replicas (implies -wal)")
 		repof   = flag.String("replica-of", "", "open as a read-only streaming replica of the primary at this address")
 		repname = flag.String("replica-name", "", "replica identity in the primary's slots (default: db dir name)")
+		stream  = flag.String("stream", "", "listen address for the chunked pipelined v2 wire protocol (empty disables)")
+		httpa   = flag.String("http", "", "listen address for the S3-style HTTP object API (empty disables)")
 	)
 	flag.Parse()
 	if *dbdir == "" {
@@ -74,6 +89,35 @@ func main() {
 	srv := db.Serve(l)
 	log.Printf("lobjserve: serving %s on %s", *dbdir, l.Addr())
 
+	var gw *postlob.Gateway
+	if *stream != "" || *httpa != "" {
+		gw = db.NewGateway(postlob.GatewayOptions{})
+	}
+	if *stream != "" {
+		sl, err := net.Listen("tcp", *stream)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := gw.ServeStream(sl); err != nil {
+				log.Printf("lobjserve: stream listener: %v", err)
+			}
+		}()
+		log.Printf("lobjserve: v2 stream protocol on %s", sl.Addr())
+	}
+	if *httpa != "" {
+		hl, err := net.Listen("tcp", *httpa)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := http.Serve(hl, gw.HTTPHandler()); err != nil {
+				log.Printf("lobjserve: http listener: %v", err)
+			}
+		}()
+		log.Printf("lobjserve: object API on http://%s/", hl.Addr())
+	}
+
 	if *metrics != "" {
 		ml, err := net.Listen("tcp", *metrics)
 		if err != nil {
@@ -98,5 +142,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	log.Print("lobjserve: shutting down")
+	if gw != nil {
+		gw.Close()
+	}
 	srv.Close()
 }

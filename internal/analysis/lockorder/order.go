@@ -42,6 +42,12 @@ var Hierarchy = []Level{
 		"every pool and storage class", Classes: []Class{
 		{Name: "repl.Receiver.chkMu"},
 	}},
+	{Doc: "HTTP gateway Inversion bootstrap: fsMu is held across " +
+		"inversion.Init/OpenReadOnly, which resolve (and on a primary create) " +
+		"catalog classes and touch pages beneath them, so it ranks above the " +
+		"catalog", Classes: []Class{
+		{Name: "gateway.Gateway.fsMu"},
+	}},
 	{Doc: "catalog: name resolution happens before any page access", Classes: []Class{
 		{Name: "catalog.Catalog.mu"},
 	}},
@@ -94,6 +100,16 @@ var Hierarchy = []Level{
 		"holding, and never while acquiring, any pool or WAL class", Classes: []Class{
 		{Name: "repl.Sender.mu"},
 		{Name: "repl.Receiver.mu"},
+	}},
+	{Doc: "network-edge session state: the gateway's listener/connection " +
+		"table, a v2 connection's per-stream routing map, and the v2 client's " +
+		"stream table are leaves held only for table access; the client's " +
+		"write lock serialises socket writes of pre-encoded frames and never " +
+		"nests another class", Classes: []Class{
+		{Name: "gateway.Gateway.smu"},
+		{Name: "gateway.gwConn.mu"},
+		{Name: "client.Stream.mu"},
+		{Name: "client.Stream.wmu"},
 	}},
 	{Doc: "heap insert-placement hints and vacuum daemon state, all leaves: " +
 		"placeMu is taken under the relation lock but never across a pool call " +

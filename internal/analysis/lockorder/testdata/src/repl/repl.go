@@ -1,6 +1,6 @@
 // Fixture for the lockorder analyzer: a stub of the real repl package
 // under its package name, so the class names (repl.Receiver.chkMu level 0,
-// repl.Receiver.mu and repl.Sender.mu in the replication-session level 13)
+// repl.Receiver.mu and repl.Sender.mu in the replication-session level 14)
 // land in the declared hierarchy.
 package repl
 
@@ -28,7 +28,7 @@ func (r *Receiver) OkCheckpointOrder() {
 // the session leaf is held, against the declared order.
 func (r *Receiver) BadCheckpointUnderSession() {
 	r.mu.Lock()
-	r.chkMu.Lock() // want `lock-order: repl\.Receiver\.chkMu \(level 0\) acquired while holding repl\.Receiver\.mu \(level 13\), against the declared hierarchy`
+	r.chkMu.Lock() // want `lock-order: repl\.Receiver\.chkMu \(level 0\) acquired while holding repl\.Receiver\.mu \(level 14\), against the declared hierarchy`
 	r.chkMu.Unlock()
 	r.mu.Unlock()
 }

@@ -185,20 +185,43 @@ func (o *Object) Seek(offset int64, whence int) (int64, error) {
 	return o.pos, nil
 }
 
-// Write sends bytes at the current position.
+// Write sends bytes at the current position. Payloads beyond the
+// protocol's per-request limit are chunked transparently — callers keep
+// whole-buffer semantics.
 func (o *Object) Write(p []byte) (int, error) {
-	resp, err := o.c.call(&wire.Request{Op: wire.OpWrite, Handle: o.handle, Offset: o.pos, Data: p})
-	if err != nil {
-		return 0, err
+	total := 0
+	for len(p) > 0 {
+		part := p
+		if len(part) > wire.MaxDataBytes {
+			part = part[:wire.MaxDataBytes]
+		}
+		resp, err := o.c.call(&wire.Request{Op: wire.OpWrite, Handle: o.handle, Offset: o.pos, Data: part})
+		if err != nil {
+			return total, err
+		}
+		o.pos += resp.N
+		total += int(resp.N)
+		if resp.N < int64(len(part)) {
+			return total, fmt.Errorf("client: short write (%d of %d)", resp.N, len(part))
+		}
+		p = p[resp.N:]
 	}
-	o.pos += resp.N
-	return int(resp.N), nil
+	return total, nil
 }
 
 // Read fetches stored compressed extents for the requested range and
-// decodes them locally, zero-filling sparse gaps.
+// decodes them locally, zero-filling sparse gaps. A single call moves at
+// most the protocol's per-request limit; callers looping (io.ReadFull)
+// keep whole-buffer semantics.
 func (o *Object) Read(p []byte) (int, error) {
-	resp, err := o.c.call(&wire.Request{Op: wire.OpRaw, Handle: o.handle, Offset: o.pos, N: int64(len(p))})
+	want := int64(len(p))
+	if want > wire.MaxDataBytes {
+		// The server serves at most this much per request; asking for the
+		// clamped range keeps our zero-fill below consistent with the
+		// extents that actually arrive.
+		want = wire.MaxDataBytes
+	}
+	resp, err := o.c.call(&wire.Request{Op: wire.OpRaw, Handle: o.handle, Offset: o.pos, N: want})
 	if err != nil {
 		return 0, err
 	}
@@ -206,8 +229,8 @@ func (o *Object) Read(p []byte) (int, error) {
 		return 0, io.EOF
 	}
 	n := resp.Size - o.pos
-	if n > int64(len(p)) {
-		n = int64(len(p))
+	if n > want {
+		n = want
 	}
 	for i := int64(0); i < n; i++ {
 		p[i] = 0

@@ -90,12 +90,31 @@ type FS struct {
 // creating the metadata classes and the root directory on first use. The
 // bootstrap happens under tx.
 func Init(tx *txn.Txn, store *core.Store, opts Options) (*FS, error) {
+	return open(tx, store, opts)
+}
+
+// OpenReadOnly opens an already-initialised Inversion file system without
+// a transaction. Replicas — which cannot begin local transactions — use
+// this to serve snapshot reads over metadata replicated from the primary.
+// It fails with ErrNotInit if the metadata classes do not exist yet.
+func OpenReadOnly(store *core.Store, opts Options) (*FS, error) {
+	return open(nil, store, opts)
+}
+
+// ErrNotInit reports an OpenReadOnly against a database whose Inversion
+// classes have not been created (the primary has not run Init yet).
+var ErrNotInit = errors.New("inversion: file system not initialised")
+
+func open(tx *txn.Txn, store *core.Store, opts Options) (*FS, error) {
 	cat := store.Catalog()
 	fs := &FS{store: store, pool: store.Pool(), opts: opts}
 
 	fresh := false
 	dirClass, err := cat.Class(ClassDirectory)
 	if errors.Is(err, catalog.ErrNoClass) {
+		if tx == nil {
+			return nil, ErrNotInit
+		}
 		fresh = true
 		if dirClass, err = cat.CreateClass(ClassDirectory, opts.SM, []catalog.Column{
 			{Name: "file-name", Type: "text"},
@@ -799,6 +818,10 @@ func (f *File) Name() string { return f.name }
 
 // FileID returns the file's identifier.
 func (f *File) FileID() uint64 { return f.id }
+
+// Ref returns the object reference backing the file's contents, so callers
+// can stream the body through the store's raw-extent path.
+func (f *File) Ref() adt.ObjectRef { return f.obj.Ref() }
 
 // Read implements io.Reader.
 func (f *File) Read(p []byte) (int, error) { return f.obj.Read(p) }

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"net"
+	"strings"
+	"testing"
+
+	"postlob/internal/adt"
+	"postlob/internal/compress"
+	"postlob/internal/core"
+	"postlob/internal/wire"
+)
+
+// rawConn drives the v1 protocol directly — no client-side clamping — so
+// these tests exercise exactly what a hostile peer can send.
+type rawConn struct {
+	t    *testing.T
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+func rawDial(t *testing.T, addr string) *rawConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &rawConn{t: t, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}
+}
+
+func (r *rawConn) roundTrip(req *wire.Request) *wire.Response {
+	r.t.Helper()
+	if err := r.enc.Encode(req); err != nil {
+		r.t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := r.dec.Decode(&resp); err != nil {
+		r.t.Fatal(err)
+	}
+	return &resp
+}
+
+// TestV1ReadCountClamp is the regression test for the v1 unbounded-
+// allocation hole: a raw peer asking OpRead/OpRaw for an absurd N gets
+// partial service bounded by MaxDataBytes, not an N-sized allocation.
+func TestV1ReadCountClamp(t *testing.T) {
+	addr, store := startServer(t)
+
+	tx := store.Pool().Mgr.Begin()
+	ref, obj, err := store.Create(tx, core.CreateOptions{Kind: adt.KindFChunk, Codec: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := compress.GenFrame(9, 50_000, 0.3)
+	obj.Write(payload)
+	obj.Close()
+	tx.Commit()
+
+	rc := rawDial(t, addr)
+	if resp := rc.roundTrip(&wire.Request{Op: wire.OpBegin}); resp.Err != "" {
+		t.Fatal(resp.Err)
+	}
+	open := rc.roundTrip(&wire.Request{Op: wire.OpOpen, Ref: ref})
+	if open.Err != "" {
+		t.Fatal(open.Err)
+	}
+
+	// A hostile N: 1 TiB. The server must answer with at most MaxDataBytes
+	// — here the whole (small) object — instead of allocating req.N.
+	read := rc.roundTrip(&wire.Request{Op: wire.OpRead, Handle: open.Handle, N: 1 << 40})
+	if read.Err != "" {
+		t.Fatal(read.Err)
+	}
+	if read.N > wire.MaxDataBytes || int64(len(read.Data)) != read.N {
+		t.Fatalf("read served N=%d (%d bytes), limit %d", read.N, len(read.Data), wire.MaxDataBytes)
+	}
+	if !bytes.Equal(read.Data, payload) {
+		t.Fatal("clamped read returned wrong bytes")
+	}
+
+	// Same clamp on the raw-extent path: the served range is capped.
+	raw := rc.roundTrip(&wire.Request{Op: wire.OpRaw, Handle: open.Handle, N: 1 << 40})
+	if raw.Err != "" {
+		t.Fatal(raw.Err)
+	}
+	if raw.N > wire.MaxDataBytes {
+		t.Fatalf("readraw served N=%d, limit %d", raw.N, wire.MaxDataBytes)
+	}
+	// Negative counts are refused outright.
+	if resp := rc.roundTrip(&wire.Request{Op: wire.OpRead, Handle: open.Handle, N: -1}); resp.Err == "" {
+		t.Fatal("negative read count accepted")
+	}
+}
+
+// TestV1WritePayloadLimit: a write payload over MaxDataBytes (but under the
+// frame limit, so it decodes) is refused with a clear protocol error and
+// the connection stays usable.
+func TestV1WritePayloadLimit(t *testing.T) {
+	addr, store := startServer(t)
+
+	tx := store.Pool().Mgr.Begin()
+	ref, obj, err := store.Create(tx, core.CreateOptions{Kind: adt.KindFChunk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj.Close()
+	tx.Commit()
+
+	rc := rawDial(t, addr)
+	rc.roundTrip(&wire.Request{Op: wire.OpBegin})
+	open := rc.roundTrip(&wire.Request{Op: wire.OpOpen, Ref: ref})
+	if open.Err != "" {
+		t.Fatal(open.Err)
+	}
+	resp := rc.roundTrip(&wire.Request{
+		Op: wire.OpWrite, Handle: open.Handle,
+		Data: make([]byte, wire.MaxDataBytes+1),
+	})
+	if resp.Err == "" || !strings.Contains(resp.Err, "exceeds") {
+		t.Fatalf("oversize write: %q", resp.Err)
+	}
+	// The refusal is a response, not a hangup.
+	if resp := rc.roundTrip(&wire.Request{Op: wire.OpSize, Handle: open.Handle}); resp.Err != "" {
+		t.Fatalf("connection dead after refused write: %s", resp.Err)
+	}
+}
+
+// TestV1FrameLimit: a gob frame over MaxFrameBytes draws an ErrFrameTooBig
+// response and then the connection closes (the stream is mid-frame and
+// cannot be resynchronised).
+func TestV1FrameLimit(t *testing.T) {
+	addr, _ := startServer(t)
+	rc := rawDial(t, addr)
+	if err := rc.enc.Encode(&wire.Request{
+		Op:   wire.OpWrite,
+		Data: make([]byte, wire.MaxFrameBytes+1),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := rc.dec.Decode(&resp); err != nil {
+		t.Fatalf("no frame-limit response: %v", err)
+	}
+	if !strings.Contains(resp.Err, "frame exceeds limit") {
+		t.Fatalf("frame-limit error = %q", resp.Err)
+	}
+	// The server hangs up: EOF on a clean close, ECONNRESET if our frame's
+	// unread tail was still in flight.
+	if err := rc.dec.Decode(&resp); err == nil {
+		t.Fatal("connection stayed open after oversize frame")
+	}
+}

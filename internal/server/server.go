@@ -126,11 +126,20 @@ func (s *Server) handle(conn net.Conn) {
 	sess := &session{srv: s, handles: make(map[int]core.Object), asOf: make(map[int]txn.TS), nextID: 1}
 	defer sess.cleanup()
 
-	dec := gob.NewDecoder(conn)
+	// The decoder reads through a per-frame budget so a malicious or
+	// corrupt frame length cannot stream an unbounded allocation into gob.
+	lim := wire.NewFrameLimitReader(conn)
+	dec := gob.NewDecoder(lim)
 	enc := gob.NewEncoder(conn)
 	for {
+		lim.Reset()
 		var req wire.Request
 		if err := dec.Decode(&req); err != nil {
+			if lim.Tripped() {
+				// Tell the peer why before hanging up; the stream is
+				// mid-frame and cannot be resynchronised.
+				enc.Encode(&wire.Response{Err: wire.ErrFrameTooBig.Error()})
+			}
 			return // EOF or broken connection
 		}
 		resp := sess.dispatch(&req)
@@ -316,16 +325,29 @@ func (sess *session) objectOp(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{}
 	case wire.OpRead:
+		if req.N < 0 {
+			return fail("read: negative count %d", req.N)
+		}
+		// Clamp the requested count: N used to size a server allocation
+		// verbatim, letting any peer demand an arbitrary buffer. Partial
+		// service is fine — the client loops.
+		n64 := req.N
+		if n64 > wire.MaxDataBytes {
+			n64 = wire.MaxDataBytes
+		}
 		if _, err := obj.Seek(req.Offset, io.SeekStart); err != nil {
 			return fail("seek: %v", err)
 		}
-		buf := make([]byte, req.N)
+		buf := make([]byte, n64)
 		n, err := io.ReadFull(obj, buf)
 		if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
 			return fail("read: %v", err)
 		}
 		return &wire.Response{Data: buf[:n], N: int64(n)}
 	case wire.OpWrite:
+		if len(req.Data) > wire.MaxDataBytes {
+			return fail("write: %d-byte payload exceeds the %d-byte limit", len(req.Data), wire.MaxDataBytes)
+		}
 		if _, err := obj.Seek(req.Offset, io.SeekStart); err != nil {
 			return fail("seek: %v", err)
 		}
@@ -335,18 +357,27 @@ func (sess *session) objectOp(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{N: int64(n)}
 	case wire.OpRaw:
+		if req.N < 0 {
+			return fail("readraw: negative count %d", req.N)
+		}
+		// Same clamp as OpRead: extents for at most MaxDataBytes logical
+		// bytes per call; Response.N reports the range actually served.
+		n64 := req.N
+		if n64 > wire.MaxDataBytes {
+			n64 = wire.MaxDataBytes
+		}
 		var extents []core.RawExtent
 		var err error
 		if ts, ok := sess.asOf[req.Handle]; ok {
 			// As-of handles carry their own snapshot; no transaction needed,
 			// which is how replicas serve raw reads.
-			extents, err = sess.srv.store.ReadRawAsOf(ts, refOf(obj, req), req.Offset, req.N)
+			extents, err = sess.srv.store.ReadRawAsOf(ts, refOf(obj, req), req.Offset, n64)
 		} else {
 			tx, errResp := sess.needTx()
 			if errResp != nil {
 				return errResp
 			}
-			extents, err = sess.srv.store.ReadRaw(tx, refOf(obj, req), req.Offset, req.N)
+			extents, err = sess.srv.store.ReadRaw(tx, refOf(obj, req), req.Offset, n64)
 		}
 		if err != nil {
 			return fail("readraw: %v", err)
@@ -359,7 +390,7 @@ func (sess *session) objectOp(req *wire.Request) *wire.Response {
 		for i, e := range extents {
 			out[i] = wire.RawExtent{LogStart: e.LogStart, Skip: e.Skip, Take: e.Take, Encoded: e.Encoded}
 		}
-		return &wire.Response{Extents: out, Size: size}
+		return &wire.Response{Extents: out, Size: size, N: n64}
 	default:
 		return fail("unknown object op %q", req.Op)
 	}

@@ -1,0 +1,52 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// TestFrameLimitReader pins the per-frame budget mechanics: reads pass
+// through until the budget is spent, then trip with ErrFrameTooBig until
+// the next Reset re-arms it.
+func TestFrameLimitReader(t *testing.T) {
+	src := bytes.Repeat([]byte{0xA5}, MaxFrameBytes+100)
+	l := NewFrameLimitReader(bytes.NewReader(src))
+
+	got, err := io.ReadAll(io.LimitReader(l, MaxFrameBytes))
+	if err != nil || len(got) != MaxFrameBytes {
+		t.Fatalf("read %d under budget: %v", len(got), err)
+	}
+	if l.Tripped() {
+		t.Fatal("tripped before the budget was exceeded")
+	}
+	if _, err := l.Read(make([]byte, 1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("over budget: %v", err)
+	}
+	if !l.Tripped() {
+		t.Fatal("not tripped after the budget fired")
+	}
+
+	// Reset re-arms for the next frame.
+	l.Reset()
+	if l.Tripped() {
+		t.Fatal("still tripped after Reset")
+	}
+	n, err := l.Read(make([]byte, 200))
+	if err != nil || n == 0 {
+		t.Fatalf("read after Reset: %d, %v", n, err)
+	}
+
+	// A read straddling the boundary is truncated to the budget, not
+	// rejected.
+	l = NewFrameLimitReader(bytes.NewReader(src))
+	l.Remain = 10
+	buf := make([]byte, 64)
+	if n, err := l.Read(buf); err != nil || n != 10 {
+		t.Fatalf("straddling read = %d, %v", n, err)
+	}
+	if _, err := l.Read(buf); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatal("budget exhausted but read allowed")
+	}
+}

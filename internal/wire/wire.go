@@ -7,9 +7,68 @@
 package wire
 
 import (
+	"errors"
+	"io"
+
 	"postlob/internal/adt"
 	"postlob/internal/txn"
 )
+
+// Protocol limits. The v1 edge used to trust Request.Data and Request.N
+// verbatim — a remote peer could ask the server to allocate an arbitrary
+// buffer (`make([]byte, req.N)`) or feed it an arbitrarily large gob
+// frame. Both are now clamped: requests and responses must fit
+// MaxFrameBytes on the wire, and a single read or write moves at most
+// MaxDataBytes of payload (the client loops transparently).
+const (
+	// MaxFrameBytes bounds one gob-encoded frame in either direction.
+	MaxFrameBytes = 16 << 20
+	// MaxDataBytes bounds the payload of a single read or write request.
+	// Reads asking for more are served partially (Response.N says how
+	// much); writes carrying more are refused with a protocol error.
+	MaxDataBytes = 8 << 20
+)
+
+// ErrFrameTooBig reports a frame exceeding MaxFrameBytes. The connection
+// is not recoverable after it: the stream position is mid-frame.
+var ErrFrameTooBig = errors.New("wire: frame exceeds limit")
+
+// FrameLimitReader enforces MaxFrameBytes on a stream of gob frames: the
+// owner calls Reset before decoding each frame, and any single frame
+// pulling more than the limit fails with ErrFrameTooBig instead of letting
+// the peer stream an unbounded allocation into the decoder.
+type FrameLimitReader struct {
+	R       io.Reader
+	Remain  int64
+	tripped bool
+}
+
+// NewFrameLimitReader wraps r with a fresh budget.
+func NewFrameLimitReader(r io.Reader) *FrameLimitReader {
+	return &FrameLimitReader{R: r, Remain: MaxFrameBytes}
+}
+
+// Reset re-arms the budget for the next frame.
+func (l *FrameLimitReader) Reset() {
+	l.Remain = MaxFrameBytes
+	l.tripped = false
+}
+
+// Tripped reports whether the limit fired since the last Reset.
+func (l *FrameLimitReader) Tripped() bool { return l.tripped }
+
+func (l *FrameLimitReader) Read(p []byte) (int, error) {
+	if l.Remain <= 0 {
+		l.tripped = true
+		return 0, ErrFrameTooBig
+	}
+	if int64(len(p)) > l.Remain {
+		p = p[:l.Remain]
+	}
+	n, err := l.R.Read(p)
+	l.Remain -= int64(n)
+	return n, err
+}
 
 // Op identifies a request type.
 type Op string

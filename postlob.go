@@ -34,6 +34,7 @@ import (
 	"postlob/internal/catalog"
 	"postlob/internal/compress"
 	"postlob/internal/core"
+	"postlob/internal/gateway"
 	"postlob/internal/heap"
 	"postlob/internal/inversion"
 	"postlob/internal/obs"
@@ -91,6 +92,11 @@ type (
 	CallContext = adt.CallContext
 	// FSOptions configure the Inversion file system.
 	FSOptions = inversion.Options
+	// GatewayOptions configure the streaming network edge.
+	GatewayOptions = gateway.Options
+	// Gateway is the streaming multi-protocol front door (chunked v2 wire
+	// protocol + S3-style HTTP object API).
+	Gateway = gateway.Gateway
 	// FS is the Inversion file system.
 	FS = inversion.FS
 	// DirEntry is one Inversion directory listing entry.
@@ -521,6 +527,20 @@ func (db *DB) Serve(l net.Listener) *server.Server {
 	}
 	go srv.Serve(l)
 	return srv
+}
+
+// NewGateway builds the streaming network edge over this database: one
+// chunk-granular core behind two protocol frontends. Gateway.ServeStream
+// speaks the pipelined v2 wire protocol (internal/client's DialStream);
+// Gateway.HTTPHandler serves the S3-style object API over the Inversion
+// file system. On a replica the gateway comes up read-only — GETs and
+// snapshot stream reads are served locally, mutations refused at the edge.
+func (db *DB) NewGateway(opts GatewayOptions) *Gateway {
+	gw := gateway.New(db.store, opts)
+	if db.replica.Load() {
+		gw.SetReadOnly()
+	}
+	return gw
 }
 
 // Checkpoint metrics, registered once at package init. System-wide metrics
